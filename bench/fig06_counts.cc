@@ -1,0 +1,44 @@
+// Figure 6 + §4.2.1 dataset statistics: measurements per user and per app.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  auto totals = mopcrowd::Totals(ds);
+  mopbench::PrintHeader("Dataset statistics (§4.2.1)", "paper vs measured");
+  moputil::Table t({"statistic", "paper", "measured"});
+  auto wc = [](size_t v) { return moputil::WithCommas(static_cast<int64_t>(v)); };
+  t.AddRow({"total measurements", "5,252,758", wc(totals.measurements)});
+  t.AddRow({"TCP measurements", "3,576,931", wc(totals.tcp)});
+  t.AddRow({"DNS measurements", "1,675,827", wc(totals.dns)});
+  t.AddRow({"devices (>=1 measurement)", "2,351", wc(totals.devices)});
+  t.AddRow({"devices (>=100)", "1,037", wc(totals.devices_100)});
+  t.AddRow({"apps measured", "6,266", wc(totals.apps)});
+  t.AddRow({"apps (>=100)", "1,549", wc(totals.apps_100)});
+  t.AddRow({"destination domains", "35,351", wc(totals.domains)});
+  t.AddRow({"destination IPs", "106,182", wc(totals.ips_estimate)});
+  t.AddRow({"phone models", "922", wc(totals.models)});
+  t.AddRow({"countries", "114", wc(totals.countries)});
+  std::printf("%s\n", t.Render().c_str());
+
+  mopbench::PrintHeader("Figure 6(a)", "# of measurements made by each user");
+  auto by_user = mopcrowd::MeasurementsByUser(ds);
+  moputil::Table ta({"bucket", "paper (#users)", "measured"});
+  ta.AddRow({"> 10K", "104", std::to_string(by_user.over_10k)});
+  ta.AddRow({"5K - 10K", "70", std::to_string(by_user.k5_to_10k)});
+  ta.AddRow({"1K - 5K", "288", std::to_string(by_user.k1_to_5k)});
+  ta.AddRow({"100 - 1K", "575", std::to_string(by_user.h100_to_1k)});
+  std::printf("%s\n", ta.Render().c_str());
+
+  mopbench::PrintHeader("Figure 6(b)", "# of measurements made by each app");
+  auto by_app = mopcrowd::MeasurementsByApp(ds);
+  moputil::Table tb({"bucket", "paper (#apps)", "measured"});
+  tb.AddRow({"> 10K", "60", std::to_string(by_app.over_10k)});
+  tb.AddRow({"5K - 10K", "58", std::to_string(by_app.k5_to_10k)});
+  tb.AddRow({"1K - 5K", "306", std::to_string(by_app.k1_to_5k)});
+  tb.AddRow({"100 - 1K", "1125", std::to_string(by_app.h100_to_1k)});
+  std::printf("%s\n", tb.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7: distribution of the top-20 user countries.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  mopbench::PrintHeader("Figure 7", "top 20 MopEye user countries");
+  // Paper counts are of the 4,014 installs; the roster models the 2,351
+  // measuring devices, so compare shares, not absolute counts.
+  struct PaperRow {
+    const char* code;
+    int users;
+  };
+  const PaperRow paper[] = {{"USA", 790}, {"GBR", 116}, {"IND", 70}, {"ITA", 68},
+                            {"MYS", 43},  {"BRA", 41},  {"IDN", 37}, {"DEU", 31},
+                            {"CAN", 26},  {"MEX", 25},  {"PHL", 23}, {"AUS", 22},
+                            {"HKG", 20},  {"FRA", 19},  {"RUS", 19}, {"THA", 18},
+                            {"GRC", 16},  {"ESP", 13},  {"POL", 13}, {"SGP", 13}};
+  double paper_total = 4014;
+
+  auto top = mopcrowd::TopCountries(ds, world, 20);
+  size_t devices = 0;
+  for (const auto& d : ds.devices()) {
+    if (d.measurements > 0) {
+      ++devices;
+    }
+  }
+
+  moputil::Table t({"rank", "paper country", "paper share", "measured country",
+                    "measured share", "devices"});
+  for (size_t i = 0; i < 20; ++i) {
+    std::string mc = i < top.size() ? top[i].first : "-";
+    double mshare = i < top.size()
+                        ? static_cast<double>(top[i].second) / static_cast<double>(devices)
+                        : 0;
+    t.AddRow({std::to_string(i + 1), paper[i].code,
+              mopbench::Pct(paper[i].users / paper_total), mc, mopbench::Pct(mshare),
+              i < top.size() ? std::to_string(top[i].second) : "-"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: CDFs of raw app RTTs (a) and top-app median RTTs (b), plus the
+// §4.2.2 headline medians (all 65 ms / WiFi 58 ms / cellular 84 ms / LTE 76).
+#include "bench/bench_util.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  mopbench::PrintHeader("Figure 9(a)", "CDF of all apps' raw RTTs");
+  auto cdfs = mopcrowd::AppRtts(ds);
+
+  moputil::Table t({"metric", "paper", "measured"});
+  t.AddRow({"median RTT (all)", "65ms", mopbench::Ms(cdfs.all.Median())});
+  t.AddRow({"median RTT (WiFi)", "58ms", mopbench::Ms(cdfs.wifi.Median())});
+  t.AddRow({"median RTT (cellular)", "84ms", mopbench::Ms(cdfs.cellular.Median())});
+  t.AddRow({"median RTT (LTE)", "76ms", mopbench::Ms(cdfs.lte.Median())});
+  t.AddSeparator();
+  t.AddRow({"RTTs below 50ms", "~40%", mopbench::Pct(cdfs.all.CdfAt(50))});
+  t.AddRow({"RTTs below 100ms", "~60%", mopbench::Pct(cdfs.all.CdfAt(100))});
+  t.AddRow({"RTTs above 200ms", "~20%", mopbench::Pct(cdfs.all.FractionAbove(200))});
+  t.AddRow({"RTTs above 400ms", "~10%", mopbench::Pct(cdfs.all.FractionAbove(400))});
+  std::printf("%s\n", t.Render().c_str());
+
+  std::printf("%s\n",
+              moputil::AsciiCdfPlot({{"All", &cdfs.all},
+                                     {"WiFi", &cdfs.wifi},
+                                     {"Cellular", &cdfs.cellular}},
+                                    400.0)
+                  .c_str());
+
+  mopbench::PrintHeader("Figure 9(b)", "per-app median RTTs (apps with > 1K measurements)");
+  auto medians = mopcrowd::PerAppMedians(ds, static_cast<size_t>(1000 * flags.scale));
+  moputil::Table t2({"metric", "paper", "measured"});
+  t2.AddRow({"apps in the plot", "424", std::to_string(medians.count())});
+  t2.AddRow({"apps with median < 100ms", ">70%", mopbench::Pct(medians.CdfAt(100))});
+  t2.AddRow({"apps with median > 200ms", "~10%", mopbench::Pct(medians.FractionAbove(200))});
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf("%s\n", moputil::AsciiCdfPlot({{"per-app medians", &medians}}, 400.0).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 10: DNS RTT CDFs — (a) all/WiFi/cellular, (b) per cellular
+// generation — plus §4.2.3's headline medians.
+#include "bench/bench_util.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  auto dns = mopcrowd::DnsRtts(ds);
+
+  mopbench::PrintHeader("Figure 10(a)", "DNS RTT CDF: all / WiFi / cellular");
+  moputil::Table t({"metric", "paper", "measured"});
+  t.AddRow({"median DNS RTT (all)", "42ms", mopbench::Ms(dns.all.Median())});
+  t.AddRow({"median DNS RTT (WiFi)", "33ms", mopbench::Ms(dns.wifi.Median())});
+  t.AddRow({"median DNS RTT (cellular)", "61ms", mopbench::Ms(dns.cellular.Median())});
+  t.AddRow({"DNS RTTs below 100ms", "~80%", mopbench::Pct(dns.all.CdfAt(100))});
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("%s\n", moputil::AsciiCdfPlot({{"All", &dns.all},
+                                             {"WiFi", &dns.wifi},
+                                             {"Cellular", &dns.cellular}},
+                                            400.0)
+                          .c_str());
+
+  mopbench::PrintHeader("Figure 10(b)", "DNS RTT CDF by cellular generation");
+  moputil::Table t2({"metric", "paper", "measured"});
+  t2.AddRow({"median DNS RTT (4G LTE)", "56ms", mopbench::Ms(dns.lte.Median())});
+  t2.AddRow({"median DNS RTT (3G)", "105ms", mopbench::Ms(dns.g3.Median())});
+  t2.AddRow({"median DNS RTT (2G)", "755ms", mopbench::Ms(dns.g2.Median())});
+  double lte_share = static_cast<double>(dns.lte.count()) /
+                     static_cast<double>(dns.cellular.count());
+  t2.AddRow({"share of cellular DNS from 4G", "~80%", mopbench::Pct(lte_share)});
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf("%s\n", moputil::AsciiCdfPlot({{"4G LTE", &dns.lte},
+                                             {"3G", &dns.g3},
+                                             {"2G", &dns.g2}},
+                                            1000.0)
+                          .c_str());
+  return 0;
+}

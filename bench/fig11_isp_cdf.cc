@@ -1,0 +1,35 @@
+// Figure 11: DNS RTT CDFs of four selected LTE ISPs (Verizon baseline,
+// Singtel's Tri-band fast path, Cricket / U.S. Cellular's pre-4G drag).
+#include "bench/bench_util.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  auto ds = mopbench::RunStudy(world, flags);
+
+  mopbench::PrintHeader("Figure 11", "DNS performance of four LTE ISPs");
+  auto verizon = mopcrowd::IspDnsSamples(ds, world, "Verizon");
+  auto singtel = mopcrowd::IspDnsSamples(ds, world, "Singtel");
+  auto cricket = mopcrowd::IspDnsSamples(ds, world, "Cricket");
+  auto uscc = mopcrowd::IspDnsSamples(ds, world, "U.S. Cellular");
+
+  moputil::Table t({"metric", "paper", "measured"});
+  t.AddRow({"Singtel DNS RTTs < 10ms", "14.7%", mopbench::Pct(singtel.CdfAt(10))});
+  t.AddRow({"Verizon DNS RTTs < 10ms", "<1%", mopbench::Pct(verizon.CdfAt(10))});
+  t.AddRow({"Cricket min RTT", "~43ms", mopbench::Ms(cricket.Min())});
+  t.AddRow({"U.S. Cellular min RTT", "~43ms", mopbench::Ms(uscc.Min())});
+  t.AddRow({"Cricket median", "93ms", mopbench::Ms(cricket.Median())});
+  t.AddRow({"U.S. Cellular median", "76ms", mopbench::Ms(uscc.Median())});
+  t.AddRow({"Verizon median", "46ms", mopbench::Ms(verizon.Median())});
+  t.AddRow({"Singtel median", "27ms", mopbench::Ms(singtel.Median())});
+  std::printf("%s\n", t.Render().c_str());
+
+  std::printf("%s\n", moputil::AsciiCdfPlot({{"Verizon", &verizon},
+                                             {"Singtel", &singtel},
+                                             {"Cricket", &cricket},
+                                             {"U.S. Cellular", &uscc}},
+                                            400.0)
+                          .c_str());
+  return 0;
+}

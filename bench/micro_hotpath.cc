@@ -1,0 +1,149 @@
+// google-benchmark micro benches over the relay's hot paths: packet
+// parse/build, checksums, DNS codec, the TCP state machine, and the
+// real-thread queue algorithms (oldPut vs newPut) under contention.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "concurrent/packet_queue.h"
+#include "concurrent/spsc_ring.h"
+#include "core/tcp_state_machine.h"
+#include "netpkt/checksum.h"
+#include "netpkt/dns.h"
+#include "netpkt/packet.h"
+#include "netpkt/tcp.h"
+#include "util/rng.h"
+
+namespace {
+
+moppkt::FlowKey BenchFlow() {
+  moppkt::FlowKey f;
+  f.local = {moppkt::IpAddr(10, 0, 0, 2), 40000};
+  f.remote = {moppkt::IpAddr(93, 1, 2, 3), 443};
+  return f;
+}
+
+void BM_ChecksumPayload(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moppkt::Checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChecksumPayload)->Arg(64)->Arg(1460);
+
+void BM_BuildTcpDatagram(benchmark::State& state) {
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0x42);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 443;
+  spec.dst_port = 40000;
+  spec.seq = 1;
+  spec.ack = 2;
+  spec.flags = moppkt::PshAckFlag();
+  spec.payload = payload;
+  moppkt::IpAddr src(93, 1, 2, 3), dst(10, 0, 0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moppkt::BuildTcpDatagram(spec, src, dst));
+  }
+}
+BENCHMARK(BM_BuildTcpDatagram)->Arg(0)->Arg(1460);
+
+void BM_ParsePacket(benchmark::State& state) {
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0x42);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 40000;
+  spec.dst_port = 443;
+  spec.flags = moppkt::PshAckFlag();
+  spec.payload = payload;
+  auto pkt = moppkt::BuildTcpDatagram(spec, moppkt::IpAddr(10, 0, 0, 2),
+                                      moppkt::IpAddr(93, 1, 2, 3));
+  for (auto _ : state) {
+    auto copy = pkt;
+    benchmark::DoNotOptimize(moppkt::ParsePacket(std::move(copy)));
+  }
+}
+BENCHMARK(BM_ParsePacket)->Arg(0)->Arg(1460);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  auto query = moppkt::DnsMessage::Query(1234, "graph.facebook.com");
+  for (auto _ : state) {
+    auto bytes = moppkt::EncodeDns(query);
+    benchmark::DoNotOptimize(moppkt::DecodeDns(bytes));
+  }
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+void BM_TcpStateMachineRelay(benchmark::State& state) {
+  // One full handshake + data exchange per iteration.
+  std::vector<uint8_t> payload(1460, 0x55);
+  for (auto _ : state) {
+    mopeye::TcpStateMachine sm(BenchFlow(), 5000, 1460, 65535);
+    moppkt::TcpSegment syn;
+    syn.src_port = 40000;
+    syn.dst_port = 443;
+    syn.flags = moppkt::SynFlag();
+    syn.seq = 100;
+    syn.mss = 1460;
+    sm.NoteSyn(syn);
+    benchmark::DoNotOptimize(sm.MakeSynAck());
+    moppkt::TcpSegment ack;
+    ack.flags = moppkt::AckFlag();
+    ack.seq = 101;
+    ack.ack = 5001;
+    benchmark::DoNotOptimize(sm.OnAppSegment(ack));
+    moppkt::TcpSegment data;
+    data.flags = moppkt::PshAckFlag();
+    data.seq = 101;
+    data.ack = 5001;
+    data.payload = payload;
+    benchmark::DoNotOptimize(sm.OnAppSegment(data));
+    benchmark::DoNotOptimize(sm.MakeData(payload));
+  }
+}
+BENCHMARK(BM_TcpStateMachineRelay);
+
+// Real-thread producer put() cost with a live consumer: the Table 1
+// algorithms under genuine contention.
+void BM_QueuePut(benchmark::State& state) {
+  mopcc::PutMode mode =
+      state.range(0) == 0 ? mopcc::PutMode::kOldPut : mopcc::PutMode::kNewPut;
+  mopcc::PacketQueue<int> q(mode, 20000);
+  std::thread consumer([&q] {
+    while (q.Take().has_value()) {
+    }
+  });
+  int i = 0;
+  for (auto _ : state) {
+    q.Put(i++);
+  }
+  state.counters["consumer_waits"] = static_cast<double>(q.waits());
+  q.Stop();
+  consumer.join();
+}
+BENCHMARK(BM_QueuePut)->Arg(0)->Arg(1)->ArgNames({"newput"});
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  mopcc::SpscRing<int> ring(4096);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      benchmark::DoNotOptimize(ring.Pop());
+    }
+    while (ring.Pop().has_value()) {
+    }
+  });
+  int i = 0;
+  for (auto _ : state) {
+    while (!ring.Push(i)) {
+      std::this_thread::yield();
+    }
+    ++i;
+  }
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

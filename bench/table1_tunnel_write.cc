@@ -1,0 +1,104 @@
+// Table 1: delay of writing packets to the VPN tunnel under four schemes.
+// directWrite / queueWrite bucket the actual tunnel write() delays;
+// oldPut / newPut bucket the producer-side enqueue overheads.
+#include "baselines/presets.h"
+#include "bench/bench_util.h"
+#include "tests/test_world.h"
+
+namespace {
+
+// Replays a browsing workload through the relay under `cfg` and returns the
+// requested sample set.
+moputil::Samples RunBrowsing(uint64_t seed, mopeye::Config cfg, bool producer_side) {
+  moptest::WorldOptions opts;
+  opts.seed = seed;
+  moptest::TestWorld w(opts);
+  if (!w.StartEngine(cfg).ok()) {
+    std::fprintf(stderr, "engine start failed\n");
+    std::exit(1);
+  }
+  auto* app = w.MakeApp(10170, "com.android.chrome", "Chrome", mopapps::App::Mode::kTunnel);
+  mopapps::BrowsingSession::Config bcfg;
+  bcfg.pages = 12;
+  bcfg.min_conns_per_page = 3;
+  bcfg.max_conns_per_page = 8;
+  bcfg.min_response = 2 * 1024;
+  bcfg.max_response = 32 * 1024;  // 2016-era mobile page objects
+  bcfg.domains = {"news.example.org", "images.example.org", "cdn.example.org",
+                  "shop.example.org"};
+  mopapps::BrowsingSession session(app, &w.farm(), bcfg, moputil::Rng(seed ^ 0xb0));
+  bool done = false;
+  session.Start([&] { done = true; });
+  w.loop().RunUntil(moputil::Seconds(180));
+  return producer_side ? w.engine().tun_writer()->producer_overhead_ms()
+                       : w.engine().tun_writer()->tunnel_write_ms();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  mopbench::PrintHeader("Table 1", "delay of writing packets to the VPN tunnel");
+
+  mopeye::Config direct = mopbase::MopEyeConfig();
+  direct.write_scheme = mopeye::Config::WriteScheme::kDirectWrite;
+  mopeye::Config queued = mopbase::MopEyeConfig();  // queueWrite + newPut
+  mopeye::Config oldput = mopbase::MopEyeConfig();
+  oldput.put_scheme = mopeye::Config::PutScheme::kOldPut;
+  mopeye::Config newput = mopbase::MopEyeConfig();
+
+  moputil::Samples cols[4];
+  cols[0] = RunBrowsing(flags.seed + 0, direct, /*producer_side=*/true);   // directWrite
+  cols[1] = RunBrowsing(flags.seed + 1, queued, /*producer_side=*/false);  // queueWrite
+  cols[2] = RunBrowsing(flags.seed + 2, oldput, /*producer_side=*/true);   // oldPut
+  cols[3] = RunBrowsing(flags.seed + 3, newput, /*producer_side=*/true);   // newPut
+
+  const char* names[4] = {"directWrite", "queueWrite", "oldPut", "newPut"};
+  const int paper_total[4] = {1244, 2161, 810, 5321};
+  const int paper_buckets[4][5] = {{1202, 30, 7, 3, 2},
+                                   {2147, 12, 2, 0, 0},
+                                   {763, 39, 7, 1, 0},
+                                   {5317, 1, 1, 2, 0}};
+
+  moputil::Table t({"bucket", "directWrite", "(paper)", "queueWrite", "(paper)", "oldPut",
+                    "(paper)", "newPut", "(paper)"});
+  const double edges[4] = {1, 2, 5, 10};
+  moputil::BucketHistogram hists[4] = {
+      moputil::BucketHistogram({1, 2, 5, 10}), moputil::BucketHistogram({1, 2, 5, 10}),
+      moputil::BucketHistogram({1, 2, 5, 10}), moputil::BucketHistogram({1, 2, 5, 10})};
+  (void)edges;
+  for (int c = 0; c < 4; ++c) {
+    for (double v : cols[c].values()) {
+      hists[c].Add(v);
+    }
+  }
+  std::vector<std::string> total_row{"Total"};
+  for (int c = 0; c < 4; ++c) {
+    total_row.push_back(std::to_string(hists[c].total()));
+    total_row.push_back(std::to_string(paper_total[c]));
+  }
+  t.AddRow(total_row);
+  t.AddSeparator();
+  const char* bucket_names[5] = {"0~1ms", "1~2ms", "2~5ms", "5~10ms", ">10ms"};
+  for (size_t b = 0; b < 5; ++b) {
+    std::vector<std::string> row{bucket_names[b]};
+    for (int c = 0; c < 4; ++c) {
+      row.push_back(std::to_string(hists[c].count(b)));
+      row.push_back(std::to_string(paper_buckets[c][b]));
+    }
+    t.AddRow(row);
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  auto over_1ms = [&](int c) {
+    size_t n = 0;
+    for (size_t b = 1; b < 5; ++b) {
+      n += hists[c].count(b);
+    }
+    return 100.0 * static_cast<double>(n) / static_cast<double>(std::max<size_t>(1, hists[c].total()));
+  };
+  std::printf("share of delays > 1ms: directWrite %.2f%% (paper 3.38%%), queueWrite %.2f%% "
+              "(paper 0.65%%), oldPut %.2f%% (paper 5.80%%), newPut %.2f%% (paper 0.08%%)\n",
+              over_1ms(0), over_1ms(1), over_1ms(2), over_1ms(3));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Table 2: RTT measurement accuracy of MopEye and MobiPerf vs tcpdump, at
+// three destinations spanning three RTT scales (Google / Facebook / Dropbox).
+#include "baselines/mobiperf.h"
+#include "bench/bench_util.h"
+#include "tests/test_world.h"
+
+namespace {
+
+struct Trial {
+  const char* destination;
+  const char* address;
+  double paper_tcpdump_mop;  // tcpdump column next to MopEye
+  double paper_mopeye;
+  double paper_tcpdump_mobi;  // tcpdump column next to MobiPerf
+  double paper_mobiperf;
+};
+
+// The nine rows of Table 2 (three per destination).
+const Trial kTrials[] = {
+    {"Google", "216.58.221.132", 4.26, 4.0, 4.29, 16.4},
+    {"Google", "216.58.221.132", 4.47, 5.5, 4.35, 18.5},
+    {"Google", "216.58.221.132", 5.32, 5.0, 4.85, 18.0},
+    {"Facebook", "31.13.79.251", 36.55, 37.0, 36.39, 59.5},
+    {"Facebook", "31.13.79.251", 36.55, 37.0, 36.72, 55.2},
+    {"Facebook", "31.13.79.251", 38.54, 38.5, 46.10, 63.2},
+    {"Dropbox", "108.160.166.126", 284.85, 284.5, 361.76, 409.7},
+    {"Dropbox", "108.160.166.126", 390.94, 391.0, 388.94, 411.5},
+    {"Dropbox", "108.160.166.126", 513.78, 513.5, 395.87, 475.2},
+};
+
+double Mean(const std::vector<double>& v) {
+  double s = 0;
+  int n = 0;
+  for (double x : v) {
+    if (x >= 0) {
+      s += x;
+      ++n;
+    }
+  }
+  return n > 0 ? s / n : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = mopbench::ParseFlags(argc, argv);
+  mopbench::PrintHeader("Table 2", "measurement accuracy of MopEye and MobiPerf (10 runs each)");
+
+  moputil::Table t({"destination", "tcpdump", "MopEye", "|delta|", "tcpdump'", "MobiPerf",
+                    "|delta'|", "paper deltas"});
+  double max_mop_delta = 0;
+  double min_mobi_delta = 1e9, max_mobi_delta = 0;
+  int row = 0;
+  for (const Trial& trial : kTrials) {
+    // The trial's wire RTT recreates the paper's tcpdump column: a fixed
+    // first-hop of 1 ms RTT plus the path.
+    double one_way_ms = (trial.paper_tcpdump_mop - 1.0) / 2.0;
+
+    // --- MopEye run: app connects through the relay; tcpdump is the capture
+    // log on the external interface.
+    moptest::WorldOptions opts;
+    opts.seed = flags.seed + static_cast<uint64_t>(row);
+    opts.first_hop_one_way = moputil::Millis(0.5);
+    moptest::TestWorld w(opts);
+    if (!w.StartEngine().ok()) {
+      std::fprintf(stderr, "engine start failed\n");
+      return 1;
+    }
+    auto ip = moppkt::IpAddr::Parse(trial.address).value();
+    auto addr = w.AddServer(ip, 80, moputil::Millis(one_way_ms));
+    auto* app = w.MakeApp(10100, "com.bench.app", "BenchApp");
+    for (int i = 0; i < 10; ++i) {
+      auto conn = std::shared_ptr<mopapps::AppConn>(app->CreateConn().release());
+      conn->Connect(addr, [conn](moputil::Status) {});
+      w.RunMs(trial.paper_tcpdump_mop * 2 + 300);
+    }
+    auto mop_rtts = w.engine().store().RttsMs();
+    auto wire = w.device().net().capture().AllHandshakeRtts(addr);
+    double wire_mean = 0;
+    for (auto r : wire) {
+      wire_mean += moputil::ToMillis(r);
+    }
+    wire_mean /= static_cast<double>(wire.size());
+    double mop_mean = mop_rtts.Mean();
+    double mop_delta = std::abs(mop_mean - wire_mean);
+    max_mop_delta = std::max(max_mop_delta, mop_delta);
+
+    // --- MobiPerf run: active prober, no VPN, same destination.
+    double mobi_one_way = (trial.paper_tcpdump_mobi - 1.0) / 2.0;
+    moptest::WorldOptions mopts;
+    mopts.seed = flags.seed + 1000 + static_cast<uint64_t>(row);
+    mopts.first_hop_one_way = moputil::Millis(0.5);
+    moptest::TestWorld w2(mopts);
+    auto addr2 = w2.AddServer(ip, 80, moputil::Millis(mobi_one_way));
+    mopbase::MobiPerfProber prober(&w2.device().net(), mopbase::MobiPerfProber::Options::Default(),
+                                   moputil::Rng(flags.seed + 2000 + static_cast<uint64_t>(row)));
+    std::vector<double> mobi_runs;
+    prober.Measure(addr2, [&](std::vector<double> r) { mobi_runs = std::move(r); });
+    w2.loop().Run();
+    auto wire2 = w2.device().net().capture().AllHandshakeRtts(addr2);
+    double wire2_mean = 0;
+    for (auto r : wire2) {
+      wire2_mean += moputil::ToMillis(r);
+    }
+    wire2_mean /= static_cast<double>(wire2.size());
+    double mobi_mean = Mean(mobi_runs);
+    double mobi_delta = std::abs(mobi_mean - wire2_mean);
+    min_mobi_delta = std::min(min_mobi_delta, mobi_delta);
+    max_mobi_delta = std::max(max_mobi_delta, mobi_delta);
+
+    t.AddRow({trial.destination, mopbench::Num(wire_mean), mopbench::Num(mop_mean),
+              mopbench::Num(mop_delta), mopbench::Num(wire2_mean), mopbench::Num(mobi_mean),
+              mopbench::Num(mobi_delta),
+              moputil::StrFormat("%.2f / %.2f", std::abs(trial.paper_mopeye - trial.paper_tcpdump_mop),
+                                 std::abs(trial.paper_mobiperf - trial.paper_tcpdump_mobi))});
+    ++row;
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("MopEye max |delta| vs tcpdump: %.3f ms (paper: <= 1 ms)\n", max_mop_delta);
+  std::printf("MobiPerf |delta| range: %.1f .. %.1f ms (paper: 12.1 .. 79.3 ms)\n",
+              min_mobi_delta, max_mobi_delta);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The crowdsourcing study end to end at reduced scale: generate a dataset
+// with the paper-calibrated world model and run the §4.2 analyses over it.
+//
+//   build/examples/crowd_study [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "crowd/analysis.h"
+#include "crowd/study.h"
+#include "crowd/world.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  auto world = mopcrowd::World::Default();
+  mopcrowd::StudyConfig cfg;
+  cfg.scale = scale;
+  mopcrowd::Study study(&world, cfg);
+  std::printf("generating the crowd dataset at scale %.2f...\n", scale);
+  auto ds = study.Run();
+
+  auto totals = mopcrowd::Totals(ds);
+  std::printf("dataset: %s measurements (%s TCP, %s DNS) from %zu devices, %zu apps, "
+              "%zu domains\n",
+              moputil::WithCommas(static_cast<int64_t>(totals.measurements)).c_str(),
+              moputil::WithCommas(static_cast<int64_t>(totals.tcp)).c_str(),
+              moputil::WithCommas(static_cast<int64_t>(totals.dns)).c_str(), totals.devices,
+              totals.apps, totals.domains);
+
+  auto apps = mopcrowd::AppRtts(ds);
+  std::printf("\napp RTT medians: all %.0f ms | WiFi %.0f ms | cellular %.0f ms | LTE %.0f "
+              "ms\n",
+              apps.all.Median(), apps.wifi.Median(), apps.cellular.Median(),
+              apps.lte.Median());
+  auto dns = mopcrowd::DnsRtts(ds);
+  std::printf("DNS medians:     all %.0f ms | WiFi %.0f ms | 4G %.0f ms | 3G %.0f ms | 2G "
+              "%.0f ms\n",
+              dns.all.Median(), dns.wifi.Median(), dns.lte.Median(), dns.g3.Median(),
+              dns.g2.Median());
+
+  std::printf("\ntop ISPs by LTE DNS measurements:\n");
+  for (const auto& isp : mopcrowd::IspDnsStats(ds, world, 8)) {
+    std::printf("  %-14s %-10s %8s samples  median %5.1f ms\n", isp.name.c_str(),
+                isp.country.c_str(),
+                moputil::WithCommas(static_cast<int64_t>(isp.count)).c_str(), isp.median_ms);
+  }
+  return 0;
+}

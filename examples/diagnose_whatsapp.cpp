@@ -1,0 +1,46 @@
+// The §4.2.2 diagnosis workflow as an API consumer: given the dataset, find
+// why Whatsapp feels slow (Case 1) and whether Jio's problem is the resolver
+// or the core network (Case 2).
+//
+//   build/examples/diagnose_whatsapp
+#include <cstdio>
+
+#include "crowd/analysis.h"
+#include "crowd/study.h"
+#include "crowd/world.h"
+
+int main() {
+  auto world = mopcrowd::World::Default();
+  mopcrowd::StudyConfig cfg;
+  cfg.scale = 0.15;
+  auto ds = mopcrowd::Study(&world, cfg).Run();
+
+  std::printf("== Case 1: why does Whatsapp feel slow? ==\n");
+  auto stats = mopcrowd::AppStats(ds, world, {"Whatsapp", "Facebook Messenger", "WeChat"});
+  for (const auto& s : stats) {
+    std::printf("  %-20s median %6.1f ms over %zu connections\n", s.label.c_str(),
+                s.median_ms, s.count);
+  }
+  auto wa = mopcrowd::AnalyzeWhatsapp(ds);
+  std::printf("\n  whatsapp.net uses %zu domains; median of per-domain medians: %.0f ms\n",
+              wa.domain_count, wa.whatsapp_net_median);
+  std::printf("  - %d domains have median > 200 ms (SoftLayer hosting, median %.0f ms)\n",
+              wa.domains_over_200, wa.chat_median);
+  std::printf("  - %d domains are fast (Facebook CDN: mme/mmg/pps, median %.0f ms)\n",
+              wa.domains_under_100, wa.media_median);
+  std::printf("  => chat traffic rides distant hosting; media rides a CDN. Moving the\n"
+              "     chat domains onto the CDN would fix the app's tail (paper's Case 1).\n");
+
+  std::printf("\n== Case 2: is Jio's problem the resolver or the core? ==\n");
+  auto jio = mopcrowd::AnalyzeJio(ds, world, 30);
+  std::printf("  Jio LTE: app RTT median %.0f ms but DNS median %.0f ms over %zu TCP "
+              "measurements\n",
+              jio.app_median, jio.dns_median, jio.tcp_count);
+  std::printf("  per-domain medians (>=30 samples): %d analyzed, %d under 100 ms, %d over "
+              "300 ms\n",
+              jio.domains_measured, jio.domains_under_100, jio.domains_over_300);
+  std::printf("  => the resolver inside the ISP answers fast while most app paths through\n"
+              "     the LTE core are slow: the bottleneck is the core network, not the\n"
+              "     servers (confirmed in the paper by comparing non-Jio LTE users).\n");
+  return 0;
+}

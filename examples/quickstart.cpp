@@ -1,0 +1,68 @@
+// Quickstart: bring up a simulated phone, start MopEye, let an app make one
+// connection, and read the opportunistic RTT measurement back.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "android/device.h"
+#include "apps/app.h"
+#include "apps/tun_stack.h"
+#include "core/engine.h"
+#include "net/dns_server.h"
+#include "net/net_context.h"
+#include "net/server.h"
+#include "sim/event_loop.h"
+
+int main() {
+  // 1. A world: one event loop, a path table, a server farm.
+  mopsim::EventLoop loop;
+  mopnet::PathTable paths;
+  paths.SetDefault(std::make_shared<moputil::FixedDelay>(moputil::Millis(18)));
+  mopnet::ServerFarm farm;
+
+  // A web server at a known address, 18 ms one-way from the ISP edge.
+  moppkt::SocketAddr server{moppkt::IpAddr(93, 184, 216, 34), 443};
+  farm.AddTcpServer(server, [] { return std::make_unique<mopnet::SizeEncodedBehavior>(); });
+
+  // 2. A phone on WiFi (1 ms to the access point).
+  mopnet::NetworkProfile profile;
+  profile.type = mopnet::NetType::kWifi;
+  profile.isp = "HomeFiber";
+  profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(moputil::Millis(1));
+  mopdroid::AndroidDevice device(&loop, profile, &paths, &farm, /*seed=*/1,
+                                 /*sdk_version=*/24);
+
+  // 3. MopEye: one VPN consent, then autonomous measurement.
+  mopeye::MopEyeEngine engine(&device, mopeye::Config());
+  auto status = engine.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 4. An app: its kernel TCP stack speaks through the tunnel.
+  mopapps::TunNetStack stack(&device);
+  stack.AttachTun();
+  mopapps::App app(&device, &stack, /*uid=*/10123, "com.example.demo", "DemoApp");
+
+  auto conn = app.CreateConn();
+  conn->Connect(server, [&](moputil::Status st) {
+    std::printf("app connect: %s\n", st.ToString().c_str());
+    conn->Close();
+  });
+  loop.RunFor(moputil::Seconds(2));
+
+  // 5. The opportunistic measurement MopEye recorded (zero probe traffic).
+  for (const auto& m : engine.store().records()) {
+    std::printf("measured: app=%s uid=%d server=%s rtt=%.3f ms (wire RTT was 38 ms)\n",
+                m.app.c_str(), m.uid, m.server.ToString().c_str(),
+                moputil::ToMillis(m.rtt));
+  }
+  std::printf("relay counters: %llu tunnel packets, %llu SYNs, %llu pure ACKs discarded\n",
+              static_cast<unsigned long long>(engine.counters().tun_packets),
+              static_cast<unsigned long long>(engine.counters().syns),
+              static_cast<unsigned long long>(engine.counters().pure_acks_discarded));
+  engine.Stop();
+  loop.RunFor(moputil::Seconds(1));
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "android/device.h"
+
+#include <utility>
+
+#include "net/socket.h"
+#include "netpkt/tcp.h"
+#include "util/logging.h"
+
+namespace mopdroid {
+
+AndroidDevice::AndroidDevice(mopsim::EventLoop* loop, mopnet::NetworkProfile profile,
+                             mopnet::PathTable* paths, mopnet::ServerFarm* farm, uint64_t seed,
+                             int sdk_version)
+    : loop_(loop),
+      net_(loop, std::move(profile), paths, farm, moputil::Rng(seed)),
+      proc_net_(&conn_table_),
+      rng_(seed ^ 0x5bd1e995u),
+      sdk_version_(sdk_version) {
+  // System packages present on every device.
+  packages_.Install(0, "root", "Kernel");
+  packages_.Install(1000, "android.system", "Android System");
+}
+
+AndroidDevice::~AndroidDevice() = default;
+
+void AndroidDevice::ActivateVpn(TunDevice* tun, const moppkt::IpAddr& tun_address,
+                                std::function<bool(int uid)> uid_excluded) {
+  MOP_CHECK(tun != nullptr);
+  vpn_tun_ = tun;
+  tun_address_ = tun_address;
+  // Install the data-loop guard: a socket may bypass the tunnel only if it
+  // was protect()ed or belongs to a VPN-excluded app.
+  net_.set_protection_checker(
+      [uid_excluded = std::move(uid_excluded)](const mopnet::SocketChannel& ch) {
+        return ch.protected_socket() || uid_excluded(ch.owner_uid());
+      });
+}
+
+void AndroidDevice::DeactivateVpn() {
+  vpn_tun_ = nullptr;
+  net_.set_protection_checker(nullptr);
+}
+
+bool AndroidDevice::KernelSendFromApp(std::vector<uint8_t> datagram) {
+  if (vpn_tun_ == nullptr || vpn_tun_->closed()) {
+    return false;
+  }
+  vpn_tun_->InjectOutgoing(std::move(datagram));
+  return true;
+}
+
+void AndroidDevice::DownloadManagerEnqueue() {
+  // The system download service opens a TCP connection; with the VPN active
+  // its SYN lands in the tunnel, which is all the dummy-packet trick needs.
+  if (vpn_tun_ == nullptr) {
+    return;
+  }
+  moppkt::TcpSegmentSpec syn;
+  syn.src_port = next_download_port_++;
+  syn.dst_port = 80;
+  syn.seq = 1;
+  syn.flags = moppkt::SynFlag();
+  syn.mss = 1460;
+  moppkt::IpAddr download_server(203, 0, 113, 80);
+  std::vector<uint8_t> pkt =
+      moppkt::BuildTcpDatagram(syn, tun_address_, download_server);
+  // Small service-start latency before the request hits the network stack.
+  loop_->Schedule(moputil::Millis(2), [this, pkt = std::move(pkt)]() mutable {
+    KernelSendFromApp(std::move(pkt));
+  });
+}
+
+}  // namespace mopdroid

@@ -1,0 +1,49 @@
+#include "android/tun_device.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mopdroid {
+
+TunDevice::TunDevice(mopsim::EventLoop* loop) : loop_(loop) { MOP_CHECK(loop != nullptr); }
+
+void TunDevice::InjectOutgoing(std::vector<uint8_t> datagram) {
+  if (closed_) {
+    return;
+  }
+  ++packets_out_;
+  bytes_out_ += datagram.size();
+  outgoing_.push_back(OutPacket{loop_->Now(), std::move(datagram)});
+  outgoing_high_water_ = std::max(outgoing_high_water_, outgoing_.size());
+  if (on_outgoing_ready) {
+    on_outgoing_ready();
+  }
+}
+
+std::optional<TunDevice::OutPacket> TunDevice::ReadOutgoing() {
+  if (outgoing_.empty()) {
+    return std::nullopt;
+  }
+  OutPacket pkt = std::move(outgoing_.front());
+  outgoing_.pop_front();
+  return pkt;
+}
+
+void TunDevice::WriteIncoming(std::vector<uint8_t> datagram) {
+  if (closed_) {
+    return;
+  }
+  ++packets_in_;
+  bytes_in_ += datagram.size();
+  if (on_deliver_to_apps) {
+    on_deliver_to_apps(std::move(datagram));
+  }
+}
+
+void TunDevice::Close() {
+  closed_ = true;
+  outgoing_.clear();
+}
+
+}  // namespace mopdroid

@@ -1,0 +1,99 @@
+#include "android/vpn_service.h"
+
+#include "android/device.h"
+#include "util/logging.h"
+
+namespace mopdroid {
+
+VpnService::Builder::Builder(VpnService* service) : service_(service) {
+  MOP_CHECK(service != nullptr);
+}
+
+VpnService::Builder& VpnService::Builder::addAddress(const moppkt::IpAddr& addr) {
+  addresses_.push_back(addr);
+  return *this;
+}
+
+VpnService::Builder& VpnService::Builder::addRoute(const moppkt::IpAddr&, int) {
+  return *this;  // we always route everything, as MopEye does (0.0.0.0/0)
+}
+
+VpnService::Builder& VpnService::Builder::addDnsServer(const moppkt::IpAddr&) { return *this; }
+
+VpnService::Builder& VpnService::Builder::setSession(const std::string& name) {
+  session_ = name;
+  return *this;
+}
+
+moputil::Status VpnService::Builder::addDisallowedApplication(const std::string& package) {
+  AndroidDevice* dev = service_->device_;
+  if (dev->sdk_version() < kSdkLollipop) {
+    return moputil::Unimplemented("addDisallowedApplication requires SDK >= 21, device has " +
+                                  std::to_string(dev->sdk_version()));
+  }
+  auto info = dev->package_manager().GetPackageByName(package);
+  if (!info) {
+    return moputil::NotFound("package not installed: " + package);
+  }
+  disallowed_.insert(package);
+  return moputil::OkStatus();
+}
+
+TunDevice* VpnService::Builder::establish() {
+  if (addresses_.empty() || service_->active()) {
+    return nullptr;
+  }
+  AndroidDevice* dev = service_->device_;
+  service_->tun_ = std::make_unique<TunDevice>(dev->loop());
+  service_->tun_address_ = addresses_.front();
+  service_->disallowed_uids_.clear();
+  for (const auto& pkg : disallowed_) {
+    auto info = dev->package_manager().GetPackageByName(pkg);
+    if (info) {
+      service_->disallowed_uids_.insert(info->uid);
+    }
+  }
+  std::set<int> disallowed_uids = service_->disallowed_uids_;
+  dev->ActivateVpn(service_->tun_.get(), service_->tun_address_,
+                   [disallowed_uids](int uid) { return disallowed_uids.count(uid) > 0; });
+  return service_->tun_.get();
+}
+
+VpnService::VpnService(AndroidDevice* device) : device_(device) {
+  MOP_CHECK(device != nullptr);
+  // Default protect() cost: usually ~0.2-0.8 ms, occasionally a few ms
+  // (binder round-trip to the system server, §3.5.2).
+  protect_cost_ = std::make_shared<moputil::MixtureDelay>(
+      std::vector<moputil::MixtureDelay::Component>{
+          {0.85, std::make_shared<moputil::LogNormalDelay>(moputil::Micros(350), 0.5,
+                                                           moputil::Micros(80))},
+          {0.15, std::make_shared<moputil::UniformDelay>(moputil::Millis(1), moputil::Millis(6))},
+      });
+}
+
+VpnService::~VpnService() { Stop(); }
+
+moputil::SimDuration VpnService::SampleProtectCost() {
+  ++protect_calls_;
+  return protect_cost_ ? protect_cost_->Sample(device_->rng()) : 0;
+}
+
+moputil::SimDuration VpnService::protect(mopnet::SocketChannel& socket) {
+  socket.set_protected_socket(true);
+  return SampleProtectCost();
+}
+
+moputil::SimDuration VpnService::protect(mopnet::UdpSocket& socket) {
+  socket.set_protected_socket(true);
+  return SampleProtectCost();
+}
+
+void VpnService::Stop() {
+  if (tun_) {
+    tun_->Close();
+    device_->DeactivateVpn();
+    tun_.reset();
+  }
+}
+
+}  // namespace mopdroid

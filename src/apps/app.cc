@@ -1,0 +1,216 @@
+#include "apps/app.h"
+
+#include "netpkt/dns.h"
+#include "util/logging.h"
+
+namespace mopapps {
+
+namespace {
+
+// Tunnel transport: wraps the app-side TCP stack.
+class TunAppConn : public AppConn {
+ public:
+  TunAppConn(TunNetStack* stack, int uid) : conn_(AppTcpConnection::Create(stack, uid)) {
+    // Invoke copies: callers may reassign on_data/on_peer_close (even to
+    // null) from inside the callback, which would otherwise destroy the
+    // executing closure.
+    conn_->on_data = [this](std::span<const uint8_t> data) {
+      auto cb = on_data;
+      if (cb) {
+        cb(data.size());
+      }
+    };
+    conn_->on_peer_close = [this] {
+      auto cb = on_peer_close;
+      if (cb) {
+        cb();
+      }
+    };
+  }
+
+  ~TunAppConn() override {
+    // The underlying connection may outlive this wrapper (the tun stack keeps
+    // it registered until TCP teardown completes); detach our callbacks so a
+    // late FIN/data packet cannot reach a destroyed wrapper.
+    conn_->on_data = nullptr;
+    conn_->on_peer_close = nullptr;
+    conn_->on_reset = nullptr;
+    if (conn_->state() == AppTcpState::kEstablished ||
+        conn_->state() == AppTcpState::kCloseWait) {
+      conn_->Close();
+    }
+  }
+
+  void Connect(const moppkt::SocketAddr& remote,
+               std::function<void(moputil::Status)> cb) override {
+    conn_->Connect(remote, std::move(cb));
+  }
+  void Send(std::vector<uint8_t> data) override { conn_->Send(std::move(data)); }
+  void SendBytes(size_t n) override { conn_->SendBytes(n); }
+  void Close() override { conn_->Close(); }
+
+  uint64_t bytes_received() const override { return conn_->bytes_received(); }
+  uint64_t bytes_sent() const override { return conn_->bytes_sent(); }
+  moputil::SimDuration connect_latency() const override { return conn_->connect_latency(); }
+  moputil::SimTime first_data_time() const override { return conn_->first_data_time(); }
+  moputil::SimTime last_data_time() const override { return conn_->last_data_time(); }
+
+ private:
+  std::shared_ptr<AppTcpConnection> conn_;
+};
+
+// Direct transport: plain kernel socket, no VPN in the path.
+class DirectAppConn : public AppConn {
+ public:
+  DirectAppConn(mopnet::NetContext* ctx, int uid) : ctx_(ctx) {
+    channel_ = mopnet::SocketChannel::Create(ctx);
+    channel_->set_owner_uid(uid);
+    channel_->on_readable = [this] { Drain(); };
+    channel_->on_peer_close = [this] {
+      Drain();
+      auto cb = on_peer_close;
+      if (cb) {
+        cb();
+      }
+    };
+  }
+
+  void Connect(const moppkt::SocketAddr& remote,
+               std::function<void(moputil::Status)> cb) override {
+    channel_->Connect(remote, std::move(cb));
+  }
+  void Send(std::vector<uint8_t> data) override { channel_->Write(std::move(data)); }
+  void SendBytes(size_t n) override {
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<uint8_t>(i & 0xff);
+    }
+    channel_->Write(std::move(v));
+  }
+  void Close() override { channel_->Close(); }
+
+  uint64_t bytes_received() const override { return channel_->bytes_received(); }
+  uint64_t bytes_sent() const override { return channel_->bytes_sent(); }
+  moputil::SimDuration connect_latency() const override {
+    return channel_->synack_recv_time() - channel_->syn_sent_time();
+  }
+  moputil::SimTime first_data_time() const override { return first_data_; }
+  moputil::SimTime last_data_time() const override { return last_data_; }
+
+ private:
+  void Drain() {
+    uint8_t buf[4096];
+    size_t total = 0;
+    size_t n;
+    while ((n = channel_->Read(buf)) > 0) {
+      total += n;
+    }
+    if (total > 0) {
+      moputil::SimTime now = ctx_->loop()->Now();
+      if (first_data_ == 0) {
+        first_data_ = now;
+      }
+      last_data_ = now;
+      auto cb = on_data;
+      if (cb) {
+        cb(total);
+      }
+    }
+  }
+
+  mopnet::NetContext* ctx_;
+  std::shared_ptr<mopnet::SocketChannel> channel_;
+  moputil::SimTime first_data_ = 0;
+  moputil::SimTime last_data_ = 0;
+};
+
+}  // namespace
+
+App::App(mopdroid::AndroidDevice* device, TunNetStack* stack, int uid, std::string package,
+         std::string label, Mode mode)
+    : device_(device),
+      stack_(stack),
+      uid_(uid),
+      package_(std::move(package)),
+      label_(std::move(label)),
+      mode_(mode) {
+  MOP_CHECK(device != nullptr);
+  device_->package_manager().Install(uid_, package_, label_);
+  if (stack_ != nullptr) {
+    dns_ = std::make_unique<TunDnsClient>(stack_, uid_);
+  }
+}
+
+std::unique_ptr<AppConn> App::CreateConn() {
+  if (mode_ == Mode::kTunnel) {
+    MOP_CHECK(stack_ != nullptr) << "tunnel mode requires a TunNetStack";
+    return std::make_unique<TunAppConn>(stack_, uid_);
+  }
+  return std::make_unique<DirectAppConn>(&device_->net(), uid_);
+}
+
+void App::Resolve(const std::string& domain,
+                  std::function<void(moputil::Result<DnsResult>)> cb) {
+  if (mode_ == Mode::kTunnel) {
+    MOP_CHECK(dns_ != nullptr);
+    dns_->Resolve(domain, std::move(cb));
+    return;
+  }
+  // Direct resolution via a kernel UDP socket.
+  auto sock = mopnet::UdpSocket::Create(&device_->net());
+  sock->set_owner_uid(uid_);
+  moppkt::SocketAddr resolver{device_->system_dns(), 53};
+  moppkt::DnsMessage query = moppkt::DnsMessage::Query(1, domain);
+  moputil::SimTime t0 = device_->loop()->Now();
+  auto done = std::make_shared<bool>(false);
+  sock->on_datagram = [cb, t0, sock, done, this](const moppkt::SocketAddr&,
+                                                 std::vector<uint8_t> payload) {
+    if (*done) {
+      return;
+    }
+    *done = true;
+    auto msg = moppkt::DecodeDns(payload);
+    if (!msg.ok() || msg.value().answers.empty()) {
+      cb(moputil::NotFound("no answer"));
+      return;
+    }
+    DnsResult r;
+    r.address = msg.value().answers[0].address;
+    r.latency = device_->loop()->Now() - t0;
+    cb(r);
+  };
+  device_->loop()->Schedule(moputil::Seconds(5), [cb, done, sock] {
+    if (!*done) {
+      *done = true;
+      cb(moputil::Unavailable("DNS timeout"));
+    }
+  });
+  sock->SendTo(resolver, moppkt::EncodeDns(query));
+}
+
+void ProbeConnectLatency(App* app, const moppkt::SocketAddr& addr, int count,
+                         std::function<void(std::vector<moputil::SimDuration>)> done) {
+  auto samples = std::make_shared<std::vector<moputil::SimDuration>>();
+  auto attempts = std::make_shared<int>(0);
+  auto run = std::make_shared<std::function<void()>>();
+  *run = [app, addr, count, samples, attempts, run, done] {
+    if (*attempts >= count) {
+      done(*samples);
+      return;
+    }
+    ++*attempts;
+    auto conn = std::shared_ptr<AppConn>(app->CreateConn().release());
+    moputil::SimTime t0 = app->device()->loop()->Now();
+    conn->Connect(addr, [app, conn, samples, run, t0](moputil::Status st) {
+      if (st.ok()) {
+        samples->push_back(app->device()->loop()->Now() - t0);
+        conn->Close();
+      }
+      // Small pause between probes, as the measurement tool would sleep.
+      app->device()->loop()->Schedule(moputil::Millis(50), [run] { (*run)(); });
+    });
+  };
+  (*run)();
+}
+
+}  // namespace mopapps

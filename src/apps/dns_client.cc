@@ -1,0 +1,94 @@
+#include "apps/dns_client.h"
+
+#include "netpkt/udp.h"
+#include "util/logging.h"
+
+namespace mopapps {
+
+TunDnsClient::TunDnsClient(TunNetStack* stack, int uid) : stack_(stack), uid_(uid) {
+  MOP_CHECK(stack != nullptr);
+}
+
+void TunDnsClient::Resolve(const std::string& domain,
+                           std::function<void(moputil::Result<DnsResult>)> cb) {
+  auto shared_cb =
+      std::make_shared<std::function<void(moputil::Result<DnsResult>)>>(std::move(cb));
+  Attempt(domain, 0, shared_cb);
+}
+
+void TunDnsClient::Attempt(
+    const std::string& domain, int attempt,
+    std::shared_ptr<std::function<void(moputil::Result<DnsResult>)>> cb) {
+  if (!moppkt::IsValidDnsName(domain)) {
+    (*cb)(moputil::InvalidArgument("bad domain name: " + domain));
+    return;
+  }
+  mopdroid::AndroidDevice* dev = stack_->device();
+  moppkt::SocketAddr local{dev->tun_address(), stack_->AllocatePort()};
+  moppkt::SocketAddr resolver{dev->system_dns(), 53};
+
+  uint16_t query_id = next_id_++;
+  moppkt::DnsMessage query = moppkt::DnsMessage::Query(query_id, domain);
+  std::vector<uint8_t> payload = moppkt::EncodeDns(query);
+
+  mopnet::ConnEntry entry;
+  entry.proto = moppkt::IpProto::kUdp;
+  entry.local = local;
+  entry.remote = resolver;
+  entry.state = mopnet::ConnState::kEstablished;
+  entry.uid = uid_;
+  mopnet::ConnHandle handle = dev->conn_table().Register(entry);
+
+  auto done = std::make_shared<bool>(false);
+  moputil::SimTime sent_at = stack_->loop()->Now();
+
+  TunNetStack* stack = stack_;
+  uint16_t port = local.port;
+  auto finish = [stack, port, handle, done](bool) {
+    *done = true;
+    stack->UnregisterUdp(port);
+    stack->device()->conn_table().Unregister(handle);
+  };
+
+  stack_->RegisterUdp(
+      local.port, [this, cb, done, finish, sent_at, query_id, attempt,
+                   domain](const moppkt::ParsedPacket& pkt) {
+        if (*done || !pkt.is_udp()) {
+          return;
+        }
+        auto msg = moppkt::DecodeDns(pkt.udp->payload);
+        if (!msg.ok() || !msg.value().is_response || msg.value().id != query_id) {
+          return;
+        }
+        finish(true);
+        DnsResult result;
+        result.latency = stack_->loop()->Now() - sent_at;
+        result.retries = attempt;
+        if (msg.value().rcode == moppkt::DnsRcode::kNxDomain || msg.value().answers.empty()) {
+          result.nxdomain = true;
+          (*cb)(result);
+          return;
+        }
+        result.address = msg.value().answers[0].address;
+        (*cb)(result);
+      });
+
+  // Timeout -> retry with a fresh socket, or give up.
+  stack_->loop()->Schedule(timeout_, [this, cb, done, finish, domain, attempt] {
+    if (*done) {
+      return;
+    }
+    finish(false);
+    if (attempt < max_retries_) {
+      Attempt(domain, attempt + 1, cb);
+    } else {
+      (*cb)(moputil::Unavailable("DNS timeout for " + domain));
+    }
+  });
+
+  std::vector<uint8_t> datagram =
+      moppkt::BuildUdpDatagram(local.port, 53, payload, local.ip, resolver.ip);
+  stack_->Send(std::move(datagram));
+}
+
+}  // namespace mopapps

@@ -1,0 +1,56 @@
+// App-side DNS resolution through the tunnel.
+//
+// DNS is system-wide on Android (paper §2.2): every app resolves through the
+// configured resolver, and with a VPN active the UDP query/response pair
+// transits the TUN, where MopEye measures it. This client builds real DNS
+// wire messages, registers the UDP flow in the kernel connection table, and
+// retries on timeout.
+#ifndef MOPEYE_APPS_DNS_CLIENT_H_
+#define MOPEYE_APPS_DNS_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/tun_stack.h"
+#include "netpkt/dns.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace mopapps {
+
+struct DnsResult {
+  moppkt::IpAddr address;
+  // App-perceived latency of the successful attempt (query out -> answer in).
+  moputil::SimDuration latency = 0;
+  int retries = 0;
+  bool nxdomain = false;
+};
+
+class TunDnsClient {
+ public:
+  // Queries resolve against the device's configured system resolver.
+  TunDnsClient(TunNetStack* stack, int uid);
+
+  // Resolves `domain` (A record). Each attempt gets a fresh UDP socket/port,
+  // matching how libc resolvers behave.
+  void Resolve(const std::string& domain,
+               std::function<void(moputil::Result<DnsResult>)> cb);
+
+  void set_timeout(moputil::SimDuration t) { timeout_ = t; }
+  void set_max_retries(int n) { max_retries_ = n; }
+
+ private:
+  void Attempt(const std::string& domain, int attempt,
+               std::shared_ptr<std::function<void(moputil::Result<DnsResult>)>> cb);
+
+  TunNetStack* stack_;
+  int uid_;
+  uint16_t next_id_ = 1;
+  moputil::SimDuration timeout_ = moputil::Seconds(5);
+  int max_retries_ = 2;
+};
+
+}  // namespace mopapps
+
+#endif  // MOPEYE_APPS_DNS_CLIENT_H_

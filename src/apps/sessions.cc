@@ -1,0 +1,421 @@
+#include "apps/sessions.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mopapps {
+
+using moputil::SimDuration;
+using moputil::SimTime;
+using moputil::ToMillis;
+
+moppkt::SocketAddr EnsureDomainServer(mopnet::ServerFarm* farm, const std::string& domain,
+                                      uint16_t port, moputil::SimDuration think) {
+  moppkt::IpAddr ip = farm->resolution().AutoAssign(domain);
+  moppkt::SocketAddr addr{ip, port};
+  if (farm->FindTcp(addr) == nullptr) {
+    farm->AddTcpServer(addr, [think] { return std::make_unique<mopnet::SizeEncodedBehavior>(think); });
+  }
+  return addr;
+}
+
+// ---------------- BrowsingSession ----------------
+
+BrowsingSession::BrowsingSession(App* app, mopnet::ServerFarm* farm, Config cfg,
+                                 moputil::Rng rng)
+    : app_(app), farm_(farm), cfg_(std::move(cfg)), rng_(rng) {
+  MOP_CHECK(!cfg_.domains.empty());
+}
+
+void BrowsingSession::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  LoadPage(0);
+}
+
+void BrowsingSession::LoadPage(int page_index) {
+  if (page_index >= cfg_.pages) {
+    live_conns_.clear();
+    if (on_done_) {
+      on_done_();
+    }
+    return;
+  }
+  const std::string& domain = cfg_.domains[static_cast<size_t>(page_index) % cfg_.domains.size()];
+  EnsureDomainServer(farm_, domain);
+  SimTime start = app_->device()->loop()->Now();
+  ++metrics_.dns_lookups;
+  app_->Resolve(domain, [this, page_index, start](moputil::Result<DnsResult> res) {
+    if (!res.ok() || res.value().nxdomain) {
+      ++metrics_.failures;
+      LoadPage(page_index + 1);
+      return;
+    }
+    metrics_.dns_latency_ms.Add(ToMillis(res.value().latency));
+    moppkt::SocketAddr addr{res.value().address, 80};
+    FetchResources(page_index, addr, start);
+  });
+}
+
+void BrowsingSession::FetchResources(int page_index, const moppkt::SocketAddr& addr,
+                                     SimTime start) {
+  int conns = static_cast<int>(
+      rng_.UniformInt(cfg_.min_conns_per_page, cfg_.max_conns_per_page));
+  auto remaining = std::make_shared<int>(conns);
+  auto finish_one = std::make_shared<std::function<void()>>();
+  *finish_one = [this, remaining, page_index, start] {
+    if (--*remaining > 0) {
+      return;
+    }
+    metrics_.page_load_ms.Add(ToMillis(app_->device()->loop()->Now() - start));
+    SimDuration think = rng_.UniformInt(cfg_.min_think, cfg_.max_think);
+    app_->device()->loop()->Schedule(think, [this, page_index] {
+      live_conns_.clear();
+      LoadPage(page_index + 1);
+    });
+  };
+
+  for (int i = 0; i < conns; ++i) {
+    auto conn = std::shared_ptr<AppConn>(app_->CreateConn().release());
+    live_conns_.push_back(conn);
+    size_t response = static_cast<size_t>(
+        rng_.UniformInt(static_cast<int64_t>(cfg_.min_response),
+                        static_cast<int64_t>(cfg_.max_response)));
+    ++metrics_.connections;
+    // Stagger connection starts slightly, as browsers do.
+    SimDuration stagger = rng_.UniformInt(0, moputil::Millis(80));
+    app_->device()->loop()->Schedule(stagger, [this, conn, addr, response, finish_one] {
+      SimTime t0 = app_->device()->loop()->Now();
+      conn->Connect(addr, [this, conn, response, t0, finish_one](moputil::Status st) {
+        if (!st.ok()) {
+          ++metrics_.failures;
+          (*finish_one)();
+          return;
+        }
+        metrics_.connect_latency_ms.Add(ToMillis(app_->device()->loop()->Now() - t0));
+        auto received = std::make_shared<uint64_t>(0);
+        conn->on_data = [this, conn, response, received, finish_one](size_t n) {
+          *received += n;
+          metrics_.bytes_down += n;
+          if (*received >= response) {
+            conn->on_data = nullptr;
+            conn->Close();
+            (*finish_one)();
+          }
+        };
+        std::vector<uint8_t> req = mopnet::EncodeSizedRequest(response, cfg_.request_size);
+        metrics_.bytes_up += req.size();
+        conn->Send(std::move(req));
+      });
+    });
+  }
+}
+
+// ---------------- ChatSession ----------------
+
+ChatSession::ChatSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng)
+    : app_(app), farm_(farm), cfg_(std::move(cfg)), rng_(rng) {}
+
+void ChatSession::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  // Chat servers echo: the echo acts as the delivery receipt.
+  moppkt::IpAddr ip = farm_->resolution().AutoAssign(cfg_.domain);
+  moppkt::SocketAddr addr{ip, 443};
+  if (farm_->FindTcp(addr) == nullptr) {
+    farm_->AddTcpServer(addr, [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  }
+  ++metrics_.dns_lookups;
+  app_->Resolve(cfg_.domain, [this, addr](moputil::Result<DnsResult> res) {
+    if (!res.ok()) {
+      ++metrics_.failures;
+      if (on_done_) {
+        on_done_();
+      }
+      return;
+    }
+    metrics_.dns_latency_ms.Add(ToMillis(res.value().latency));
+    conn_ = std::shared_ptr<AppConn>(app_->CreateConn().release());
+    ++metrics_.connections;
+    SimTime t0 = app_->device()->loop()->Now();
+    conn_->Connect(addr, [this, t0](moputil::Status st) {
+      if (!st.ok()) {
+        ++metrics_.failures;
+        if (on_done_) {
+          on_done_();
+        }
+        return;
+      }
+      metrics_.connect_latency_ms.Add(ToMillis(app_->device()->loop()->Now() - t0));
+      conn_->on_data = [this](size_t n) {
+        metrics_.bytes_down += n;
+        if (awaiting_bytes_ <= n) {
+          awaiting_bytes_ = 0;
+          metrics_.message_rtt_ms.Add(ToMillis(app_->device()->loop()->Now() - msg_sent_at_));
+          SimDuration gap = static_cast<SimDuration>(
+              rng_.Exponential(static_cast<double>(cfg_.mean_gap)));
+          app_->device()->loop()->Schedule(gap, [this] { SendNext(); });
+        } else {
+          awaiting_bytes_ -= n;
+        }
+      };
+      SendNext();
+    });
+  });
+}
+
+void ChatSession::SendNext() {
+  if (sent_ >= cfg_.messages) {
+    conn_->Close();
+    if (on_done_) {
+      on_done_();
+    }
+    return;
+  }
+  ++sent_;
+  size_t size = static_cast<size_t>(rng_.UniformInt(static_cast<int64_t>(cfg_.min_message),
+                                                    static_cast<int64_t>(cfg_.max_message)));
+  awaiting_bytes_ = size;
+  msg_sent_at_ = app_->device()->loop()->Now();
+  metrics_.bytes_up += size;
+  conn_->SendBytes(size);
+}
+
+// ---------------- VideoSession ----------------
+
+VideoSession::VideoSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng)
+    : app_(app), farm_(farm), cfg_(std::move(cfg)), rng_(rng) {}
+
+void VideoSession::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  moppkt::SocketAddr addr = EnsureDomainServer(farm_, cfg_.domain, 443);
+  ++metrics_.dns_lookups;
+  app_->Resolve(cfg_.domain, [this, addr](moputil::Result<DnsResult> res) {
+    if (!res.ok()) {
+      ++metrics_.failures;
+      if (on_done_) {
+        on_done_();
+      }
+      return;
+    }
+    metrics_.dns_latency_ms.Add(ToMillis(res.value().latency));
+    conn_ = std::shared_ptr<AppConn>(app_->CreateConn().release());
+    ++metrics_.connections;
+    SimTime t0 = app_->device()->loop()->Now();
+    conn_->Connect(addr, [this, t0](moputil::Status st) {
+      if (!st.ok()) {
+        ++metrics_.failures;
+        if (on_done_) {
+          on_done_();
+        }
+        return;
+      }
+      metrics_.connect_latency_ms.Add(ToMillis(app_->device()->loop()->Now() - t0));
+      conn_->on_data = [this](size_t n) {
+        metrics_.bytes_down += n;
+        chunk_received_ += n;
+        if (chunk_received_ >= cfg_.chunk_bytes) {
+          SimDuration took = app_->device()->loop()->Now() - chunk_requested_at_;
+          if (took > cfg_.chunk_interval) {
+            ++stalls_;  // the buffer drained before the chunk finished
+          }
+          ++chunks_done_;
+          if (chunks_done_ >= cfg_.chunks) {
+            conn_->Close();
+            if (on_done_) {
+              on_done_();
+            }
+            return;
+          }
+          SimDuration wait = std::max<SimDuration>(0, cfg_.chunk_interval - took);
+          app_->device()->loop()->Schedule(wait, [this] { RequestChunk(); });
+        }
+      };
+      RequestChunk();
+    });
+  });
+}
+
+void VideoSession::RequestChunk() {
+  chunk_received_ = 0;
+  chunk_requested_at_ = app_->device()->loop()->Now();
+  std::vector<uint8_t> req = mopnet::EncodeSizedRequest(cfg_.chunk_bytes, 64);
+  metrics_.bytes_up += req.size();
+  conn_->Send(std::move(req));
+}
+
+// ---------------- SpeedtestSession ----------------
+
+namespace {
+// Sink that reports received bytes into a shared progress struct.
+class CountingSink : public mopnet::ServerBehavior {
+ public:
+  CountingSink(std::shared_ptr<SpeedtestSession::Result>,
+               std::shared_ptr<void>) {}
+};
+}  // namespace
+
+SpeedtestSession::SpeedtestSession(App* app, mopnet::ServerFarm* farm, Config cfg,
+                                   moputil::Rng rng)
+    : app_(app), farm_(farm), cfg_(std::move(cfg)), rng_(rng) {
+  upload_progress_ = std::make_shared<UploadProgress>();
+}
+
+void SpeedtestSession::Start(std::function<void(Result)> on_done) {
+  on_done_ = std::move(on_done);
+  moppkt::IpAddr ip = farm_->resolution().AutoAssign(cfg_.domain);
+  ping_addr_ = {ip, 8080};
+  down_addr_ = {ip, 8081};
+  up_addr_ = {ip, 8082};
+  if (farm_->FindTcp(ping_addr_) == nullptr) {
+    farm_->AddTcpServer(ping_addr_, [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  }
+  size_t per_conn = cfg_.download_bytes / static_cast<size_t>(std::max(1, cfg_.parallel));
+  farm_->AddTcpServer(down_addr_, [per_conn] {
+    return std::make_unique<mopnet::BulkSourceBehavior>(per_conn);
+  });
+  // Upload sink records server-side receive times into the shared progress.
+  auto progress = upload_progress_;
+  class ProgressSink : public mopnet::ServerBehavior {
+   public:
+    explicit ProgressSink(std::shared_ptr<UploadProgress> p) : progress_(std::move(p)) {}
+    void OnData(mopnet::ServerConn& conn, std::span<const uint8_t> data) override {
+      SimTime now = conn.loop()->Now();
+      if (progress_->first == 0) {
+        progress_->first = now;
+      }
+      progress_->last = now;
+      progress_->bytes += data.size();
+    }
+
+   private:
+    std::shared_ptr<UploadProgress> progress_;
+  };
+  farm_->AddTcpServer(up_addr_, [progress] { return std::make_unique<ProgressSink>(progress); });
+  RunPings();
+}
+
+void SpeedtestSession::RunPings() {
+  auto conn = std::shared_ptr<AppConn>(app_->CreateConn().release());
+  conns_.push_back(conn);
+  conn->Connect(ping_addr_, [this, conn](moputil::Status st) {
+    if (!st.ok()) {
+      ++result_.failures;
+      RunDownload();
+      return;
+    }
+    auto remaining = std::make_shared<int>(cfg_.latency_pings);
+    auto t0 = std::make_shared<SimTime>(0);
+    auto send_ping = std::make_shared<std::function<void()>>();
+    conn->on_data = [this, conn, remaining, t0, send_ping](size_t) {
+      result_.ping_ms.Add(ToMillis(app_->device()->loop()->Now() - *t0));
+      if (--*remaining <= 0) {
+        conn->Close();
+        RunDownload();
+        return;
+      }
+      app_->device()->loop()->Schedule(moputil::Millis(100), [send_ping] { (*send_ping)(); });
+    };
+    *send_ping = [conn, t0, this] {
+      *t0 = app_->device()->loop()->Now();
+      conn->SendBytes(32);
+    };
+    (*send_ping)();
+  });
+}
+
+void SpeedtestSession::RunDownload() {
+  size_t per_conn = cfg_.download_bytes / static_cast<size_t>(std::max(1, cfg_.parallel));
+  auto remaining = std::make_shared<int>(cfg_.parallel);
+  auto first_byte = std::make_shared<SimTime>(0);
+  auto total = std::make_shared<uint64_t>(0);
+  for (int i = 0; i < cfg_.parallel; ++i) {
+    auto conn = std::shared_ptr<AppConn>(app_->CreateConn().release());
+    conns_.push_back(conn);
+    conn->Connect(down_addr_, [this, conn, per_conn, remaining, first_byte,
+                               total](moputil::Status st) {
+      if (!st.ok()) {
+        ++result_.failures;
+        if (--*remaining <= 0) {
+          RunUpload();
+        }
+        return;
+      }
+      auto received = std::make_shared<uint64_t>(0);
+      conn->on_data = [this, conn, per_conn, remaining, received, first_byte,
+                       total](size_t n) {
+        if (*first_byte == 0) {
+          *first_byte = app_->device()->loop()->Now();
+        }
+        *received += n;
+        *total += n;
+        if (*received >= per_conn) {
+          conn->on_data = nullptr;
+          conn->Close();
+          if (--*remaining <= 0) {
+            SimTime now = app_->device()->loop()->Now();
+            double secs = moputil::ToSeconds(now - *first_byte);
+            if (secs > 0) {
+              result_.download_mbps = static_cast<double>(*total) * 8.0 / secs / 1e6;
+            }
+            RunUpload();
+          }
+        }
+      };
+    });
+  }
+}
+
+void SpeedtestSession::RunUpload() {
+  size_t per_conn = cfg_.upload_bytes / static_cast<size_t>(std::max(1, cfg_.parallel));
+  auto remaining = std::make_shared<int>(cfg_.parallel);
+  auto progress = upload_progress_;
+  auto maybe_finish = std::make_shared<std::function<void()>>();
+  auto self_done = std::make_shared<bool>(false);
+  *maybe_finish = [this, progress, self_done] {
+    if (*self_done) {
+      return;
+    }
+    // Poll until the server has absorbed everything we queued.
+    if (progress->bytes >= cfg_.upload_bytes) {
+      *self_done = true;
+      double secs = moputil::ToSeconds(progress->last - progress->first);
+      if (secs > 0) {
+        result_.upload_mbps = static_cast<double>(progress->bytes) * 8.0 / secs / 1e6;
+      }
+      conns_.clear();
+      if (on_done_) {
+        on_done_(result_);
+      }
+    }
+  };
+  for (int i = 0; i < cfg_.parallel; ++i) {
+    auto conn = std::shared_ptr<AppConn>(app_->CreateConn().release());
+    conns_.push_back(conn);
+    conn->Connect(up_addr_, [this, conn, per_conn, remaining, maybe_finish](moputil::Status st) {
+      if (!st.ok()) {
+        ++result_.failures;
+        return;
+      }
+      conn->SendBytes(per_conn);
+    });
+  }
+  // Completion poll: cheap and robust against ack timing.
+  auto poll = std::make_shared<std::function<void()>>();
+  auto deadline = app_->device()->loop()->Now() + moputil::Seconds(120);
+  *poll = [this, maybe_finish, poll, self_done, deadline] {
+    (*maybe_finish)();
+    if (!*self_done) {
+      if (app_->device()->loop()->Now() > deadline) {
+        *self_done = true;
+        if (on_done_) {
+          on_done_(result_);
+        }
+        return;
+      }
+      app_->device()->loop()->Schedule(moputil::Millis(100), [poll] { (*poll)(); });
+    }
+  };
+  (*poll)();
+}
+
+}  // namespace mopapps

@@ -1,0 +1,187 @@
+// App traffic models: the workloads the paper's evaluation rides on.
+//
+//  * BrowsingSession — the web-browsing scenario behind Fig. 5 and Table 1
+//    (bursts of short connections, DNS lookups, page think times).
+//  * ChatSession — Whatsapp/WeChat-style short message exchanges.
+//  * VideoSession — the 1080p YouTube hour of Table 4 (periodic ~MB chunks).
+//  * SpeedtestSession — Ookla-style bulk transfer for Table 3's throughput
+//    and §4.1.2's data-packet latency.
+// All sessions drive the transport through App::CreateConn(), so the same
+// code runs with and without the relay in the path.
+#ifndef MOPEYE_APPS_SESSIONS_H_
+#define MOPEYE_APPS_SESSIONS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mopapps {
+
+struct SessionMetrics {
+  moputil::Samples connect_latency_ms;
+  moputil::Samples dns_latency_ms;
+  moputil::Samples page_load_ms;
+  moputil::Samples message_rtt_ms;
+  uint64_t bytes_down = 0;
+  uint64_t bytes_up = 0;
+  int connections = 0;
+  int dns_lookups = 0;
+  int failures = 0;
+};
+
+// Registers a SizeEncodedBehavior server for `domain` (auto-assigned address)
+// and returns its socket address. Idempotent per (farm, domain, port).
+moppkt::SocketAddr EnsureDomainServer(mopnet::ServerFarm* farm, const std::string& domain,
+                                      uint16_t port = 80, moputil::SimDuration think = 0);
+
+class BrowsingSession {
+ public:
+  struct Config {
+    int pages = 5;
+    int min_conns_per_page = 2;
+    int max_conns_per_page = 6;
+    size_t request_size = 400;
+    size_t min_response = 4 * 1024;
+    size_t max_response = 256 * 1024;
+    moputil::SimDuration min_think = moputil::Millis(500);
+    moputil::SimDuration max_think = moputil::Seconds(3);
+    // Domains cycled page by page; resolved through the app's DNS.
+    std::vector<std::string> domains = {"www.example.com"};
+  };
+
+  BrowsingSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng);
+
+  void Start(std::function<void()> on_done);
+  const SessionMetrics& metrics() const { return metrics_; }
+
+ private:
+  void LoadPage(int page_index);
+  void FetchResources(int page_index, const moppkt::SocketAddr& addr, moputil::SimTime start);
+
+  App* app_;
+  mopnet::ServerFarm* farm_;
+  Config cfg_;
+  moputil::Rng rng_;
+  SessionMetrics metrics_;
+  std::function<void()> on_done_;
+  std::vector<std::shared_ptr<AppConn>> live_conns_;
+};
+
+class ChatSession {
+ public:
+  struct Config {
+    int messages = 20;
+    size_t min_message = 80;
+    size_t max_message = 600;
+    moputil::SimDuration mean_gap = moputil::Seconds(2);
+    std::string domain = "chat.example.net";
+  };
+
+  ChatSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng);
+
+  void Start(std::function<void()> on_done);
+  const SessionMetrics& metrics() const { return metrics_; }
+
+ private:
+  void SendNext();
+
+  App* app_;
+  mopnet::ServerFarm* farm_;
+  Config cfg_;
+  moputil::Rng rng_;
+  SessionMetrics metrics_;
+  std::function<void()> on_done_;
+  std::shared_ptr<AppConn> conn_;
+  int sent_ = 0;
+  moputil::SimTime msg_sent_at_ = 0;
+  uint64_t awaiting_bytes_ = 0;
+};
+
+class VideoSession {
+ public:
+  struct Config {
+    int chunks = 15;
+    size_t chunk_bytes = 1024 * 1024;
+    moputil::SimDuration chunk_interval = moputil::Seconds(4);
+    std::string domain = "video.example.org";
+  };
+
+  VideoSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng);
+
+  void Start(std::function<void()> on_done);
+  const SessionMetrics& metrics() const { return metrics_; }
+  int stalls() const { return stalls_; }
+
+ private:
+  void RequestChunk();
+
+  App* app_;
+  mopnet::ServerFarm* farm_;
+  Config cfg_;
+  moputil::Rng rng_;
+  SessionMetrics metrics_;
+  std::function<void()> on_done_;
+  std::shared_ptr<AppConn> conn_;
+  int chunks_done_ = 0;
+  int stalls_ = 0;
+  moputil::SimTime chunk_requested_at_ = 0;
+  uint64_t chunk_received_ = 0;
+};
+
+// Ookla-style speed test. Download throughput is measured at the app (first
+// byte to last byte); upload throughput at the server (shared sink counter).
+class SpeedtestSession {
+ public:
+  struct Config {
+    size_t download_bytes = 8 * 1024 * 1024;
+    size_t upload_bytes = 8 * 1024 * 1024;
+    int parallel = 4;
+    int latency_pings = 8;
+    std::string domain = "speedtest.example.net";
+  };
+
+  struct Result {
+    double download_mbps = 0;
+    double upload_mbps = 0;
+    moputil::Samples ping_ms;
+    int failures = 0;
+  };
+
+  SpeedtestSession(App* app, mopnet::ServerFarm* farm, Config cfg, moputil::Rng rng);
+
+  void Start(std::function<void(Result)> on_done);
+
+ private:
+  void RunPings();
+  void RunDownload();
+  void RunUpload();
+
+  App* app_;
+  mopnet::ServerFarm* farm_;
+  Config cfg_;
+  moputil::Rng rng_;
+  Result result_;
+  std::function<void(Result)> on_done_;
+  moppkt::SocketAddr ping_addr_;
+  moppkt::SocketAddr down_addr_;
+  moppkt::SocketAddr up_addr_;
+  std::vector<std::shared_ptr<AppConn>> conns_;
+  // Shared with the sink behavior on the server side.
+  struct UploadProgress {
+    uint64_t bytes = 0;
+    moputil::SimTime first = 0;
+    moputil::SimTime last = 0;
+  };
+  std::shared_ptr<UploadProgress> upload_progress_;
+};
+
+}  // namespace mopapps
+
+#endif  // MOPEYE_APPS_SESSIONS_H_

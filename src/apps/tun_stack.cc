@@ -1,0 +1,72 @@
+#include "apps/tun_stack.h"
+
+#include "util/logging.h"
+
+namespace mopapps {
+
+TunNetStack::TunNetStack(mopdroid::AndroidDevice* device) : device_(device) {
+  MOP_CHECK(device != nullptr);
+}
+
+void TunNetStack::AttachTun() {
+  mopdroid::TunDevice* tun = device_->vpn_tun();
+  MOP_CHECK(tun != nullptr) << "AttachTun with no active VPN";
+  tun->on_deliver_to_apps = [this](std::vector<uint8_t> datagram) {
+    Dispatch(std::move(datagram));
+  };
+}
+
+uint16_t TunNetStack::AllocatePort() {
+  if (next_port_ == 0) {
+    next_port_ = 40000;
+  }
+  return next_port_++;
+}
+
+void TunNetStack::RegisterTcp(uint16_t local_port, PacketHandler handler) {
+  tcp_handlers_[local_port] = std::move(handler);
+}
+
+void TunNetStack::UnregisterTcp(uint16_t local_port) { tcp_handlers_.erase(local_port); }
+
+void TunNetStack::RegisterUdp(uint16_t local_port, PacketHandler handler) {
+  udp_handlers_[local_port] = std::move(handler);
+}
+
+void TunNetStack::UnregisterUdp(uint16_t local_port) { udp_handlers_.erase(local_port); }
+
+bool TunNetStack::Send(std::vector<uint8_t> datagram) {
+  return device_->KernelSendFromApp(std::move(datagram));
+}
+
+void TunNetStack::Dispatch(std::vector<uint8_t> datagram) {
+  auto parsed = moppkt::ParsePacket(std::move(datagram));
+  if (!parsed.ok()) {
+    ++parse_errors_;
+    MOP_LOG(Warning) << "tun->app parse error: " << parsed.status().ToString();
+    return;
+  }
+  const moppkt::ParsedPacket& pkt = parsed.value();
+  // Incoming packets are addressed to the app: demux on the destination port.
+  // Handlers may unregister themselves (close, DNS completion) while running,
+  // so invoke a copy — erasing the map entry mid-call must not destroy the
+  // executing closure's captures.
+  if (pkt.is_tcp()) {
+    auto it = tcp_handlers_.find(pkt.tcp->dst_port);
+    if (it != tcp_handlers_.end()) {
+      PacketHandler handler = it->second;
+      handler(pkt);
+      return;
+    }
+  } else if (pkt.is_udp()) {
+    auto it = udp_handlers_.find(pkt.udp->dst_port);
+    if (it != udp_handlers_.end()) {
+      PacketHandler handler = it->second;
+      handler(pkt);
+      return;
+    }
+  }
+  ++unroutable_;
+}
+
+}  // namespace mopapps

@@ -1,0 +1,58 @@
+// App-side kernel network stack for the tunnel path.
+//
+// When the VPN is active, every app socket's packets are routed into the TUN
+// device, and whatever MopEye writes back must be demultiplexed to the owning
+// socket. TunNetStack is that demux: connections register their local port,
+// incoming datagrams are parsed (real IPv4/TCP/UDP parsing, checksums
+// verified) and dispatched. It is the "kernel space" half of Figure 3.
+#ifndef MOPEYE_APPS_TUN_STACK_H_
+#define MOPEYE_APPS_TUN_STACK_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "android/device.h"
+#include "netpkt/packet.h"
+
+namespace mopapps {
+
+class TunNetStack {
+ public:
+  explicit TunNetStack(mopdroid::AndroidDevice* device);
+
+  // Hooks this stack to the device's active TUN. Must be called after the
+  // VPN establishes (and again if it re-establishes).
+  void AttachTun();
+
+  mopdroid::AndroidDevice* device() { return device_; }
+  mopsim::EventLoop* loop() { return device_->loop(); }
+
+  uint16_t AllocatePort();
+
+  using PacketHandler = std::function<void(const moppkt::ParsedPacket&)>;
+  void RegisterTcp(uint16_t local_port, PacketHandler handler);
+  void UnregisterTcp(uint16_t local_port);
+  void RegisterUdp(uint16_t local_port, PacketHandler handler);
+  void UnregisterUdp(uint16_t local_port);
+
+  // Sends an app datagram into the kernel (routed to the TUN). False if no
+  // VPN is active.
+  bool Send(std::vector<uint8_t> datagram);
+
+  uint64_t parse_errors() const { return parse_errors_; }
+  uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  void Dispatch(std::vector<uint8_t> datagram);
+
+  mopdroid::AndroidDevice* device_;
+  uint16_t next_port_ = 40000;
+  std::unordered_map<uint16_t, PacketHandler> tcp_handlers_;
+  std::unordered_map<uint16_t, PacketHandler> udp_handlers_;
+  uint64_t parse_errors_ = 0;
+  uint64_t unroutable_ = 0;
+};
+
+}  // namespace mopapps
+
+#endif  // MOPEYE_APPS_TUN_STACK_H_

@@ -1,0 +1,60 @@
+// MobiPerf-style active HTTP-ping prober (Table 2's comparison point).
+//
+// Mobilyzer's HTTP ping also derives RTT from the SYN/SYN-ACK exchange, but
+// the paper identifies three accuracy sinks MopEye avoids (§4.1.1):
+//  1. high-level socket APIs instead of the low-level connect() call,
+//  2. millisecond-granularity timestamps,
+//  3. timing functions wrapped around *more than* the socket call (task
+//     setup, HTTP object construction, event dispatch).
+// We model exactly those: per-run app-layer overhead before/after the
+// connect, an event-notification delay on completion, and ms flooring.
+#ifndef MOPEYE_BASELINES_MOBIPERF_H_
+#define MOPEYE_BASELINES_MOBIPERF_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/net_context.h"
+#include "net/socket.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mopbase {
+
+class MobiPerfProber {
+ public:
+  struct Options {
+    int runs = 10;
+    // App-layer work wrongly inside the timed window, before the connect.
+    std::shared_ptr<moputil::DelayModel> pre_overhead;
+    // Completion observed via event notification + post-processing.
+    std::shared_ptr<moputil::DelayModel> post_overhead;
+    // Extra completion skew that grows with the path RTT (queued events /
+    // timeouts while waiting on long paths).
+    double rtt_proportional = 0.08;
+    // Mobilyzer reports at millisecond granularity.
+    bool floor_to_ms = true;
+
+    static Options Default();
+  };
+
+  MobiPerfProber(mopnet::NetContext* net, Options options, moputil::Rng rng);
+
+  // Runs `options.runs` sequential HTTP pings to `addr`; `done` receives the
+  // per-run RTTs in ms (MobiPerf only exposes the mean; callers average).
+  void Measure(const moppkt::SocketAddr& addr,
+               std::function<void(std::vector<double>)> done);
+
+ private:
+  void RunOne(const moppkt::SocketAddr& addr, std::shared_ptr<std::vector<double>> results,
+              std::function<void(std::vector<double>)> done);
+
+  mopnet::NetContext* net_;
+  Options options_;
+  moputil::Rng rng_;
+};
+
+}  // namespace mopbase
+
+#endif  // MOPEYE_BASELINES_MOBIPERF_H_

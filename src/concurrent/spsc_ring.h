@@ -1,0 +1,65 @@
+// Lock-free single-producer/single-consumer ring buffer: the TunReader ->
+// MainWorker read queue shape (one dedicated reader thread pushing, one main
+// thread draining, §3.2).
+#ifndef MOPEYE_CONCURRENT_SPSC_RING_H_
+#define MOPEYE_CONCURRENT_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mopcc {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; one slot is kept empty to
+  // distinguish full from empty.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity + 1) {
+      cap <<= 1;
+    }
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  // Producer only. False when full (caller decides: drop or retry).
+  bool Push(T item) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    buffer_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer only.
+  std::optional<T> Pop() {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T item = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+  size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace mopcc
+
+#endif  // MOPEYE_CONCURRENT_SPSC_RING_H_

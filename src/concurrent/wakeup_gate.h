@@ -1,0 +1,53 @@
+// WakeupGate: the Selector.wakeup() coalescing point (§3.2).
+//
+// Many threads (TunReader, socket callbacks) signal one waiting main thread.
+// Signals are coalesced: N wakeup() calls before the waiter runs produce one
+// wake, exactly like java.nio.Selector. Used by real-thread tests/benches.
+#ifndef MOPEYE_CONCURRENT_WAKEUP_GATE_H_
+#define MOPEYE_CONCURRENT_WAKEUP_GATE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mopcc {
+
+class WakeupGate {
+ public:
+  // Signals the waiter; cheap and idempotent while a signal is pending.
+  void Wakeup() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_) {
+        ++coalesced_;
+        return;
+      }
+      pending_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until signaled or the timeout elapses. Returns true if signaled.
+  bool Wait(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool ok = cv_.wait_for(lock, timeout, [this] { return pending_; });
+    pending_ = false;
+    return ok;
+  }
+
+  uint64_t coalesced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coalesced_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+  uint64_t coalesced_ = 0;
+};
+
+}  // namespace mopcc
+
+#endif  // MOPEYE_CONCURRENT_WAKEUP_GATE_H_

@@ -1,0 +1,760 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "netpkt/dns.h"
+#include "netpkt/udp.h"
+#include "util/logging.h"
+
+namespace mopeye {
+
+namespace {
+constexpr moputil::SimDuration kUdpIdleTimeout = moputil::Seconds(60);
+}
+
+MopEyeEngine::MopEyeEngine(mopdroid::AndroidDevice* device, Config config)
+    : device_(device),
+      config_(std::move(config)),
+      loop_(device->loop()),
+      rng_(device->rng().Fork()),
+      selector_(device->loop()),
+      main_lane_(device->loop(), "MainWorker") {
+  MOP_CHECK(device != nullptr);
+  device_->package_manager().Install(kMopEyeUid, "com.mopeye", "MopEye");
+  mapper_ = std::make_unique<PacketToAppMapper>(device_, &config_);
+}
+
+MopEyeEngine::~MopEyeEngine() {
+  if (running_) {
+    Stop();
+  }
+}
+
+Config::ProtectMode MopEyeEngine::EffectiveProtectMode() const {
+  if (config_.protect_mode != Config::ProtectMode::kAuto) {
+    return config_.protect_mode;
+  }
+  return device_->sdk_version() >= mopdroid::kSdkLollipop
+             ? Config::ProtectMode::kDisallowedApp
+             : Config::ProtectMode::kPerSocket;
+}
+
+moputil::Status MopEyeEngine::Start() {
+  MOP_CHECK(!running_);
+  vpn_ = std::make_unique<mopdroid::VpnService>(device_);
+  mopdroid::VpnService::Builder builder(vpn_.get());
+  builder.addAddress(moppkt::IpAddr(10, 0, 0, 2))
+      .addRoute(moppkt::IpAddr(0, 0, 0, 0), 0)
+      .addDnsServer(device_->system_dns())
+      .setSession("MopEye");
+  if (EffectiveProtectMode() == Config::ProtectMode::kDisallowedApp) {
+    // §3.5.2: exclude MopEye itself from the VPN once, instead of protecting
+    // every socket. Invoked at initialization so MainWorker never pays it.
+    auto st = builder.addDisallowedApplication("com.mopeye");
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  mopdroid::TunDevice* tun = builder.establish();
+  if (tun == nullptr) {
+    return moputil::Internal("VpnService.establish() failed");
+  }
+
+  selector_.on_wakeup = [this] { OnSelectorWakeup(); };
+  reader_ = std::make_unique<TunReader>(loop_, tun, &config_, rng_.Fork(), &selector_,
+                                        &read_queue_);
+  writer_ = std::make_unique<TunWriter>(loop_, tun, &config_, rng_.Fork());
+  reader_->Start();
+  running_ = true;
+  return moputil::OkStatus();
+}
+
+void MopEyeEngine::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  reader_->RequestStop();
+  if (config_.read_mode == Config::TunReadMode::kBlocking) {
+    // Release the blocked read() (§3.1). On 5.0+ MopEye's own packets no
+    // longer traverse the tunnel (it is a disallowed app), so it triggers a
+    // DownloadManager request; below 5.0 it writes a self packet.
+    if (EffectiveProtectMode() == Config::ProtectMode::kDisallowedApp) {
+      device_->DownloadManagerEnqueue();
+    } else if (vpn_->tun() != nullptr) {
+      moppkt::TcpSegmentSpec dummy;
+      dummy.src_port = 1;
+      dummy.dst_port = 1;
+      dummy.flags = moppkt::RstFlag();
+      vpn_->tun()->InjectOutgoing(moppkt::BuildTcpDatagram(
+          dummy, vpn_->tun_address(), moppkt::IpAddr(127, 0, 0, 1)));
+    }
+  }
+  writer_->Stop();
+  // Tear the VPN down shortly after the dummy packet releases the reader.
+  loop_->Schedule(moputil::Millis(10), [this] {
+    if (vpn_) {
+      vpn_->Stop();
+    }
+  });
+  // Drop relay state; external channels reset.
+  for (auto& [flow, client] : clients_) {
+    if (client->kernel_handle != 0) {
+      device_->conn_table().Unregister(client->kernel_handle);
+      client->kernel_handle = 0;
+    }
+    if (client->connect_lane) {
+      retired_worker_busy_ += client->connect_lane->busy_time();
+      ++retired_worker_count_;
+    }
+    if (client->channel) {
+      client->channel->Deregister();
+      client->channel->Reset();
+    }
+  }
+  clients_.clear();
+  by_channel_.clear();
+  for (auto& [flow, udp] : udp_clients_) {
+    if (udp->kernel_handle != 0) {
+      device_->conn_table().Unregister(udp->kernel_handle);
+    }
+    if (udp->lane) {
+      retired_worker_busy_ += udp->lane->busy_time();
+      ++retired_worker_count_;
+    }
+  }
+  udp_clients_.clear();
+}
+
+MopEyeEngine::ResourceUsage MopEyeEngine::resources() const {
+  ResourceUsage u;
+  if (reader_) {
+    u.busy_reader = reader_->busy_time();
+  }
+  if (writer_) {
+    u.busy_writer = writer_->writer_busy_time();
+  }
+  u.busy_main = main_lane_.busy_time();
+  u.busy_workers = retired_worker_busy_;
+  for (const auto& [flow, client] : clients_) {
+    if (client->connect_lane) {
+      u.busy_workers += client->connect_lane->busy_time();
+    }
+  }
+  for (const auto& [flow, udp] : udp_clients_) {
+    if (udp->lane) {
+      u.busy_workers += udp->lane->busy_time();
+    }
+  }
+  // Memory model: per-client socket read+write buffers (§3.4 sizes them at
+  // 64 KiB), queue high-water, and a fixed service overhead.
+  size_t per_client = 2 * config_.socket_buffer + 1024 + config_.extra_memory_per_client;
+  size_t peak_clients = std::max(counters_.clients_high_water, clients_.size());
+  u.memory_bytes = 10 * 1024 * 1024                      // service heap + runtime-resident
+                   + config_.extra_memory_base           // inspection buffers / caches
+                   + peak_clients * per_client           // relay clients
+                   + read_queue_.high_water * 1600       // read queue packets
+                   + (writer_ ? writer_->queue_high_water() * 1600 : 0);
+  return u;
+}
+
+// ---------------- Main worker ----------------
+
+void MopEyeEngine::OnSelectorWakeup() {
+  // select() returns on the MainWorker thread after the dispatch latency.
+  main_lane_.Submit(config_.costs.selector_dispatch->Sample(rng_), moputil::Micros(3),
+                    [this] { DrainEvents(); });
+}
+
+void MopEyeEngine::DrainEvents() {
+  if (!running_) {
+    return;
+  }
+  // §3.2: one waiting point serves both queues; we interleave processing of
+  // socket events and tunnel packets so neither starves.
+  std::vector<mopnet::ReadyEvent> events = selector_.TakeReady();
+  size_t ei = 0;
+  bool more = true;
+  while (more) {
+    more = false;
+    if (ei < events.size()) {
+      mopnet::ReadyEvent ev = events[ei++];
+      if (ev.channel != nullptr) {
+        main_lane_.Submit(0, config_.costs.sm_process->Sample(rng_),
+                          [this, ev] { HandleSocketEvent(ev); });
+      }
+      more = true;
+    }
+    if (!read_queue_.items.empty()) {
+      std::vector<uint8_t> pkt = std::move(read_queue_.items.front().second);
+      read_queue_.items.pop_front();
+      moputil::SimDuration cost = config_.costs.packet_parse->Sample(rng_);
+      if (config_.content_inspection) {
+        cost += config_.content_inspection->Sample(rng_);
+      }
+      main_lane_.Submit(0, cost, [this, pkt = std::move(pkt)]() mutable {
+        ProcessTunPacket(std::move(pkt));
+      });
+      more = true;
+    }
+  }
+}
+
+void MopEyeEngine::ProcessTunPacket(std::vector<uint8_t> raw) {
+  if (!running_) {
+    return;
+  }
+  ++counters_.tun_packets;
+  auto parsed = moppkt::ParsePacket(std::move(raw));
+  if (!parsed.ok()) {
+    ++counters_.parse_errors;
+    return;
+  }
+  const moppkt::ParsedPacket& pkt = parsed.value();
+  if (pkt.is_tcp()) {
+    if (pkt.tcp->flags.syn && !pkt.tcp->flags.ack) {
+      HandleSyn(pkt);
+    } else {
+      HandleTcpSegment(pkt);
+    }
+    return;
+  }
+  if (pkt.is_udp()) {
+    ++counters_.udp_packets;
+    if (pkt.udp->dst_port == 53 && config_.measure_dns) {
+      HandleDnsQuery(pkt);
+    } else if (config_.relay_non_dns_udp) {
+      HandleUdp(pkt);
+    }
+    return;
+  }
+  // Non-TCP/UDP (e.g. ICMP): MopEye does not relay these.
+}
+
+std::shared_ptr<MopEyeEngine::TcpClient> MopEyeEngine::FindClient(
+    const moppkt::FlowKey& flow) {
+  auto it = clients_.find(flow);
+  return it == clients_.end() ? nullptr : it->second;
+}
+
+// ---------------- TCP relay ----------------
+
+void MopEyeEngine::HandleSyn(const moppkt::ParsedPacket& pkt) {
+  ++counters_.syns;
+  moppkt::FlowKey flow = pkt.flow();
+  if (auto existing = FindClient(flow)) {
+    ++counters_.syn_duplicates;
+    // The app's kernel retransmitted its SYN while our external connect is
+    // still in flight (or our SYN/ACK crossed it). Re-answer if we can.
+    if (existing->sm.state() == RelayTcpState::kSynRcvd) {
+      EmitToApp(existing, existing->sm.MakeSynAckRetransmit(), &main_lane_);
+    }
+    return;
+  }
+
+  auto client = std::make_shared<TcpClient>(flow, rng_.NextU32(), config_.mss,
+                                            config_.window);
+  client->sm.NoteSyn(*pkt.tcp);
+  clients_[flow] = client;
+  counters_.clients_high_water = std::max(counters_.clients_high_water, clients_.size());
+
+  // Mapping strategy decides *where* the /proc parse happens (§3.3):
+  // naive & cache block the MainWorker right here; lazy defers to the
+  // socket-connect thread after the handshake.
+  if (config_.mapping == Config::MappingStrategy::kNaivePerSyn ||
+      config_.mapping == Config::MappingStrategy::kCacheBased) {
+    mapper_->Map(flow, &main_lane_, [this, client](PacketToAppMapper::Outcome out) {
+      client->app = out;
+      client->mapping_done = true;
+      StartExternalConnect(client);
+    });
+  } else {
+    StartExternalConnect(client);
+  }
+}
+
+void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client) {
+  // §2.4: run connect() in a temporary blocking-mode thread.
+  client->connect_lane = std::make_unique<mopsim::ActorLane>(loop_, "sock-connect");
+  moputil::SimDuration spawn = config_.costs.thread_spawn->Sample(rng_);
+  client->connect_lane->Submit(spawn, 0, [this, client] {
+    if (client->removed) {
+      return;
+    }
+    client->channel = mopnet::SocketChannel::Create(&device_->net());
+    client->channel->set_owner_uid(kMopEyeUid);
+    by_channel_[client->channel.get()] = client;
+
+    moputil::SimDuration protect_cost = 0;
+    if (EffectiveProtectMode() == Config::ProtectMode::kPerSocket) {
+      // §3.5.2 fallback: protect() per socket, paid on this thread so only
+      // the SYN path is delayed, never the data path.
+      protect_cost = vpn_->protect(*client->channel);
+    }
+    client->connect_lane->Submit(0, protect_cost, [this, client] {
+      if (client->removed) {
+        return;
+      }
+      // MopEye's own socket appears in the kernel table too (it grows the
+      // /proc files the mapper parses, as the paper notes).
+      mopnet::ConnEntry entry;
+      entry.proto = moppkt::IpProto::kTcp;
+      entry.remote = client->flow.remote;
+      entry.state = mopnet::ConnState::kSynSent;
+      entry.uid = kMopEyeUid;
+      entry.local = moppkt::SocketAddr{device_->net().external_ip(), 0};
+      client->kernel_handle = device_->conn_table().Register(entry);
+
+      if (config_.timestamp_mode == Config::TimestampMode::kSelector) {
+        client->channel->RegisterWith(&selector_, mopnet::kOpConnect);
+      }
+      // Timestamp immediately before the blocking connect() call (§4.1.1:
+      // "putting the timing function just before and after the socket call").
+      client->connect_t0 = loop_->Now();
+      std::weak_ptr<TcpClient> weak = client;
+      client->channel->Connect(client->flow.remote, [this, weak](moputil::Status st) {
+        auto c = weak.lock();
+        if (!c || c->removed) {
+          return;
+        }
+        if (!st.ok()) {
+          ++counters_.connects_failed;
+          c->connect_lane->Submit(config_.costs.thread_wake->Sample(rng_), 0, [this, c] {
+            if (c->removed) {
+              return;
+            }
+            EmitToApp(c, c->sm.MakeRst(), c->connect_lane.get());
+            RemoveClient(c);
+          });
+          return;
+        }
+        // The connect() call returns: wake the socket-connect thread and
+        // take the post-connect() timestamp there.
+        c->connect_lane->Submit(config_.costs.thread_wake->Sample(rng_), 0,
+                                [this, c](moputil::SimTime start, moputil::SimTime) {
+                                  FinishConnect(c, start);
+                                });
+      });
+    });
+  });
+}
+
+void MopEyeEngine::FinishConnect(const std::shared_ptr<TcpClient>& client,
+                                 moputil::SimTime t1) {
+  if (client->removed) {
+    return;
+  }
+  ++counters_.connects_ok;
+  client->external_connected = true;
+  device_->conn_table().UpdateState(client->kernel_handle, mopnet::ConnState::kEstablished);
+
+  if (config_.timestamp_mode == Config::TimestampMode::kBlockingConnectThread) {
+    client->pending_rtt = t1 - client->connect_t0;
+    MaybeRecordTcpMeasurement(client);
+  }
+  // (kSelector mode captures the RTT when the kConnected event reaches
+  // MainWorker.)
+
+  // §2.3: "Only after establishing the external connection can MopEye
+  // complete the handshake with the app" — and it does so *immediately*, so
+  // the app-side handshake is never delayed by mapping or registration.
+  client->connect_lane->Submit(0, config_.costs.sm_process->Sample(rng_), [this, client] {
+    if (client->removed) {
+      return;
+    }
+    EmitToApp(client, client->sm.MakeSynAck(), client->connect_lane.get());
+
+    // §3.4: register() with the selector can be expensive — run it on this
+    // thread only after completing the internal handshake duties.
+    moputil::SimDuration reg = config_.costs.selector_register->Sample(rng_);
+    client->connect_lane->Submit(0, reg, [this, client] {
+      if (client->removed || !client->channel) {
+        return;
+      }
+      if (config_.timestamp_mode != Config::TimestampMode::kSelector) {
+        client->channel->RegisterWith(&selector_, mopnet::kOpRead);
+      } else {
+        client->channel->SetInterest(mopnet::kOpRead | mopnet::kOpConnect);
+      }
+      if (config_.mapping == Config::MappingStrategy::kLazy) {
+        // §3.3: mapping deferred to this thread, after the handshake, "thus
+        // not affecting the timely TCP handshake on the application side".
+        mapper_->Map(client->flow, client->connect_lane.get(),
+                     [this, client](PacketToAppMapper::Outcome out) {
+                       client->app = out;
+                       client->mapping_done = true;
+                       MaybeRecordTcpMeasurement(client);
+                     });
+      }
+    });
+  });
+}
+
+void MopEyeEngine::MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& client) {
+  if (client->measurement_recorded || client->pending_rtt < 0 || !client->mapping_done) {
+    return;
+  }
+  client->measurement_recorded = true;
+  Measurement m;
+  m.time = loop_->Now();
+  m.kind = MeasureKind::kTcpConnect;
+  m.rtt = client->pending_rtt;
+  m.server = client->flow.remote;
+  m.uid = client->app.uid;
+  m.app = client->app.label;
+  auto domain = device_->net().farm()->resolution().ReverseLookup(client->flow.remote.ip);
+  if (domain) {
+    m.domain = *domain;
+  }
+  m.net_type = device_->net().profile().type;
+  m.isp = device_->net().profile().isp;
+  m.country = device_->net().profile().country;
+  m.device_id = device_->model();
+  store_.Add(std::move(m));
+}
+
+void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt) {
+  moppkt::FlowKey flow = pkt.flow();
+  auto client = FindClient(flow);
+  if (!client) {
+    ++counters_.unknown_flow;
+    return;
+  }
+  const moppkt::TcpSegment& seg = *pkt.tcp;
+  bool is_pure_ack = seg.flags.ack && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst &&
+                     seg.payload.empty();
+  if (seg.flags.fin) {
+    ++counters_.fins;
+  }
+  if (seg.flags.rst) {
+    ++counters_.rsts;
+  }
+  if (!seg.payload.empty()) {
+    ++counters_.data_segments;
+  }
+
+  TcpStateMachine::Output out = client->sm.OnAppSegment(seg);
+
+  for (const auto& spec : out.to_app) {
+    EmitToApp(client, spec, &main_lane_);
+  }
+
+  if (out.app_reset) {
+    // §2.3 "TCP RST": close the external connection, drop the client object.
+    if (client->channel) {
+      client->channel->Reset();
+    }
+    RemoveClient(client);
+    return;
+  }
+
+  if (!out.to_socket.empty()) {
+    // §2.3 "TCP Data": stage into the socket write buffer and trigger a
+    // write event for the socket instance.
+    counters_.bytes_app_to_server += out.to_socket.size();
+    client->socket_write_buf.insert(client->socket_write_buf.end(), out.to_socket.begin(),
+                                    out.to_socket.end());
+    if (!client->write_event_pending && client->channel) {
+      client->write_event_pending = true;
+      selector_.TriggerWrite(client->channel);
+    }
+  } else if (is_pure_ack) {
+    // §2.3 "Pure ACK": nothing to relay.
+    ++counters_.pure_acks_discarded;
+  }
+
+  if (out.app_half_closed) {
+    // §2.3 "TCP FIN": half-close write event for the socket instance.
+    if (client->channel && client->socket_write_buf.empty()) {
+      client->channel->Close();
+    }
+    // If data is still buffered, FlushSocketWrites closes after flushing.
+  }
+
+  if (out.fully_closed || client->sm.state() == RelayTcpState::kClosed) {
+    RemoveClient(client);
+  }
+}
+
+void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
+  if (!running_ || ev.channel == nullptr) {
+    return;
+  }
+  auto it = by_channel_.find(ev.channel.get());
+  if (it == by_channel_.end()) {
+    return;
+  }
+  auto client = it->second.lock();
+  if (!client || client->removed) {
+    return;
+  }
+  switch (ev.type) {
+    case mopnet::SocketEventType::kConnected: {
+      if (config_.timestamp_mode == Config::TimestampMode::kSelector) {
+        // Ablation: the event-notification timestamp the paper rejects —
+        // inflated by selector dispatch and MainWorker queueing.
+        client->pending_rtt = loop_->Now() - client->connect_t0;
+        MaybeRecordTcpMeasurement(client);
+      }
+      break;
+    }
+    case mopnet::SocketEventType::kConnectFailed:
+      break;  // the blocking-connect callback already handled failure
+    case mopnet::SocketEventType::kReadable:
+      ++counters_.socket_read_events;
+      HandleSocketReadable(client);
+      break;
+    case mopnet::SocketEventType::kWritable:
+      client->write_event_pending = false;
+      FlushSocketWrites(client);
+      break;
+    case mopnet::SocketEventType::kPeerClosed: {
+      // §2.3 "Socket Read" close case: FIN toward the app.
+      if (client->channel && client->channel->available() > 0) {
+        HandleSocketReadable(client);  // drain remaining data first
+      }
+      RelayTcpState s = client->sm.state();
+      if (s == RelayTcpState::kEstablished || s == RelayTcpState::kSynRcvd ||
+          s == RelayTcpState::kCloseWait) {
+        EmitToApp(client, client->sm.MakeFin(), &main_lane_);
+      }
+      if (client->sm.state() == RelayTcpState::kClosed) {
+        RemoveClient(client);
+      }
+      break;
+    }
+    case mopnet::SocketEventType::kReset: {
+      EmitToApp(client, client->sm.MakeRst(), &main_lane_);
+      RemoveClient(client);
+      break;
+    }
+  }
+}
+
+void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
+  if (!client->channel || client->socket_write_buf.empty()) {
+    return;
+  }
+  std::vector<uint8_t> data(client->socket_write_buf.begin(), client->socket_write_buf.end());
+  client->socket_write_buf.clear();
+  moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
+  main_lane_.Submit(0, cost, [this, client, data = std::move(data)]() mutable {
+    if (client->removed || !client->channel) {
+      return;
+    }
+    if (client->channel->state() != mopnet::ChannelState::kConnected &&
+        client->channel->state() != mopnet::ChannelState::kPeerClosed) {
+      return;
+    }
+    client->channel->Write(std::move(data));
+    // §2.3 "Socket Write": after pushing the buffer to the server, instruct
+    // the state machine to ACK the app.
+    EmitToApp(client, client->sm.MakeAck(), &main_lane_);
+    // Half-close deferred until the buffer flushed.
+    if (client->sm.state() == RelayTcpState::kCloseWait ||
+        client->sm.state() == RelayTcpState::kLastAck) {
+      client->channel->Close();
+    }
+  });
+}
+
+void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client) {
+  if (!client->channel || client->removed) {
+    return;
+  }
+  // §2.3 "Socket Read": pull from the (64 KiB) read buffer and construct data
+  // packets for the internal connection.
+  std::vector<uint8_t> buf(config_.socket_buffer);
+  size_t n = client->channel->Read(buf);
+  if (n == 0) {
+    return;
+  }
+  buf.resize(n);
+  counters_.bytes_server_to_app += n;
+  moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
+  if (config_.content_inspection) {
+    // Inspect each MSS-sized chunk of the server's data.
+    for (size_t off = 0; off < n; off += config_.mss) {
+      cost += config_.content_inspection->Sample(rng_);
+    }
+  }
+  main_lane_.Submit(0, cost, [this, client, buf = std::move(buf)]() mutable {
+    if (client->removed) {
+      return;
+    }
+    auto specs = client->sm.MakeData(buf);
+    for (const auto& spec : specs) {
+      EmitToApp(client, spec, &main_lane_);
+    }
+    // More may have arrived while we processed; keep draining.
+    if (client->channel && client->channel->available() > 0) {
+      HandleSocketReadable(client);
+    }
+  });
+}
+
+void MopEyeEngine::EmitToApp(const std::shared_ptr<TcpClient>& client,
+                             const moppkt::TcpSegmentSpec& spec,
+                             mopsim::ActorLane* producer) {
+  std::vector<uint8_t> datagram = moppkt::BuildTcpDatagram(
+      spec, client->flow.remote.ip, client->flow.local.ip, client->ip_id++);
+  EmitRawToApp(std::move(datagram), producer);
+}
+
+void MopEyeEngine::EmitRawToApp(std::vector<uint8_t> datagram, mopsim::ActorLane* producer) {
+  moputil::SimDuration overhead = writer_->SubmitPacket(std::move(datagram));
+  if (producer != nullptr && overhead > 0) {
+    producer->Submit(0, overhead, [] {});
+  }
+}
+
+void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
+  if (client->removed) {
+    return;
+  }
+  client->removed = true;
+  if (client->kernel_handle != 0) {
+    device_->conn_table().Unregister(client->kernel_handle);
+    client->kernel_handle = 0;
+  }
+  if (client->connect_lane) {
+    retired_worker_busy_ += client->connect_lane->busy_time();
+    ++retired_worker_count_;
+  }
+  if (client->channel) {
+    by_channel_.erase(client->channel.get());
+    client->channel->Deregister();
+    if (client->channel->state() != mopnet::ChannelState::kClosed &&
+        client->channel->state() != mopnet::ChannelState::kFailed) {
+      client->channel->Close();
+    }
+  }
+  clients_.erase(client->flow);
+}
+
+// ---------------- UDP / DNS relay ----------------
+
+void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
+  ++counters_.dns_queries;
+  moppkt::FlowKey flow = pkt.flow();
+  auto query = moppkt::DecodeDns(pkt.udp->payload);
+  std::string domain;
+  if (query.ok() && !query.value().questions.empty()) {
+    domain = query.value().questions[0].name;
+  }
+
+  // §2.4: the whole DNS processing runs in a temporary thread so parsing and
+  // socket setup never block the VpnService main thread.
+  auto udp = std::make_shared<UdpClient>();
+  udp->flow = flow;
+  udp->is_dns = true;
+  udp->query_domain = domain;
+  udp->lane = std::make_unique<mopsim::ActorLane>(loop_, "dns-worker");
+  udp_clients_[flow] = udp;
+
+  std::vector<uint8_t> payload(pkt.udp->payload.begin(), pkt.udp->payload.end());
+  moputil::SimDuration setup = config_.costs.thread_spawn->Sample(rng_) +
+                               config_.costs.dns_process->Sample(rng_);
+  udp->lane->Submit(setup, 0, [this, udp, payload = std::move(payload)]() mutable {
+    udp->socket = mopnet::UdpSocket::Create(&device_->net());
+    udp->socket->set_owner_uid(kMopEyeUid);
+    if (EffectiveProtectMode() == Config::ProtectMode::kPerSocket) {
+      udp->lane->Submit(0, vpn_->protect(*udp->socket), [] {});
+    }
+    moppkt::SocketAddr resolver = udp->flow.remote;
+    std::weak_ptr<UdpClient> weak = udp;
+    udp->socket->on_datagram = [this, weak](const moppkt::SocketAddr& from,
+                                            std::vector<uint8_t> response) {
+      auto u = weak.lock();
+      if (!u) {
+        return;
+      }
+      // Blocking-mode receive: timestamp on the DNS thread's wakeup (§2.4).
+      u->lane->Submit(config_.costs.thread_wake->Sample(rng_), 0,
+                      [this, u, from, response = std::move(response)](
+                          moputil::SimTime start, moputil::SimTime) mutable {
+                        ++counters_.dns_responses;
+                        Measurement m;
+                        m.time = start;
+                        m.kind = MeasureKind::kDns;
+                        m.rtt = start - u->query_t0;
+                        m.uid = -1;  // DNS is system-wide; no app mapping
+                        m.app = "(dns)";
+                        m.domain = u->query_domain;
+                        m.server = from;
+                        m.net_type = device_->net().profile().type;
+                        m.isp = device_->net().profile().isp;
+                        m.country = device_->net().profile().country;
+                        m.device_id = device_->model();
+                        store_.Add(std::move(m));
+                        // Relay the answer back through the tunnel.
+                        std::vector<uint8_t> datagram = moppkt::BuildUdpDatagram(
+                            u->flow.remote.port, u->flow.local.port, response,
+                            u->flow.remote.ip, u->flow.local.ip, u->ip_id++);
+                        EmitRawToApp(std::move(datagram), u->lane.get());
+                        // Temporary DNS client retires.
+                        retired_worker_busy_ += u->lane->busy_time();
+                        ++retired_worker_count_;
+                        udp_clients_.erase(u->flow);
+                      });
+    };
+    // Timestamp right before the send() socket call (§2.4).
+    udp->query_t0 = loop_->Now();
+    udp->socket->SendTo(resolver, std::move(payload));
+  });
+}
+
+void MopEyeEngine::HandleUdp(const moppkt::ParsedPacket& pkt) {
+  moppkt::FlowKey flow = pkt.flow();
+  auto it = udp_clients_.find(flow);
+  std::shared_ptr<UdpClient> udp;
+  if (it != udp_clients_.end()) {
+    udp = it->second;
+  } else {
+    udp = std::make_shared<UdpClient>();
+    udp->flow = flow;
+    udp->socket = mopnet::UdpSocket::Create(&device_->net());
+    udp->socket->set_owner_uid(kMopEyeUid);
+    if (EffectiveProtectMode() == Config::ProtectMode::kPerSocket) {
+      vpn_->protect(*udp->socket);
+    }
+    std::weak_ptr<UdpClient> weak = udp;
+    udp->socket->on_datagram = [this, weak](const moppkt::SocketAddr&,
+                                            std::vector<uint8_t> response) {
+      auto u = weak.lock();
+      if (!u) {
+        return;
+      }
+      std::vector<uint8_t> datagram =
+          moppkt::BuildUdpDatagram(u->flow.remote.port, u->flow.local.port, response,
+                                   u->flow.remote.ip, u->flow.local.ip, u->ip_id++);
+      EmitRawToApp(std::move(datagram), &main_lane_);
+      u->last_activity = loop_->Now();
+    };
+    udp_clients_[flow] = udp;
+    // Idle GC for plain UDP associations.
+    std::weak_ptr<UdpClient> gc_weak = udp;
+    std::function<void()> gc = [this, gc_weak, flow]() {
+      auto u = gc_weak.lock();
+      if (!u) {
+        return;
+      }
+      if (loop_->Now() - u->last_activity >= kUdpIdleTimeout) {
+        udp_clients_.erase(flow);
+        return;
+      }
+      loop_->Schedule(kUdpIdleTimeout, [this, gc_weak, flow] {
+        auto u2 = gc_weak.lock();
+        if (u2 && loop_->Now() - u2->last_activity >= kUdpIdleTimeout) {
+          udp_clients_.erase(flow);
+        }
+      });
+    };
+    loop_->Schedule(kUdpIdleTimeout, gc);
+  }
+  udp->last_activity = loop_->Now();
+  std::vector<uint8_t> payload(pkt.udp->payload.begin(), pkt.udp->payload.end());
+  udp->socket->SendTo(flow.remote, std::move(payload));
+}
+
+}  // namespace mopeye

@@ -1,0 +1,195 @@
+// MopEyeEngine: the MopEyeService of the paper (Fig. 4).
+//
+// Owns the three core threads (TunReader, TunWriter, MainWorker) plus the
+// temporary socket-connect threads, the user-space TCP clients that splice
+// internal (tunnel) and external (socket) connections, the UDP/DNS relay,
+// the packet-to-app mapper, and the measurement store.
+//
+// Thread model (all as virtual-time ActorLanes):
+//   TunReader  -> read queue -> Selector.wakeup() -> MainWorker
+//   MainWorker -> parse/map/relay; socket events from the Selector
+//   socket-connect thread (per SYN): protect? -> blocking connect ->
+//     timestamp -> lazy mapping -> selector register -> SYN/ACK to app
+//   TunWriter  <- write queue (newPut/oldPut) <- every packet toward the app
+#ifndef MOPEYE_CORE_ENGINE_H_
+#define MOPEYE_CORE_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "android/device.h"
+#include "android/vpn_service.h"
+#include "core/config.h"
+#include "core/measurement.h"
+#include "core/packet_mapper.h"
+#include "core/tcp_state_machine.h"
+#include "core/tun_reader.h"
+#include "core/tun_writer.h"
+#include "net/selector.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace mopeye {
+
+// The uid MopEye itself runs under.
+constexpr int kMopEyeUid = 10999;
+
+class MopEyeEngine {
+ public:
+  MopEyeEngine(mopdroid::AndroidDevice* device, Config config);
+  ~MopEyeEngine();
+
+  MopEyeEngine(const MopEyeEngine&) = delete;
+  MopEyeEngine& operator=(const MopEyeEngine&) = delete;
+
+  // One-time VPN consent + service start: establishes the TUN, starts the
+  // reader/writer, arms the selector.
+  moputil::Status Start();
+  // Stops the service. In blocking read mode this triggers the dummy-packet
+  // release (§3.1): DownloadManager on SDK >= 21, a self packet otherwise.
+  void Stop();
+  bool running() const { return running_; }
+
+  MeasurementStore& store() { return store_; }
+  PacketToAppMapper& mapper() { return *mapper_; }
+  TunReader* tun_reader() { return reader_.get(); }
+  TunWriter* tun_writer() { return writer_.get(); }
+  mopdroid::VpnService& vpn() { return *vpn_; }
+  const Config& config() const { return config_; }
+
+  struct Counters {
+    uint64_t tun_packets = 0;
+    uint64_t syns = 0;
+    uint64_t syn_duplicates = 0;
+    uint64_t data_segments = 0;
+    uint64_t pure_acks_discarded = 0;
+    uint64_t fins = 0;
+    uint64_t rsts = 0;
+    uint64_t parse_errors = 0;
+    uint64_t unknown_flow = 0;
+    uint64_t udp_packets = 0;
+    uint64_t dns_queries = 0;
+    uint64_t dns_responses = 0;
+    uint64_t connects_ok = 0;
+    uint64_t connects_failed = 0;
+    uint64_t socket_read_events = 0;
+    uint64_t bytes_app_to_server = 0;
+    uint64_t bytes_server_to_app = 0;
+    size_t clients_high_water = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  size_t active_clients() const { return clients_.size(); }
+
+  // Resource usage for Table 4's CPU/memory rows.
+  struct ResourceUsage {
+    moputil::SimDuration busy_reader = 0;
+    moputil::SimDuration busy_writer = 0;
+    moputil::SimDuration busy_main = 0;
+    moputil::SimDuration busy_workers = 0;  // socket-connect + DNS threads
+    size_t memory_bytes = 0;
+
+    moputil::SimDuration total_busy() const {
+      return busy_reader + busy_writer + busy_main + busy_workers;
+    }
+    double CpuPercent(moputil::SimDuration wall) const {
+      return wall > 0 ? 100.0 * static_cast<double>(total_busy()) /
+                            static_cast<double>(wall)
+                      : 0.0;
+    }
+  };
+  ResourceUsage resources() const;
+
+ private:
+  struct TcpClient {
+    moppkt::FlowKey flow;
+    TcpStateMachine sm;
+    std::shared_ptr<mopnet::SocketChannel> channel;
+    std::unique_ptr<mopsim::ActorLane> connect_lane;
+    std::deque<uint8_t> socket_write_buf;
+    bool write_event_pending = false;
+    bool external_connected = false;
+    bool removed = false;
+    moputil::SimTime connect_t0 = 0;
+    PacketToAppMapper::Outcome app;
+    bool mapping_done = false;
+    // RTT captured by the configured timestamp mode, awaiting attribution.
+    moputil::SimDuration pending_rtt = -1;
+    bool measurement_recorded = false;
+    mopnet::ConnHandle kernel_handle = 0;
+    uint16_t ip_id = 1;
+
+    TcpClient(const moppkt::FlowKey& f, uint32_t iss, uint16_t mss, uint16_t window)
+        : flow(f), sm(f, iss, mss, window) {}
+  };
+
+  struct UdpClient {
+    moppkt::FlowKey flow;
+    std::shared_ptr<mopnet::UdpSocket> socket;
+    std::unique_ptr<mopsim::ActorLane> lane;  // DNS temp thread
+    mopnet::ConnHandle kernel_handle = 0;
+    bool is_dns = false;
+    std::string query_domain;
+    moputil::SimTime query_t0 = 0;
+    moputil::SimTime last_activity = 0;
+    uint16_t ip_id = 1;
+  };
+
+  Config::ProtectMode EffectiveProtectMode() const;
+
+  void OnSelectorWakeup();
+  void DrainEvents();
+  void ProcessTunPacket(std::vector<uint8_t> raw);
+  void HandleSyn(const moppkt::ParsedPacket& pkt);
+  void StartExternalConnect(const std::shared_ptr<TcpClient>& client);
+  void FinishConnect(const std::shared_ptr<TcpClient>& client, moputil::SimTime t1);
+  // Stores the record once both the RTT and the app mapping are available.
+  void MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& client);
+  void HandleTcpSegment(const moppkt::ParsedPacket& pkt);
+  void HandleSocketEvent(const mopnet::ReadyEvent& ev);
+  void FlushSocketWrites(const std::shared_ptr<TcpClient>& client);
+  void HandleSocketReadable(const std::shared_ptr<TcpClient>& client);
+  void HandleUdp(const moppkt::ParsedPacket& pkt);
+  void HandleDnsQuery(const moppkt::ParsedPacket& pkt);
+  void RemoveClient(const std::shared_ptr<TcpClient>& client);
+
+  // Sends one segment toward the app, paying the producer overhead on
+  // `producer` (null = fire and forget from a non-lane context).
+  void EmitToApp(const std::shared_ptr<TcpClient>& client,
+                 const moppkt::TcpSegmentSpec& spec, mopsim::ActorLane* producer);
+  void EmitRawToApp(std::vector<uint8_t> datagram, mopsim::ActorLane* producer);
+
+  std::shared_ptr<TcpClient> FindClient(const moppkt::FlowKey& flow);
+
+  mopdroid::AndroidDevice* device_;
+  Config config_;
+  mopsim::EventLoop* loop_;
+  moputil::Rng rng_;
+
+  std::unique_ptr<mopdroid::VpnService> vpn_;
+  mopnet::Selector selector_;
+  ReadQueue read_queue_;
+  std::unique_ptr<TunReader> reader_;
+  std::unique_ptr<TunWriter> writer_;
+  mopsim::ActorLane main_lane_;
+  std::unique_ptr<PacketToAppMapper> mapper_;
+  MeasurementStore store_;
+
+  std::unordered_map<moppkt::FlowKey, std::shared_ptr<TcpClient>, moppkt::FlowKeyHash>
+      clients_;
+  // Channel pointer -> client, for selector event routing.
+  std::unordered_map<const mopnet::SocketChannel*, std::weak_ptr<TcpClient>> by_channel_;
+  std::unordered_map<moppkt::FlowKey, std::shared_ptr<UdpClient>, moppkt::FlowKeyHash>
+      udp_clients_;
+
+  Counters counters_;
+  bool running_ = false;
+  moputil::SimDuration retired_worker_busy_ = 0;
+  size_t retired_worker_count_ = 0;
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_ENGINE_H_

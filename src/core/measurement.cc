@@ -1,0 +1,41 @@
+#include "core/measurement.h"
+
+#include <sstream>
+
+namespace mopeye {
+
+size_t MeasurementStore::CountKind(MeasureKind k) const {
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == k) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+moputil::Samples MeasurementStore::RttsMs(
+    const std::function<bool(const Measurement&)>& pred) const {
+  moputil::Samples s;
+  for (const auto& r : records_) {
+    if (!pred || pred(r)) {
+      s.Add(moputil::ToMillis(r.rtt));
+    }
+  }
+  return s;
+}
+
+std::string MeasurementStore::ToCsv() const {
+  std::ostringstream os;
+  os << "time_ms,kind,uid,app,domain,server,rtt_ms,net_type,isp,country,device\n";
+  for (const auto& r : records_) {
+    os << moputil::ToMillis(r.time) << ","
+       << (r.kind == MeasureKind::kTcpConnect ? "tcp" : "dns") << "," << r.uid << "," << r.app
+       << "," << r.domain << "," << r.server.ToString() << "," << moputil::ToMillis(r.rtt)
+       << "," << mopnet::NetTypeName(r.net_type) << "," << r.isp << "," << r.country << ","
+       << r.device_id << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mopeye

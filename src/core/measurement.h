@@ -1,0 +1,57 @@
+// Measurement records and the store they accumulate in.
+//
+// One record per opportunistic measurement: a TCP connect RTT attributed to
+// an app, or a DNS query/response RTT (system-wide). The crowd study fills
+// the same store from its generator, so the analysis pipeline is shared.
+#ifndef MOPEYE_CORE_MEASUREMENT_H_
+#define MOPEYE_CORE_MEASUREMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/net_context.h"
+#include "netpkt/ip.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mopeye {
+
+enum class MeasureKind { kTcpConnect, kDns };
+
+struct Measurement {
+  moputil::SimTime time = 0;
+  MeasureKind kind = MeasureKind::kTcpConnect;
+  int uid = -1;
+  std::string app;     // label ("Whatsapp"); "(unknown)" if mapping failed
+  std::string domain;  // server domain when known (DNS name or reverse map)
+  moppkt::SocketAddr server;
+  moputil::SimDuration rtt = 0;
+  mopnet::NetType net_type = mopnet::NetType::kWifi;
+  std::string isp;
+  std::string country;
+  std::string device_id;
+};
+
+class MeasurementStore {
+ public:
+  void Add(Measurement m) { records_.push_back(std::move(m)); }
+  void Reserve(size_t n) { records_.reserve(n); }
+
+  const std::vector<Measurement>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  size_t CountKind(MeasureKind k) const;
+
+  // RTTs in milliseconds for records matching `pred` (null = all).
+  moputil::Samples RttsMs(const std::function<bool(const Measurement&)>& pred = nullptr) const;
+
+  // CSV export: one row per record (the app's upload format).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<Measurement> records_;
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_MEASUREMENT_H_

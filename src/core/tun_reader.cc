@@ -1,0 +1,126 @@
+#include "core/tun_reader.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mopeye {
+
+TunReader::TunReader(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Config* config,
+                     moputil::Rng rng, mopnet::Selector* selector, ReadQueue* queue)
+    : loop_(loop),
+      tun_(tun),
+      config_(config),
+      rng_(rng),
+      selector_(selector),
+      queue_(queue),
+      lane_(loop, "TunReader"),
+      adaptive_sleep_(config->adaptive_min_sleep) {
+  MOP_CHECK(tun != nullptr);
+  MOP_CHECK(queue != nullptr);
+}
+
+void TunReader::Start() {
+  MOP_CHECK(!started_);
+  started_ = true;
+  if (config_->read_mode == Config::TunReadMode::kBlocking) {
+    tun_->on_outgoing_ready = [this] { OnTunReadable(); };
+    blocked_ = true;
+    // Catch anything injected before we attached.
+    if (tun_->HasOutgoing()) {
+      OnTunReadable();
+    }
+  } else {
+    SchedulePoll(config_->read_mode == Config::TunReadMode::kSleepFixed
+                     ? config_->sleep_interval
+                     : adaptive_sleep_);
+  }
+}
+
+void TunReader::RequestStop() { stopped_ = true; }
+
+// ---- Blocking mode ----
+
+void TunReader::OnTunReadable() {
+  if (!started_ || !blocked_ || draining_) {
+    return;
+  }
+  blocked_ = false;
+  draining_ = true;
+  lane_.Submit(config_->costs.thread_wake->Sample(rng_), 0, [this] { DrainLoop(); });
+}
+
+void TunReader::DrainLoop() {
+  if (stopped_ || tun_->closed()) {
+    draining_ = false;
+    return;  // the dummy packet (if any) released us; exit the thread
+  }
+  auto pkt = tun_->ReadOutgoing();
+  if (!pkt.has_value()) {
+    // Queue drained: back into the blocking read().
+    draining_ = false;
+    blocked_ = true;
+    return;
+  }
+  moputil::SimDuration read_cost = config_->costs.tun_read_syscall->Sample(rng_);
+  lane_.Submit(0, read_cost, [this, pkt = std::move(*pkt)]() mutable {
+    ++packets_read_;
+    retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
+    queue_->Push(loop_->Now(), std::move(pkt.data));
+    // §3.2: reuse the selector waiting point to signal the main thread.
+    selector_->Wakeup();
+    DrainLoop();
+  });
+}
+
+// ---- Polling modes (ToyVpn / Haystack baselines) ----
+
+void TunReader::SchedulePoll(moputil::SimDuration sleep) {
+  if (stopped_ || tun_->closed()) {
+    return;
+  }
+  loop_->Schedule(sleep, [this] { Poll(); });
+}
+
+void TunReader::Poll() {
+  if (stopped_ || tun_->closed()) {
+    return;
+  }
+  size_t drained = 0;
+  while (true) {
+    auto pkt = tun_->ReadOutgoing();
+    if (!pkt.has_value()) {
+      break;
+    }
+    ++drained;
+    lane_.Submit(0, config_->costs.tun_read_syscall->Sample(rng_),
+                 [this, pkt = std::move(*pkt)]() mutable {
+                   ++packets_read_;
+                   retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
+                   queue_->Push(loop_->Now(), std::move(pkt.data));
+                   selector_->Wakeup();
+                 });
+  }
+  if (drained == 0) {
+    // An empty read() still costs a syscall — the polling CPU tax Table 4
+    // charges Haystack for.
+    ++empty_polls_;
+    lane_.Submit(0, config_->costs.tun_read_syscall->Sample(rng_), [] {});
+  }
+
+  moputil::SimDuration next;
+  if (config_->read_mode == Config::TunReadMode::kSleepFixed) {
+    // ToyVpn's "intelligent sleep": skip the sleep while packets keep coming.
+    next = drained > 0 ? moputil::Micros(50) : config_->sleep_interval;
+  } else {
+    if (drained > 0) {
+      adaptive_sleep_ = config_->adaptive_min_sleep;
+    } else {
+      adaptive_sleep_ = std::min(adaptive_sleep_ * 2, config_->adaptive_max_sleep);
+    }
+    next = adaptive_sleep_;
+  }
+  SchedulePoll(next);
+}
+
+}  // namespace mopeye

@@ -1,0 +1,84 @@
+// Tunnel read path (paper §3.1).
+//
+// The Android VPN paradigm gives you a tun fd and a choice:
+//  * poll it with sleeps (ToyVpn: fixed 100 ms; Haystack: adaptive back-off)
+//    and pay packet-retrieval delay plus idle CPU, or
+//  * put the fd in blocking mode on a dedicated thread (MopEye: via fcntl at
+//    the native level or the hidden IoUtils.setBlocking — modeled by the
+//    `blocking_supported` flag) for zero-delay retrieval.
+//
+// Stopping a blocked reader needs the dummy-packet trick: nothing arrives,
+// read() never returns, Thread.interrupt() doesn't help — so the engine
+// triggers a download (SDK >= 21) or writes a self packet (SDK < 21).
+#ifndef MOPEYE_CORE_TUN_READER_H_
+#define MOPEYE_CORE_TUN_READER_H_
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "android/tun_device.h"
+#include "core/config.h"
+#include "net/selector.h"
+#include "sim/actor.h"
+#include "util/stats.h"
+
+namespace mopeye {
+
+// Packets handed from TunReader to MainWorker, stamped with enqueue time.
+struct ReadQueue {
+  std::deque<std::pair<moputil::SimTime, std::vector<uint8_t>>> items;
+  size_t high_water = 0;
+
+  void Push(moputil::SimTime t, std::vector<uint8_t> pkt) {
+    items.emplace_back(t, std::move(pkt));
+    high_water = std::max(high_water, items.size());
+  }
+};
+
+class TunReader {
+ public:
+  TunReader(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Config* config,
+            moputil::Rng rng, mopnet::Selector* selector, ReadQueue* queue);
+
+  void Start();
+  // Marks the reader as stopping; in blocking mode the caller must also
+  // arrange a dummy packet so the blocked read() returns.
+  void RequestStop();
+  bool stopped() const { return stopped_; }
+
+  // Time from packet injection into the tun to its arrival in the read
+  // queue — the §3.1 "packet retrieval delay".
+  const moputil::Samples& retrieval_delay_ms() const { return retrieval_delay_ms_; }
+  uint64_t packets_read() const { return packets_read_; }
+  uint64_t empty_polls() const { return empty_polls_; }
+  moputil::SimDuration busy_time() const { return lane_.busy_time(); }
+
+ private:
+  void OnTunReadable();   // blocking mode wake
+  void DrainLoop();       // blocking mode read chain
+  void SchedulePoll(moputil::SimDuration sleep);  // polling modes
+  void Poll();
+
+  mopsim::EventLoop* loop_;
+  mopdroid::TunDevice* tun_;
+  const Config* config_;
+  moputil::Rng rng_;
+  mopnet::Selector* selector_;
+  ReadQueue* queue_;
+  mopsim::ActorLane lane_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool blocked_ = true;   // blocking mode: reader parked in read()
+  bool draining_ = false;
+  moputil::SimDuration adaptive_sleep_;
+
+  moputil::Samples retrieval_delay_ms_;
+  uint64_t packets_read_ = 0;
+  uint64_t empty_polls_ = 0;
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_TUN_READER_H_

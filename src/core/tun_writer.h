@@ -1,0 +1,86 @@
+// Tunnel write path (paper §3.5.1).
+//
+// All packets MopEye sends to the apps leave through a single tun fd, shared
+// by every producing thread. Two schemes:
+//
+//  * kDirectWrite — the producing thread writes the fd itself: it eats the
+//    write() cost plus any contention stall on the shared fd.
+//  * kQueueWrite  — producers enqueue; the dedicated TunWriter thread drains.
+//    The enqueue itself has two variants: oldPut (wait/notify: the producer
+//    pays a notify() with a 1-5 ms tail whenever the writer is parked) and
+//    newPut (the paper's sleep counter: the writer spins a bounded number of
+//    check rounds before parking, so producers almost never pay a notify).
+//
+// Producer overhead per packet is recorded — those samples ARE Table 1.
+#ifndef MOPEYE_CORE_TUN_WRITER_H_
+#define MOPEYE_CORE_TUN_WRITER_H_
+
+#include <deque>
+#include <vector>
+
+#include "android/tun_device.h"
+#include "core/config.h"
+#include "sim/actor.h"
+#include "util/stats.h"
+
+namespace mopeye {
+
+class TunWriter {
+ public:
+  TunWriter(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Config* config,
+            moputil::Rng rng);
+
+  // Hands one packet to the write path, called by a producing lane at the
+  // instant it finishes building the packet. Returns the producer-visible
+  // overhead; the caller must occupy its own lane for that long (the engine
+  // submits a follow-up task).
+  moputil::SimDuration SubmitPacket(std::vector<uint8_t> packet);
+
+  void Stop();
+
+  moputil::SimDuration writer_busy_total() const { return lane_.busy_time() + spin_busy_; }
+
+  const moputil::Samples& producer_overhead_ms() const { return producer_overhead_ms_; }
+  // Delay of each actual write() to the tunnel (the TunWriter thread's cost
+  // under queueWrite; equal to the producer overhead under directWrite).
+  const moputil::Samples& tunnel_write_ms() const { return tunnel_write_ms_; }
+  size_t packets_written() const { return packets_written_; }
+  size_t queue_high_water() const { return queue_high_water_; }
+  moputil::SimDuration writer_busy_time() const { return writer_busy_total(); }
+  // Times the writer actually parked in wait() (newPut should keep this low).
+  int waits() const { return waits_; }
+  // Times a producer paid a notify because the writer was parked.
+  int notifies() const { return notifies_; }
+
+ private:
+  enum class WriterState { kProcessing, kSpinning, kWaiting };
+
+  void Pump();
+
+  mopsim::EventLoop* loop_;
+  mopdroid::TunDevice* tun_;
+  const Config* config_;
+  moputil::Rng rng_;
+  mopsim::ActorLane lane_;
+
+  std::deque<std::vector<uint8_t>> queue_;
+  WriterState state_ = WriterState::kWaiting;
+  uint64_t spin_epoch_ = 0;  // invalidates a scheduled spin-expiry
+  moputil::SimTime spin_started_ = 0;
+  moputil::SimDuration spin_busy_ = 0;  // CPU burned in check loops
+  bool stopped_ = false;
+
+  // directWrite contention tracking on the shared fd.
+  moputil::SimTime fd_busy_until_ = 0;
+
+  moputil::Samples producer_overhead_ms_;
+  moputil::Samples tunnel_write_ms_;
+  size_t packets_written_ = 0;
+  size_t queue_high_water_ = 0;
+  int waits_ = 0;
+  int notifies_ = 0;
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_TUN_WRITER_H_

@@ -1,0 +1,382 @@
+#include "crowd/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace mopcrowd {
+
+namespace {
+
+Buckets BucketizeCounts(const std::vector<size_t>& counts) {
+  Buckets b;
+  for (size_t c : counts) {
+    if (c > 10000) {
+      ++b.over_10k;
+    } else if (c >= 5000) {
+      ++b.k5_to_10k;
+    } else if (c >= 1000) {
+      ++b.k1_to_5k;
+    } else if (c >= 100) {
+      ++b.h100_to_1k;
+    }
+  }
+  return b;
+}
+
+double MedianOf(std::vector<float>& v) {
+  if (v.empty()) {
+    return 0;
+  }
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+DatasetTotals Totals(const CrowdDataset& ds) {
+  DatasetTotals t;
+  t.measurements = ds.size();
+  t.tcp = ds.CountKind(RecordKind::kTcp);
+  t.dns = t.measurements - t.tcp;
+  t.domains = ds.domain_count();
+  t.ips_estimate = ds.EstimateDistinctIps();
+
+  std::set<uint32_t> devices;
+  std::unordered_map<uint16_t, size_t> app_counts;
+  std::unordered_map<uint32_t, size_t> device_counts;
+  std::set<std::string> models;
+  std::set<uint16_t> countries;
+  for (const auto& r : ds.records()) {
+    devices.insert(r.device_id);
+    ++device_counts[r.device_id];
+    if (r.app_id != kNoApp) {
+      ++app_counts[r.app_id];
+    }
+    countries.insert(r.country_id);
+  }
+  for (const auto& d : ds.devices()) {
+    if (d.measurements > 0) {
+      models.insert(d.model);
+    }
+  }
+  t.devices = devices.size();
+  t.apps = app_counts.size();
+  for (const auto& [app, n] : app_counts) {
+    if (n >= 100) {
+      ++t.apps_100;
+    }
+  }
+  for (const auto& [dev, n] : device_counts) {
+    if (n >= 100) {
+      ++t.devices_100;
+    }
+  }
+  t.models = models.size();
+  t.countries = countries.size();
+  return t;
+}
+
+Buckets MeasurementsByUser(const CrowdDataset& ds) {
+  std::unordered_map<uint32_t, size_t> counts;
+  for (const auto& r : ds.records()) {
+    ++counts[r.device_id];
+  }
+  std::vector<size_t> v;
+  v.reserve(counts.size());
+  for (const auto& [id, n] : counts) {
+    v.push_back(n);
+  }
+  return BucketizeCounts(v);
+}
+
+Buckets MeasurementsByApp(const CrowdDataset& ds) {
+  std::unordered_map<uint16_t, size_t> counts;
+  for (const auto& r : ds.records()) {
+    if (r.app_id != kNoApp) {
+      ++counts[r.app_id];
+    }
+  }
+  std::vector<size_t> v;
+  v.reserve(counts.size());
+  for (const auto& [id, n] : counts) {
+    v.push_back(n);
+  }
+  return BucketizeCounts(v);
+}
+
+std::vector<std::pair<std::string, int>> TopCountries(const CrowdDataset& ds,
+                                                      const World& world, size_t n) {
+  std::map<uint16_t, int> users;
+  for (size_t d = 0; d < ds.devices().size(); ++d) {
+    const auto& dev = ds.devices()[d];
+    if (dev.measurements > 0) {
+      ++users[dev.country_id];
+    }
+  }
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(users.size());
+  for (const auto& [cid, count] : users) {
+    out.emplace_back(world.countries()[cid].code, count);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+GeoSummary GeoMap(const CrowdDataset& ds, size_t width, size_t height) {
+  GeoSummary g;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  std::set<std::pair<int, int>> cells;  // de-dup at ~0.5 degree granularity
+  for (const auto& dev : ds.devices()) {
+    if (dev.measurements == 0) {
+      continue;
+    }
+    for (const auto& [lat, lon] : dev.locations) {
+      cells.emplace(static_cast<int>(lat * 2), static_cast<int>(lon * 2));
+      size_t col = static_cast<size_t>((lon + 180.0) / 360.0 * static_cast<double>(width - 1));
+      size_t row = static_cast<size_t>((90.0 - lat) / 180.0 * static_cast<double>(height - 1));
+      col = std::min(col, width - 1);
+      row = std::min(row, height - 1);
+      char& c = grid[row][col];
+      c = c == ' ' ? '.' : (c == '.' ? 'o' : '*');
+    }
+  }
+  g.locations = cells.size();
+  std::string map;
+  map += "+" + std::string(width, '-') + "+\n";
+  for (const auto& row : grid) {
+    map += "|" + row + "|\n";
+  }
+  map += "+" + std::string(width, '-') + "+\n";
+  g.ascii_map = std::move(map);
+  return g;
+}
+
+AppRttCdfs AppRtts(const CrowdDataset& ds) {
+  AppRttCdfs out;
+  for (const auto& r : ds.records()) {
+    if (r.kind != RecordKind::kTcp) {
+      continue;
+    }
+    double ms = r.rtt_ms;
+    out.all.Add(ms);
+    auto net = static_cast<mopnet::NetType>(r.net_type);
+    if (net == mopnet::NetType::kWifi) {
+      out.wifi.Add(ms);
+    } else {
+      out.cellular.Add(ms);
+      if (net == mopnet::NetType::kLte) {
+        out.lte.Add(ms);
+      }
+    }
+  }
+  return out;
+}
+
+moputil::Samples PerAppMedians(const CrowdDataset& ds, size_t min_count) {
+  std::unordered_map<uint16_t, std::vector<float>> by_app;
+  for (const auto& r : ds.records()) {
+    if (r.kind == RecordKind::kTcp && r.app_id != kNoApp) {
+      by_app[r.app_id].push_back(r.rtt_ms);
+    }
+  }
+  moputil::Samples medians;
+  for (auto& [app, rtts] : by_app) {
+    if (rtts.size() >= min_count) {
+      medians.Add(MedianOf(rtts));
+    }
+  }
+  return medians;
+}
+
+std::vector<AppStat> AppStats(const CrowdDataset& ds, const World& world,
+                              const std::vector<std::string>& labels) {
+  std::unordered_map<uint16_t, std::vector<float>> by_app;
+  for (const auto& r : ds.records()) {
+    if (r.kind == RecordKind::kTcp && r.app_id != kNoApp) {
+      by_app[r.app_id].push_back(r.rtt_ms);
+    }
+  }
+  std::vector<AppStat> out;
+  for (const auto& label : labels) {
+    AppStat s;
+    s.label = label;
+    int idx = world.FindApp(label);
+    if (idx >= 0) {
+      auto it = by_app.find(static_cast<uint16_t>(idx));
+      if (it != by_app.end()) {
+        s.count = it->second.size();
+        s.median_ms = MedianOf(it->second);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+WhatsappCase AnalyzeWhatsapp(const CrowdDataset& ds) {
+  WhatsappCase out;
+  std::unordered_map<uint32_t, std::vector<float>> by_domain;
+  std::vector<float> all, chat, media;
+  for (const auto& r : ds.records()) {
+    if (r.kind != RecordKind::kTcp) {
+      continue;
+    }
+    const std::string& name = ds.DomainName(r.domain_id);
+    if (!moputil::EndsWith(name, ".whatsapp.net")) {
+      continue;
+    }
+    by_domain[r.domain_id].push_back(r.rtt_ms);
+    all.push_back(r.rtt_ms);
+    if (moputil::StartsWith(name, "mme") || moputil::StartsWith(name, "mmg") ||
+        moputil::StartsWith(name, "pps")) {
+      media.push_back(r.rtt_ms);
+    } else {
+      chat.push_back(r.rtt_ms);
+    }
+  }
+  out.domain_count = by_domain.size();
+  out.chat_median = MedianOf(chat);
+  out.media_median = MedianOf(media);
+  // "The median RTT of all these domain traffic": the median across the
+  // per-domain medians (331 of 334 sit above 200 ms).
+  std::vector<float> domain_medians;
+  for (auto& [id, rtts] : by_domain) {
+    double med = MedianOf(rtts);
+    domain_medians.push_back(static_cast<float>(med));
+    if (med > 200) {
+      ++out.domains_over_200;
+    }
+    if (med < 100) {
+      ++out.domains_under_100;
+    }
+  }
+  out.whatsapp_net_median = MedianOf(domain_medians);
+  (void)all;
+  return out;
+}
+
+JioCase AnalyzeJio(const CrowdDataset& ds, const World& world, size_t min_per_domain) {
+  JioCase out;
+  int jio = world.FindIsp("Jio 4G");
+  if (jio < 0) {
+    return out;
+  }
+  std::vector<float> tcp, dns;
+  std::unordered_map<uint32_t, std::vector<float>> by_domain;
+  for (const auto& r : ds.records()) {
+    if (r.isp_id != static_cast<uint16_t>(jio) ||
+        static_cast<mopnet::NetType>(r.net_type) != mopnet::NetType::kLte) {
+      continue;
+    }
+    if (r.kind == RecordKind::kTcp) {
+      tcp.push_back(r.rtt_ms);
+      by_domain[r.domain_id].push_back(r.rtt_ms);
+    } else {
+      dns.push_back(r.rtt_ms);
+    }
+  }
+  out.tcp_count = tcp.size();
+  out.app_median = MedianOf(tcp);
+  out.dns_median = MedianOf(dns);
+  for (auto& [id, rtts] : by_domain) {
+    if (rtts.size() < min_per_domain) {
+      continue;
+    }
+    ++out.domains_measured;
+    double med = MedianOf(rtts);
+    if (med < 100) {
+      ++out.domains_under_100;
+    }
+    if (med > 200) {
+      ++out.domains_over_200;
+    }
+    if (med > 300) {
+      ++out.domains_over_300;
+    }
+    if (med > 400) {
+      ++out.domains_over_400;
+    }
+  }
+  return out;
+}
+
+DnsCdfs DnsRtts(const CrowdDataset& ds) {
+  DnsCdfs out;
+  for (const auto& r : ds.records()) {
+    if (r.kind != RecordKind::kDns) {
+      continue;
+    }
+    double ms = r.rtt_ms;
+    out.all.Add(ms);
+    switch (static_cast<mopnet::NetType>(r.net_type)) {
+      case mopnet::NetType::kWifi:
+        out.wifi.Add(ms);
+        break;
+      case mopnet::NetType::kLte:
+        out.cellular.Add(ms);
+        out.lte.Add(ms);
+        break;
+      case mopnet::NetType::k3G:
+        out.cellular.Add(ms);
+        out.g3.Add(ms);
+        break;
+      case mopnet::NetType::k2G:
+        out.cellular.Add(ms);
+        out.g2.Add(ms);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<IspDnsStat> IspDnsStats(const CrowdDataset& ds, const World& world, size_t n) {
+  std::unordered_map<uint16_t, std::vector<float>> by_isp;
+  for (const auto& r : ds.records()) {
+    if (r.kind == RecordKind::kDns && r.isp_id != kNoIsp &&
+        static_cast<mopnet::NetType>(r.net_type) == mopnet::NetType::kLte) {
+      by_isp[r.isp_id].push_back(r.rtt_ms);
+    }
+  }
+  std::vector<IspDnsStat> out;
+  for (auto& [isp_id, rtts] : by_isp) {
+    IspDnsStat s;
+    s.name = world.isps()[isp_id].name;
+    s.country = world.isps()[isp_id].country;
+    s.count = rtts.size();
+    s.median_ms = MedianOf(rtts);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+moputil::Samples IspDnsSamples(const CrowdDataset& ds, const World& world,
+                               const std::string& isp_name) {
+  moputil::Samples s;
+  int isp = world.FindIsp(isp_name);
+  if (isp < 0) {
+    return s;
+  }
+  for (const auto& r : ds.records()) {
+    if (r.kind == RecordKind::kDns && r.isp_id == static_cast<uint16_t>(isp) &&
+        static_cast<mopnet::NetType>(r.net_type) == mopnet::NetType::kLte) {
+      s.Add(r.rtt_ms);
+    }
+  }
+  return s;
+}
+
+}  // namespace mopcrowd

@@ -1,0 +1,120 @@
+// Analysis over the crowd dataset: everything §4.2 reports.
+// Each function maps to one figure/table; the bench binaries print results
+// next to the paper's numbers.
+#ifndef MOPEYE_CROWD_ANALYSIS_H_
+#define MOPEYE_CROWD_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "crowd/dataset.h"
+#include "crowd/world.h"
+#include "util/stats.h"
+
+namespace mopcrowd {
+
+// ---- Dataset statistics (§4.2.1) ----
+
+struct DatasetTotals {
+  size_t measurements = 0;
+  size_t tcp = 0;
+  size_t dns = 0;
+  size_t devices = 0;
+  size_t devices_100 = 0;  // devices with >= 100 measurements
+  size_t apps = 0;
+  size_t apps_100 = 0;
+  size_t domains = 0;
+  size_t ips_estimate = 0;
+  size_t models = 0;
+  size_t countries = 0;
+};
+DatasetTotals Totals(const CrowdDataset& ds);
+
+// Fig. 6: bucket counts {>10K, 5K-10K, 1K-5K, 100-1K}.
+struct Buckets {
+  size_t over_10k = 0;
+  size_t k5_to_10k = 0;
+  size_t k1_to_5k = 0;
+  size_t h100_to_1k = 0;
+};
+Buckets MeasurementsByUser(const CrowdDataset& ds);
+Buckets MeasurementsByApp(const CrowdDataset& ds);
+
+// Fig. 7: (country code, users) sorted desc, top n.
+std::vector<std::pair<std::string, int>> TopCountries(const CrowdDataset& ds,
+                                                      const World& world, size_t n);
+
+// Fig. 8: distinct measurement locations + an ASCII world scatter.
+struct GeoSummary {
+  size_t locations = 0;
+  std::string ascii_map;
+};
+GeoSummary GeoMap(const CrowdDataset& ds, size_t width = 72, size_t height = 22);
+
+// ---- Per-app performance (§4.2.2) ----
+
+// Fig. 9(a): raw app RTT samples by access type.
+struct AppRttCdfs {
+  moputil::Samples all, wifi, cellular, lte;
+};
+AppRttCdfs AppRtts(const CrowdDataset& ds);
+
+// Fig. 9(b): median RTT of every app with >= min_count measurements.
+moputil::Samples PerAppMedians(const CrowdDataset& ds, size_t min_count = 1000);
+
+// Table 5 rows for the given app labels.
+struct AppStat {
+  std::string label;
+  size_t count = 0;
+  double median_ms = 0;
+};
+std::vector<AppStat> AppStats(const CrowdDataset& ds, const World& world,
+                              const std::vector<std::string>& labels);
+
+// Case 1: whatsapp.net domains.
+struct WhatsappCase {
+  size_t domain_count = 0;        // distinct whatsapp.net domains seen
+  double whatsapp_net_median = 0; // median of the per-domain medians
+  double chat_median = 0;         // the 331 SoftLayer domains
+  double media_median = 0;        // mme/mmg/pps (Facebook CDN)
+  int domains_over_200 = 0;       // per-domain medians > 200 ms
+  int domains_under_100 = 0;
+};
+WhatsappCase AnalyzeWhatsapp(const CrowdDataset& ds);
+
+// Case 2: Jio.
+struct JioCase {
+  size_t tcp_count = 0;
+  double app_median = 0;
+  double dns_median = 0;
+  int domains_measured = 0;   // domains with >= min_per_domain measurements
+  int domains_under_100 = 0;
+  int domains_over_200 = 0;
+  int domains_over_300 = 0;
+  int domains_over_400 = 0;
+};
+JioCase AnalyzeJio(const CrowdDataset& ds, const World& world, size_t min_per_domain = 100);
+
+// ---- DNS performance (§4.2.3) ----
+
+struct DnsCdfs {
+  moputil::Samples all, wifi, cellular, lte, g3, g2;
+};
+DnsCdfs DnsRtts(const CrowdDataset& ds);
+
+// Table 6: DNS stats of the `n` LTE operators with the most DNS samples.
+struct IspDnsStat {
+  std::string name;
+  std::string country;
+  size_t count = 0;
+  double median_ms = 0;
+};
+std::vector<IspDnsStat> IspDnsStats(const CrowdDataset& ds, const World& world, size_t n = 15);
+
+// Fig. 11: one ISP's LTE DNS samples.
+moputil::Samples IspDnsSamples(const CrowdDataset& ds, const World& world,
+                               const std::string& isp_name);
+
+}  // namespace mopcrowd
+
+#endif  // MOPEYE_CROWD_ANALYSIS_H_

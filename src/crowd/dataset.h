@@ -1,0 +1,84 @@
+// Compact measurement dataset for crowd-study scale.
+//
+// The engine's MeasurementStore carries strings per record, which is fine
+// for one device but not for 5.25M records; CrowdRecord interns everything
+// into small ids (20 bytes/record). The analysis code consumes this type,
+// and an adapter ingests engine stores so integration tests can feed real
+// relay measurements through the same pipeline.
+#ifndef MOPEYE_CROWD_DATASET_H_
+#define MOPEYE_CROWD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measurement.h"
+#include "net/net_context.h"
+
+namespace mopcrowd {
+
+constexpr uint16_t kNoApp = 0xffff;
+constexpr uint16_t kNoIsp = 0xffff;
+
+enum class RecordKind : uint8_t { kTcp = 0, kDns = 1 };
+
+#pragma pack(push, 1)
+struct CrowdRecord {
+  float rtt_ms = 0;
+  RecordKind kind = RecordKind::kTcp;
+  uint8_t net_type = 0;  // mopnet::NetType
+  uint16_t isp_id = kNoIsp;
+  uint16_t country_id = 0;
+  uint16_t app_id = kNoApp;
+  uint32_t device_id = 0;
+  uint32_t domain_id = 0;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(CrowdRecord) == 20, "CrowdRecord must stay compact");
+
+struct DeviceInfo {
+  uint16_t country_id = 0;
+  int cellular_isp = -1;  // index into World::isps(), -1 = none
+  std::string model;
+  double wifi_share = 0.5;
+  uint32_t measurements = 0;
+  // Distinct measurement locations (lat, lon) — Fig. 8.
+  std::vector<std::pair<double, double>> locations;
+};
+
+class CrowdDataset {
+ public:
+  uint32_t InternDomain(const std::string& domain);
+  const std::string& DomainName(uint32_t id) const { return domain_names_[id]; }
+  size_t domain_count() const { return domain_names_.size(); }
+
+  void Add(const CrowdRecord& r) { records_.push_back(r); }
+  void Reserve(size_t n) { records_.reserve(n); }
+  const std::vector<CrowdRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  std::vector<DeviceInfo>& devices() { return devices_; }
+  const std::vector<DeviceInfo>& devices() const { return devices_; }
+
+  mopnet::NetType net_type(const CrowdRecord& r) const {
+    return static_cast<mopnet::NetType>(r.net_type);
+  }
+
+  size_t CountKind(RecordKind k) const;
+
+  // Distinct server "IPs": a domain resolves to different front-ends per
+  // region, approximated as distinct (domain, country) pairs.
+  size_t EstimateDistinctIps() const;
+
+ private:
+  std::vector<CrowdRecord> records_;
+  std::vector<DeviceInfo> devices_;
+  std::vector<std::string> domain_names_;
+  std::unordered_map<std::string, uint32_t> domain_ids_;
+};
+
+}  // namespace mopcrowd
+
+#endif  // MOPEYE_CROWD_DATASET_H_

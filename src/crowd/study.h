@@ -1,0 +1,50 @@
+// The ten-month crowdsourcing study, synthesized (§4.2).
+//
+// The study runner builds a device roster (countries, ISPs, phone models,
+// network mixes, activity levels) and generates measurement records through
+// the World RTT model. Activity levels are calibrated to Fig. 6(a)'s bucket
+// structure; totals to the dataset statistics (5,252,758 measurements =
+// 3,576,931 TCP + 1,675,827 DNS over 2,351 devices and 6,266 apps).
+#ifndef MOPEYE_CROWD_STUDY_H_
+#define MOPEYE_CROWD_STUDY_H_
+
+#include <cstdint>
+
+#include "crowd/dataset.h"
+#include "crowd/world.h"
+
+namespace mopcrowd {
+
+struct StudyConfig {
+  uint64_t seed = 20160516;  // launch date
+  int devices = 2351;
+  uint64_t target_measurements = 5252758;
+  double dns_fraction = 1675827.0 / 5252758.0;
+  // Scale factor for quick runs: 0.1 => ~525k measurements, devices scale
+  // too. 1.0 reproduces the full dataset.
+  double scale = 1.0;
+
+  int effective_devices() const {
+    return scale >= 1.0 ? devices
+                        : std::max(50, static_cast<int>(devices * scale));
+  }
+  uint64_t effective_target() const {
+    return static_cast<uint64_t>(static_cast<double>(target_measurements) * scale);
+  }
+};
+
+class Study {
+ public:
+  Study(const World* world, StudyConfig config);
+
+  // Generates the dataset. Deterministic in (world, config.seed).
+  CrowdDataset Run();
+
+ private:
+  const World* world_;
+  StudyConfig config_;
+};
+
+}  // namespace mopcrowd
+
+#endif  // MOPEYE_CROWD_STUDY_H_

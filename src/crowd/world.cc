@@ -1,0 +1,368 @@
+#include "crowd/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace mopcrowd {
+
+namespace {
+
+// The overall first-hop RTT median the placement extras are calibrated
+// against (Table 5's medians = kBaseFirstHop + extra for each app).
+constexpr double kBaseFirstHopMs = 34.0;
+
+// Heavy-tail path noise: a slice of connections crosses congested or far
+// paths, producing Fig. 9(a)'s ~20% > 200 ms / ~10% > 400 ms tail.
+constexpr double kTailProbability = 0.165;
+
+AppProfile HeadApp(const std::string& package, const std::string& label,
+                   const std::string& category, double install_rate, double usage_weight,
+                   std::vector<DomainGroup> domains) {
+  AppProfile a;
+  a.package = package;
+  a.label = label;
+  a.category = category;
+  a.install_rate = install_rate;
+  // Head usage weights are given in thousands of paper measurements; the
+  // factor balances them against the long tail so the head carries the same
+  // volume share as in the dataset (Facebook = ~6% of TCP measurements).
+  a.usage_weight = usage_weight * 0.15;
+  a.domains = std::move(domains);
+  return a;
+}
+
+// Table 5 median -> placement extra override.
+double Extra(double app_median_ms) { return std::max(2.0, app_median_ms - kBaseFirstHopMs); }
+
+}  // namespace
+
+double PlacementExtraMedianMs(Placement p) {
+  switch (p) {
+    case Placement::kEdgeCache:
+      return 4.0;
+    case Placement::kCdn:
+      return 20.0;
+    case Placement::kRegional:
+      return 40.0;
+    case Placement::kDistant:
+      return 233.0;  // the paper's ~250 ms ping to SoftLayer-hosted domains
+  }
+  return 20.0;
+}
+
+World World::Default() {
+  World w;
+
+  // ---- Cellular ISPs (Table 6 order) ----
+  // dns_median_ms is the *LTE component*; operators with a large non-LTE
+  // share (Cricket, U.S. Cellular) blend toward 3G's 105 ms median, which is
+  // how Fig. 11 explains their poor tables.
+  auto isp = [&](const std::string& name, const std::string& country, double weight,
+                 double dns_median, double dns_min, double non_lte, double fast_share,
+                 double core_penalty) {
+    IspProfile p;
+    p.name = name;
+    p.country = country;
+    p.weight = weight;
+    p.dns_median_ms = dns_median;
+    p.dns_min_ms = dns_min;
+    p.non_lte_share = non_lte;
+    p.fast_path_share = fast_share;
+    p.core_penalty_ms = core_penalty;
+    w.isps_.push_back(p);
+    return static_cast<int>(w.isps_.size()) - 1;
+  };
+  int verizon = isp("Verizon", "USA", 3.0, 46, 10, 0.03, 0.008, 0);
+  int jio = isp("Jio 4G", "India", 3.5, 59, 12, 0.04, 0.0, 215.0);
+  int att = isp("AT&T", "USA", 2.0, 53, 11, 0.04, 0.0, 0);
+  int singtel = isp("Singtel", "Singapore", 3.0, 31, 3, 0.02, 0.147, 0);
+  int boost = isp("Boost Mobile", "USA", 0.85, 50, 11, 0.05, 0.0, 0);
+  int sprint = isp("Sprint", "USA", 0.8, 51, 11, 0.05, 0.0, 0);
+  int three_hk = isp("3", "HK", 1.5, 53, 9, 0.03, 0.0, 0);
+  int metropcs = isp("MetroPCS", "USA", 0.5, 60, 12, 0.06, 0.0, 0);
+  int tmobile = isp("T-Mobile", "USA", 0.35, 45, 10, 0.04, 0.0, 0);
+  int cmhk = isp("CMHK", "HK", 0.6, 50, 9, 0.03, 0.0, 0);
+  int celcom = isp("Celcom", "Malaysia", 1.1, 56, 11, 0.05, 0.0, 0);
+  int csl = isp("CSL", "HK", 0.35, 61, 10, 0.04, 0.0, 0);
+  int cricket = isp("Cricket", "USA", 0.11, 72, 43, 0.64, 0.0, 0);
+  int maxis = isp("Maxis", "Malaysia", 0.65, 40, 8, 0.04, 0.0, 0);
+  int uscc = isp("U.S. Cellular", "USA", 0.08, 62, 43, 0.45, 0.0, 0);
+  int airtel = isp("Airtel", "India", 1.5, 52, 10, 0.10, 0.0, 0);
+  // National operators for the remaining top-20 countries (the paper's Table
+  // 6 lists operators, not regions).
+  int ee_uk = isp("EE", "UK", 1.0, 47, 9, 0.06, 0.0, 0);
+  int tim_it = isp("TIM", "Italy", 1.0, 50, 9, 0.07, 0.0, 0);
+  int vivo_br = isp("Vivo", "Brazil", 1.0, 64, 12, 0.12, 0.0, 0);
+  int telkomsel = isp("Telkomsel", "Indonesia", 1.0, 58, 11, 0.10, 0.0, 0);
+  int dtag = isp("Telekom.de", "Germany", 1.0, 44, 8, 0.05, 0.0, 0);
+  int rogers = isp("Rogers", "Canada", 1.0, 49, 9, 0.05, 0.0, 0);
+  int telcel = isp("Telcel", "Mexico", 1.0, 66, 12, 0.12, 0.0, 0);
+  int globe = isp("Globe", "Philippines", 1.0, 68, 12, 0.14, 0.0, 0);
+  int telstra = isp("Telstra", "Australia", 1.0, 46, 9, 0.05, 0.0, 0);
+  int orange_fr = isp("Orange", "France", 1.0, 46, 9, 0.06, 0.0, 0);
+  int mts_ru = isp("MTS", "Russia", 1.0, 56, 10, 0.10, 0.0, 0);
+  int ais_th = isp("AIS", "Thailand", 1.0, 57, 10, 0.09, 0.0, 0);
+  int cosmote = isp("Cosmote", "Greece", 1.0, 54, 10, 0.08, 0.0, 0);
+  int movistar = isp("Movistar", "Spain", 1.0, 49, 9, 0.06, 0.0, 0);
+  int play_pl = isp("Play", "Poland", 1.0, 50, 9, 0.07, 0.0, 0);
+
+  // ---- Countries (Fig. 7 counts as weights) ----
+  auto country = [&](const std::string& code, const std::string& name, double weight,
+                     double lat, double lon, std::vector<int> cell, double wifi_dns) {
+    CountryProfile c;
+    c.code = code;
+    c.name = name;
+    c.user_weight = weight;
+    c.lat = lat;
+    c.lon = lon;
+    c.cellular_isps = std::move(cell);
+    c.wifi_dns_median_ms = wifi_dns;
+    w.countries_.push_back(c);
+  };
+  country("USA", "United States", 790, 39.8, -98.6,
+          {verizon, att, boost, sprint, metropcs, tmobile, cricket, uscc}, 30);
+  country("GBR", "United Kingdom", 116, 54.0, -2.0, {ee_uk}, 30);
+  country("IND", "India", 70, 21.0, 78.0, {jio, airtel}, 42);
+  country("ITA", "Italy", 68, 42.8, 12.8, {tim_it}, 33);
+  country("MYS", "Malaysia", 43, 4.2, 102.0, {celcom, maxis}, 36);
+  country("BRA", "Brazil", 41, -10.8, -52.9, {vivo_br}, 40);
+  country("IDN", "Indonesia", 37, -2.5, 118.0, {telkomsel}, 44);
+  country("DEU", "Germany", 31, 51.1, 10.4, {dtag}, 29);
+  country("CAN", "Canada", 26, 56.1, -106.3, {rogers}, 31);
+  country("MEX", "Mexico", 25, 23.6, -102.5, {telcel}, 41);
+  country("PHL", "Philippines", 23, 12.9, 121.8, {globe}, 47);
+  country("AUS", "Australia", 22, -25.3, 133.8, {telstra}, 33);
+  country("HKG", "Hong Kong", 20, 22.3, 114.2, {three_hk, cmhk, csl}, 26);
+  country("FRA", "France", 19, 46.2, 2.2, {orange_fr}, 30);
+  country("RUS", "Russia", 19, 61.5, 105.3, {mts_ru}, 38);
+  country("THA", "Thailand", 18, 15.9, 100.9, {ais_th}, 40);
+  country("GRC", "Greece", 16, 39.1, 21.8, {cosmote}, 35);
+  country("ESP", "Spain", 13, 40.5, -3.7, {movistar}, 31);
+  country("POL", "Poland", 13, 51.9, 19.1, {play_pl}, 32);
+  country("SGP", "Singapore", 13, 1.35, 103.8, {singtel}, 24);
+  // Long tail: 94 more countries share the remaining users (126 countries of
+  // installs; 114 with measurements).
+  const char* tail_regions[] = {"AFR", "SAM", "EEU", "MEA", "SEA", "OCE"};
+  for (int i = 0; i < 94; ++i) {
+    CountryProfile c;
+    c.code = moputil::StrFormat("%s%02d", tail_regions[i % 6], i);
+    c.name = "Country " + std::to_string(i + 21);
+    c.user_weight = 457.0 / 94.0;  // ~4,014 installs minus the top-20 sum
+    c.lat = -40.0 + (i * 13) % 95;
+    c.lon = -170.0 + (i * 47) % 340;
+    int local = isp(moputil::StrFormat("LocalCell-%s", c.code.c_str()), c.name, 1.0,
+                    48.0 + (i * 7) % 28, 9, 0.08 + 0.001 * (i % 10), 0.0, 0);
+    c.cellular_isps = {local};
+    c.wifi_dns_median_ms = 36;
+    w.countries_.push_back(c);
+  }
+
+  // ---- Representative apps (Table 5; usage weights ∝ measurement counts) ----
+  w.apps_.push_back(HeadApp("com.facebook.katana", "Facebook", "Social", 0.72, 215.8,
+                            {{"graph.facebook.com", 1, Placement::kCdn, 0.66, Extra(61)},
+                             {"star-mini.c10r.facebook.com", 1, Placement::kCdn, 0.2, Extra(58)},
+                             {"scontent-%d.xx.fbcdn.net", 12, Placement::kCdn, 0.14, Extra(66)}}));
+  w.apps_.push_back(HeadApp("com.instagram.android", "Instagram", "Social", 0.45, 38.6,
+                            {{"i.instagram.com", 1, Placement::kCdn, 0.7, Extra(50.5)},
+                             {"scontent-%d.cdninstagram.com", 8, Placement::kCdn, 0.3,
+                              Extra(52)}}));
+  w.apps_.push_back(HeadApp("com.sina.weibo", "Weibo", "Social", 0.12, 28.9,
+                            {{"api.weibo.cn", 1, Placement::kCdn, 0.8, Extra(43)},
+                             {"ww%d.sinaimg.cn", 4, Placement::kCdn, 0.2, Extra(45)}}));
+  w.apps_.push_back(HeadApp("com.twitter.android", "Twitter", "Social", 0.35, 11.4,
+                            {{"api.twitter.com", 1, Placement::kCdn, 0.75, Extra(56)},
+                             {"pbs.twimg.com", 1, Placement::kCdn, 0.25, Extra(57)}}));
+  w.apps_.push_back(HeadApp("com.tencent.mm", "WeChat", "Social", 0.25, 61.8,
+                            {{"szshort.weixin.qq.com", 1, Placement::kCdn, 0.6, Extra(36)},
+                             {"szextshort.weixin.qq.com", 1, Placement::kCdn, 0.4, Extra(37)}}));
+  w.apps_.push_back(HeadApp("com.facebook.orca", "Facebook Messenger", "Communication", 0.55,
+                            42.4,
+                            {{"edge-mqtt.facebook.com", 1, Placement::kCdn, 0.8, Extra(42)},
+                             {"graph.facebook.com", 1, Placement::kCdn, 0.2, Extra(44)}}));
+  // Whatsapp (Case 1): 3 Facebook-CDN media domains carry just over half the
+  // connections; 331 SoftLayer chat domains carry the rest at ~261 ms.
+  w.apps_.push_back(HeadApp("com.whatsapp", "Whatsapp", "Communication", 0.62, 32.4,
+                            {{"mme.whatsapp.net", 1, Placement::kCdn, 0.26, 44},
+                             {"mmg.whatsapp.net", 1, Placement::kCdn, 0.20, 47},
+                             {"pps.whatsapp.net", 1, Placement::kCdn, 0.14, 42},
+                             {"e%d.whatsapp.net", 331, Placement::kDistant, 0.40, 233}}));
+  w.apps_.push_back(HeadApp("com.skype.raider", "Skype", "Communication", 0.30, 16.3,
+                            {{"client-s.gateway.messenger.live.com", 1, Placement::kRegional,
+                              1.0, Extra(76)}}));
+  w.apps_.push_back(HeadApp("com.android.vending", "Google Play Store", "Google", 1.0, 100.1,
+                            {{"play.googleapis.com", 1, Placement::kEdgeCache, 0.7, Extra(48)},
+                             {"android.clients.google.com", 1, Placement::kEdgeCache, 0.3,
+                              Extra(49)}}));
+  w.apps_.push_back(HeadApp("com.google.android.gms", "Google Play services", "Google", 1.0,
+                            60.8,
+                            {{"www.googleapis.com", 1, Placement::kEdgeCache, 0.6, Extra(37)},
+                             {"mtalk.google.com", 1, Placement::kEdgeCache, 0.4, Extra(38)}}));
+  w.apps_.push_back(HeadApp("com.google.android.googlequicksearchbox", "Google Search",
+                            "Google", 1.0, 35.9,
+                            {{"www.google.com", 1, Placement::kEdgeCache, 1.0, Extra(45)}}));
+  w.apps_.push_back(HeadApp("com.google.android.apps.maps", "Google Map", "Google", 0.9, 20.0,
+                            {{"clients4.google.com", 1, Placement::kEdgeCache, 0.55, Extra(38)},
+                             {"khms%d.googleapis.com", 3, Placement::kEdgeCache, 0.45,
+                              Extra(39)}}));
+  w.apps_.push_back(HeadApp("com.google.android.youtube", "YouTube", "Video", 1.0, 99.9,
+                            {{"youtubei.googleapis.com", 1, Placement::kEdgeCache, 0.3,
+                              Extra(32)},
+                             {"r%d---sn-cache.googlevideo.com", 40, Placement::kEdgeCache, 0.7,
+                              Extra(32)}}));
+  w.apps_.push_back(HeadApp("com.netflix.mediaclient", "Netflix", "Video", 0.40, 28.3,
+                            {{"api-global.netflix.com", 1, Placement::kEdgeCache, 0.35,
+                              Extra(40)},
+                             {"ipv4-c%d-ix.1.oca.nflxvideo.net", 24, Placement::kEdgeCache,
+                              0.65, Extra(30)}}));
+  w.apps_.push_back(HeadApp("com.amazon.mShop.android.shopping", "Amazon", "Shopping", 0.38,
+                            18.3,
+                            {{"www.amazon.com", 1, Placement::kRegional, 0.6, Extra(59)},
+                             {"images-na.ssl-images-amazon.com", 1, Placement::kCdn, 0.4,
+                              Extra(58)}}));
+  w.apps_.push_back(HeadApp("com.ebay.mobile", "Ebay", "Shopping", 0.30, 16.1,
+                            {{"api.ebay.com", 1, Placement::kRegional, 1.0, Extra(70)}}));
+
+  // ---- Long-tail apps: 6,250 more across categories ----
+  // Usage follows a Zipf-ish law so Fig. 6(b)'s bucket structure emerges
+  // (424 apps with > 1K measurements, ~1,549 with >= 100).
+  // Long-tail apps sit on less optimized hosting than the head apps: their
+  // placement extras (ms) push the WiFi curve up to its 58 ms median and
+  // feed Fig. 9(a)'s >200 ms share.
+  struct TailCategory {
+    const char* name;
+    Placement placement;
+    double install_rate;
+    double extra_ms;
+  };
+  const TailCategory cats[] = {
+      {"Tools", Placement::kCdn, 0.08, 40},         {"Games", Placement::kRegional, 0.10, 60},
+      {"News", Placement::kCdn, 0.06, 49},          {"Music", Placement::kEdgeCache, 0.05, 33},
+      {"Finance", Placement::kRegional, 0.04, 65},  {"Travel", Placement::kRegional, 0.03, 77},
+      {"Sports", Placement::kCdn, 0.03, 51},        {"Weather", Placement::kCdn, 0.05, 42},
+      {"Shopping", Placement::kRegional, 0.04, 61}, {"Photo", Placement::kCdn, 0.04, 46},
+  };
+  const int kTailApps = 6250;
+  for (int i = 0; i < kTailApps; ++i) {
+    const TailCategory& cat = cats[static_cast<size_t>(i) % std::size(cats)];
+    AppProfile a;
+    a.package = moputil::StrFormat("com.%s.app%04d", moputil::ToLower(cat.name).c_str(), i);
+    a.label = moputil::StrFormat("%s App %d", cat.name, i);
+    a.category = cat.name;
+    // Zipf rank: early tail apps are near-popular, late ones niche.
+    double rank = static_cast<double>(i + 3);
+    a.install_rate = std::min(0.3, cat.install_rate * 30.0 / rank + 0.002);
+    a.usage_weight = 72.0 / std::pow(rank, 0.68);
+    // 1-3 groups of 1-4 hosts each: the catalog lands near the paper's
+    // 35,351 distinct server domains.
+    int groups = 1 + (i % 3);
+    for (int d = 0; d < groups; ++d) {
+      DomainGroup g;
+      g.pattern = moputil::StrFormat("srv%d-%%d.%s", d, (a.package + ".net").c_str());
+      g.count = 1 + ((i + d) % 4);
+      g.placement = cat.placement;
+      g.traffic_weight = 1.0 / groups;
+      // Spread extras within the category so per-app medians differ.
+      g.extra_median_ms = cat.extra_ms * (0.75 + 0.5 * ((i * 37 + d * 11) % 100) / 100.0);
+      a.domains.push_back(g);
+    }
+    w.apps_.push_back(std::move(a));
+  }
+
+  return w;
+}
+
+int World::FindApp(const std::string& label) const {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].label == label) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int World::FindIsp(const std::string& name) const {
+  for (size_t i = 0; i < isps_.size(); ++i) {
+    if (isps_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double World::SampleFirstHopMs(mopnet::NetType net, const IspProfile* isp,
+                               moputil::Rng& rng) const {
+  switch (net) {
+    case mopnet::NetType::kWifi:
+      return std::max(2.0, rng.LogNormalMedian(21.0, 0.45));
+    case mopnet::NetType::kLte: {
+      double median = isp != nullptr ? isp->dns_median_ms * 0.74 : 36.0;
+      return std::max(6.0, rng.LogNormalMedian(median, 0.45));
+    }
+    case mopnet::NetType::k3G:
+      return std::max(25.0, rng.LogNormalMedian(92.0, 0.45));
+    case mopnet::NetType::k2G:
+      return std::max(180.0, rng.LogNormalMedian(620.0, 0.5));
+  }
+  return 25.0;
+}
+
+double World::SampleAppRttMs(mopnet::NetType net, const IspProfile* isp, Placement placement,
+                             moputil::Rng& rng) const {
+  return SampleAppRttMsWithExtra(net, isp, PlacementExtraMedianMs(placement), rng, false);
+}
+
+double World::SampleAppRttMsWithExtra(mopnet::NetType net, const IspProfile* isp,
+                                      double extra_median_ms, moputil::Rng& rng,
+                                      bool core_exempt) const {
+  double rtt = SampleFirstHopMs(net, isp, rng);
+  rtt += rng.LogNormalMedian(std::max(1.0, extra_median_ms), 0.55);
+  if (isp != nullptr && isp->core_penalty_ms > 0 && net != mopnet::NetType::kWifi &&
+      !core_exempt) {
+    rtt += rng.LogNormalMedian(isp->core_penalty_ms, 0.30);
+  }
+  if (rng.Bernoulli(kTailProbability)) {
+    rtt *= rng.Uniform(2.8, 11.0);  // congested / far-path tail
+  }
+  return rtt;
+}
+
+double World::SampleDnsRttMs(mopnet::NetType net, const IspProfile* isp,
+                             double wifi_dns_median_ms, moputil::Rng& rng) const {
+  double rtt;
+  switch (net) {
+    case mopnet::NetType::kWifi:
+      rtt = std::max(2.0, rng.LogNormalMedian(wifi_dns_median_ms, 0.52));
+      break;
+    case mopnet::NetType::kLte: {
+      if (isp != nullptr && isp->fast_path_share > 0 && rng.Bernoulli(isp->fast_path_share)) {
+        rtt = rng.Uniform(3.0, 9.9);  // Singtel's Tri-band 4G+ fast path
+      } else if (isp != nullptr && isp->non_lte_share > 0 &&
+                 rng.Bernoulli(isp->non_lte_share)) {
+        rtt = std::max(40.0, rng.LogNormalMedian(105.0, 0.45));  // pre-4G fallback
+      } else {
+        double median = isp != nullptr ? isp->dns_median_ms : 50.0;
+        double min_ms = isp != nullptr ? isp->dns_min_ms : 8.0;
+        rtt = std::max(min_ms, rng.LogNormalMedian(median, 0.5));
+      }
+      break;
+    }
+    case mopnet::NetType::k3G:
+      rtt = std::max(30.0, rng.LogNormalMedian(105.0, 0.5));
+      break;
+    case mopnet::NetType::k2G:
+      rtt = std::max(200.0, rng.LogNormalMedian(755.0, 0.5));
+      break;
+    default:
+      rtt = 50.0;
+  }
+  // Occasional resolver cache miss -> recursive resolution spike.
+  if (rng.Bernoulli(0.06)) {
+    rtt += rng.Uniform(60.0, 320.0);
+  }
+  return rtt;
+}
+
+}  // namespace mopcrowd

@@ -1,0 +1,128 @@
+// World model for the crowdsourcing study (§4.2): countries, ISPs, apps,
+// domains, and the RTT composition model.
+//
+// RTT composition (milliseconds, all lognormal around stated medians):
+//   app RTT = access first-hop (network type & ISP) + ISP core penalty
+//             + server placement extra (edge cache / CDN / regional /
+//               distant hosting) + heavy-tail path noise
+//   DNS RTT = access first-hop + ISP resolver extra
+// Placement extras are derived from Table 5's per-app medians; ISP resolver
+// medians come from Table 6; the Jio case study is modeled as a large core
+// penalty on app paths with a normal resolver path (§4.2.2 Case 2).
+#ifndef MOPEYE_CROWD_WORLD_H_
+#define MOPEYE_CROWD_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/net_context.h"
+#include "util/rng.h"
+
+namespace mopcrowd {
+
+// ---- Countries (Fig. 7 + Fig. 8) ----
+
+struct CountryProfile {
+  std::string code;     // "USA"
+  std::string name;     // "United States"
+  double user_weight;   // share of the device roster (Fig. 7 counts)
+  double lat, lon;      // centroid for the geo map (Fig. 8)
+  // Index into the ISP table: cellular operators available here.
+  std::vector<int> cellular_isps;
+  double wifi_dns_median_ms = 33.0;  // home broadband resolver
+};
+
+// ---- ISPs (Table 6, Fig. 11) ----
+
+struct IspProfile {
+  std::string name;
+  std::string country;
+  mopnet::NetType type = mopnet::NetType::kLte;
+  double weight = 1.0;          // popularity within its country
+  double dns_median_ms = 50.0;  // Table 6 medians
+  double dns_sigma = 0.55;
+  double dns_min_ms = 2.0;      // Cricket/USCC floor around 43 ms
+  // Fraction of this operator's "LTE" traffic actually on 3G (Cricket 64%,
+  // U.S. Cellular 45% per Fig. 11's discussion).
+  double non_lte_share = 0.05;
+  // Share of DNS RTTs below 10 ms (Singtel's Tri-band 4G+: 14.7%).
+  double fast_path_share = 0.0;
+  // Core-network penalty added to app paths only (Jio: DNS fine at 59 ms but
+  // app median 281 ms).
+  double core_penalty_ms = 0.0;
+};
+
+// ---- Apps & domains (Table 5, case studies) ----
+
+enum class Placement {
+  kEdgeCache,  // in-ISP cache (YouTube, Google services): ~4 ms extra
+  kCdn,        // commercial CDN POPs (Facebook, Instagram): ~20 ms extra
+  kRegional,   // regional datacenters (Amazon, Ebay): ~40 ms extra
+  kDistant,    // single distant hosting (whatsapp.net chat): ~230 ms extra
+};
+
+double PlacementExtraMedianMs(Placement p);
+
+struct DomainGroup {
+  std::string pattern;   // "e%d.whatsapp.net" (%d = index) or literal
+  int count = 1;         // number of concrete domains in this group
+  Placement placement = Placement::kCdn;
+  double traffic_weight = 1.0;  // share of the app's connections
+  // Overrides the placement-class median when > 0 (used to pin Table 5's
+  // per-app medians exactly).
+  double extra_median_ms = 0.0;
+};
+
+struct AppProfile {
+  std::string package;
+  std::string label;
+  std::string category;
+  // Probability a device has this installed (1.0 = preinstalled).
+  double install_rate = 0.2;
+  // Relative measurement volume when installed (calibrated to Table 5).
+  double usage_weight = 1.0;
+  std::vector<DomainGroup> domains;
+};
+
+// ---- The assembled world ----
+
+class World {
+ public:
+  // Builds the paper-calibrated world.
+  static World Default();
+
+  const std::vector<CountryProfile>& countries() const { return countries_; }
+  const std::vector<IspProfile>& isps() const { return isps_; }
+  const std::vector<AppProfile>& apps() const { return apps_; }
+
+  // Index of the representative apps by label, -1 if absent.
+  int FindApp(const std::string& label) const;
+  int FindIsp(const std::string& name) const;
+
+  // ---- RTT model ----
+  // First-hop RTT (ms) for a network type on an ISP (WiFi ignores the ISP).
+  double SampleFirstHopMs(mopnet::NetType net, const IspProfile* isp,
+                          moputil::Rng& rng) const;
+  // Full app-connection RTT.
+  double SampleAppRttMs(mopnet::NetType net, const IspProfile* isp, Placement placement,
+                        moputil::Rng& rng) const;
+  // Same, with an explicit server-placement extra (ms) instead of a class.
+  // `core_exempt` paths skip the ISP core penalty (in-ISP caches and peering
+  // shortcuts — the Jio domains that still perform well, §4.2.2 Case 2).
+  double SampleAppRttMsWithExtra(mopnet::NetType net, const IspProfile* isp,
+                                 double extra_median_ms, moputil::Rng& rng,
+                                 bool core_exempt = false) const;
+  // DNS RTT.
+  double SampleDnsRttMs(mopnet::NetType net, const IspProfile* isp,
+                        double wifi_dns_median_ms, moputil::Rng& rng) const;
+
+ private:
+  std::vector<CountryProfile> countries_;
+  std::vector<IspProfile> isps_;
+  std::vector<AppProfile> apps_;
+};
+
+}  // namespace mopcrowd
+
+#endif  // MOPEYE_CROWD_WORLD_H_

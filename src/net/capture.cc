@@ -1,0 +1,51 @@
+#include "net/capture.h"
+
+#include <map>
+
+namespace mopnet {
+
+void CaptureLog::Record(moputil::SimTime t, CaptureEvent ev, CaptureDir dir,
+                        const moppkt::SocketAddr& local, const moppkt::SocketAddr& remote,
+                        size_t bytes) {
+  records_.push_back(CaptureRecord{t, ev, dir, local, remote, bytes});
+}
+
+std::optional<moputil::SimDuration> CaptureLog::HandshakeRtt(
+    const moppkt::SocketAddr& local, const moppkt::SocketAddr& remote) const {
+  std::optional<moputil::SimTime> syn_time;
+  for (const auto& r : records_) {
+    if (!(r.local == local && r.remote == remote)) {
+      continue;
+    }
+    if (r.event == CaptureEvent::kTcpSyn && r.dir == CaptureDir::kOut && !syn_time) {
+      syn_time = r.time;
+    } else if (r.event == CaptureEvent::kTcpSynAck && r.dir == CaptureDir::kIn && syn_time) {
+      return r.time - *syn_time;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<moputil::SimDuration> CaptureLog::AllHandshakeRtts(
+    const moppkt::SocketAddr& remote) const {
+  // Track the earliest un-matched SYN per local endpoint.
+  std::map<moppkt::SocketAddr, moputil::SimTime> pending;
+  std::vector<moputil::SimDuration> rtts;
+  for (const auto& r : records_) {
+    if (!(r.remote == remote)) {
+      continue;
+    }
+    if (r.event == CaptureEvent::kTcpSyn && r.dir == CaptureDir::kOut) {
+      pending.emplace(r.local, r.time);
+    } else if (r.event == CaptureEvent::kTcpSynAck && r.dir == CaptureDir::kIn) {
+      auto it = pending.find(r.local);
+      if (it != pending.end()) {
+        rtts.push_back(r.time - it->second);
+        pending.erase(it);
+      }
+    }
+  }
+  return rtts;
+}
+
+}  // namespace mopnet

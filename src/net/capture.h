@@ -1,0 +1,65 @@
+// Packet capture log: the reproduction's "tcpdump".
+//
+// Table 2 uses tcpdump as the accuracy reference. CaptureLog records exact
+// virtual timestamps of protocol events at a capture point (the external
+// interface or the TUN link) with zero probe effect, which is what a kernel
+// BPF tap gives you on a rooted phone.
+#ifndef MOPEYE_NET_CAPTURE_H_
+#define MOPEYE_NET_CAPTURE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netpkt/ip.h"
+#include "netpkt/tcp.h"
+#include "util/time.h"
+
+namespace mopnet {
+
+enum class CaptureEvent {
+  kTcpSyn,
+  kTcpSynAck,
+  kTcpData,
+  kTcpAck,
+  kTcpFin,
+  kTcpRst,
+  kUdpQuery,
+  kUdpResponse,
+};
+
+enum class CaptureDir { kOut, kIn };
+
+struct CaptureRecord {
+  moputil::SimTime time = 0;
+  CaptureEvent event = CaptureEvent::kTcpSyn;
+  CaptureDir dir = CaptureDir::kOut;
+  moppkt::SocketAddr local;
+  moppkt::SocketAddr remote;
+  size_t bytes = 0;
+};
+
+class CaptureLog {
+ public:
+  void Record(moputil::SimTime t, CaptureEvent ev, CaptureDir dir,
+              const moppkt::SocketAddr& local, const moppkt::SocketAddr& remote,
+              size_t bytes = 0);
+
+  const std::vector<CaptureRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // tcpdump-style RTT: time between the first outgoing SYN and the first
+  // incoming SYN/ACK of the flow (local, remote). Empty if either is missing.
+  std::optional<moputil::SimDuration> HandshakeRtt(const moppkt::SocketAddr& local,
+                                                   const moppkt::SocketAddr& remote) const;
+
+  // All handshake RTTs toward `remote`, in completion order.
+  std::vector<moputil::SimDuration> AllHandshakeRtts(const moppkt::SocketAddr& remote) const;
+
+ private:
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace mopnet
+
+#endif  // MOPEYE_NET_CAPTURE_H_

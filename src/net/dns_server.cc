@@ -1,0 +1,38 @@
+#include "net/dns_server.h"
+
+#include "netpkt/dns.h"
+#include "util/logging.h"
+
+namespace mopnet {
+
+DnsServer::DnsServer(ServerFarm* farm, const moppkt::SocketAddr& addr,
+                     std::shared_ptr<moputil::DelayModel> think_time, moputil::Rng rng,
+                     bool auto_assign)
+    : addr_(addr), queries_served_(std::make_shared<uint64_t>(0)) {
+  MOP_CHECK(farm != nullptr);
+  auto counter = queries_served_;
+  auto rng_state = std::make_shared<moputil::Rng>(rng);
+  farm->AddUdpServer(
+      addr, [farm, think_time, counter, rng_state, auto_assign](
+                const moppkt::SocketAddr& /*client*/, std::span<const uint8_t> payload,
+                const UdpReplyFn& reply) {
+        auto query = moppkt::DecodeDns(payload);
+        if (!query.ok() || query.value().questions.empty()) {
+          return;  // malformed queries are dropped
+        }
+        ++*counter;
+        const auto& msg = query.value();
+        const std::string& name = msg.questions[0].name;
+        moputil::SimDuration think = think_time ? think_time->Sample(*rng_state) : 0;
+        auto& table = farm->resolution();
+        std::optional<moppkt::IpAddr> address = table.Resolve(name);
+        if (!address && auto_assign) {
+          address = table.AutoAssign(name);
+        }
+        moppkt::DnsMessage response =
+            address ? moppkt::DnsMessage::Answer(msg, *address) : moppkt::DnsMessage::NxDomain(msg);
+        reply(moppkt::EncodeDns(response), think);
+      });
+}
+
+}  // namespace mopnet

@@ -1,0 +1,35 @@
+// ISP-side DNS resolver: a UDP endpoint that answers A queries from the
+// shared ResolutionTable after a configurable server think time. One instance
+// per ISP profile stands in for the "local DNS servers" the paper credits for
+// DNS RTTs beating per-app RTTs (§4.2.3).
+#ifndef MOPEYE_NET_DNS_SERVER_H_
+#define MOPEYE_NET_DNS_SERVER_H_
+
+#include <memory>
+
+#include "net/server.h"
+#include "netpkt/ip.h"
+#include "util/rng.h"
+
+namespace mopnet {
+
+class DnsServer {
+ public:
+  // Registers a resolver at `addr` in `farm`. Unknown domains get NXDOMAIN
+  // unless `auto_assign` is true, in which case addresses are fabricated
+  // deterministically (the crowd study uses this to cover 35k domains).
+  DnsServer(ServerFarm* farm, const moppkt::SocketAddr& addr,
+            std::shared_ptr<moputil::DelayModel> think_time, moputil::Rng rng,
+            bool auto_assign = true);
+
+  const moppkt::SocketAddr& addr() const { return addr_; }
+  uint64_t queries_served() const { return *queries_served_; }
+
+ private:
+  moppkt::SocketAddr addr_;
+  std::shared_ptr<uint64_t> queries_served_;
+};
+
+}  // namespace mopnet
+
+#endif  // MOPEYE_NET_DNS_SERVER_H_

@@ -1,0 +1,24 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace mopnet {
+
+Link::Link(mopsim::EventLoop* loop, double bits_per_second)
+    : loop_(loop), bps_(bits_per_second) {}
+
+SimTime Link::DeliverAfter(SimTime earliest, size_t bytes) {
+  earliest = std::max(earliest, loop_->Now());
+  bytes_carried_ += bytes;
+  if (bps_ <= 0) {
+    return earliest;
+  }
+  SimTime start = std::max(earliest, next_free_);
+  auto serialization = static_cast<SimDuration>(
+      static_cast<double>(bytes) * 8.0 / bps_ * static_cast<double>(moputil::kSecond));
+  next_free_ = start + serialization;
+  busy_time_ += serialization;
+  return next_free_;
+}
+
+}  // namespace mopnet

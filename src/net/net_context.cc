@@ -1,0 +1,76 @@
+#include "net/net_context.h"
+
+#include "util/logging.h"
+
+namespace mopnet {
+
+const char* NetTypeName(NetType t) {
+  switch (t) {
+    case NetType::kWifi:
+      return "WiFi";
+    case NetType::k2G:
+      return "2G";
+    case NetType::k3G:
+      return "3G";
+    case NetType::kLte:
+      return "LTE";
+  }
+  return "?";
+}
+
+PathTable::PathTable() {
+  default_.one_way = std::make_shared<moputil::FixedDelay>(moputil::Millis(20));
+}
+
+void PathTable::SetDefault(std::shared_ptr<moputil::DelayModel> one_way, double loss) {
+  default_ = PathInfo{std::move(one_way), loss};
+}
+
+void PathTable::SetPath(const moppkt::IpAddr& server,
+                        std::shared_ptr<moputil::DelayModel> one_way, double loss) {
+  paths_[server] = PathInfo{std::move(one_way), loss};
+}
+
+const PathTable::PathInfo& PathTable::Lookup(const moppkt::IpAddr& server) const {
+  auto it = paths_.find(server);
+  return it == paths_.end() ? default_ : it->second;
+}
+
+NetContext::NetContext(mopsim::EventLoop* loop, NetworkProfile profile, PathTable* paths,
+                       ServerFarm* farm, moputil::Rng rng)
+    : loop_(loop),
+      profile_(std::move(profile)),
+      paths_(paths),
+      farm_(farm),
+      rng_(rng),
+      uplink_(loop, profile_.uplink_bps),
+      downlink_(loop, profile_.downlink_bps) {
+  MOP_CHECK(loop != nullptr);
+  MOP_CHECK(paths != nullptr);
+}
+
+moputil::SimDuration NetContext::SampleOneWay(const moppkt::IpAddr& dst) {
+  moputil::SimDuration d = 0;
+  if (profile_.first_hop_one_way) {
+    d += profile_.first_hop_one_way->Sample(rng_);
+  }
+  const auto& path = paths_->Lookup(dst);
+  if (path.one_way) {
+    d += path.one_way->Sample(rng_);
+  }
+  return d;
+}
+
+bool NetContext::SampleLoss(const moppkt::IpAddr& dst) {
+  const auto& path = paths_->Lookup(dst);
+  return path.loss > 0 && rng_.Bernoulli(path.loss);
+}
+
+uint16_t NetContext::AllocateEphemeralPort() {
+  if (next_port_ == 0) {
+    next_port_ = 33000;  // wrapped; ephemeral range restarts
+  }
+  return next_port_++;
+}
+
+}  // namespace mopnet

@@ -1,0 +1,68 @@
+#include "net/selector.h"
+
+#include <algorithm>
+
+#include "net/socket.h"
+#include "util/logging.h"
+
+namespace mopnet {
+
+Selector::Selector(mopsim::EventLoop* loop) : loop_(loop) { MOP_CHECK(loop != nullptr); }
+
+void Selector::AddChannel(std::shared_ptr<SocketChannel> ch) {
+  channels_.push_back(ch);
+  // Opportunistically compact dead entries.
+  if (channels_.size() % 64 == 0) {
+    channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
+                                   [](const std::weak_ptr<SocketChannel>& w) {
+                                     return w.expired();
+                                   }),
+                    channels_.end());
+  }
+}
+
+void Selector::RemoveChannel(SocketChannel* ch) {
+  channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
+                                 [ch](const std::weak_ptr<SocketChannel>& w) {
+                                   auto s = w.lock();
+                                   return !s || s.get() == ch;
+                                 }),
+                  channels_.end());
+}
+
+void Selector::Enqueue(std::shared_ptr<SocketChannel> ch, SocketEventType type) {
+  ready_.push_back(ReadyEvent{std::move(ch), type});
+  MaybeWake();
+}
+
+void Selector::Wakeup() {
+  ready_.push_back(ReadyEvent{nullptr, SocketEventType::kReadable});
+  MaybeWake();
+}
+
+void Selector::TriggerWrite(std::shared_ptr<SocketChannel> ch) {
+  ready_.push_back(ReadyEvent{std::move(ch), SocketEventType::kWritable});
+  MaybeWake();
+}
+
+std::vector<ReadyEvent> Selector::TakeReady() {
+  std::vector<ReadyEvent> out(ready_.begin(), ready_.end());
+  ready_.clear();
+  return out;
+}
+
+void Selector::MaybeWake() {
+  if (wake_scheduled_ || !on_wakeup) {
+    return;
+  }
+  wake_scheduled_ = true;
+  ++wakeups_;
+  loop_->Post([this] {
+    wake_scheduled_ = false;
+    if (on_wakeup) {
+      on_wakeup();
+    }
+  });
+}
+
+}  // namespace mopnet

@@ -1,0 +1,69 @@
+// Socket selector modeled after java.nio.Selector as the paper uses it
+// (§2.3, §3.2): channels register interest ops; ready events queue; the
+// owning thread (MainWorker) is woken once per batch. Selector.wakeup() lets
+// TunReader nudge the same waiting point when tunnel packets arrive, which is
+// the §3.2 co-monitoring trick.
+#ifndef MOPEYE_NET_SELECTOR_H_
+#define MOPEYE_NET_SELECTOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace mopnet {
+
+class SocketChannel;
+enum class SocketEventType;
+
+struct ReadyEvent {
+  std::shared_ptr<SocketChannel> channel;  // null for a plain wakeup()
+  SocketEventType type;
+};
+
+class Selector {
+ public:
+  explicit Selector(mopsim::EventLoop* loop);
+
+  // Invoked (once per wakeup batch) when the selector has work. The owner
+  // drains with TakeReady(). Events arriving while the owner has not yet
+  // drained do not retrigger, matching select()-loop batching.
+  std::function<void()> on_wakeup;
+
+  void AddChannel(std::shared_ptr<SocketChannel> ch);
+  void RemoveChannel(SocketChannel* ch);
+
+  // Queues a channel event and wakes the owner if needed.
+  void Enqueue(std::shared_ptr<SocketChannel> ch, SocketEventType type);
+
+  // Selector.wakeup(): wake the owner with no channel event (used by
+  // TunReader after pushing to the read queue, §3.2).
+  void Wakeup();
+
+  // The engine's way of scheduling a deferred socket-write event for a
+  // channel (MopEye triggers write events itself when tunnel data arrives).
+  void TriggerWrite(std::shared_ptr<SocketChannel> ch);
+
+  // Drains all queued events. Called by the owner inside on_wakeup handling.
+  std::vector<ReadyEvent> TakeReady();
+
+  size_t pending() const { return ready_.size(); }
+  size_t registered_channels() const { return channels_.size(); }
+  // Total wakeups delivered (CPU accounting).
+  uint64_t wakeups() const { return wakeups_; }
+
+ private:
+  void MaybeWake();
+
+  mopsim::EventLoop* loop_;
+  std::deque<ReadyEvent> ready_;
+  std::vector<std::weak_ptr<SocketChannel>> channels_;
+  bool wake_scheduled_ = false;
+  uint64_t wakeups_ = 0;
+};
+
+}  // namespace mopnet
+
+#endif  // MOPEYE_NET_SELECTOR_H_

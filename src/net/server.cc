@@ -1,0 +1,74 @@
+#include "net/server.h"
+
+#include "util/logging.h"
+
+namespace mopnet {
+
+void ServerBehavior::OnHalfClose(ServerConn& conn) { conn.Close(); }
+
+void ResolutionTable::Add(const std::string& domain, const moppkt::IpAddr& addr) {
+  forward_[domain] = addr;
+  reverse_[addr] = domain;
+}
+
+moppkt::IpAddr ResolutionTable::AutoAssign(const std::string& domain) {
+  auto it = forward_.find(domain);
+  if (it != forward_.end()) {
+    return it->second;
+  }
+  // Deterministic hash into 93.0.0.0/8 with linear probing on collisions.
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : domain) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  for (uint32_t probe = 0;; ++probe) {
+    uint32_t host = static_cast<uint32_t>((h + probe) & 0x00ffffff);
+    moppkt::IpAddr addr((93u << 24) | host);
+    if (reverse_.find(addr) == reverse_.end()) {
+      Add(domain, addr);
+      return addr;
+    }
+  }
+}
+
+std::optional<moppkt::IpAddr> ResolutionTable::Resolve(const std::string& domain) const {
+  auto it = forward_.find(domain);
+  if (it == forward_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::string> ResolutionTable::ReverseLookup(const moppkt::IpAddr& addr) const {
+  auto it = reverse_.find(addr);
+  if (it == reverse_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ServerFarm::AddTcpServer(const moppkt::SocketAddr& addr, BehaviorFactory factory,
+                              std::shared_ptr<moputil::DelayModel> accept_delay) {
+  MOP_CHECK(factory != nullptr);
+  tcp_[addr] = TcpEntry{std::move(factory), std::move(accept_delay)};
+}
+
+void ServerFarm::RemoveTcpServer(const moppkt::SocketAddr& addr) { tcp_.erase(addr); }
+
+const ServerFarm::TcpEntry* ServerFarm::FindTcp(const moppkt::SocketAddr& addr) const {
+  auto it = tcp_.find(addr);
+  return it == tcp_.end() ? nullptr : &it->second;
+}
+
+void ServerFarm::AddUdpServer(const moppkt::SocketAddr& addr, UdpHandler handler) {
+  MOP_CHECK(handler != nullptr);
+  udp_[addr] = std::move(handler);
+}
+
+const UdpHandler* ServerFarm::FindUdp(const moppkt::SocketAddr& addr) const {
+  auto it = udp_.find(addr);
+  return it == udp_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mopnet

@@ -1,0 +1,42 @@
+#include "netpkt/checksum.h"
+
+#include "netpkt/ip.h"
+
+namespace moppkt {
+
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;  // odd trailing byte, zero-padded
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t partial) {
+  while (partial >> 16) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<uint16_t>(~partial & 0xffff);
+}
+
+uint16_t Checksum(std::span<const uint8_t> data) {
+  return ChecksumFinish(ChecksumPartial(data));
+}
+
+uint32_t PseudoHeaderSum(const IpAddr& src, const IpAddr& dst, uint8_t protocol,
+                         uint16_t l4_length) {
+  uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xffff;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xffff;
+  sum += protocol;
+  sum += l4_length;
+  return sum;
+}
+
+}  // namespace moppkt

@@ -1,0 +1,28 @@
+// RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variant.
+#ifndef MOPEYE_NETPKT_CHECKSUM_H_
+#define MOPEYE_NETPKT_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace moppkt {
+
+class IpAddr;
+
+// One's-complement sum over `data`, not yet folded or inverted. `initial`
+// allows chaining across discontiguous regions.
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// Folds carries and inverts: the final 16-bit Internet checksum.
+uint16_t ChecksumFinish(uint32_t partial);
+
+// Checksum of a single contiguous buffer.
+uint16_t Checksum(std::span<const uint8_t> data);
+
+// Pseudo-header contribution for TCP/UDP checksums (RFC 793 / RFC 768).
+uint32_t PseudoHeaderSum(const IpAddr& src, const IpAddr& dst, uint8_t protocol,
+                         uint16_t l4_length);
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_CHECKSUM_H_

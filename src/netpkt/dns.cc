@@ -1,0 +1,255 @@
+#include "netpkt/dns.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace moppkt {
+
+DnsMessage DnsMessage::Query(uint16_t id, const std::string& name, DnsType type) {
+  DnsMessage m;
+  m.id = id;
+  m.is_response = false;
+  m.questions.push_back({name, type, 1});
+  return m;
+}
+
+DnsMessage DnsMessage::Answer(const DnsMessage& query, const IpAddr& address, uint32_t ttl) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.recursion_available = true;
+  m.questions = query.questions;
+  if (!query.questions.empty()) {
+    DnsRecord r;
+    r.name = query.questions[0].name;
+    r.type = DnsType::kA;
+    r.ttl = ttl;
+    r.address = address;
+    m.answers.push_back(std::move(r));
+  }
+  return m;
+}
+
+DnsMessage DnsMessage::NxDomain(const DnsMessage& query) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.recursion_available = true;
+  m.rcode = DnsRcode::kNxDomain;
+  m.questions = query.questions;
+  return m;
+}
+
+bool IsValidDnsName(const std::string& name) {
+  if (name.empty() || name.size() > 253) {
+    return false;
+  }
+  size_t label_len = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (label_len == 0) {
+        return false;
+      }
+      label_len = 0;
+    } else {
+      if (++label_len > 63) {
+        return false;
+      }
+    }
+  }
+  return label_len > 0;
+}
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+}
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+// Writes `name` with compression: if a suffix was already written, emit a
+// pointer to it. `offsets` maps lower-cased suffix -> offset.
+void PutName(std::vector<uint8_t>& out, const std::string& name,
+             std::map<std::string, uint16_t>& offsets) {
+  std::string remaining = moputil::ToLower(name);
+  while (!remaining.empty()) {
+    auto it = offsets.find(remaining);
+    if (it != offsets.end() && it->second < 0x4000) {
+      PutU16(out, static_cast<uint16_t>(0xc000 | it->second));
+      return;
+    }
+    if (out.size() < 0x4000) {
+      offsets[remaining] = static_cast<uint16_t>(out.size());
+    }
+    size_t dot = remaining.find('.');
+    std::string label = dot == std::string::npos ? remaining : remaining.substr(0, dot);
+    out.push_back(static_cast<uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+    remaining = dot == std::string::npos ? "" : remaining.substr(dot + 1);
+  }
+  out.push_back(0);
+}
+
+uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
+  return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
+}
+
+// Reads a (possibly compressed) name starting at *pos; advances *pos past the
+// in-place portion. Returns error on truncation or pointer loops.
+moputil::Status GetName(std::span<const uint8_t> d, size_t* pos, std::string* out) {
+  std::string name;
+  size_t p = *pos;
+  bool jumped = false;
+  int jumps = 0;
+  while (true) {
+    if (p >= d.size()) {
+      return moputil::InvalidArgument("DNS name runs past buffer");
+    }
+    uint8_t len = d[p];
+    if ((len & 0xc0) == 0xc0) {
+      if (p + 1 >= d.size()) {
+        return moputil::InvalidArgument("truncated DNS compression pointer");
+      }
+      if (++jumps > 32) {
+        return moputil::InvalidArgument("DNS compression pointer loop");
+      }
+      uint16_t target = static_cast<uint16_t>(((len & 0x3f) << 8) | d[p + 1]);
+      if (!jumped) {
+        *pos = p + 2;
+        jumped = true;
+      }
+      p = target;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) {
+        *pos = p + 1;
+      }
+      break;
+    }
+    if ((len & 0xc0) != 0) {
+      return moputil::InvalidArgument("reserved DNS label type");
+    }
+    if (p + 1 + len > d.size()) {
+      return moputil::InvalidArgument("DNS label runs past buffer");
+    }
+    if (!name.empty()) {
+      name += '.';
+    }
+    name.append(reinterpret_cast<const char*>(d.data() + p + 1), len);
+    p += 1 + len;
+  }
+  *out = std::move(name);
+  return moputil::OkStatus();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeDns(const DnsMessage& msg) {
+  std::vector<uint8_t> out;
+  std::map<std::string, uint16_t> offsets;
+  PutU16(out, msg.id);
+  uint16_t flags = 0;
+  if (msg.is_response) {
+    flags |= 0x8000;
+  }
+  if (msg.recursion_desired) {
+    flags |= 0x0100;
+  }
+  if (msg.recursion_available) {
+    flags |= 0x0080;
+  }
+  flags |= static_cast<uint16_t>(msg.rcode);
+  PutU16(out, flags);
+  PutU16(out, static_cast<uint16_t>(msg.questions.size()));
+  PutU16(out, static_cast<uint16_t>(msg.answers.size()));
+  PutU16(out, 0);  // NS count
+  PutU16(out, 0);  // AR count
+  for (const auto& q : msg.questions) {
+    PutName(out, q.name, offsets);
+    PutU16(out, static_cast<uint16_t>(q.type));
+    PutU16(out, q.qclass);
+  }
+  for (const auto& a : msg.answers) {
+    PutName(out, a.name, offsets);
+    PutU16(out, static_cast<uint16_t>(a.type));
+    PutU16(out, a.rclass);
+    PutU32(out, a.ttl);
+    if (a.type == DnsType::kA) {
+      PutU16(out, 4);
+      PutU32(out, a.address.value());
+    } else {
+      PutU16(out, static_cast<uint16_t>(a.rdata.size()));
+      out.insert(out.end(), a.rdata.begin(), a.rdata.end());
+    }
+  }
+  return out;
+}
+
+moputil::Result<DnsMessage> DecodeDns(std::span<const uint8_t> data) {
+  if (data.size() < 12) {
+    return moputil::InvalidArgument("DNS message shorter than header");
+  }
+  DnsMessage m;
+  m.id = GetU16(data, 0);
+  uint16_t flags = GetU16(data, 2);
+  m.is_response = flags & 0x8000;
+  m.recursion_desired = flags & 0x0100;
+  m.recursion_available = flags & 0x0080;
+  m.rcode = static_cast<DnsRcode>(flags & 0x000f);
+  uint16_t qd = GetU16(data, 4);
+  uint16_t an = GetU16(data, 6);
+  size_t pos = 12;
+  for (uint16_t i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    auto st = GetName(data, &pos, &q.name);
+    if (!st.ok()) {
+      return st;
+    }
+    if (pos + 4 > data.size()) {
+      return moputil::InvalidArgument("truncated DNS question");
+    }
+    q.type = static_cast<DnsType>(GetU16(data, pos));
+    q.qclass = GetU16(data, pos + 2);
+    pos += 4;
+    m.questions.push_back(std::move(q));
+  }
+  for (uint16_t i = 0; i < an; ++i) {
+    DnsRecord r;
+    auto st = GetName(data, &pos, &r.name);
+    if (!st.ok()) {
+      return st;
+    }
+    if (pos + 10 > data.size()) {
+      return moputil::InvalidArgument("truncated DNS record header");
+    }
+    r.type = static_cast<DnsType>(GetU16(data, pos));
+    r.rclass = GetU16(data, pos + 2);
+    r.ttl = (static_cast<uint32_t>(GetU16(data, pos + 4)) << 16) | GetU16(data, pos + 6);
+    uint16_t rdlen = GetU16(data, pos + 8);
+    pos += 10;
+    if (pos + rdlen > data.size()) {
+      return moputil::InvalidArgument("DNS rdata runs past buffer");
+    }
+    if (r.type == DnsType::kA && rdlen == 4) {
+      r.address = IpAddr((static_cast<uint32_t>(data[pos]) << 24) |
+                         (static_cast<uint32_t>(data[pos + 1]) << 16) |
+                         (static_cast<uint32_t>(data[pos + 2]) << 8) | data[pos + 3]);
+    } else {
+      r.rdata.assign(data.begin() + static_cast<long>(pos),
+                     data.begin() + static_cast<long>(pos + rdlen));
+    }
+    pos += rdlen;
+    m.answers.push_back(std::move(r));
+  }
+  return m;
+}
+
+}  // namespace moppkt

@@ -1,0 +1,75 @@
+// DNS wire format: enough of RFC 1035 for A-record queries/responses with
+// name compression, which is what the MopEye DNS RTT measurement relays.
+#ifndef MOPEYE_NETPKT_DNS_H_
+#define MOPEYE_NETPKT_DNS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netpkt/ip.h"
+#include "util/status.h"
+
+namespace moppkt {
+
+enum class DnsType : uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kAaaa = 28,
+};
+
+enum class DnsRcode : uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+};
+
+struct DnsQuestion {
+  std::string name;  // "graph.facebook.com" (no trailing dot)
+  DnsType type = DnsType::kA;
+  uint16_t qclass = 1;  // IN
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  uint16_t rclass = 1;
+  uint32_t ttl = 60;
+  // For A records the address; other types carry opaque rdata.
+  IpAddr address;
+  std::vector<uint8_t> rdata;
+};
+
+struct DnsMessage {
+  uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  // Builds a query for `name` (type A).
+  static DnsMessage Query(uint16_t id, const std::string& name,
+                          DnsType type = DnsType::kA);
+  // Builds a response answering `query` with `address`.
+  static DnsMessage Answer(const DnsMessage& query, const IpAddr& address, uint32_t ttl = 60);
+  // Builds an NXDOMAIN response to `query`.
+  static DnsMessage NxDomain(const DnsMessage& query);
+};
+
+// Encodes with name compression for repeated names.
+std::vector<uint8_t> EncodeDns(const DnsMessage& msg);
+
+// Decodes; follows compression pointers with loop protection.
+moputil::Result<DnsMessage> DecodeDns(std::span<const uint8_t> data);
+
+// Validates a DNS name: non-empty labels of <= 63 bytes, total <= 253.
+bool IsValidDnsName(const std::string& name);
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_DNS_H_

@@ -1,0 +1,121 @@
+#include "netpkt/ip.h"
+
+#include <cstdio>
+
+#include "netpkt/checksum.h"
+#include "util/strings.h"
+
+namespace moppkt {
+
+moputil::Result<IpAddr> IpAddr::Parse(const std::string& text) {
+  auto parts = moputil::Split(text, '.');
+  if (parts.size() != 4) {
+    return moputil::InvalidArgument("bad IPv4 literal: " + text);
+  }
+  uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) {
+      return moputil::InvalidArgument("bad IPv4 octet: " + text);
+    }
+    int octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        return moputil::InvalidArgument("bad IPv4 octet: " + text);
+      }
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) {
+      return moputil::InvalidArgument("IPv4 octet out of range: " + text);
+    }
+    value = (value << 8) | static_cast<uint32_t>(octet);
+  }
+  return IpAddr(value);
+}
+
+std::string IpAddr::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string SocketAddr::ToString() const {
+  return ip.ToString() + ":" + std::to_string(port);
+}
+
+namespace {
+void PutU16(std::vector<uint8_t>& out, size_t pos, uint16_t v) {
+  out[pos] = static_cast<uint8_t>(v >> 8);
+  out[pos + 1] = static_cast<uint8_t>(v & 0xff);
+}
+uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
+  return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
+}
+uint32_t GetU32(std::span<const uint8_t> d, size_t pos) {
+  return (static_cast<uint32_t>(d[pos]) << 24) | (static_cast<uint32_t>(d[pos + 1]) << 16) |
+         (static_cast<uint32_t>(d[pos + 2]) << 8) | d[pos + 3];
+}
+}  // namespace
+
+moputil::Result<Ipv4Header> ParseIpv4(std::span<const uint8_t> data) {
+  if (data.size() < 20) {
+    return moputil::InvalidArgument("IPv4 datagram shorter than minimal header");
+  }
+  uint8_t version = data[0] >> 4;
+  if (version != 4) {
+    return moputil::InvalidArgument("not an IPv4 packet (version " +
+                                    std::to_string(version) + ")");
+  }
+  Ipv4Header h;
+  h.ihl = data[0] & 0x0f;
+  if (h.ihl < 5) {
+    return moputil::InvalidArgument("IPv4 IHL below 5");
+  }
+  if (h.header_bytes() > data.size()) {
+    return moputil::InvalidArgument("IPv4 header runs past buffer");
+  }
+  h.dscp_ecn = data[1];
+  h.total_length = GetU16(data, 2);
+  if (h.total_length < h.header_bytes() || h.total_length > data.size()) {
+    return moputil::InvalidArgument("IPv4 total length out of bounds");
+  }
+  h.identification = GetU16(data, 4);
+  h.flags_fragment = GetU16(data, 6);
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.checksum = GetU16(data, 10);
+  h.src = IpAddr(GetU32(data, 12));
+  h.dst = IpAddr(GetU32(data, 16));
+  if (Checksum(data.subspan(0, h.header_bytes())) != 0) {
+    return moputil::InvalidArgument("IPv4 header checksum mismatch");
+  }
+  return h;
+}
+
+std::vector<uint8_t> BuildIpv4(Ipv4Header h, std::span<const uint8_t> payload) {
+  h.ihl = 5;  // the relay never emits IP options
+  h.total_length = static_cast<uint16_t>(20 + payload.size());
+  std::vector<uint8_t> out(20 + payload.size());
+  out[0] = static_cast<uint8_t>(0x40 | h.ihl);
+  out[1] = h.dscp_ecn;
+  PutU16(out, 2, h.total_length);
+  PutU16(out, 4, h.identification);
+  PutU16(out, 6, h.flags_fragment);
+  out[8] = h.ttl;
+  out[9] = h.protocol;
+  PutU16(out, 10, 0);
+  out[12] = static_cast<uint8_t>(h.src.value() >> 24);
+  out[13] = static_cast<uint8_t>(h.src.value() >> 16);
+  out[14] = static_cast<uint8_t>(h.src.value() >> 8);
+  out[15] = static_cast<uint8_t>(h.src.value());
+  out[16] = static_cast<uint8_t>(h.dst.value() >> 24);
+  out[17] = static_cast<uint8_t>(h.dst.value() >> 16);
+  out[18] = static_cast<uint8_t>(h.dst.value() >> 8);
+  out[19] = static_cast<uint8_t>(h.dst.value());
+  uint16_t csum = Checksum(std::span<const uint8_t>(out.data(), 20));
+  PutU16(out, 10, csum);
+  std::copy(payload.begin(), payload.end(), out.begin() + 20);
+  return out;
+}
+
+}  // namespace moppkt

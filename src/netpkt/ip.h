@@ -1,0 +1,97 @@
+// IPv4 addressing and header parse/serialize.
+//
+// Packets on the TUN link are raw IPv4 datagrams (a TUN device is a virtual
+// point-to-point IP link, paper §2.2), so this is the outermost layer the
+// engine sees.
+#ifndef MOPEYE_NETPKT_IP_H_
+#define MOPEYE_NETPKT_IP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace moppkt {
+
+// An IPv4 address held in host byte order.
+class IpAddr {
+ public:
+  constexpr IpAddr() : value_(0) {}
+  constexpr explicit IpAddr(uint32_t host_order) : value_(host_order) {}
+  constexpr IpAddr(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_((static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+               (static_cast<uint32_t>(c) << 8) | d) {}
+
+  // Parses dotted-quad "10.0.0.1". Returns error on malformed input.
+  static moputil::Result<IpAddr> Parse(const std::string& text);
+
+  constexpr uint32_t value() const { return value_; }
+  std::string ToString() const;
+
+  constexpr bool operator==(const IpAddr& o) const { return value_ == o.value_; }
+  constexpr bool operator!=(const IpAddr& o) const { return value_ != o.value_; }
+  constexpr bool operator<(const IpAddr& o) const { return value_ < o.value_; }
+
+ private:
+  uint32_t value_;
+};
+
+// An (address, port) endpoint.
+struct SocketAddr {
+  IpAddr ip;
+  uint16_t port = 0;
+
+  bool operator==(const SocketAddr& o) const { return ip == o.ip && port == o.port; }
+  bool operator!=(const SocketAddr& o) const { return !(*this == o); }
+  bool operator<(const SocketAddr& o) const {
+    if (ip != o.ip) {
+      return ip < o.ip;
+    }
+    return port < o.port;
+  }
+  std::string ToString() const;
+};
+
+struct SocketAddrHash {
+  size_t operator()(const SocketAddr& a) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(a.ip.value()) << 16) ^ a.port);
+  }
+};
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+// Parsed IPv4 header (no options support beyond skipping them; the relay
+// never emits options).
+struct Ipv4Header {
+  uint8_t ihl = 5;               // header length in 32-bit words
+  uint8_t dscp_ecn = 0;
+  uint16_t total_length = 0;     // header + payload, bytes
+  uint16_t identification = 0;
+  uint16_t flags_fragment = 0x4000;  // DF set, no fragmentation
+  uint8_t ttl = 64;
+  uint8_t protocol = 0;
+  uint16_t checksum = 0;
+  IpAddr src;
+  IpAddr dst;
+
+  size_t header_bytes() const { return static_cast<size_t>(ihl) * 4; }
+  size_t payload_bytes() const { return total_length - header_bytes(); }
+};
+
+// Parses and validates an IPv4 header from `data` (which may be longer than
+// the datagram). Verifies version, length bounds, and header checksum.
+moputil::Result<Ipv4Header> ParseIpv4(std::span<const uint8_t> data);
+
+// Serializes `h` (with checksum computed) followed by `payload` into a full
+// datagram. Sets total_length from the payload size.
+std::vector<uint8_t> BuildIpv4(Ipv4Header h, std::span<const uint8_t> payload);
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_IP_H_

@@ -1,0 +1,51 @@
+#include "netpkt/packet.h"
+
+namespace moppkt {
+
+std::string FlowKey::ToString() const {
+  const char* p = proto == IpProto::kTcp ? "tcp" : proto == IpProto::kUdp ? "udp" : "ip";
+  return std::string(p) + " " + local.ToString() + " -> " + remote.ToString();
+}
+
+FlowKey ParsedPacket::flow() const {
+  FlowKey key;
+  key.proto = static_cast<IpProto>(ip.protocol);
+  key.local.ip = ip.src;
+  key.remote.ip = ip.dst;
+  if (tcp.has_value()) {
+    key.local.port = tcp->src_port;
+    key.remote.port = tcp->dst_port;
+  } else if (udp.has_value()) {
+    key.local.port = udp->src_port;
+    key.remote.port = udp->dst_port;
+  }
+  return key;
+}
+
+moputil::Result<ParsedPacket> ParsePacket(std::vector<uint8_t> datagram) {
+  ParsedPacket pkt;
+  pkt.raw = std::move(datagram);
+  auto ip = ParseIpv4(pkt.raw);
+  if (!ip.ok()) {
+    return ip.status();
+  }
+  pkt.ip = ip.value();
+  std::span<const uint8_t> l4(pkt.raw.data() + pkt.ip.header_bytes(),
+                              pkt.ip.total_length - pkt.ip.header_bytes());
+  if (pkt.ip.protocol == static_cast<uint8_t>(IpProto::kTcp)) {
+    auto tcp = ParseTcp(l4, pkt.ip.src, pkt.ip.dst);
+    if (!tcp.ok()) {
+      return tcp.status();
+    }
+    pkt.tcp = tcp.value();
+  } else if (pkt.ip.protocol == static_cast<uint8_t>(IpProto::kUdp)) {
+    auto udp = ParseUdp(l4, pkt.ip.src, pkt.ip.dst);
+    if (!udp.ok()) {
+      return udp.status();
+    }
+    pkt.udp = udp.value();
+  }
+  return pkt;
+}
+
+}  // namespace moppkt

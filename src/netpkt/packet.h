@@ -1,0 +1,61 @@
+// Top-level datagram classification: what MopEye's MainWorker does first with
+// every packet read from the tunnel (paper §2.2 "packet parsing and mapping").
+#ifndef MOPEYE_NETPKT_PACKET_H_
+#define MOPEYE_NETPKT_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netpkt/ip.h"
+#include "netpkt/tcp.h"
+#include "netpkt/udp.h"
+#include "util/status.h"
+
+namespace moppkt {
+
+// A TCP/UDP connection identity as seen from the initiating side.
+struct FlowKey {
+  IpProto proto = IpProto::kTcp;
+  SocketAddr local;
+  SocketAddr remote;
+
+  bool operator==(const FlowKey& o) const {
+    return proto == o.proto && local == o.local && remote == o.remote;
+  }
+  std::string ToString() const;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    SocketAddrHash h;
+    size_t a = h(k.local);
+    size_t b = h(k.remote);
+    return a ^ (b * 0x9e3779b97f4a7c15ULL) ^ static_cast<size_t>(k.proto);
+  }
+};
+
+// A fully classified datagram: IP header plus the parsed L4 view. The L4
+// views reference `raw`, so ParsedPacket owns the bytes.
+struct ParsedPacket {
+  std::vector<uint8_t> raw;
+  Ipv4Header ip;
+  std::optional<TcpSegment> tcp;
+  std::optional<UdpDatagram> udp;
+
+  bool is_tcp() const { return tcp.has_value(); }
+  bool is_udp() const { return udp.has_value(); }
+
+  // Flow key from the sender's perspective (src = local).
+  FlowKey flow() const;
+};
+
+// Parses an IPv4 datagram and its TCP/UDP payload, verifying checksums.
+// Non-TCP/UDP protocols yield a packet with neither view set.
+moputil::Result<ParsedPacket> ParsePacket(std::vector<uint8_t> datagram);
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_PACKET_H_

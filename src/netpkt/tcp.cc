@@ -1,0 +1,204 @@
+#include "netpkt/tcp.h"
+
+#include "netpkt/checksum.h"
+
+namespace moppkt {
+
+uint8_t TcpFlags::ToByte() const {
+  uint8_t b = 0;
+  if (fin) {
+    b |= 0x01;
+  }
+  if (syn) {
+    b |= 0x02;
+  }
+  if (rst) {
+    b |= 0x04;
+  }
+  if (psh) {
+    b |= 0x08;
+  }
+  if (ack) {
+    b |= 0x10;
+  }
+  if (urg) {
+    b |= 0x20;
+  }
+  return b;
+}
+
+TcpFlags TcpFlags::FromByte(uint8_t b) {
+  TcpFlags f;
+  f.fin = b & 0x01;
+  f.syn = b & 0x02;
+  f.rst = b & 0x04;
+  f.psh = b & 0x08;
+  f.ack = b & 0x10;
+  f.urg = b & 0x20;
+  return f;
+}
+
+std::string TcpFlags::ToString() const {
+  std::string s;
+  auto add = [&s](const char* name) {
+    if (!s.empty()) {
+      s += "|";
+    }
+    s += name;
+  };
+  if (syn) {
+    add("SYN");
+  }
+  if (fin) {
+    add("FIN");
+  }
+  if (rst) {
+    add("RST");
+  }
+  if (psh) {
+    add("PSH");
+  }
+  if (ack) {
+    add("ACK");
+  }
+  if (urg) {
+    add("URG");
+  }
+  if (s.empty()) {
+    s = "none";
+  }
+  return s;
+}
+
+namespace {
+uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
+  return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
+}
+uint32_t GetU32(std::span<const uint8_t> d, size_t pos) {
+  return (static_cast<uint32_t>(d[pos]) << 24) | (static_cast<uint32_t>(d[pos + 1]) << 16) |
+         (static_cast<uint32_t>(d[pos + 2]) << 8) | d[pos + 3];
+}
+void PutU16(std::vector<uint8_t>& out, size_t pos, uint16_t v) {
+  out[pos] = static_cast<uint8_t>(v >> 8);
+  out[pos + 1] = static_cast<uint8_t>(v & 0xff);
+}
+void PutU32(std::vector<uint8_t>& out, size_t pos, uint32_t v) {
+  out[pos] = static_cast<uint8_t>(v >> 24);
+  out[pos + 1] = static_cast<uint8_t>(v >> 16);
+  out[pos + 2] = static_cast<uint8_t>(v >> 8);
+  out[pos + 3] = static_cast<uint8_t>(v);
+}
+}  // namespace
+
+moputil::Result<TcpSegment> ParseTcp(std::span<const uint8_t> l4, const IpAddr& src,
+                                     const IpAddr& dst) {
+  if (l4.size() < 20) {
+    return moputil::InvalidArgument("TCP segment shorter than minimal header");
+  }
+  TcpSegment seg;
+  seg.src_port = GetU16(l4, 0);
+  seg.dst_port = GetU16(l4, 2);
+  seg.seq = GetU32(l4, 4);
+  seg.ack = GetU32(l4, 8);
+  uint8_t data_offset = l4[12] >> 4;
+  if (data_offset < 5) {
+    return moputil::InvalidArgument("TCP data offset below 5");
+  }
+  size_t header_bytes = static_cast<size_t>(data_offset) * 4;
+  if (header_bytes > l4.size()) {
+    return moputil::InvalidArgument("TCP header runs past buffer");
+  }
+  seg.flags = TcpFlags::FromByte(l4[13]);
+  seg.window = GetU16(l4, 14);
+  seg.checksum = GetU16(l4, 16);
+  seg.urgent = GetU16(l4, 18);
+
+  // Verify checksum over pseudo-header + segment.
+  uint32_t partial = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kTcp),
+                                     static_cast<uint16_t>(l4.size()));
+  if (ChecksumFinish(ChecksumPartial(l4, partial)) != 0) {
+    return moputil::InvalidArgument("TCP checksum mismatch");
+  }
+
+  // Options.
+  size_t pos = 20;
+  while (pos < header_bytes) {
+    uint8_t kind = l4[pos];
+    if (kind == 0) {  // End of option list
+      break;
+    }
+    if (kind == 1) {  // NOP
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= header_bytes) {
+      return moputil::InvalidArgument("truncated TCP option");
+    }
+    uint8_t len = l4[pos + 1];
+    if (len < 2 || pos + len > header_bytes) {
+      return moputil::InvalidArgument("bad TCP option length");
+    }
+    if (kind == 2 && len == 4) {  // MSS
+      seg.mss = GetU16(l4, pos + 2);
+    } else if (kind == 3 && len == 3) {  // Window scale
+      seg.window_scale = l4[pos + 2];
+    }
+    pos += len;
+  }
+
+  seg.payload = l4.subspan(header_bytes);
+  return seg;
+}
+
+std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src,
+                              const IpAddr& dst) {
+  std::vector<uint8_t> options;
+  if (spec.mss.has_value()) {
+    options.push_back(2);
+    options.push_back(4);
+    options.push_back(static_cast<uint8_t>(*spec.mss >> 8));
+    options.push_back(static_cast<uint8_t>(*spec.mss & 0xff));
+  }
+  if (spec.window_scale.has_value()) {
+    options.push_back(1);  // NOP for alignment
+    options.push_back(3);
+    options.push_back(3);
+    options.push_back(*spec.window_scale);
+  }
+  while (options.size() % 4 != 0) {
+    options.push_back(0);
+  }
+  size_t header_bytes = 20 + options.size();
+  std::vector<uint8_t> out(header_bytes + spec.payload.size());
+  PutU16(out, 0, spec.src_port);
+  PutU16(out, 2, spec.dst_port);
+  PutU32(out, 4, spec.seq);
+  PutU32(out, 8, spec.ack);
+  out[12] = static_cast<uint8_t>((header_bytes / 4) << 4);
+  out[13] = spec.flags.ToByte();
+  PutU16(out, 14, spec.window);
+  PutU16(out, 16, 0);  // checksum placeholder
+  PutU16(out, 18, 0);
+  std::copy(options.begin(), options.end(), out.begin() + 20);
+  std::copy(spec.payload.begin(), spec.payload.end(), out.begin() + static_cast<long>(header_bytes));
+
+  uint32_t partial = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kTcp),
+                                     static_cast<uint16_t>(out.size()));
+  uint16_t csum = ChecksumFinish(ChecksumPartial(out, partial));
+  PutU16(out, 16, csum);
+  return out;
+}
+
+std::vector<uint8_t> BuildTcpDatagram(const TcpSegmentSpec& spec, const IpAddr& src,
+                                      const IpAddr& dst, uint16_t ip_id, uint8_t ttl) {
+  std::vector<uint8_t> l4 = BuildTcp(spec, src, dst);
+  Ipv4Header ip;
+  ip.protocol = static_cast<uint8_t>(IpProto::kTcp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.identification = ip_id;
+  ip.ttl = ttl;
+  return BuildIpv4(ip, l4);
+}
+
+}  // namespace moppkt

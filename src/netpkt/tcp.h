@@ -1,0 +1,93 @@
+// TCP segment parse/serialize, including the options MopEye cares about
+// (MSS in SYN/SYN-ACK, paper §3.4).
+#ifndef MOPEYE_NETPKT_TCP_H_
+#define MOPEYE_NETPKT_TCP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netpkt/ip.h"
+#include "util/status.h"
+
+namespace moppkt {
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+  bool urg = false;
+
+  uint8_t ToByte() const;
+  static TcpFlags FromByte(uint8_t b);
+  std::string ToString() const;  // e.g. "SYN|ACK"
+
+  bool operator==(const TcpFlags& o) const {
+    return fin == o.fin && syn == o.syn && rst == o.rst && psh == o.psh && ack == o.ack &&
+           urg == o.urg;
+  }
+};
+
+inline TcpFlags SynFlag() { return {.syn = true}; }
+inline TcpFlags SynAckFlag() { return {.syn = true, .ack = true}; }
+inline TcpFlags AckFlag() { return {.ack = true}; }
+inline TcpFlags FinAckFlag() { return {.fin = true, .ack = true}; }
+inline TcpFlags RstFlag() { return {.rst = true}; }
+inline TcpFlags PshAckFlag() { return {.psh = true, .ack = true}; }
+
+// A parsed TCP segment. `payload` references the buffer passed to ParseTcp
+// and is only valid while that buffer lives.
+struct TcpSegment {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  TcpFlags flags;
+  uint16_t window = 65535;
+  uint16_t checksum = 0;
+  uint16_t urgent = 0;
+  std::optional<uint16_t> mss;          // from the MSS option, if present
+  std::optional<uint8_t> window_scale;  // from the WSopt, if present
+  std::span<const uint8_t> payload;
+
+  size_t payload_size() const { return payload.size(); }
+};
+
+// Fields used when building a segment.
+struct TcpSegmentSpec {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  TcpFlags flags;
+  uint16_t window = 65535;
+  std::optional<uint16_t> mss;
+  std::optional<uint8_t> window_scale;
+  std::span<const uint8_t> payload;
+};
+
+// Parses the TCP header (+ MSS / window-scale options) from `l4`, verifying
+// the checksum against the pseudo header for src/dst.
+moputil::Result<TcpSegment> ParseTcp(std::span<const uint8_t> l4, const IpAddr& src,
+                                     const IpAddr& dst);
+
+// Serializes a TCP segment with a valid checksum.
+std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src, const IpAddr& dst);
+
+// Convenience: a full IPv4 datagram containing the TCP segment.
+std::vector<uint8_t> BuildTcpDatagram(const TcpSegmentSpec& spec, const IpAddr& src,
+                                      const IpAddr& dst, uint16_t ip_id = 0, uint8_t ttl = 64);
+
+// 32-bit sequence-space comparisons (RFC 793 wraparound arithmetic).
+inline bool SeqLt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) < 0; }
+inline bool SeqLe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <= 0; }
+inline bool SeqGt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) > 0; }
+inline bool SeqGe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) >= 0; }
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_TCP_H_

@@ -1,0 +1,73 @@
+#include "netpkt/udp.h"
+
+#include "netpkt/checksum.h"
+
+namespace moppkt {
+
+namespace {
+uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
+  return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
+}
+}  // namespace
+
+moputil::Result<UdpDatagram> ParseUdp(std::span<const uint8_t> l4, const IpAddr& src,
+                                      const IpAddr& dst) {
+  if (l4.size() < 8) {
+    return moputil::InvalidArgument("UDP datagram shorter than header");
+  }
+  UdpDatagram d;
+  d.src_port = GetU16(l4, 0);
+  d.dst_port = GetU16(l4, 2);
+  d.length = GetU16(l4, 4);
+  d.checksum = GetU16(l4, 6);
+  if (d.length < 8 || d.length > l4.size()) {
+    return moputil::InvalidArgument("UDP length out of bounds");
+  }
+  if (d.checksum != 0) {
+    uint32_t partial =
+        PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kUdp), d.length);
+    if (ChecksumFinish(ChecksumPartial(l4.subspan(0, d.length), partial)) != 0) {
+      return moputil::InvalidArgument("UDP checksum mismatch");
+    }
+  }
+  d.payload = l4.subspan(8, d.length - 8);
+  return d;
+}
+
+std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
+                              std::span<const uint8_t> payload, const IpAddr& src,
+                              const IpAddr& dst) {
+  std::vector<uint8_t> out(8 + payload.size());
+  uint16_t length = static_cast<uint16_t>(out.size());
+  out[0] = static_cast<uint8_t>(src_port >> 8);
+  out[1] = static_cast<uint8_t>(src_port & 0xff);
+  out[2] = static_cast<uint8_t>(dst_port >> 8);
+  out[3] = static_cast<uint8_t>(dst_port & 0xff);
+  out[4] = static_cast<uint8_t>(length >> 8);
+  out[5] = static_cast<uint8_t>(length & 0xff);
+  out[6] = 0;
+  out[7] = 0;
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+  uint32_t partial = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kUdp), length);
+  uint16_t csum = ChecksumFinish(ChecksumPartial(out, partial));
+  if (csum == 0) {
+    csum = 0xffff;  // RFC 768: transmitted as all ones if computed as zero
+  }
+  out[6] = static_cast<uint8_t>(csum >> 8);
+  out[7] = static_cast<uint8_t>(csum & 0xff);
+  return out;
+}
+
+std::vector<uint8_t> BuildUdpDatagram(uint16_t src_port, uint16_t dst_port,
+                                      std::span<const uint8_t> payload, const IpAddr& src,
+                                      const IpAddr& dst, uint16_t ip_id) {
+  std::vector<uint8_t> l4 = BuildUdp(src_port, dst_port, payload, src, dst);
+  Ipv4Header ip;
+  ip.protocol = static_cast<uint8_t>(IpProto::kUdp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.identification = ip_id;
+  return BuildIpv4(ip, l4);
+}
+
+}  // namespace moppkt

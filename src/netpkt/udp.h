@@ -1,0 +1,40 @@
+// UDP datagram parse/serialize. MopEye relays all UDP but only measures DNS
+// (paper §2.2), so this stays minimal.
+#ifndef MOPEYE_NETPKT_UDP_H_
+#define MOPEYE_NETPKT_UDP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netpkt/ip.h"
+#include "util/status.h"
+
+namespace moppkt {
+
+struct UdpDatagram {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;  // header + payload
+  uint16_t checksum = 0;
+  std::span<const uint8_t> payload;
+};
+
+// Parses a UDP header from `l4` and verifies the checksum (unless it is 0,
+// which RFC 768 defines as "no checksum").
+moputil::Result<UdpDatagram> ParseUdp(std::span<const uint8_t> l4, const IpAddr& src,
+                                      const IpAddr& dst);
+
+// Serializes a UDP datagram with checksum.
+std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
+                              std::span<const uint8_t> payload, const IpAddr& src,
+                              const IpAddr& dst);
+
+// Convenience: full IPv4 datagram wrapping the UDP payload.
+std::vector<uint8_t> BuildUdpDatagram(uint16_t src_port, uint16_t dst_port,
+                                      std::span<const uint8_t> payload, const IpAddr& src,
+                                      const IpAddr& dst, uint16_t ip_id = 0);
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_UDP_H_

@@ -1,0 +1,33 @@
+#include "sim/actor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mopsim {
+
+ActorLane::ActorLane(EventLoop* loop, std::string name)
+    : loop_(loop), name_(std::move(name)) {
+  MOP_CHECK(loop != nullptr);
+}
+
+void ActorLane::Submit(SimDuration wake_latency, SimDuration service,
+                       std::function<void(SimTime, SimTime)> fn) {
+  MOP_CHECK_GE(wake_latency, 0);
+  MOP_CHECK_GE(service, 0);
+  SimTime start = std::max(loop_->Now() + wake_latency, free_at_);
+  SimTime end = start + service;
+  free_at_ = end;
+  busy_time_ += service;
+  ++tasks_run_;
+  loop_->ScheduleAt(end, [fn = std::move(fn), start, end] { fn(start, end); });
+}
+
+void ActorLane::Submit(SimDuration wake_latency, SimDuration service,
+                       std::function<void()> fn) {
+  Submit(wake_latency, service,
+         [fn = std::move(fn)](SimTime, SimTime) { fn(); });
+}
+
+}  // namespace mopsim

@@ -1,0 +1,65 @@
+#include "sim/event_loop.h"
+
+#include "util/logging.h"
+
+namespace mopsim {
+
+TimerId EventLoop::Schedule(SimDuration delay, std::function<void()> fn) {
+  MOP_CHECK_GE(delay, 0) << "negative event delay";
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+TimerId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  TimerId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventLoop::Cancel(TimerId id) { return pending_.erase(id) > 0; }
+
+bool EventLoop::RunOne(SimTime limit) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (top.when > limit) {
+      return false;
+    }
+    if (pending_.find(top.id) == pending_.end()) {  // cancelled
+      heap_.pop();
+      continue;
+    }
+    Event ev = std::move(const_cast<Event&>(top));
+    heap_.pop();
+    pending_.erase(ev.id);
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::Run() {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && RunOne(INT64_MAX)) {
+    ++n;
+  }
+  return n;
+}
+
+size_t EventLoop::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && RunOne(deadline)) {
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace mopsim

@@ -1,0 +1,74 @@
+// Minimal leveled logging. The relay engine never logs on packet paths (the
+// paper calls out debug logging as an expensive call to avoid, §3.4); logging
+// is for setup, teardown, and test diagnostics.
+#ifndef MOPEYE_UTIL_LOGGING_H_
+#define MOPEYE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace moputil {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Global minimum level; messages below it are dropped. Default: kWarning so
+// tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Lets a streamed expression be used where a void is expected (the classic
+// glog voidify trick: & binds looser than <<).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace moputil
+
+#define MOP_LOG(level)                                                          \
+  (static_cast<int>(moputil::LogLevel::k##level) <                              \
+   static_cast<int>(moputil::GetLogLevel()))                                    \
+      ? (void)0                                                                 \
+      : moputil::internal::Voidify() &                                          \
+            moputil::internal::LogMessage(moputil::LogLevel::k##level,          \
+                                          __FILE__, __LINE__)                   \
+                .stream()
+
+#define MOP_LOG_IF(level, cond) \
+  if (!(cond)) {                \
+  } else                        \
+    MOP_LOG(level)
+
+// CHECK macros: invariant violations abort. Used for programmer errors, not
+// for untrusted input (packet parsing returns Status instead).
+#define MOP_CHECK(cond)                                                            \
+  if (cond) {                                                                      \
+  } else                                                                           \
+    moputil::internal::LogMessage(moputil::LogLevel::kFatal, __FILE__, __LINE__)   \
+        .stream()                                                                  \
+        << "Check failed: " #cond " "
+
+#define MOP_CHECK_EQ(a, b) MOP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MOP_CHECK_NE(a, b) MOP_CHECK((a) != (b))
+#define MOP_CHECK_LE(a, b) MOP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MOP_CHECK_LT(a, b) MOP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MOP_CHECK_GE(a, b) MOP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MOP_CHECK_GT(a, b) MOP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // MOPEYE_UTIL_LOGGING_H_

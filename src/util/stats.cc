@@ -1,0 +1,179 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace moputil {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::Add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::Percentile(double p) const {
+  assert(!values_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (values_.size() == 1) {
+    return values_[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::Min() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return values_.front();
+}
+
+double Samples::Max() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return values_.back();
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::CdfAt(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::CdfCurve(size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (values_.empty() || points == 0) {
+    return curve;
+  }
+  EnsureSorted();
+  curve.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double frac = static_cast<double>(i + 1) / static_cast<double>(points);
+    size_t idx = static_cast<size_t>(frac * static_cast<double>(values_.size() - 1));
+    curve.emplace_back(values_[idx], frac);
+  }
+  return curve;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void BucketHistogram::Add(double x) {
+  size_t bucket = static_cast<size_t>(
+      std::upper_bound(edges_.begin(), edges_.end(), x) - edges_.begin());
+  // upper_bound gives the first edge > x: values below e0 land in bucket 0.
+  // We want right-open buckets [e_i, e_{i+1}), so a value equal to an edge
+  // belongs to the bucket that starts at that edge; upper_bound already does
+  // that for distinct values, and exact-edge values go up, which matches.
+  ++counts_[bucket];
+  ++total_;
+}
+
+std::string BucketHistogram::BucketLabel(size_t bucket, const std::string& unit) const {
+  std::ostringstream os;
+  auto fmt = [](double v) {
+    char buf[32];
+    if (v == static_cast<int64_t>(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g", v);
+    }
+    return std::string(buf);
+  };
+  if (bucket == 0) {
+    os << "0~" << fmt(edges_.front()) << unit;
+  } else if (bucket == edges_.size()) {
+    os << ">" << fmt(edges_.back()) << unit;
+  } else {
+    os << fmt(edges_[bucket - 1]) << "~" << fmt(edges_[bucket]) << unit;
+  }
+  return os.str();
+}
+
+std::string AsciiCdfPlot(const std::vector<std::pair<std::string, const Samples*>>& curves,
+                         double x_max, size_t width, size_t height,
+                         const std::string& x_label) {
+  std::ostringstream os;
+  static const char kMarks[] = {'*', '+', 'o', 'x', '#', '@'};
+  // Grid of height rows (1.0 at top) by width cols (0 .. x_max).
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t c = 0; c < curves.size(); ++c) {
+    const Samples* s = curves[c].second;
+    if (s == nullptr || s->empty()) {
+      continue;
+    }
+    char mark = kMarks[c % sizeof(kMarks)];
+    for (size_t col = 0; col < width; ++col) {
+      double x = x_max * static_cast<double>(col + 1) / static_cast<double>(width);
+      double y = s->CdfAt(x);
+      size_t row = height - 1 -
+                   std::min(height - 1, static_cast<size_t>(y * static_cast<double>(height - 1) + 0.5));
+      grid[row][col] = mark;
+    }
+  }
+  for (size_t r = 0; r < height; ++r) {
+    double y = static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", y);
+    os << label << grid[r] << "\n";
+  }
+  os << "      " << std::string(width, '-') << "\n";
+  char footer[64];
+  std::snprintf(footer, sizeof(footer), "      0%*s%.0f %s\n", static_cast<int>(width - 2), "",
+                x_max, x_label.c_str());
+  os << footer;
+  for (size_t c = 0; c < curves.size(); ++c) {
+    os << "      [" << kMarks[c % sizeof(kMarks)] << "] " << curves[c].first << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace moputil

@@ -1,0 +1,93 @@
+// Summary statistics used throughout the benches and the crowd analysis:
+// online mean/variance, percentile/median over samples, CDF evaluation, and
+// fixed-bucket histograms (the paper's Table 1 delay buckets).
+#ifndef MOPEYE_UTIL_STATS_H_
+#define MOPEYE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moputil {
+
+// Streaming mean / variance / min / max (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// A bag of samples with percentile queries. Sorting is done lazily and cached.
+class Samples {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { values_.reserve(n); }
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Percentile in [0, 100] with linear interpolation. Requires !empty().
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  // Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+  // Fraction of samples strictly above x.
+  double FractionAbove(double x) const { return 1.0 - CdfAt(x); }
+
+  // Evenly spaced CDF points for plotting: pairs of (value, cumulative frac).
+  std::vector<std::pair<double, double>> CdfCurve(size_t points = 50) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Counts samples into caller-defined right-open buckets, e.g. Table 1's
+// {0-1ms, 1-2ms, 2-5ms, 5-10ms, >10ms}. `edges` are the interior boundaries.
+class BucketHistogram {
+ public:
+  // edges must be strictly increasing; buckets are
+  // [-inf,e0), [e0,e1), ..., [e_{n-1}, +inf).
+  explicit BucketHistogram(std::vector<double> edges);
+
+  void Add(double x);
+  size_t total() const { return total_; }
+  size_t bucket_count() const { return counts_.size(); }
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  // Label like "0~1", "1~2", ">10" given a unit suffix.
+  std::string BucketLabel(size_t bucket, const std::string& unit) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+// Renders an ASCII CDF plot (for the figure benches). `curves` is a list of
+// (label, samples). Values are plotted on [0, x_max] with `width` columns.
+std::string AsciiCdfPlot(const std::vector<std::pair<std::string, const Samples*>>& curves,
+                         double x_max, size_t width = 64, size_t height = 16,
+                         const std::string& x_label = "ms");
+
+}  // namespace moputil
+
+#endif  // MOPEYE_UTIL_STATS_H_

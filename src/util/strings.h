@@ -1,0 +1,36 @@
+// Small string helpers shared by the packet code and the report printers.
+#ifndef MOPEYE_UTIL_STRINGS_H_
+#define MOPEYE_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moputil {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Lowercase ASCII copy.
+std::string ToLower(std::string_view s);
+
+// Parses an unsigned hex string ("0100007F") into a value. Returns false on
+// any non-hex character or overflow of 64 bits.
+bool ParseHexU64(std::string_view s, uint64_t* out);
+
+// "1,234,567" style thousands separators for report tables.
+std::string WithCommas(int64_t value);
+
+}  // namespace moputil
+
+#endif  // MOPEYE_UTIL_STRINGS_H_

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace moputil {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&] {
+    std::string s = "+";
+    for (size_t w : widths) {
+      s += std::string(w + 2, '-') + "+";
+    }
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        os << " " << cell << std::string(pad, ' ') << " |";
+      } else {
+        os << " " << std::string(pad, ' ') << cell << " |";
+      }
+    }
+    os << "\n";
+    return os.str();
+  };
+  std::ostringstream os;
+  os << line() << render_row(header_) << line();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << line();
+    } else {
+      os << render_row(row);
+    }
+  }
+  os << line();
+  return os.str();
+}
+
+}  // namespace moputil

@@ -1,0 +1,31 @@
+// Console table rendering for the bench reports. Every experiment binary
+// prints "paper" and "measured" rows side by side through this.
+#ifndef MOPEYE_UTIL_TABLE_H_
+#define MOPEYE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace moputil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // A horizontal separator line between row groups.
+  void AddSeparator();
+
+  // Renders with column auto-sizing; first column left-aligned, the rest
+  // right-aligned (numbers).
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moputil
+
+#endif  // MOPEYE_UTIL_TABLE_H_

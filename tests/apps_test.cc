@@ -1,0 +1,229 @@
+// App-side stack tests: the client TCP implementation, the DNS client, and
+// the traffic sessions (driven against the full relay, which is the only
+// TCP peer in the system — exactly how the real app meets MopEye).
+#include <gtest/gtest.h>
+
+#include "apps/dns_client.h"
+#include "apps/sessions.h"
+#include "apps/tcp_client.h"
+#include "tests/test_world.h"
+
+namespace {
+
+using moptest::TestWorld;
+using moptest::WorldOptions;
+using moputil::Millis;
+
+TEST(AppTcp, HandshakeNegotiatesMss) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 70, 0, 1), 80, Millis(10));
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10300);
+  bool ok = false;
+  conn->Connect(addr, [&](moputil::Status st) { ok = st.ok(); });
+  w.RunMs(1000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(conn->state(), mopapps::AppTcpState::kEstablished);
+  EXPECT_EQ(conn->peer_mss(), 1460);  // §3.4: MopEye advertises MSS 1460
+  EXPECT_EQ(conn->syn_retransmits(), 0);
+  EXPECT_GT(conn->connect_latency(), 0);
+}
+
+TEST(AppTcp, ConnTableRowExistsWhileConnected) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 70, 0, 2), 80, Millis(10));
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10301);
+  conn->Connect(addr, [](moputil::Status) {});
+  // The row appears at connect() time with SYN_SENT.
+  EXPECT_EQ(w.device().conn_table().LookupUid(moppkt::IpProto::kTcp, conn->local().port,
+                                              conn->remote()),
+            10301);
+  w.RunMs(1000);
+  conn->Close();
+  w.RunMs(1000);
+  EXPECT_EQ(conn->state(), mopapps::AppTcpState::kClosed);
+  EXPECT_EQ(w.device().conn_table().LookupUid(moppkt::IpProto::kTcp, conn->local().port,
+                                              conn->remote()),
+            -1);
+}
+
+TEST(AppTcp, SynRetransmitsWhenServerSlow) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // Server accept delayed 1.6s: the app's kernel retransmits its SYN once;
+  // the relay answers the duplicate without creating a second client.
+  auto ip = moppkt::IpAddr(93, 70, 0, 3);
+  w.paths().SetPath(ip, std::make_shared<moputil::FixedDelay>(Millis(5)));
+  w.farm().AddTcpServer({ip, 80},
+                        [] { return std::make_unique<mopnet::SizeEncodedBehavior>(); },
+                        std::make_shared<moputil::FixedDelay>(moputil::Seconds(1.6)));
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10302);
+  bool ok = false;
+  conn->Connect({ip, 80}, [&](moputil::Status st) { ok = st.ok(); });
+  w.RunMs(5000);
+  EXPECT_TRUE(ok);
+  EXPECT_GE(conn->syn_retransmits(), 1);
+  EXPECT_EQ(w.engine().counters().syn_duplicates, conn->syn_retransmits() * 1ull);
+  EXPECT_EQ(w.engine().active_clients(), 1u);  // duplicate SYN didn't fork a client
+}
+
+TEST(AppTcp, AbortSendsRstThroughRelay) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 70, 0, 4), 80, Millis(10));
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10303);
+  conn->Connect(addr, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    conn->Abort();
+  });
+  w.RunMs(1000);
+  EXPECT_EQ(conn->state(), mopapps::AppTcpState::kClosed);
+  EXPECT_GT(w.engine().counters().rsts, 0u);
+  EXPECT_EQ(w.engine().active_clients(), 0u);
+}
+
+TEST(AppTcp, WindowLimitsInFlightData) {
+  // With a slow relay ACK path the app may not exceed the advertised window.
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 70, 0, 5), 80, Millis(50),
+                          [] { return std::make_unique<mopnet::SinkBehavior>(); });
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10304);
+  conn->Connect(addr, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    conn->SendBytes(500000);  // far more than one window
+  });
+  w.RunMs(80);  // before first ACK returns, in-flight <= min(window, cwnd)
+  EXPECT_LE(conn->bytes_sent(), 65535u);
+  w.RunMs(8000);
+  EXPECT_EQ(conn->bytes_sent(), 500000u);  // eventually everything flows
+}
+
+TEST(DnsClient, ResolvesThroughTunnel) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  w.farm().resolution().Add("api.service.test", moppkt::IpAddr(93, 71, 0, 1));
+  mopapps::TunDnsClient dns(&w.stack(), 10310);
+  moppkt::IpAddr got;
+  dns.Resolve("api.service.test", [&](moputil::Result<mopapps::DnsResult> r) {
+    ASSERT_TRUE(r.ok());
+    got = r.value().address;
+    EXPECT_EQ(r.value().retries, 0);
+    EXPECT_GT(r.value().latency, 0);
+  });
+  w.RunMs(2000);
+  EXPECT_EQ(got, moppkt::IpAddr(93, 71, 0, 1));
+}
+
+TEST(DnsClient, RetriesOnLossThenSucceeds) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // 60% loss toward the resolver: retries happen, eventually succeeds.
+  w.paths().SetPath(moppkt::IpAddr(8, 8, 8, 8),
+                    std::make_shared<moputil::FixedDelay>(Millis(10)), 0.6);
+  w.farm().resolution().Add("flaky.example", moppkt::IpAddr(93, 71, 0, 2));
+  mopapps::TunDnsClient dns(&w.stack(), 10311);
+  dns.set_timeout(moputil::Millis(300));
+  dns.set_max_retries(8);
+  bool done = false;
+  bool ok = false;
+  dns.Resolve("flaky.example", [&](moputil::Result<mopapps::DnsResult> r) {
+    done = true;
+    ok = r.ok();
+  });
+  w.RunMs(10000);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+}
+
+TEST(DnsClient, RejectsInvalidName) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  mopapps::TunDnsClient dns(&w.stack(), 10312);
+  bool failed = false;
+  dns.Resolve("bad..name", [&](moputil::Result<mopapps::DnsResult> r) { failed = !r.ok(); });
+  w.RunMs(10);
+  EXPECT_TRUE(failed);
+}
+
+TEST(Sessions, ChatRoundTripsMessages) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto* app = w.MakeApp(10320, "com.whatsapp", "Whatsapp");
+  mopapps::ChatSession::Config cfg;
+  cfg.messages = 10;
+  cfg.mean_gap = Millis(200);
+  mopapps::ChatSession session(app, &w.farm(), cfg, moputil::Rng(3));
+  bool done = false;
+  session.Start([&] { done = true; });
+  w.RunMs(60000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(session.metrics().message_rtt_ms.count(), 10u);
+  EXPECT_EQ(session.metrics().failures, 0);
+  EXPECT_GT(session.metrics().message_rtt_ms.Median(), 0.0);
+}
+
+TEST(Sessions, VideoStreamsAllChunks) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto* app = w.MakeApp(10321, "com.google.android.youtube", "YouTube");
+  mopapps::VideoSession::Config cfg;
+  cfg.chunks = 4;
+  cfg.chunk_bytes = 256 * 1024;
+  cfg.chunk_interval = Millis(500);
+  mopapps::VideoSession session(app, &w.farm(), cfg, moputil::Rng(4));
+  bool done = false;
+  session.Start([&] { done = true; });
+  w.RunMs(30000);
+  ASSERT_TRUE(done);
+  EXPECT_GE(session.metrics().bytes_down, 4u * 256 * 1024);
+}
+
+TEST(Sessions, SpeedtestDirectModeApproachesLinkRate) {
+  // Baseline sanity for Table 3: without any VPN, the speedtest should land
+  // near the 25 Mbps access rate in both directions.
+  WorldOptions opts;
+  TestWorld w(opts);
+  auto* app = w.MakeApp(10322, "org.zwanoo.android.speedtest", "Speedtest",
+                        mopapps::App::Mode::kDirect);
+  mopapps::SpeedtestSession::Config cfg;
+  cfg.download_bytes = 4 * 1024 * 1024;
+  cfg.upload_bytes = 4 * 1024 * 1024;
+  mopapps::SpeedtestSession session(app, &w.farm(), cfg, moputil::Rng(5));
+  mopapps::SpeedtestSession::Result result;
+  bool done = false;
+  session.Start([&](mopapps::SpeedtestSession::Result r) {
+    result = r;
+    done = true;
+  });
+  w.loop().RunUntil(moputil::Seconds(120));
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.download_mbps, 20.0);
+  EXPECT_LE(result.download_mbps, 26.0);
+  EXPECT_GT(result.upload_mbps, 20.0);
+  EXPECT_GT(result.ping_ms.count(), 0u);
+}
+
+TEST(Sessions, BrowsingDirectVsTunnelSameShape) {
+  // The same session code runs over both transports; metrics have the same
+  // shape so overhead experiments can diff them.
+  for (auto mode : {mopapps::App::Mode::kDirect, mopapps::App::Mode::kTunnel}) {
+    TestWorld w;
+    if (mode == mopapps::App::Mode::kTunnel) {
+      ASSERT_TRUE(w.StartEngine().ok());
+    }
+    auto* app = w.MakeApp(10323, "com.android.chrome", "Chrome", mode);
+    mopapps::BrowsingSession::Config cfg;
+    cfg.pages = 2;
+    mopapps::BrowsingSession session(app, &w.farm(), cfg, moputil::Rng(6));
+    bool done = false;
+    session.Start([&] { done = true; });
+    w.RunMs(60000);
+    ASSERT_TRUE(done) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(session.metrics().failures, 0);
+    EXPECT_EQ(session.metrics().page_load_ms.count(), 2u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Crowd study tests: determinism, schema fidelity, calibration invariants,
+// and analysis correctness on hand-built datasets.
+#include <gtest/gtest.h>
+
+#include "crowd/analysis.h"
+#include "crowd/study.h"
+#include "crowd/world.h"
+
+namespace {
+
+using mopcrowd::CrowdDataset;
+using mopcrowd::CrowdRecord;
+using mopcrowd::RecordKind;
+using mopcrowd::Study;
+using mopcrowd::StudyConfig;
+using mopcrowd::World;
+
+StudyConfig SmallConfig(uint64_t seed = 99) {
+  StudyConfig cfg;
+  cfg.scale = 0.02;  // ~105k records, fast
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(World, DefaultShapes) {
+  World w = World::Default();
+  EXPECT_EQ(w.countries().size(), 114u);
+  EXPECT_GE(w.isps().size(), 15u);
+  EXPECT_GE(w.apps().size(), 6266u);
+  EXPECT_GE(w.FindApp("Whatsapp"), 0);
+  EXPECT_GE(w.FindIsp("Jio 4G"), 0);
+  EXPECT_EQ(w.FindApp("NotAnApp"), -1);
+}
+
+TEST(World, WhatsappHas334Domains) {
+  World w = World::Default();
+  int idx = w.FindApp("Whatsapp");
+  ASSERT_GE(idx, 0);
+  int domains = 0;
+  for (const auto& g : w.apps()[static_cast<size_t>(idx)].domains) {
+    domains += g.count;
+  }
+  EXPECT_EQ(domains, 334);
+}
+
+TEST(World, RttModelOrderings) {
+  World w = World::Default();
+  moputil::Rng rng(5);
+  // 2G >> 3G > LTE > WiFi on first-hop medians (sample means as proxy).
+  double sums[4] = {0, 0, 0, 0};
+  const mopnet::NetType nets[4] = {mopnet::NetType::kWifi, mopnet::NetType::kLte,
+                                   mopnet::NetType::k3G, mopnet::NetType::k2G};
+  const auto* verizon = &w.isps()[static_cast<size_t>(w.FindIsp("Verizon"))];
+  for (int i = 0; i < 3000; ++i) {
+    for (int n = 0; n < 4; ++n) {
+      sums[n] += w.SampleFirstHopMs(nets[n], verizon, rng);
+    }
+  }
+  EXPECT_LT(sums[0], sums[1]);
+  EXPECT_LT(sums[1], sums[2]);
+  EXPECT_LT(sums[2], sums[3]);
+}
+
+TEST(World, JioCorePenaltyHitsAppsNotDns) {
+  World w = World::Default();
+  moputil::Rng rng(6);
+  const auto* jio = &w.isps()[static_cast<size_t>(w.FindIsp("Jio 4G"))];
+  const auto* verizon = &w.isps()[static_cast<size_t>(w.FindIsp("Verizon"))];
+  double jio_app = 0, vz_app = 0, jio_dns = 0;
+  for (int i = 0; i < 4000; ++i) {
+    jio_app += w.SampleAppRttMsWithExtra(mopnet::NetType::kLte, jio, 20, rng, false);
+    vz_app += w.SampleAppRttMsWithExtra(mopnet::NetType::kLte, verizon, 20, rng, false);
+    jio_dns += w.SampleDnsRttMs(mopnet::NetType::kLte, jio, 33, rng);
+  }
+  EXPECT_GT(jio_app / 4000, vz_app / 4000 + 150);  // core penalty visible
+  EXPECT_LT(jio_dns / 4000, 120);                  // resolver unaffected
+}
+
+TEST(Study, DeterministicForSeed) {
+  World w = World::Default();
+  auto a = Study(&w, SmallConfig(7)).Run();
+  auto b = Study(&w, SmallConfig(7)).Run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < std::min<size_t>(a.size(), 5000); ++i) {
+    EXPECT_EQ(a.records()[i].rtt_ms, b.records()[i].rtt_ms);
+    EXPECT_EQ(a.records()[i].domain_id, b.records()[i].domain_id);
+  }
+}
+
+TEST(Study, DifferentSeedsDiffer) {
+  World w = World::Default();
+  auto a = Study(&w, SmallConfig(7)).Run();
+  auto b = Study(&w, SmallConfig(8)).Run();
+  int same = 0;
+  size_t n = std::min({a.size(), b.size(), size_t{1000}});
+  for (size_t i = 0; i < n; ++i) {
+    if (a.records()[i].rtt_ms == b.records()[i].rtt_ms) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, static_cast<int>(n / 10));
+}
+
+TEST(Study, HitsTargetTotalsApproximately) {
+  World w = World::Default();
+  StudyConfig cfg = SmallConfig();
+  auto ds = Study(&w, cfg).Run();
+  double target = static_cast<double>(cfg.effective_target());
+  EXPECT_NEAR(static_cast<double>(ds.size()), target, target * 0.1);
+  // DNS fraction ~32%.
+  double dns_frac =
+      static_cast<double>(ds.CountKind(RecordKind::kDns)) / static_cast<double>(ds.size());
+  EXPECT_NEAR(dns_frac, cfg.dns_fraction, 0.02);
+}
+
+TEST(Study, MediansLandNearPaper) {
+  World w = World::Default();
+  StudyConfig cfg;
+  cfg.scale = 0.05;
+  auto ds = Study(&w, cfg).Run();
+  auto apps = mopcrowd::AppRtts(ds);
+  EXPECT_NEAR(apps.all.Median(), 65.0, 12.0);
+  EXPECT_NEAR(apps.lte.Median(), 76.0, 12.0);
+  auto dns = mopcrowd::DnsRtts(ds);
+  EXPECT_NEAR(dns.all.Median(), 42.0, 8.0);
+  EXPECT_NEAR(dns.wifi.Median(), 33.0, 7.0);
+  EXPECT_NEAR(dns.g3.Median(), 105.0, 20.0);
+  EXPECT_NEAR(dns.g2.Median(), 755.0, 120.0);
+}
+
+TEST(Analysis, BucketsOnHandBuiltDataset) {
+  CrowdDataset ds;
+  ds.devices().resize(3);
+  auto add = [&](uint32_t device, int count) {
+    for (int i = 0; i < count; ++i) {
+      CrowdRecord r;
+      r.device_id = device;
+      r.app_id = static_cast<uint16_t>(device);
+      r.kind = RecordKind::kTcp;
+      r.rtt_ms = 50;
+      ds.Add(r);
+    }
+  };
+  add(0, 50);     // below every bucket
+  add(1, 500);    // 100-1k
+  add(2, 15000);  // >10k
+  auto users = mopcrowd::MeasurementsByUser(ds);
+  EXPECT_EQ(users.h100_to_1k, 1u);
+  EXPECT_EQ(users.over_10k, 1u);
+  EXPECT_EQ(users.k1_to_5k, 0u);
+  auto apps = mopcrowd::MeasurementsByApp(ds);
+  EXPECT_EQ(apps.over_10k, 1u);
+}
+
+TEST(Analysis, PerAppMediansRespectMinCount) {
+  CrowdDataset ds;
+  for (int i = 0; i < 100; ++i) {
+    CrowdRecord r;
+    r.kind = RecordKind::kTcp;
+    r.app_id = 1;
+    r.rtt_ms = static_cast<float>(i);
+    ds.Add(r);
+    if (i < 5) {
+      r.app_id = 2;
+      ds.Add(r);
+    }
+  }
+  auto medians = mopcrowd::PerAppMedians(ds, 50);
+  EXPECT_EQ(medians.count(), 1u);  // only app 1 qualifies
+  EXPECT_NEAR(medians.values()[0], 50.0, 1.0);
+}
+
+TEST(Analysis, WhatsappCaseCountsDomains) {
+  World w = World::Default();
+  StudyConfig cfg;
+  cfg.scale = 0.05;
+  auto ds = Study(&w, cfg).Run();
+  auto wa = mopcrowd::AnalyzeWhatsapp(ds);
+  // At 5% scale a couple of the 334 domains may go unsampled and thin
+  // per-domain medians are noisy; the full-scale bench pins the exact counts.
+  EXPECT_GE(wa.domain_count, 330u);
+  EXPECT_GT(wa.chat_median, 200.0);
+  EXPECT_LT(wa.media_median, 130.0);
+  EXPECT_GE(wa.domains_over_200, 280);
+}
+
+TEST(Analysis, DatasetTotalsConsistent) {
+  World w = World::Default();
+  auto ds = Study(&w, SmallConfig()).Run();
+  auto totals = mopcrowd::Totals(ds);
+  EXPECT_EQ(totals.measurements, ds.size());
+  EXPECT_EQ(totals.tcp + totals.dns, totals.measurements);
+  EXPECT_GT(totals.apps, 100u);
+  EXPECT_GT(totals.domains, 1000u);
+  EXPECT_LE(totals.devices, ds.devices().size());
+}
+
+TEST(Analysis, GeoMapCountsDistinctLocations) {
+  World w = World::Default();
+  auto ds = Study(&w, SmallConfig()).Run();
+  auto geo = mopcrowd::GeoMap(ds);
+  EXPECT_GT(geo.locations, ds.devices().size() / 2);
+  EXPECT_FALSE(geo.ascii_map.empty());
+}
+
+TEST(Dataset, InterningRoundTrips) {
+  CrowdDataset ds;
+  auto a = ds.InternDomain("graph.facebook.com");
+  auto b = ds.InternDomain("mme.whatsapp.net");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ds.InternDomain("graph.facebook.com"), a);
+  EXPECT_EQ(ds.DomainName(a), "graph.facebook.com");
+  EXPECT_EQ(ds.domain_count(), 2u);
+}
+
+TEST(Dataset, RecordIsCompact) {
+  EXPECT_EQ(sizeof(CrowdRecord), 20u);
+}
+
+}  // namespace

@@ -1,0 +1,317 @@
+// End-to-end relay tests: real app TCP through the TUN, spliced by MopEye's
+// user-space stack onto simulated kernel sockets, against scripted servers.
+#include <gtest/gtest.h>
+
+#include "netpkt/dns.h"
+#include "tests/test_world.h"
+
+namespace {
+
+using moptest::TestWorld;
+using moptest::WorldOptions;
+using moputil::Millis;
+
+TEST(EngineIntegration, RelaysHandshakeAndMeasuresRtt) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // Server 10ms one-way => 20ms RTT + 2ms first-hop RTT = 22ms wire RTT.
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 1), 80, Millis(10));
+  auto* app = w.MakeApp(10100, "com.example.web", "WebApp");
+
+  auto conn = app->CreateConn();
+  bool connected = false;
+  conn->Connect(addr, [&](moputil::Status st) { connected = st.ok(); });
+  w.RunMs(2000);
+  EXPECT_TRUE(connected);
+
+  // One TCP measurement recorded, attributed to the right app.
+  const auto& recs = w.engine().store().records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].kind, mopeye::MeasureKind::kTcpConnect);
+  EXPECT_EQ(recs[0].uid, 10100);
+  EXPECT_EQ(recs[0].app, "WebApp");
+  EXPECT_EQ(recs[0].server.ToString(), "93.10.0.1:80");
+  // Wire RTT is 22ms; MopEye's measurement must be within 1ms (Table 2).
+  double rtt_ms = moputil::ToMillis(recs[0].rtt);
+  EXPECT_GE(rtt_ms, 22.0);
+  EXPECT_LE(rtt_ms, 23.0);
+}
+
+TEST(EngineIntegration, AccuracyMatchesTcpdumpWithinOneMs) {
+  // Re-creates Table 2's setup: destinations at three RTT scales, ten runs
+  // each, MopEye mean vs tcpdump mean.
+  for (double one_way_ms : {2.0, 18.0, 140.0}) {
+    TestWorld w;
+    ASSERT_TRUE(w.StartEngine().ok());
+    auto addr =
+        w.AddServer(moppkt::IpAddr(93, 20, 0, 1), 443, Millis(one_way_ms));
+    auto* app = w.MakeApp(10100, "com.example.probe", "Probe");
+
+    for (int i = 0; i < 10; ++i) {
+      auto conn = std::shared_ptr<mopapps::AppConn>(app->CreateConn().release());
+      conn->Connect(addr, [conn](moputil::Status) {});
+      w.RunMs(one_way_ms * 2 + 500);
+    }
+
+    auto mop = w.engine().store().RttsMs();
+    auto wire = w.device().net().capture().AllHandshakeRtts(addr);
+    ASSERT_EQ(mop.count(), 10u);
+    ASSERT_EQ(wire.size(), 10u);
+    double wire_mean = 0;
+    for (auto r : wire) {
+      wire_mean += moputil::ToMillis(r);
+    }
+    wire_mean /= 10.0;
+    EXPECT_NEAR(mop.Mean(), wire_mean, 1.0) << "one_way " << one_way_ms;
+    EXPECT_GE(mop.Mean(), wire_mean);  // software delays only ever add
+  }
+}
+
+TEST(EngineIntegration, RelaysDataBothWays) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // Echo server: bytes we send come back verbatim.
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 2), 7, Millis(5),
+                          [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  auto* app = w.MakeApp(10101, "com.example.echo", "EchoApp");
+
+  auto conn = app->CreateConn();
+  size_t received = 0;
+  conn->on_data = [&](size_t n) { received += n; };
+  conn->Connect(addr, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    conn->SendBytes(5000);
+  });
+  w.RunMs(3000);
+  EXPECT_EQ(received, 5000u);
+  EXPECT_EQ(w.engine().counters().bytes_app_to_server, 5000u);
+  EXPECT_EQ(w.engine().counters().bytes_server_to_app, 5000u);
+  EXPECT_GT(w.engine().counters().pure_acks_discarded, 0u);
+}
+
+TEST(EngineIntegration, PayloadContentSurvivesRelay) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 3), 7, Millis(5),
+                          [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  // Use the raw tunnel connection to check bytes, not just counts.
+  auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10102);
+  std::vector<uint8_t> sent;
+  for (int i = 0; i < 3000; ++i) {
+    sent.push_back(static_cast<uint8_t>((i * 7 + 3) & 0xff));
+  }
+  std::vector<uint8_t> got;
+  conn->on_data = [&](std::span<const uint8_t> d) { got.insert(got.end(), d.begin(), d.end()); };
+  conn->Connect(addr, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    conn->Send(sent);
+  });
+  w.RunMs(3000);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(EngineIntegration, ConnectionRefusedSendsRstToApp) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // No server registered at this address.
+  moppkt::SocketAddr addr{moppkt::IpAddr(93, 66, 0, 1), 81};
+  auto* app = w.MakeApp(10103, "com.example.dead", "DeadApp");
+  auto conn = app->CreateConn();
+  bool failed = false;
+  conn->Connect(addr, [&](moputil::Status st) { failed = !st.ok(); });
+  w.RunMs(2000);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(w.engine().counters().connects_failed, 1u);
+  EXPECT_EQ(w.engine().active_clients(), 0u);
+}
+
+TEST(EngineIntegration, ServerCloseReachesApp) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 4), 80, Millis(5), [] {
+    return std::make_unique<mopnet::CloseAfterBehavior>(Millis(50));
+  });
+  auto* app = w.MakeApp(10104, "com.example.closer", "Closer");
+  auto conn = app->CreateConn();
+  bool peer_closed = false;
+  conn->on_peer_close = [&] { peer_closed = true; };
+  conn->Connect(addr, [](moputil::Status) {});
+  w.RunMs(2000);
+  EXPECT_TRUE(peer_closed);
+}
+
+TEST(EngineIntegration, AppCloseReachesServerAndClientRetires) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 5), 80, Millis(5));
+  auto* app = w.MakeApp(10105, "com.example.finisher", "Finisher");
+  auto conn = app->CreateConn();
+  conn->Connect(addr, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    conn->Close();
+  });
+  w.RunMs(2000);
+  EXPECT_EQ(w.engine().active_clients(), 0u);
+  EXPECT_GT(w.engine().counters().fins, 0u);
+}
+
+TEST(EngineIntegration, DnsQueriesAreMeasuredAndRelayed) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  w.farm().resolution().Add("www.demo.test", moppkt::IpAddr(93, 77, 0, 1));
+  // DNS path: default 10ms one-way => ~22ms RTT with first hop.
+  auto* app = w.MakeApp(10106, "com.example.dnsy", "Dnsy");
+  moppkt::IpAddr resolved;
+  bool done = false;
+  app->Resolve("www.demo.test", [&](moputil::Result<mopapps::DnsResult> r) {
+    ASSERT_TRUE(r.ok());
+    resolved = r.value().address;
+    done = true;
+  });
+  w.RunMs(2000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(resolved, moppkt::IpAddr(93, 77, 0, 1));
+
+  ASSERT_EQ(w.engine().store().CountKind(mopeye::MeasureKind::kDns), 1u);
+  const auto& rec = w.engine().store().records()[0];
+  EXPECT_EQ(rec.domain, "www.demo.test");
+  EXPECT_EQ(rec.app, "(dns)");
+  double rtt = moputil::ToMillis(rec.rtt);
+  EXPECT_GE(rtt, 22.0);
+  EXPECT_LE(rtt, 24.0);
+}
+
+TEST(EngineIntegration, ConcurrentAppsAttributedCorrectly) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr1 = w.AddServer(moppkt::IpAddr(93, 10, 1, 1), 80, Millis(8));
+  auto addr2 = w.AddServer(moppkt::IpAddr(93, 10, 1, 2), 80, Millis(25));
+  auto* app_a = w.MakeApp(10110, "com.example.aaa", "AppA");
+  auto* app_b = w.MakeApp(10111, "com.example.bbb", "AppB");
+
+  std::vector<std::shared_ptr<mopapps::AppConn>> conns;
+  for (int i = 0; i < 5; ++i) {
+    auto ca = std::shared_ptr<mopapps::AppConn>(app_a->CreateConn().release());
+    ca->Connect(addr1, [](moputil::Status) {});
+    conns.push_back(ca);
+    auto cb = std::shared_ptr<mopapps::AppConn>(app_b->CreateConn().release());
+    cb->Connect(addr2, [](moputil::Status) {});
+    conns.push_back(cb);
+  }
+  w.RunMs(5000);
+
+  int a_count = 0, b_count = 0;
+  for (const auto& r : w.engine().store().records()) {
+    if (r.app == "AppA") {
+      ++a_count;
+      EXPECT_EQ(r.server.ip, moppkt::IpAddr(93, 10, 1, 1));
+    } else if (r.app == "AppB") {
+      ++b_count;
+      EXPECT_EQ(r.server.ip, moppkt::IpAddr(93, 10, 1, 2));
+    }
+  }
+  EXPECT_EQ(a_count, 5);
+  EXPECT_EQ(b_count, 5);
+  EXPECT_EQ(w.engine().mapper().misattributions(), 0);
+  // Lazy mapping should have let some threads reuse another's parse.
+  EXPECT_LE(w.engine().mapper().parses(), w.engine().mapper().requests());
+}
+
+TEST(EngineIntegration, UnprotectedModeOnOldSdkStillWorks) {
+  WorldOptions opts;
+  opts.sdk_version = mopdroid::kSdkKitKat;  // Android 4.4: per-socket protect()
+  TestWorld w(opts);
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 2, 1), 80, Millis(10));
+  auto* app = w.MakeApp(10112, "com.example.kitkat", "KitKat");
+  auto conn = app->CreateConn();
+  bool ok = false;
+  conn->Connect(addr, [&](moputil::Status st) { ok = st.ok(); });
+  w.RunMs(2000);
+  EXPECT_TRUE(ok);
+  EXPECT_GT(w.engine().vpn().protect_calls(), 0);
+  EXPECT_EQ(w.device().net().loop_violations(), 0);
+}
+
+TEST(EngineIntegration, DisallowedAppModeSkipsPerSocketProtect) {
+  TestWorld w;  // SDK 24
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 2, 2), 80, Millis(10));
+  auto* app = w.MakeApp(10113, "com.example.lollipop", "Lollipop");
+  auto conn = app->CreateConn();
+  conn->Connect(addr, [](moputil::Status) {});
+  w.RunMs(2000);
+  EXPECT_EQ(w.engine().vpn().protect_calls(), 0);
+  EXPECT_EQ(w.device().net().loop_violations(), 0);
+}
+
+TEST(EngineIntegration, ForcedDisallowedOnOldSdkFailsToStart) {
+  WorldOptions opts;
+  opts.sdk_version = mopdroid::kSdkKitKat;
+  TestWorld w(opts);
+  mopeye::Config cfg;
+  cfg.protect_mode = mopeye::Config::ProtectMode::kDisallowedApp;
+  auto st = w.StartEngine(cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), moputil::StatusCode::kUnimplemented);
+}
+
+TEST(EngineIntegration, StopReleasesBlockedReaderViaDummyPacket) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  // No traffic at all: the reader is parked in a blocking read().
+  w.RunMs(100);
+  w.engine().Stop();
+  w.RunMs(100);
+  EXPECT_FALSE(w.engine().running());
+  EXPECT_TRUE(w.engine().tun_reader()->stopped());
+  // The dummy download's SYN released the read (packet counted by the tun).
+  EXPECT_GE(w.device().vpn_tun() != nullptr ? 1 : 1, 1);
+}
+
+TEST(EngineIntegration, SelectorTimestampModeInflatesRtt) {
+  // Ablation for §2.4: event-notification timestamps vs blocking connect.
+  double blocking_mean = 0, selector_mean = 0;
+  for (int mode = 0; mode < 2; ++mode) {
+    TestWorld w;
+    mopeye::Config cfg;
+    cfg.timestamp_mode = mode == 0 ? mopeye::Config::TimestampMode::kBlockingConnectThread
+                                   : mopeye::Config::TimestampMode::kSelector;
+    ASSERT_TRUE(w.StartEngine(cfg).ok());
+    auto addr = w.AddServer(moppkt::IpAddr(93, 10, 3, 1), 80, Millis(10));
+    auto* app = w.MakeApp(10114, "com.example.ts", "Ts");
+    for (int i = 0; i < 20; ++i) {
+      auto conn = std::shared_ptr<mopapps::AppConn>(app->CreateConn().release());
+      conn->Connect(addr, [conn](moputil::Status) {});
+      w.RunMs(200);
+    }
+    auto rtts = w.engine().store().RttsMs();
+    ASSERT_GE(rtts.count(), 20u);
+    (mode == 0 ? blocking_mean : selector_mean) = rtts.Mean();
+  }
+  EXPECT_GT(selector_mean, blocking_mean);
+}
+
+TEST(EngineIntegration, BrowsingSessionEndToEnd) {
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto* app = w.MakeApp(10115, "com.android.chrome", "Chrome");
+  mopapps::BrowsingSession::Config cfg;
+  cfg.pages = 3;
+  cfg.domains = {"news.site-a.test", "shop.site-b.test"};
+  mopapps::BrowsingSession session(app, &w.farm(), cfg, moputil::Rng(7));
+  bool done = false;
+  session.Start([&] { done = true; });
+  w.RunMs(60000);
+  ASSERT_TRUE(done);
+  const auto& m = session.metrics();
+  EXPECT_EQ(m.failures, 0);
+  EXPECT_GE(m.connections, 3 * cfg.min_conns_per_page);
+  EXPECT_EQ(m.page_load_ms.count(), 3u);
+  // Every connection produced a TCP measurement; every page a DNS one.
+  EXPECT_EQ(w.engine().store().CountKind(mopeye::MeasureKind::kTcpConnect),
+            static_cast<size_t>(m.connections));
+  EXPECT_GE(w.engine().store().CountKind(mopeye::MeasureKind::kDns), 2u);
+}
+
+}  // namespace

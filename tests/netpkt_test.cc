@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "netpkt/checksum.h"
+#include "netpkt/dns.h"
+#include "netpkt/ip.h"
+#include "netpkt/packet.h"
+#include "netpkt/tcp.h"
+#include "netpkt/udp.h"
+#include "util/rng.h"
+
+namespace {
+
+using moppkt::IpAddr;
+
+TEST(IpAddr, ParseAndFormat) {
+  auto a = IpAddr::Parse("10.0.0.2");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().ToString(), "10.0.0.2");
+  EXPECT_EQ(a.value().value(), 0x0A000002u);
+}
+
+TEST(IpAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddr::Parse("").ok());
+  EXPECT_FALSE(IpAddr::Parse("1.2.3").ok());
+  EXPECT_FALSE(IpAddr::Parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(IpAddr::Parse("256.1.1.1").ok());
+  EXPECT_FALSE(IpAddr::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(IpAddr::Parse("1..2.3").ok());
+}
+
+TEST(IpAddr, ConstexprCtor) {
+  constexpr IpAddr a(192, 168, 1, 1);
+  EXPECT_EQ(a.ToString(), "192.168.1.1");
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3.
+  std::vector<uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  uint32_t partial = moppkt::ChecksumPartial(data);
+  EXPECT_EQ(moppkt::ChecksumFinish(partial), static_cast<uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLengthPads) {
+  std::vector<uint8_t> data{0xab};
+  EXPECT_EQ(moppkt::Checksum(data), static_cast<uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // Any buffer with its own checksum folded in verifies to 0.
+  moputil::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> data(2 * (2 + rng.UniformInt(0, 20)), 0);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    data[0] = data[1] = 0;
+    uint16_t c = moppkt::Checksum(data);
+    data[0] = static_cast<uint8_t>(c >> 8);
+    data[1] = static_cast<uint8_t>(c & 0xff);
+    EXPECT_EQ(moppkt::Checksum(data), 0);
+  }
+}
+
+TEST(Ipv4, RoundTrip) {
+  moppkt::Ipv4Header h;
+  h.protocol = 6;
+  h.src = IpAddr(10, 0, 0, 2);
+  h.dst = IpAddr(93, 2, 3, 4);
+  h.identification = 777;
+  h.ttl = 63;
+  std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+  auto pkt = moppkt::BuildIpv4(h, payload);
+  auto parsed = moppkt::ParseIpv4(pkt);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().src, h.src);
+  EXPECT_EQ(parsed.value().dst, h.dst);
+  EXPECT_EQ(parsed.value().identification, 777);
+  EXPECT_EQ(parsed.value().ttl, 63);
+  EXPECT_EQ(parsed.value().total_length, 25);
+  EXPECT_EQ(parsed.value().payload_bytes(), 5u);
+}
+
+TEST(Ipv4, RejectsCorruptChecksum) {
+  moppkt::Ipv4Header h;
+  h.protocol = 17;
+  h.src = IpAddr(1, 1, 1, 1);
+  h.dst = IpAddr(2, 2, 2, 2);
+  auto pkt = moppkt::BuildIpv4(h, {});
+  pkt[12] ^= 0xff;
+  EXPECT_FALSE(moppkt::ParseIpv4(pkt).ok());
+}
+
+TEST(Ipv4, RejectsTruncatedAndBadVersion) {
+  std::vector<uint8_t> tiny(10, 0);
+  EXPECT_FALSE(moppkt::ParseIpv4(tiny).ok());
+  moppkt::Ipv4Header h;
+  h.src = IpAddr(1, 1, 1, 1);
+  h.dst = IpAddr(2, 2, 2, 2);
+  auto pkt = moppkt::BuildIpv4(h, {});
+  pkt[0] = 0x65;  // version 6
+  EXPECT_FALSE(moppkt::ParseIpv4(pkt).ok());
+}
+
+TEST(TcpFlags, RoundTripAndNames) {
+  moppkt::TcpFlags f = moppkt::SynAckFlag();
+  EXPECT_EQ(moppkt::TcpFlags::FromByte(f.ToByte()), f);
+  EXPECT_EQ(f.ToString(), "SYN|ACK");
+  EXPECT_EQ(moppkt::TcpFlags{}.ToString(), "none");
+}
+
+TEST(Tcp, RoundTripWithOptions) {
+  IpAddr src(10, 0, 0, 2), dst(93, 1, 2, 3);
+  std::vector<uint8_t> payload{9, 8, 7};
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 40001;
+  spec.dst_port = 443;
+  spec.seq = 0xdeadbeef;
+  spec.ack = 0x01020304;
+  spec.flags = moppkt::PshAckFlag();
+  spec.window = 31337;
+  spec.mss = 1460;
+  spec.window_scale = 7;
+  spec.payload = payload;
+  auto seg_bytes = moppkt::BuildTcp(spec, src, dst);
+  auto parsed = moppkt::ParseTcp(seg_bytes, src, dst);
+  ASSERT_TRUE(parsed.ok());
+  const auto& seg = parsed.value();
+  EXPECT_EQ(seg.src_port, 40001);
+  EXPECT_EQ(seg.dst_port, 443);
+  EXPECT_EQ(seg.seq, 0xdeadbeefu);
+  EXPECT_EQ(seg.ack, 0x01020304u);
+  EXPECT_EQ(seg.window, 31337);
+  ASSERT_TRUE(seg.mss.has_value());
+  EXPECT_EQ(*seg.mss, 1460);
+  ASSERT_TRUE(seg.window_scale.has_value());
+  EXPECT_EQ(*seg.window_scale, 7);
+  EXPECT_EQ(std::vector<uint8_t>(seg.payload.begin(), seg.payload.end()), payload);
+}
+
+TEST(Tcp, ChecksumCoversPseudoHeader) {
+  IpAddr src(10, 0, 0, 2), dst(93, 1, 2, 3);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 1;
+  spec.dst_port = 2;
+  spec.flags = moppkt::SynFlag();
+  auto bytes = moppkt::BuildTcp(spec, src, dst);
+  // Same bytes against different address pair must fail.
+  EXPECT_TRUE(moppkt::ParseTcp(bytes, src, dst).ok());
+  EXPECT_FALSE(moppkt::ParseTcp(bytes, src, IpAddr(93, 1, 2, 4)).ok());
+}
+
+TEST(Tcp, SeqArithmeticWraps) {
+  EXPECT_TRUE(moppkt::SeqLt(0xfffffff0u, 0x10u));
+  EXPECT_TRUE(moppkt::SeqGt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(moppkt::SeqLe(5u, 5u));
+  EXPECT_TRUE(moppkt::SeqGe(5u, 5u));
+}
+
+TEST(Udp, RoundTrip) {
+  IpAddr src(10, 0, 0, 2), dst(8, 8, 8, 8);
+  std::vector<uint8_t> payload{1, 2, 3};
+  auto bytes = moppkt::BuildUdp(40002, 53, payload, src, dst);
+  auto parsed = moppkt::ParseUdp(bytes, src, dst);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().src_port, 40002);
+  EXPECT_EQ(parsed.value().dst_port, 53);
+  EXPECT_EQ(parsed.value().payload.size(), 3u);
+}
+
+TEST(Udp, RejectsBadChecksum) {
+  IpAddr src(10, 0, 0, 2), dst(8, 8, 8, 8);
+  auto bytes = moppkt::BuildUdp(1, 2, std::vector<uint8_t>{5, 6}, src, dst);
+  bytes.back() ^= 0x55;
+  EXPECT_FALSE(moppkt::ParseUdp(bytes, src, dst).ok());
+}
+
+TEST(Dns, QueryRoundTrip) {
+  auto q = moppkt::DnsMessage::Query(77, "graph.facebook.com");
+  auto bytes = moppkt::EncodeDns(q);
+  auto decoded = moppkt::DecodeDns(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 77);
+  EXPECT_FALSE(decoded.value().is_response);
+  ASSERT_EQ(decoded.value().questions.size(), 1u);
+  EXPECT_EQ(decoded.value().questions[0].name, "graph.facebook.com");
+}
+
+TEST(Dns, AnswerUsesCompression) {
+  auto q = moppkt::DnsMessage::Query(5, "mme.whatsapp.net");
+  auto a = moppkt::DnsMessage::Answer(q, IpAddr(31, 13, 79, 251), 300);
+  auto bytes = moppkt::EncodeDns(a);
+  // The answer name must be a 2-byte compression pointer, not a re-encoding.
+  auto q_bytes = moppkt::EncodeDns(q);
+  EXPECT_LT(bytes.size(), q_bytes.size() + 2 + 2 + 2 + 2 + 4 + 2 + 4 + 4);
+  auto decoded = moppkt::DecodeDns(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().answers.size(), 1u);
+  EXPECT_EQ(decoded.value().answers[0].name, "mme.whatsapp.net");
+  EXPECT_EQ(decoded.value().answers[0].address, IpAddr(31, 13, 79, 251));
+}
+
+TEST(Dns, NxDomain) {
+  auto q = moppkt::DnsMessage::Query(6, "nope.invalid");
+  auto r = moppkt::DnsMessage::NxDomain(q);
+  auto decoded = moppkt::DecodeDns(moppkt::EncodeDns(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().rcode, moppkt::DnsRcode::kNxDomain);
+  EXPECT_TRUE(decoded.value().answers.empty());
+}
+
+TEST(Dns, RejectsTruncatedAndLoops) {
+  EXPECT_FALSE(moppkt::DecodeDns(std::vector<uint8_t>{1, 2, 3}).ok());
+  // Self-referencing compression pointer at offset 12.
+  std::vector<uint8_t> evil{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1};
+  EXPECT_FALSE(moppkt::DecodeDns(evil).ok());
+}
+
+TEST(Dns, ValidatesNames) {
+  EXPECT_TRUE(moppkt::IsValidDnsName("a.b.c"));
+  EXPECT_FALSE(moppkt::IsValidDnsName(""));
+  EXPECT_FALSE(moppkt::IsValidDnsName("a..b"));
+  EXPECT_FALSE(moppkt::IsValidDnsName(std::string(64, 'x') + ".com"));
+  EXPECT_FALSE(moppkt::IsValidDnsName(std::string(254, 'x')));
+}
+
+TEST(Packet, ClassifiesTcp) {
+  IpAddr src(10, 0, 0, 2), dst(93, 5, 6, 7);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 40000;
+  spec.dst_port = 80;
+  spec.flags = moppkt::SynFlag();
+  spec.mss = 1460;
+  auto dgram = moppkt::BuildTcpDatagram(spec, src, dst);
+  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  ASSERT_TRUE(pkt.ok());
+  EXPECT_TRUE(pkt.value().is_tcp());
+  auto flow = pkt.value().flow();
+  EXPECT_EQ(flow.local.ToString(), "10.0.0.2:40000");
+  EXPECT_EQ(flow.remote.ToString(), "93.5.6.7:80");
+  EXPECT_EQ(flow.proto, moppkt::IpProto::kTcp);
+}
+
+TEST(Packet, ClassifiesUdp) {
+  IpAddr src(10, 0, 0, 2), dst(8, 8, 8, 8);
+  auto dgram = moppkt::BuildUdpDatagram(40001, 53, std::vector<uint8_t>{1}, src, dst);
+  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  ASSERT_TRUE(pkt.ok());
+  EXPECT_TRUE(pkt.value().is_udp());
+}
+
+TEST(Packet, FlowKeyHashAndEquality) {
+  moppkt::FlowKey a, b;
+  a.proto = b.proto = moppkt::IpProto::kTcp;
+  a.local = b.local = {IpAddr(10, 0, 0, 2), 40000};
+  a.remote = b.remote = {IpAddr(93, 5, 6, 7), 80};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(moppkt::FlowKeyHash{}(a), moppkt::FlowKeyHash{}(b));
+  b.remote.port = 81;
+  EXPECT_FALSE(a == b);
+}
+
+// Property sweep: TCP build->parse round-trips across payload sizes.
+class TcpRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TcpRoundTrip, PayloadSurvives) {
+  size_t n = GetParam();
+  moputil::Rng rng(static_cast<uint64_t>(n) + 1);
+  std::vector<uint8_t> payload(n);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  IpAddr src(10, 0, 0, 2), dst(93, 9, 9, 9);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  spec.seq = rng.NextU32();
+  spec.flags = moppkt::PshAckFlag();
+  spec.payload = payload;
+  auto dgram = moppkt::BuildTcpDatagram(spec, src, dst);
+  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  ASSERT_TRUE(pkt.ok());
+  ASSERT_TRUE(pkt.value().is_tcp());
+  EXPECT_EQ(std::vector<uint8_t>(pkt.value().tcp->payload.begin(),
+                                 pkt.value().tcp->payload.end()),
+            payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpRoundTrip,
+                         ::testing::Values(0, 1, 2, 7, 100, 536, 1000, 1459, 1460));
+
+// Property sweep: random DNS names round-trip with compression.
+class DnsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnsRoundTrip, RandomNames) {
+  moputil::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::string name;
+  int labels = static_cast<int>(rng.UniformInt(1, 5));
+  for (int i = 0; i < labels; ++i) {
+    if (i) {
+      name += '.';
+    }
+    int len = static_cast<int>(rng.UniformInt(1, 20));
+    for (int j = 0; j < len; ++j) {
+      name += static_cast<char>('a' + rng.UniformInt(0, 25));
+    }
+  }
+  auto q = moppkt::DnsMessage::Query(static_cast<uint16_t>(rng.NextU32()), name);
+  auto a = moppkt::DnsMessage::Answer(q, IpAddr(static_cast<uint32_t>(rng.NextU32())));
+  auto decoded = moppkt::DecodeDns(moppkt::EncodeDns(a));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().questions[0].name, name);
+  EXPECT_EQ(decoded.value().answers[0].name, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnsRoundTrip, ::testing::Range(0, 20));
+
+// Fuzz-ish: random bytes never crash the parsers.
+TEST(Packet, RandomBytesNeverCrash) {
+  moputil::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(0, 120));
+    std::vector<uint8_t> junk(n);
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    (void)moppkt::ParsePacket(junk);
+    (void)moppkt::DecodeDns(junk);
+  }
+}
+
+}  // namespace

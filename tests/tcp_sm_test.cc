@@ -1,0 +1,230 @@
+// Unit tests for MopEye's user-space TCP state machine (paper §2.3): every
+// transition the engine relies on, driven with hand-built segments.
+#include <gtest/gtest.h>
+
+#include "core/tcp_state_machine.h"
+#include "netpkt/tcp.h"
+
+namespace {
+
+using mopeye::RelayTcpState;
+using mopeye::TcpStateMachine;
+
+moppkt::FlowKey TestFlow() {
+  moppkt::FlowKey f;
+  f.proto = moppkt::IpProto::kTcp;
+  f.local = {moppkt::IpAddr(10, 0, 0, 2), 40000};
+  f.remote = {moppkt::IpAddr(93, 1, 2, 3), 443};
+  return f;
+}
+
+moppkt::TcpSegment Seg(moppkt::TcpFlags flags, uint32_t seq, uint32_t ack,
+                       std::span<const uint8_t> payload = {}) {
+  moppkt::TcpSegment s;
+  s.src_port = 40000;
+  s.dst_port = 443;
+  s.flags = flags;
+  s.seq = seq;
+  s.ack = ack;
+  s.window = 65535;
+  s.payload = payload;
+  return s;
+}
+
+moppkt::TcpSegment SynSeg(uint32_t seq, uint16_t mss = 1460) {
+  auto s = Seg(moppkt::SynFlag(), seq, 0);
+  s.mss = mss;
+  return s;
+}
+
+class SmTest : public ::testing::Test {
+ protected:
+  SmTest() : sm_(TestFlow(), /*iss=*/5000, /*mss=*/1460, /*window=*/65535) {}
+
+  // Drives the machine to ESTABLISHED (app ISN 100).
+  void Establish() {
+    sm_.NoteSyn(SynSeg(100));
+    auto synack = sm_.MakeSynAck();
+    EXPECT_TRUE(synack.flags.syn && synack.flags.ack);
+    auto out = sm_.OnAppSegment(Seg(moppkt::AckFlag(), 101, 5001));
+    EXPECT_TRUE(out.established);
+    EXPECT_EQ(sm_.state(), RelayTcpState::kEstablished);
+  }
+
+  TcpStateMachine sm_;
+};
+
+TEST_F(SmTest, SynRecordsIsnAndOptions) {
+  sm_.NoteSyn(SynSeg(100, 1400));
+  EXPECT_EQ(sm_.rcv_nxt(), 101u);
+  EXPECT_EQ(sm_.app_mss(), 1400);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kListen);
+}
+
+TEST_F(SmTest, SynAckCarriesMssAndSequence) {
+  sm_.NoteSyn(SynSeg(100));
+  auto synack = sm_.MakeSynAck();
+  EXPECT_EQ(synack.seq, 5000u);
+  EXPECT_EQ(synack.ack, 101u);
+  ASSERT_TRUE(synack.mss.has_value());
+  EXPECT_EQ(*synack.mss, 1460);
+  EXPECT_EQ(synack.window, 65535);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kSynRcvd);
+  EXPECT_EQ(sm_.snd_nxt(), 5001u);
+}
+
+TEST_F(SmTest, SynAckRetransmitKeepsState) {
+  sm_.NoteSyn(SynSeg(100));
+  (void)sm_.MakeSynAck();
+  auto again = sm_.MakeSynAckRetransmit();
+  EXPECT_EQ(again.seq, 5000u);
+  EXPECT_EQ(sm_.snd_nxt(), 5001u);  // no double-advance
+  EXPECT_EQ(sm_.state(), RelayTcpState::kSynRcvd);
+}
+
+TEST_F(SmTest, DuplicateSynReported) {
+  sm_.NoteSyn(SynSeg(100));
+  auto out = sm_.OnAppSegment(SynSeg(100));
+  EXPECT_TRUE(out.duplicate_syn);
+}
+
+TEST_F(SmTest, InOrderDataRelaysToSocket) {
+  Establish();
+  std::vector<uint8_t> payload{1, 2, 3, 4};
+  auto out = sm_.OnAppSegment(Seg(moppkt::PshAckFlag(), 101, 5001, payload));
+  EXPECT_EQ(out.to_socket, payload);
+  EXPECT_EQ(sm_.rcv_nxt(), 105u);
+  EXPECT_EQ(sm_.bytes_from_app(), 4u);
+}
+
+TEST_F(SmTest, RetransmittedDataReAcksWithoutRelaying) {
+  Establish();
+  std::vector<uint8_t> payload{1, 2, 3, 4};
+  (void)sm_.OnAppSegment(Seg(moppkt::PshAckFlag(), 101, 5001, payload));
+  auto out = sm_.OnAppSegment(Seg(moppkt::PshAckFlag(), 101, 5001, payload));
+  EXPECT_TRUE(out.to_socket.empty());
+  ASSERT_EQ(out.to_app.size(), 1u);
+  EXPECT_TRUE(out.to_app[0].flags.ack);
+  EXPECT_EQ(sm_.rcv_nxt(), 105u);  // unchanged
+}
+
+TEST_F(SmTest, OutOfOrderDataDropped) {
+  Establish();
+  std::vector<uint8_t> payload{1, 2};
+  auto out = sm_.OnAppSegment(Seg(moppkt::PshAckFlag(), 200, 5001, payload));
+  EXPECT_TRUE(out.to_socket.empty());
+  EXPECT_EQ(sm_.rcv_nxt(), 101u);
+}
+
+TEST_F(SmTest, MakeDataSegmentsAtMss) {
+  Establish();
+  std::vector<uint8_t> big(3000, 7);
+  auto specs = sm_.MakeData(big);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].payload.size(), 1460u);
+  EXPECT_EQ(specs[0].seq, 5001u);
+  EXPECT_EQ(specs[1].payload.size(), 1460u);
+  EXPECT_EQ(specs[1].seq, 5001u + 1460u);
+  EXPECT_EQ(specs[2].payload.size(), 80u);
+  EXPECT_EQ(sm_.snd_nxt(), 5001u + 3000u);
+  EXPECT_EQ(sm_.bytes_to_app(), 3000u);
+}
+
+TEST_F(SmTest, PureAckDiscardedButTracked) {
+  Establish();
+  (void)sm_.MakeData(std::vector<uint8_t>(100, 1));
+  auto out = sm_.OnAppSegment(Seg(moppkt::AckFlag(), 101, 5101));
+  EXPECT_TRUE(out.to_app.empty());
+  EXPECT_TRUE(out.to_socket.empty());
+  EXPECT_FALSE(out.established);
+}
+
+TEST_F(SmTest, AppFinTriggersHalfCloseAndAck) {
+  Establish();
+  auto out = sm_.OnAppSegment(Seg(moppkt::FinAckFlag(), 101, 5001));
+  EXPECT_TRUE(out.app_half_closed);
+  ASSERT_EQ(out.to_app.size(), 1u);
+  EXPECT_TRUE(out.to_app[0].flags.ack);
+  EXPECT_EQ(out.to_app[0].ack, 102u);  // FIN consumed one
+  EXPECT_EQ(sm_.state(), RelayTcpState::kCloseWait);
+}
+
+TEST_F(SmTest, PassiveCloseCompletes) {
+  Establish();
+  (void)sm_.OnAppSegment(Seg(moppkt::FinAckFlag(), 101, 5001));  // app FIN
+  auto fin = sm_.MakeFin();                                       // server closed too
+  EXPECT_TRUE(fin.flags.fin);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kLastAck);
+  auto out = sm_.OnAppSegment(Seg(moppkt::AckFlag(), 102, 5002));
+  EXPECT_TRUE(out.fully_closed);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kClosed);
+}
+
+TEST_F(SmTest, ActiveCloseCompletes) {
+  Establish();
+  auto fin = sm_.MakeFin();  // server closed first
+  EXPECT_EQ(sm_.state(), RelayTcpState::kFinWait1);
+  // App acks our FIN.
+  (void)sm_.OnAppSegment(Seg(moppkt::AckFlag(), 101, fin.seq + 1));
+  EXPECT_EQ(sm_.state(), RelayTcpState::kFinWait2);
+  // App sends its FIN.
+  auto out = sm_.OnAppSegment(Seg(moppkt::FinAckFlag(), 101, fin.seq + 1));
+  EXPECT_TRUE(out.fully_closed);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kClosed);
+}
+
+TEST_F(SmTest, SimultaneousCloseViaFinWait1) {
+  Establish();
+  (void)sm_.MakeFin();  // we FIN
+  // App's FIN arrives before its ACK of ours.
+  auto out = sm_.OnAppSegment(Seg(moppkt::FinAckFlag(), 101, 5001));
+  EXPECT_TRUE(out.app_half_closed);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kClosing);
+  auto out2 = sm_.OnAppSegment(Seg(moppkt::AckFlag(), 102, sm_.snd_nxt()));
+  EXPECT_TRUE(out2.fully_closed);
+}
+
+TEST_F(SmTest, RstTearsDownImmediately) {
+  Establish();
+  auto out = sm_.OnAppSegment(Seg(moppkt::RstFlag(), 101, 0));
+  EXPECT_TRUE(out.app_reset);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kClosed);
+  // Further segments are ignored.
+  auto out2 = sm_.OnAppSegment(Seg(moppkt::AckFlag(), 101, 5001));
+  EXPECT_TRUE(out2.to_app.empty());
+}
+
+TEST_F(SmTest, MakeRstFromAnyState) {
+  sm_.NoteSyn(SynSeg(100));
+  auto rst = sm_.MakeRst();
+  EXPECT_TRUE(rst.flags.rst);
+  EXPECT_EQ(sm_.state(), RelayTcpState::kClosed);
+}
+
+// Property sweep: data in MSS-multiples and odd sizes always yields
+// contiguous sequence numbers with no gaps or overlaps.
+class SmDataSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SmDataSweep, SequenceNumbersContiguous) {
+  TcpStateMachine sm(TestFlow(), 9000, 1460, 65535);
+  sm.NoteSyn(SynSeg(100));
+  (void)sm.MakeSynAck();
+  (void)sm.OnAppSegment(Seg(moppkt::AckFlag(), 101, 9001));
+  std::vector<uint8_t> data(GetParam(), 0xAB);
+  auto specs = sm.MakeData(data);
+  uint32_t expect_seq = 9001;
+  size_t total = 0;
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.seq, expect_seq);
+    expect_seq += static_cast<uint32_t>(spec.payload.size());
+    total += spec.payload.size();
+    EXPECT_LE(spec.payload.size(), 1460u);
+  }
+  EXPECT_EQ(total, GetParam());
+  EXPECT_EQ(sm.snd_nxt(), 9001 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SmDataSweep,
+                         ::testing::Values(1, 100, 1459, 1460, 1461, 2920, 65535, 100000));
+
+}  // namespace

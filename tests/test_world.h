@@ -1,0 +1,111 @@
+// Shared test/bench harness: one simulated world with a device, a server
+// farm, a DNS resolver, the MopEye engine, and helper apps.
+#ifndef MOPEYE_TESTS_TEST_WORLD_H_
+#define MOPEYE_TESTS_TEST_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "apps/app.h"
+#include "apps/sessions.h"
+#include "apps/tun_stack.h"
+#include "core/engine.h"
+#include "net/dns_server.h"
+#include "net/net_context.h"
+#include "net/server.h"
+#include "sim/event_loop.h"
+
+namespace moptest {
+
+struct WorldOptions {
+  uint64_t seed = 42;
+  int sdk_version = 24;
+  mopnet::NetType net_type = mopnet::NetType::kWifi;
+  std::string isp = "TestNet";
+  std::string country = "US";
+  // Fixed first-hop one-way delay (deterministic accuracy tests rely on it).
+  moputil::SimDuration first_hop_one_way = moputil::Millis(1);
+  double uplink_bps = 25e6;
+  double downlink_bps = 25e6;
+  moputil::SimDuration default_path_one_way = moputil::Millis(10);
+  moputil::SimDuration dns_think = moputil::Micros(300);
+};
+
+class TestWorld {
+ public:
+  explicit TestWorld(const WorldOptions& opts = WorldOptions()) : opts_(opts) {
+    paths_.SetDefault(std::make_shared<moputil::FixedDelay>(opts.default_path_one_way));
+    mopnet::NetworkProfile profile;
+    profile.type = opts.net_type;
+    profile.isp = opts.isp;
+    profile.country = opts.country;
+    profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(opts.first_hop_one_way);
+    profile.uplink_bps = opts.uplink_bps;
+    profile.downlink_bps = opts.downlink_bps;
+    profile.dns_server = moppkt::IpAddr(8, 8, 8, 8);
+    device_ = std::make_unique<mopdroid::AndroidDevice>(&loop_, profile, &paths_, &farm_,
+                                                        opts.seed, opts.sdk_version);
+    dns_ = std::make_unique<mopnet::DnsServer>(
+        &farm_, moppkt::SocketAddr{profile.dns_server, 53},
+        std::make_shared<moputil::FixedDelay>(opts.dns_think), moputil::Rng(opts.seed ^ 7));
+  }
+
+  // Starts the engine and attaches the app-side stack to the new tunnel.
+  moputil::Status StartEngine(mopeye::Config config = mopeye::Config()) {
+    engine_ = std::make_unique<mopeye::MopEyeEngine>(device_.get(), std::move(config));
+    auto st = engine_->Start();
+    if (!st.ok()) {
+      return st;
+    }
+    stack_ = std::make_unique<mopapps::TunNetStack>(device_.get());
+    stack_->AttachTun();
+    return moputil::OkStatus();
+  }
+
+  mopapps::App* MakeApp(int uid, const std::string& package, const std::string& label,
+                        mopapps::App::Mode mode = mopapps::App::Mode::kTunnel) {
+    apps_.push_back(std::make_unique<mopapps::App>(device_.get(), stack_.get(), uid, package,
+                                                   label, mode));
+    return apps_.back().get();
+  }
+
+  // Registers an HTTP-ish server at a fixed address.
+  moppkt::SocketAddr AddServer(const moppkt::IpAddr& ip, uint16_t port,
+                               moputil::SimDuration one_way,
+                               mopnet::BehaviorFactory factory = nullptr) {
+    paths_.SetPath(ip, std::make_shared<moputil::FixedDelay>(one_way));
+    moppkt::SocketAddr addr{ip, port};
+    if (!factory) {
+      factory = [] { return std::make_unique<mopnet::SizeEncodedBehavior>(); };
+    }
+    farm_.AddTcpServer(addr, std::move(factory));
+    return addr;
+  }
+
+  void RunMs(double ms) { loop_.RunFor(moputil::Millis(ms)); }
+  void RunAll() { loop_.Run(); }
+
+  mopsim::EventLoop& loop() { return loop_; }
+  mopnet::PathTable& paths() { return paths_; }
+  mopnet::ServerFarm& farm() { return farm_; }
+  mopdroid::AndroidDevice& device() { return *device_; }
+  mopeye::MopEyeEngine& engine() { return *engine_; }
+  mopapps::TunNetStack& stack() { return *stack_; }
+
+ private:
+  WorldOptions opts_;
+  mopsim::EventLoop loop_;
+  mopnet::PathTable paths_;
+  mopnet::ServerFarm farm_;
+  std::unique_ptr<mopdroid::AndroidDevice> device_;
+  std::unique_ptr<mopnet::DnsServer> dns_;
+  std::unique_ptr<mopeye::MopEyeEngine> engine_;
+  std::unique_ptr<mopapps::TunNetStack> stack_;
+  std::vector<std::unique_ptr<mopapps::App>> apps_;
+};
+
+}  // namespace moptest
+
+#endif  // MOPEYE_TESTS_TEST_WORLD_H_
