@@ -53,7 +53,6 @@ int main(int argc, char** argv) {
   cols[2] = RunBrowsing(flags.seed + 2, oldput, /*producer_side=*/true);   // oldPut
   cols[3] = RunBrowsing(flags.seed + 3, newput, /*producer_side=*/true);   // newPut
 
-  const char* names[4] = {"directWrite", "queueWrite", "oldPut", "newPut"};
   const int paper_total[4] = {1244, 2161, 810, 5321};
   const int paper_buckets[4][5] = {{1202, 30, 7, 3, 2},
                                    {2147, 12, 2, 0, 0},

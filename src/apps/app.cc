@@ -163,8 +163,11 @@ void App::Resolve(const std::string& domain,
   moppkt::DnsMessage query = moppkt::DnsMessage::Query(1, domain);
   moputil::SimTime t0 = device_->loop()->Now();
   auto done = std::make_shared<bool>(false);
-  sock->on_datagram = [cb, t0, sock, done, this](const moppkt::SocketAddr&,
-                                                 std::vector<uint8_t> payload) {
+  // The timeout event below is what keeps the socket alive until a response
+  // or the deadline; capturing `sock` here as well would self-cycle through
+  // the socket's own on_datagram member and leak it.
+  sock->on_datagram = [cb, t0, done, this](const moppkt::SocketAddr&,
+                                           std::vector<uint8_t> payload) {
     if (*done) {
       return;
     }
@@ -192,22 +195,30 @@ void ProbeConnectLatency(App* app, const moppkt::SocketAddr& addr, int count,
                          std::function<void(std::vector<moputil::SimDuration>)> done) {
   auto samples = std::make_shared<std::vector<moputil::SimDuration>>();
   auto attempts = std::make_shared<int>(0);
+  // The stored closure must not strongly capture `run` (that cycle would leak
+  // it, plus everything it captures, forever). Each in-flight probe holds the
+  // only strong ref, so the chain frees itself after the final callback.
   auto run = std::make_shared<std::function<void()>>();
-  *run = [app, addr, count, samples, attempts, run, done] {
+  std::weak_ptr<std::function<void()>> weak_run = run;
+  *run = [app, addr, count, samples, attempts, weak_run, done] {
     if (*attempts >= count) {
       done(*samples);
+      return;
+    }
+    auto self = weak_run.lock();
+    if (!self) {
       return;
     }
     ++*attempts;
     auto conn = std::shared_ptr<AppConn>(app->CreateConn().release());
     moputil::SimTime t0 = app->device()->loop()->Now();
-    conn->Connect(addr, [app, conn, samples, run, t0](moputil::Status st) {
+    conn->Connect(addr, [app, conn, samples, self, t0](moputil::Status st) {
       if (st.ok()) {
         samples->push_back(app->device()->loop()->Now() - t0);
         conn->Close();
       }
       // Small pause between probes, as the measurement tool would sleep.
-      app->device()->loop()->Schedule(moputil::Millis(50), [run] { (*run)(); });
+      app->device()->loop()->Schedule(moputil::Millis(50), [self] { (*self)(); });
     });
   };
   (*run)();

@@ -297,7 +297,15 @@ void SpeedtestSession::Start(std::function<void(Result)> on_done) {
 void SpeedtestSession::RunPings() {
   auto conn = std::shared_ptr<AppConn>(app_->CreateConn().release());
   conns_.push_back(conn);
-  conn->Connect(ping_addr_, [this, conn](moputil::Status st) {
+  // The persistent on_data/send_ping closures hold the conn weakly: a strong
+  // capture would form the cycle conn -> on_data -> conn and leak the conn
+  // (and its SocketChannel) past session teardown. conns_ keeps it alive.
+  std::weak_ptr<AppConn> wconn = conn;
+  conn->Connect(ping_addr_, [this, wconn](moputil::Status st) {
+    auto conn = wconn.lock();
+    if (!conn) {
+      return;
+    }
     if (!st.ok()) {
       ++result_.failures;
       RunDownload();
@@ -306,16 +314,25 @@ void SpeedtestSession::RunPings() {
     auto remaining = std::make_shared<int>(cfg_.latency_pings);
     auto t0 = std::make_shared<SimTime>(0);
     auto send_ping = std::make_shared<std::function<void()>>();
-    conn->on_data = [this, conn, remaining, t0, send_ping](size_t) {
+    conn->on_data = [this, wconn, remaining, t0, send_ping](size_t) {
+      auto conn = wconn.lock();
+      if (!conn) {
+        return;
+      }
       result_.ping_ms.Add(ToMillis(app_->device()->loop()->Now() - *t0));
       if (--*remaining <= 0) {
+        conn->on_data = nullptr;
         conn->Close();
         RunDownload();
         return;
       }
       app_->device()->loop()->Schedule(moputil::Millis(100), [send_ping] { (*send_ping)(); });
     };
-    *send_ping = [conn, t0, this] {
+    *send_ping = [wconn, t0, this] {
+      auto conn = wconn.lock();
+      if (!conn) {
+        return;
+      }
       *t0 = app_->device()->loop()->Now();
       conn->SendBytes(32);
     };
@@ -341,8 +358,13 @@ void SpeedtestSession::RunDownload() {
         return;
       }
       auto received = std::make_shared<uint64_t>(0);
-      conn->on_data = [this, conn, per_conn, remaining, received, first_byte,
+      std::weak_ptr<AppConn> wconn = conn;
+      conn->on_data = [this, wconn, per_conn, remaining, received, first_byte,
                        total](size_t n) {
+        auto conn = wconn.lock();
+        if (!conn) {
+          return;
+        }
         if (*first_byte == 0) {
           *first_byte = app_->device()->loop()->Now();
         }
@@ -399,20 +421,29 @@ void SpeedtestSession::RunUpload() {
       conn->SendBytes(per_conn);
     });
   }
-  // Completion poll: cheap and robust against ack timing.
+  // Completion poll: cheap and robust against ack timing. The stored closure
+  // references itself weakly — a strong self-capture would keep the function
+  // object (and everything it captures) alive forever; each scheduled tick
+  // holds the only strong ref, so the chain frees itself once it stops.
   auto poll = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_poll = poll;
   auto deadline = app_->device()->loop()->Now() + moputil::Seconds(120);
-  *poll = [this, maybe_finish, poll, self_done, deadline] {
+  *poll = [this, maybe_finish, weak_poll, self_done, deadline] {
     (*maybe_finish)();
     if (!*self_done) {
       if (app_->device()->loop()->Now() > deadline) {
         *self_done = true;
+        conns_.clear();
         if (on_done_) {
           on_done_(result_);
         }
         return;
       }
-      app_->device()->loop()->Schedule(moputil::Millis(100), [poll] { (*poll)(); });
+      auto self = weak_poll.lock();
+      if (!self) {
+        return;
+      }
+      app_->device()->loop()->Schedule(moputil::Millis(100), [self] { (*self)(); });
     }
   };
   (*poll)();

@@ -28,25 +28,45 @@ void Selector::RemoveChannel(SocketChannel* ch) {
                                    return !s || s.get() == ch;
                                  }),
                   channels_.end());
+  // Cancelled-key semantics (java.nio): a deregistered channel must not
+  // deliver events that were queued before the deregister.
+  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                              [ch](const PendingEvent& p) {
+                                if (p.wakeup) {
+                                  return false;
+                                }
+                                auto s = p.channel.lock();
+                                return !s || s.get() == ch;
+                              }),
+               ready_.end());
 }
 
 void Selector::Enqueue(std::shared_ptr<SocketChannel> ch, SocketEventType type) {
-  ready_.push_back(ReadyEvent{std::move(ch), type});
+  ready_.push_back(PendingEvent{ch, false, type});
   MaybeWake();
 }
 
 void Selector::Wakeup() {
-  ready_.push_back(ReadyEvent{nullptr, SocketEventType::kReadable});
+  ready_.push_back(PendingEvent{{}, true, SocketEventType::kReadable});
   MaybeWake();
 }
 
 void Selector::TriggerWrite(std::shared_ptr<SocketChannel> ch) {
-  ready_.push_back(ReadyEvent{std::move(ch), SocketEventType::kWritable});
+  ready_.push_back(PendingEvent{ch, false, SocketEventType::kWritable});
   MaybeWake();
 }
 
 std::vector<ReadyEvent> Selector::TakeReady() {
-  std::vector<ReadyEvent> out(ready_.begin(), ready_.end());
+  std::vector<ReadyEvent> out;
+  out.reserve(ready_.size());
+  for (const PendingEvent& p : ready_) {
+    if (p.wakeup) {
+      out.push_back(ReadyEvent{nullptr, p.type});
+    } else if (auto ch = p.channel.lock()) {
+      out.push_back(ReadyEvent{std::move(ch), p.type});
+    }
+    // else: the channel died before the owner drained; drop the event.
+  }
   ready_.clear();
   return out;
 }

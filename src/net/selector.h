@@ -23,6 +23,15 @@ struct ReadyEvent {
   SocketEventType type;
 };
 
+// Internal queue entry. Holds the channel weakly so an undrained ready queue
+// never extends a closed channel's lifetime; TakeReady() re-promotes to the
+// shared_ptr the owner sees and drops events whose channel already died.
+struct PendingEvent {
+  std::weak_ptr<SocketChannel> channel;
+  bool wakeup = false;  // plain Wakeup(): delivered with a null channel
+  SocketEventType type;
+};
+
 class Selector {
  public:
   explicit Selector(mopsim::EventLoop* loop);
@@ -58,7 +67,7 @@ class Selector {
   void MaybeWake();
 
   mopsim::EventLoop* loop_;
-  std::deque<ReadyEvent> ready_;
+  std::deque<PendingEvent> ready_;
   std::vector<std::weak_ptr<SocketChannel>> channels_;
   bool wake_scheduled_ = false;
   uint64_t wakeups_ = 0;

@@ -228,6 +228,51 @@ TEST(Selector, ReadEventsDeliveredToRegisteredChannel) {
   EXPECT_GE(readable_events, 1);
 }
 
+// Regression: events sitting undrained in the selector's ready queue must not
+// extend a channel's lifetime. Before the weak-ref queue, this pinned every
+// channel whose events were never drained (LeakSanitizer flagged apps_test).
+TEST(SocketChannel, TeardownReleasesChannelWithUndrainedEvents) {
+  NetFixture f;
+  mopnet::Selector selector(&f.loop);
+  IpAddr ip(93, 0, 0, 8);
+  f.farm.AddTcpServer({ip, 7}, [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  std::weak_ptr<mopnet::SocketChannel> weak = ch;
+  // No on_wakeup handler: queued events are never drained.
+  ch->RegisterWith(&selector, mopnet::kOpConnect | mopnet::kOpRead);
+  ch->Connect({ip, 7}, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    ch->Write({1, 2, 3});  // echoed back -> queues a readable event
+  });
+  f.loop.Run();
+  ASSERT_GT(selector.pending(), 0u);
+  ch->Close();
+  ch.reset();    // drop the only external strong ref
+  f.loop.Run();  // let in-flight wire events (weak refs) resolve
+  EXPECT_TRUE(weak.expired());
+  EXPECT_TRUE(selector.TakeReady().empty());  // dead-channel events dropped
+}
+
+// java.nio cancelled-key semantics: deregistering purges the channel's queued
+// events so a closed connection cannot deliver stale readiness.
+TEST(Selector, DeregisterPurgesQueuedEvents) {
+  NetFixture f;
+  mopnet::Selector selector(&f.loop);
+  IpAddr ip(93, 0, 0, 10);
+  f.farm.AddTcpServer({ip, 7}, [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect({ip, 7}, [&](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    ch->RegisterWith(&selector, mopnet::kOpRead);
+    ch->Write({9});
+  });
+  f.loop.Run();
+  ASSERT_GT(selector.pending(), 0u);
+  ch->Deregister();
+  EXPECT_EQ(selector.pending(), 0u);
+  EXPECT_TRUE(selector.TakeReady().empty());
+}
+
 TEST(DnsServer, ResolvesFromTable) {
   NetFixture f;
   f.farm.resolution().Add("www.test.example", IpAddr(93, 1, 1, 1));
