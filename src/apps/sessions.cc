@@ -94,7 +94,15 @@ void BrowsingSession::FetchResources(int page_index, const moppkt::SocketAddr& a
         }
         metrics_.connect_latency_ms.Add(ToMillis(app_->device()->loop()->Now() - t0));
         auto received = std::make_shared<uint64_t>(0);
-        conn->on_data = [this, conn, response, received, finish_one](size_t n) {
+        // Weak self-capture: on_data is a persistent member of the conn, so
+        // a strong capture would cycle and leak the conn whenever the
+        // response stalls short of `response` bytes.
+        std::weak_ptr<AppConn> wconn = conn;
+        conn->on_data = [this, wconn, response, received, finish_one](size_t n) {
+          auto conn = wconn.lock();
+          if (!conn) {
+            return;
+          }
           *received += n;
           metrics_.bytes_down += n;
           if (*received >= response) {

@@ -1,0 +1,76 @@
+#include "collector/aggregate_store.h"
+
+#include <functional>
+
+namespace mopcollect {
+
+namespace {
+
+// splitmix64 finisher: decorrelates the packed key bits before sharding so
+// adjacent ids spread across shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+AggregateStore::AggregateStore(size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+size_t AggregateStore::ShardOf(uint64_t packed) const {
+  return static_cast<size_t>(Mix64(packed) % shards_.size());
+}
+
+void AggregateStore::Add(const AggregateKey& key, double rtt_ms) {
+  uint64_t packed = key.Packed();
+  shards_[ShardOf(packed)].entries[packed].Add(rtt_ms);
+  ++samples_folded_;
+}
+
+const AggregateEntry* AggregateStore::Find(const AggregateKey& key) const {
+  uint64_t packed = key.Packed();
+  const Shard& shard = shards_[ShardOf(packed)];
+  auto it = shard.entries.find(packed);
+  return it == shard.entries.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<AggregateKey, const AggregateEntry*>> AggregateStore::Match(
+    const std::function<bool(const AggregateKey&)>& pred) const {
+  std::vector<std::pair<AggregateKey, const AggregateEntry*>> out;
+  for (const Shard& shard : shards_) {
+    for (const auto& [packed, entry] : shard.entries) {
+      AggregateKey key = AggregateKey::Unpack(packed);
+      if (!pred || pred(key)) {
+        out.emplace_back(key, &entry);
+      }
+    }
+  }
+  return out;
+}
+
+size_t AggregateStore::key_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+size_t AggregateStore::ApproxMemoryBytes() const {
+  // Key + entry + one bucket pointer per node; buckets for the table arrays.
+  size_t bytes = sizeof(*this) + shards_.size() * sizeof(Shard);
+  for (const Shard& shard : shards_) {
+    bytes += shard.entries.size() *
+             (sizeof(uint64_t) + sizeof(AggregateEntry) + 2 * sizeof(void*));
+    bytes += shard.entries.bucket_count() * sizeof(void*);
+    for (const auto& [packed, entry] : shard.entries) {
+      bytes += entry.quantiles.bucket_count() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mopcollect

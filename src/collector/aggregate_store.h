@@ -1,0 +1,127 @@
+// Streaming aggregates over ingested crowd measurements.
+//
+// The collector never keeps the raw record stream in memory: each record
+// folds into per-key entries holding a count, Welford mean/variance, and P²
+// sketches for the median and P95 — O(1) memory per distinct key at millions
+// of records (the paper's 5.25M-record dataset collapses to a few thousand
+// keys). Keys are (app, isp, country, net_type, kind) global-interner ids;
+// wildcard components give pre-folded rollups (per-app across networks for
+// Fig. 9, per-ISP DNS for Fig. 11 / Table 6) since P² sketches cannot be
+// merged after the fact.
+//
+// Entries are partitioned into hash shards. Within this repo everything runs
+// on one deterministic event loop, so shards need no locks; they exist so a
+// future multi-lane collector can pin one shard set per ingest lane without
+// reshaping the store.
+#ifndef MOPEYE_COLLECTOR_AGGREGATE_STORE_H_
+#define MOPEYE_COLLECTOR_AGGREGATE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/wire.h"
+#include "util/stats.h"
+
+namespace mopcollect {
+
+// Global-id sentinels for aggregate keys. The collector's global id spaces
+// are Interner instances (collector/wire.h) shared with the wire tables:
+// kNoneId equals the wire's kNoIndex ("record carried no such string");
+// kAnyId marks a wildcard component of a rollup key (the interner caps at
+// kMaxTableEntries names, so neither value is ever a real id).
+constexpr uint16_t kNoneId = kNoIndex;
+constexpr uint16_t kAnyId = 0xfffe;
+constexpr uint8_t kAnyByte = 0xfe;
+
+struct AggregateKey {
+  uint16_t app_id = kAnyId;
+  uint16_t isp_id = kAnyId;
+  uint16_t country_id = kAnyId;
+  uint8_t net_type = kAnyByte;  // mopnet::NetType or kAnyByte
+  uint8_t kind = kAnyByte;      // mopcrowd::RecordKind or kAnyByte
+
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(app_id) << 48) | (static_cast<uint64_t>(isp_id) << 32) |
+           (static_cast<uint64_t>(country_id) << 16) | (static_cast<uint64_t>(net_type) << 8) |
+           kind;
+  }
+  static AggregateKey Unpack(uint64_t packed) {
+    AggregateKey k;
+    k.app_id = static_cast<uint16_t>(packed >> 48);
+    k.isp_id = static_cast<uint16_t>(packed >> 32);
+    k.country_id = static_cast<uint16_t>(packed >> 16);
+    k.net_type = static_cast<uint8_t>(packed >> 8);
+    k.kind = static_cast<uint8_t>(packed);
+    return k;
+  }
+  bool operator==(const AggregateKey&) const = default;
+};
+
+// Count + moments + streaming median/P95. No raw samples retained.
+//
+// Two quantile mechanisms fold side by side: the 5-marker P² sketches (40
+// bytes, the classic streaming estimator) and a log-bucket sketch. Queries
+// are served by the log buckets: upload batches arrive clustered by device,
+// and on such non-exchangeable streams P²'s marker adaptation drifts 10%+
+// on tail quantiles, while counting buckets are order-insensitive with a
+// guaranteed 2% relative error. The P² values stay queryable so the ingest
+// bench (and future tuning) can quantify that gap on live traffic.
+struct AggregateEntry {
+  moputil::OnlineStats stats;
+  moputil::P2Quantile p50{50.0};
+  moputil::P2Quantile p95{95.0};
+  moputil::LogQuantile quantiles{0.02};
+
+  void Add(double rtt_ms) {
+    stats.Add(rtt_ms);
+    p50.Add(rtt_ms);
+    p95.Add(rtt_ms);
+    quantiles.Add(rtt_ms);
+  }
+  size_t count() const { return stats.count(); }
+  double median_ms() const { return quantiles.Median(); }
+  double p95_ms() const { return quantiles.Quantile(95.0); }
+  // The P² point estimates of the same quantiles (see above).
+  double p2_median_ms() const { return p50.Value(); }
+  double p2_p95_ms() const { return p95.Value(); }
+};
+
+class AggregateStore {
+ public:
+  explicit AggregateStore(size_t shard_count = 16);
+
+  // Folds one RTT into the entry for `key` (creating it on first sight).
+  void Add(const AggregateKey& key, double rtt_ms);
+
+  // Entry lookup; null when the key was never fed.
+  const AggregateEntry* Find(const AggregateKey& key) const;
+
+  // All (key, entry) pairs, shard by shard (iteration order is unspecified
+  // within a shard). `pred` filters; null takes everything.
+  std::vector<std::pair<AggregateKey, const AggregateEntry*>> Match(
+      const std::function<bool(const AggregateKey&)>& pred = nullptr) const;
+
+  size_t key_count() const;
+  uint64_t samples_folded() const { return samples_folded_; }
+  size_t shard_count() const { return shards_.size(); }
+  size_t shard_key_count(size_t shard) const { return shards_[shard].entries.size(); }
+  // Resident-size estimate of the aggregate state (entries + hash overhead).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Shard {
+    std::unordered_map<uint64_t, AggregateEntry> entries;
+  };
+
+  size_t ShardOf(uint64_t packed) const;
+
+  std::vector<Shard> shards_;
+  uint64_t samples_folded_ = 0;
+};
+
+}  // namespace mopcollect
+
+#endif  // MOPEYE_COLLECTOR_AGGREGATE_STORE_H_

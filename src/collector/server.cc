@@ -1,0 +1,190 @@
+#include "collector/server.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace mopcollect {
+
+// Server side of one accepted upload connection: reassembles frames, hands
+// batches to the shared CollectorServer, and acks each one. The behavior
+// holds a plain pointer to the server (the server outlives the farm
+// registration); no persistent callback captures an owner.
+class CollectorServer::Behavior : public mopnet::ServerBehavior {
+ public:
+  explicit Behavior(CollectorServer* server) : server_(server) {}
+
+  void OnConnect(mopnet::ServerConn& conn) override {
+    (void)conn;
+    ++server_->counters_.connections;
+  }
+
+  void OnData(mopnet::ServerConn& conn, std::span<const uint8_t> data) override {
+    reader_.Feed(data);
+    while (auto payload = reader_.Next()) {
+      ++server_->counters_.frames;
+      auto accepted = server_->IngestPayload(*payload);
+      WireAck ack;
+      if (accepted.ok()) {
+        ack.records_accepted = accepted.value();
+      } else {
+        ack.status = 1;
+      }
+      conn.Send(EncodeAckFrame(ack));
+      if (!accepted.ok()) {
+        // A malformed batch poisons the whole stream (framing may be off):
+        // report and close. Close (not Reset) so the error ack still lands.
+        conn.Close();
+        return;
+      }
+    }
+    if (!reader_.status().ok()) {
+      // Framing violation (oversized length prefix): nothing sane to ack.
+      ++server_->counters_.stream_errors;
+      conn.Reset();
+    }
+  }
+
+ private:
+  CollectorServer* server_;
+  FrameReader reader_;
+};
+
+CollectorServer::CollectorServer(CollectorOptions opts) : opts_(opts), store_(opts.shards) {}
+
+void CollectorServer::RegisterWith(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr) {
+  farm->AddTcpServer(addr,
+                     [this] { return std::make_unique<Behavior>(this); });
+}
+
+void CollectorServer::IngestBatch(const WireBatch& batch) {
+  // Remap the per-batch wire tables onto the global interners once, then
+  // fold records through the cached mapping.
+  std::vector<uint16_t> app_map(batch.apps.size()), isp_map(batch.isps.size()),
+      country_map(batch.countries.size());
+  for (size_t i = 0; i < batch.apps.size(); ++i) {
+    app_map[i] = apps_.Intern(batch.apps[i]);
+  }
+  for (size_t i = 0; i < batch.isps.size(); ++i) {
+    isp_map[i] = isps_.Intern(batch.isps[i]);
+  }
+  for (size_t i = 0; i < batch.countries.size(); ++i) {
+    country_map[i] = countries_.Intern(batch.countries[i]);
+  }
+
+  for (const WireRecord& rec : batch.records) {
+    uint16_t app = rec.app_idx == kNoIndex ? kNoneId : app_map[rec.app_idx];
+    uint16_t isp = rec.isp_idx == kNoIndex ? kNoneId : isp_map[rec.isp_idx];
+    uint16_t country = rec.country_idx == kNoIndex ? kNoneId : country_map[rec.country_idx];
+    double rtt = rec.rtt_ms;
+
+    // Fine-grained key plus the two wildcard rollups (P² sketches cannot be
+    // merged later, so the rollups fold in at ingest time).
+    store_.Add({app, isp, country, rec.net_type, rec.kind}, rtt);
+    store_.Add({app, kAnyId, kAnyId, kAnyByte, rec.kind}, rtt);
+    store_.Add({kAnyId, isp, kAnyId, rec.net_type, rec.kind}, rtt);
+    ++counters_.records_ingested;
+
+    if (opts_.retain_records) {
+      mopcrowd::CrowdRecord cr;
+      cr.rtt_ms = rec.rtt_ms;
+      cr.kind = static_cast<mopcrowd::RecordKind>(rec.kind);
+      cr.net_type = rec.net_type;
+      cr.app_id = app;
+      cr.isp_id = isp;
+      cr.country_id = country;
+      cr.device_id = rec.device_id;
+      cr.domain_id = rec.domain_idx == kNoDomain
+                         ? dataset_.InternDomain("")
+                         : dataset_.InternDomain(batch.domains[rec.domain_idx]);
+      dataset_.Add(cr);
+
+      auto [it, inserted] = device_index_.emplace(rec.device_id, dataset_.devices().size());
+      if (inserted) {
+        dataset_.devices().emplace_back();
+      }
+      mopcrowd::DeviceInfo& dev = dataset_.devices()[it->second];
+      dev.country_id = country;
+      ++dev.measurements;
+    }
+  }
+}
+
+moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t> payload) {
+  auto batch = DecodeBatchPayload(payload);
+  if (!batch.ok()) {
+    ++counters_.batches_rejected;
+    return batch.status();
+  }
+  uint32_t records = static_cast<uint32_t>(batch.value().records.size());
+  if (CheckAndRecordDelivery(batch.value().device_id, batch.value().batch_seq)) {
+    // Re-delivery of a batch whose ack went missing: confirm receipt but do
+    // not fold the records a second time.
+    ++counters_.batches_duplicate;
+    return records;
+  }
+  IngestBatch(batch.value());
+  ++counters_.batches_ok;
+  return records;
+}
+
+bool CollectorServer::CheckAndRecordDelivery(uint32_t device, uint32_t seq) {
+  if (seen_batches_.size() >= kMaxTrackedDevices && !seen_batches_.contains(device)) {
+    seen_batches_.erase(seen_batches_.begin());
+  }
+  SeenBatches& seen = seen_batches_[device];
+  if (!seen.set.insert(seq).second) {
+    return true;
+  }
+  seen.order.push_back(seq);
+  if (seen.order.size() > kSeenBatchWindow) {
+    seen.set.erase(seen.order.front());
+    seen.order.pop_front();
+  }
+  return false;
+}
+
+std::vector<CollectorServer::AppStat> CollectorServer::TcpAppStats(size_t min_count) const {
+  std::vector<AppStat> out;
+  auto entries = store_.Match([](const AggregateKey& k) {
+    return k.app_id != kAnyId && k.isp_id == kAnyId && k.country_id == kAnyId &&
+           k.net_type == kAnyByte && k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kTcp);
+  });
+  for (const auto& [key, entry] : entries) {
+    if (entry->count() < min_count) {
+      continue;
+    }
+    out.push_back({apps_.Name(key.app_id), entry->count(), entry->median_ms(),
+                   entry->p95_ms(), entry->stats.mean()});
+  }
+  std::sort(out.begin(), out.end(), [](const AppStat& a, const AppStat& b) {
+    return a.count != b.count ? a.count > b.count : a.app < b.app;
+  });
+  return out;
+}
+
+std::vector<CollectorServer::IspDnsStat> CollectorServer::IspDnsStats(size_t min_count) const {
+  std::vector<IspDnsStat> out;
+  auto entries = store_.Match([](const AggregateKey& k) {
+    return k.app_id == kAnyId && k.isp_id != kAnyId && k.net_type != kAnyByte &&
+           k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kDns);
+  });
+  for (const auto& [key, entry] : entries) {
+    if (entry->count() < min_count) {
+      continue;
+    }
+    out.push_back({isps_.Name(key.isp_id), key.net_type, entry->count(), entry->median_ms(),
+                   entry->p95_ms()});
+  }
+  std::sort(out.begin(), out.end(), [](const IspDnsStat& a, const IspDnsStat& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    if (a.isp != b.isp) {
+      return a.isp < b.isp;
+    }
+    return a.net_type < b.net_type;
+  });
+  return out;
+}
+
+}  // namespace mopcollect

@@ -1,0 +1,137 @@
+// The MopEye collector: the server half of the paper's crowdsourcing loop.
+//
+// One CollectorServer registers at an address on a mopnet::ServerFarm and
+// accepts concurrent device connections (each accepted connection gets its
+// own frame reassembler). Uploaded batches are decoded, remapped from the
+// per-batch wire string tables onto global interners, and folded into the
+// sharded AggregateStore — per record it updates the fine-grained key plus
+// the per-app and per-ISP rollups, so Fig. 9 / Fig. 11 / Table 6 style
+// queries are O(keys), not O(records). Malformed input never crashes the
+// collector: the batch is rejected with an error ack and the connection is
+// reset.
+//
+// For analyses that need raw records (and for validating the sketches
+// against exact recomputation), `retain_records` additionally accumulates a
+// mopcrowd::CrowdDataset, so every mopcrowd analysis runs unchanged against
+// live-ingested data.
+#ifndef MOPEYE_COLLECTOR_SERVER_H_
+#define MOPEYE_COLLECTOR_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "collector/aggregate_store.h"
+#include "collector/wire.h"
+#include "crowd/dataset.h"
+#include "net/server.h"
+#include "util/status.h"
+
+namespace mopcollect {
+
+struct CollectorOptions {
+  size_t shards = 16;
+  // Also keep raw records as a CrowdDataset (exact recomputation / full
+  // mopcrowd analyses). Off by default: the aggregate path is the product.
+  bool retain_records = false;
+};
+
+class CollectorServer {
+ public:
+  struct Counters {
+    uint64_t connections = 0;
+    uint64_t frames = 0;
+    uint64_t batches_ok = 0;
+    uint64_t batches_rejected = 0;
+    uint64_t batches_duplicate = 0;  // re-deliveries acked without ingesting
+    uint64_t records_ingested = 0;
+    uint64_t stream_errors = 0;  // framing violations (oversized prefix, ...)
+  };
+
+  // Bounds of the duplicate-delivery state (see seen_batches_ below).
+  static constexpr size_t kSeenBatchWindow = 1024;
+  static constexpr size_t kMaxTrackedDevices = 1 << 16;
+
+  explicit CollectorServer(CollectorOptions opts = CollectorOptions());
+
+  // Serves at `addr`. The server must outlive the farm registration (and any
+  // in-flight connections); connections hold a plain pointer back here.
+  void RegisterWith(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr);
+
+  // Ingests one decoded batch unconditionally (no duplicate-delivery check;
+  // tests and the ingest bench may call it directly).
+  void IngestBatch(const WireBatch& batch);
+  // Decode + ingest one frame payload; returns the number of records
+  // accepted, or an error Status on malformed payloads (nothing ingested).
+  // A (device_id, batch_seq) pair seen before is acked as accepted but not
+  // folded again — the uploader re-sends the identical frame when an ack is
+  // lost, and at-least-once delivery must not double-count records.
+  moputil::Result<uint32_t> IngestPayload(std::span<const uint8_t> payload);
+
+  const Counters& counters() const { return counters_; }
+  const AggregateStore& store() const { return store_; }
+  const Interner& apps() const { return apps_; }
+  const Interner& isps() const { return isps_; }
+  const Interner& countries() const { return countries_; }
+
+  // Retained raw records (empty unless CollectorOptions::retain_records).
+  const mopcrowd::CrowdDataset& dataset() const { return dataset_; }
+
+  // ---- Queries over the streaming aggregates ----
+
+  struct AppStat {
+    std::string app;
+    size_t count = 0;
+    double median_ms = 0;
+    double p95_ms = 0;
+    double mean_ms = 0;
+  };
+  // Fig. 9-style per-app TCP RTT stats (all networks folded), apps with at
+  // least `min_count` records, sorted by count descending.
+  std::vector<AppStat> TcpAppStats(size_t min_count = 1) const;
+
+  struct IspDnsStat {
+    std::string isp;
+    uint8_t net_type = 0;
+    size_t count = 0;
+    double median_ms = 0;
+    double p95_ms = 0;
+  };
+  // Fig. 11 / Table 6-style per-(ISP, net type) DNS stats, sorted by count
+  // descending.
+  std::vector<IspDnsStat> IspDnsStats(size_t min_count = 1) const;
+
+ private:
+  class Behavior;
+
+  CollectorOptions opts_;
+  AggregateStore store_;
+  Interner apps_, isps_, countries_;
+  Counters counters_;
+  mopcrowd::CrowdDataset dataset_;
+  // device_id -> index into dataset_.devices() (retain mode only).
+  std::unordered_map<uint32_t, size_t> device_index_;
+
+  // Duplicate-delivery state, bounded on both axes so hostile (device_id,
+  // batch_seq) churn cannot exhaust collector memory: per device only the
+  // most recent kSeenBatchWindow sequence numbers are remembered (uploaders
+  // deliver sequentially, so a re-delivery is always recent), and at most
+  // kMaxTrackedDevices devices are tracked (arbitrary eviction beyond that;
+  // an evicted device's re-delivery degrades to a double-count, not OOM).
+  struct SeenBatches {
+    std::unordered_set<uint32_t> set;
+    std::deque<uint32_t> order;  // insertion order for window eviction
+  };
+
+  // True if (device, seq) was already recorded; records it otherwise.
+  bool CheckAndRecordDelivery(uint32_t device, uint32_t seq);
+
+  std::unordered_map<uint32_t, SeenBatches> seen_batches_;
+};
+
+}  // namespace mopcollect
+
+#endif  // MOPEYE_COLLECTOR_SERVER_H_

@@ -1,0 +1,223 @@
+#include "collector/uploader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/engine.h"  // kMopEyeUid: uploads run under MopEye's own uid
+
+namespace mopcollect {
+
+Uploader::Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
+                   const moppkt::SocketAddr& collector, uint32_t device_id,
+                   UploaderPolicy policy)
+    : net_(net), store_(store), collector_(collector), device_id_(device_id),
+      policy_(policy), next_seq_(net->rng().NextU32()) {}
+
+Uploader::~Uploader() { Stop(); }
+
+void Uploader::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  SchedulePoll();
+}
+
+void Uploader::Stop() {
+  running_ = false;
+  CancelTimer(&poll_timer_);
+  CancelTimer(&ack_timer_);
+  if (channel_) {
+    // Abort the in-flight upload. The batch (records + encoded frame) stays
+    // staged, so a later Start() or FlushNow() re-sends the identical frame
+    // and the collector can dedup if the aborted delivery actually landed.
+    auto keep = std::move(channel_);
+    keep->Reset();
+  }
+}
+
+void Uploader::FlushNow() {
+  DrainStore();
+  next_attempt_ = net_->loop()->Now();
+  if (!channel_ && (!inflight_.empty() || !pending_.empty())) {
+    StartUpload();  // successive batches chain off the acks
+  }
+}
+
+void Uploader::SchedulePoll() {
+  if (!running_ || poll_timer_ != mopsim::kInvalidTimer) {
+    return;
+  }
+  poll_timer_ = net_->loop()->Schedule(policy_.poll_interval, [this] {
+    poll_timer_ = mopsim::kInvalidTimer;
+    Poll();
+  });
+}
+
+void Uploader::Poll() {
+  DrainStore();
+  if (!channel_ && net_->loop()->Now() >= next_attempt_ &&
+      (!inflight_.empty() || ShouldFlush())) {
+    StartUpload();
+  }
+  SchedulePoll();
+}
+
+void Uploader::DrainStore() {
+  if (store_->size() == 0) {
+    return;
+  }
+  auto taken = store_->TakeRecords();
+  for (auto& m : taken) {
+    pending_.push_back(std::move(m));
+  }
+}
+
+bool Uploader::ShouldFlush() const {
+  if (pending_.empty()) {
+    return false;
+  }
+  if (pending_.size() >= policy_.min_batch_records) {
+    return true;
+  }
+  return net_->loop()->Now() - pending_.front().time >= policy_.max_batch_age;
+}
+
+void Uploader::StartUpload() {
+  if (inflight_.empty()) {
+    size_t n = std::min(pending_.size(), policy_.max_records_per_batch);
+    if (n == 0) {
+      return;
+    }
+    // Encode, halving the batch until the frame fits the protocol cap (a
+    // policy max near the record cap with long strings can overshoot it;
+    // one record always fits: 20 bytes + four u16-length strings).
+    for (;;) {
+      BatchBuilder builder(device_id_, next_seq_);
+      for (size_t i = 0; i < n; ++i) {
+        builder.Add(pending_[i]);
+      }
+      std::vector<uint8_t> frame = EncodeBatchFrame(builder.TakeBatch());
+      if (frame.size() - 4 <= kMaxFramePayload || n == 1) {
+        inflight_frame_ = std::move(frame);
+        break;
+      }
+      n /= 2;
+    }
+    ++next_seq_;
+    inflight_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      inflight_.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  std::vector<uint8_t> frame = inflight_frame_;  // retries re-send these bytes
+
+  ack_reader_ = FrameReader();
+  channel_ = mopnet::SocketChannel::Create(net_);
+  // The uploader's socket must bypass the VPN it is part of (§3.5.2), under
+  // either protection mode.
+  channel_->set_owner_uid(mopeye::kMopEyeUid);
+  channel_->set_protected_socket(true);
+  channel_->on_readable = [this] { OnAckReadable(); };
+  channel_->on_reset = [this] { OnUploadFailure(); };
+  channel_->on_peer_close = [this] {
+    if (channel_) {
+      OnUploadFailure();  // collector went away before the ack
+    }
+  };
+  ack_timer_ = net_->loop()->Schedule(policy_.ack_timeout, [this] {
+    ack_timer_ = mopsim::kInvalidTimer;
+    if (channel_) {
+      OnUploadFailure();
+    }
+  });
+  channel_->Connect(collector_, [this, frame = std::move(frame)](moputil::Status st) mutable {
+    if (!st.ok()) {
+      OnUploadFailure();
+      return;
+    }
+    channel_->Write(std::move(frame));
+  });
+}
+
+void Uploader::OnAckReadable() {
+  // Keep the channel alive for the duration of this callback: FinishUpload
+  // drops the owning reference, and the lambda being executed lives inside
+  // the channel.
+  auto keep = channel_;
+  if (!keep) {
+    return;
+  }
+  uint8_t buf[128];
+  for (size_t got = keep->Read(buf); got > 0; got = keep->Read(buf)) {
+    ack_reader_.Feed({buf, got});
+  }
+  auto payload = ack_reader_.Next();
+  if (!payload) {
+    if (!ack_reader_.status().ok()) {
+      OnUploadFailure();
+    }
+    return;  // partial ack; wait for more bytes
+  }
+  auto ack = DecodeAckPayload(*payload);
+  if (!ack.ok()) {
+    OnUploadFailure();
+    return;
+  }
+  if (ack.value().ok()) {
+    ++counters_.batches_sent;
+    counters_.records_sent += inflight_.size();
+  } else {
+    // The collector rejected the batch as malformed; re-sending the same
+    // bytes cannot succeed, so the records are dropped, not re-queued.
+    ++counters_.batches_rejected;
+  }
+  inflight_.clear();
+  inflight_frame_.clear();
+  FinishUpload();
+  if (ShouldFlush() || (!pending_.empty() && next_attempt_ <= net_->loop()->Now())) {
+    StartUpload();  // drain the backlog batch by batch
+  }
+}
+
+void Uploader::OnUploadFailure() {
+  auto keep = std::move(channel_);
+  CancelTimer(&ack_timer_);
+  ++counters_.upload_failures;
+  // The staged batch stays intact; the retry re-sends the identical frame.
+  if (keep) {
+    keep->Reset();
+  }
+  backoff_ = backoff_ == 0 ? policy_.initial_backoff
+                           : std::min(backoff_ * 2, policy_.max_backoff);
+  next_attempt_ = net_->loop()->Now() + backoff_;
+  if (running_) {
+    // Pull the next poll in to the retry instant (the regular cadence
+    // resumes from there).
+    CancelTimer(&poll_timer_);
+    poll_timer_ = net_->loop()->Schedule(backoff_, [this] {
+      poll_timer_ = mopsim::kInvalidTimer;
+      Poll();
+    });
+  }
+}
+
+void Uploader::FinishUpload() {
+  CancelTimer(&ack_timer_);
+  backoff_ = 0;
+  next_attempt_ = net_->loop()->Now();
+  auto keep = std::move(channel_);
+  if (keep) {
+    keep->Close();
+  }
+}
+
+void Uploader::CancelTimer(mopsim::TimerId* id) {
+  if (*id != mopsim::kInvalidTimer) {
+    net_->loop()->Cancel(*id);
+    *id = mopsim::kInvalidTimer;
+  }
+}
+
+}  // namespace mopcollect

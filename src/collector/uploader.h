@@ -1,0 +1,117 @@
+// Device-side upload agent of the crowdsourcing loop.
+//
+// Drains the engine's MeasurementStore on a size/age policy — a batch goes
+// out when at least `min_batch_records` have accumulated, or when the oldest
+// pending record is `max_batch_age` old — encodes it with the wire codec,
+// and ships it to the collector over a protected mopnet TCP connection.
+// Uploads are opportunistic like the measurements themselves: everything
+// runs in event-loop callbacks off the relay hot path, and failures
+// (connect refused, reset, missing ack) re-queue the records and back off
+// exponentially, so no measurement is lost while the collector is away.
+#ifndef MOPEYE_COLLECTOR_UPLOADER_H_
+#define MOPEYE_COLLECTOR_UPLOADER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "collector/wire.h"
+#include "core/measurement.h"
+#include "net/socket.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+
+namespace mopcollect {
+
+struct UploaderPolicy {
+  // Flush when this many records are pending...
+  size_t min_batch_records = 200;
+  // ...or when the oldest pending record reaches this age.
+  moputil::SimDuration max_batch_age = 60 * moputil::kSecond;
+  // One batch never exceeds this many records (stays far below the frame cap).
+  size_t max_records_per_batch = 5000;
+  // Store poll cadence (upload-side only; the relay never waits on this).
+  moputil::SimDuration poll_interval = 5 * moputil::kSecond;
+  // Exponential backoff after a failed upload, doubling up to the max.
+  moputil::SimDuration initial_backoff = 2 * moputil::kSecond;
+  moputil::SimDuration max_backoff = 120 * moputil::kSecond;
+  // A connected upload with no ack by this deadline counts as failed.
+  moputil::SimDuration ack_timeout = 30 * moputil::kSecond;
+};
+
+class Uploader {
+ public:
+  struct Counters {
+    uint64_t batches_sent = 0;    // acked by the collector
+    uint64_t records_sent = 0;    // records in acked batches
+    uint64_t batches_rejected = 0;  // collector nacked (records dropped)
+    uint64_t upload_failures = 0;   // connect/reset/timeout, will retry
+  };
+
+  // `net` and `store` must outlive the uploader. `device_id` stamps every
+  // record of this device on the wire.
+  Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
+           const moppkt::SocketAddr& collector, uint32_t device_id,
+           UploaderPolicy policy = UploaderPolicy());
+  ~Uploader();
+
+  Uploader(const Uploader&) = delete;
+  Uploader& operator=(const Uploader&) = delete;
+
+  // Starts the poll loop. Idempotent.
+  void Start();
+  // Stops polling and aborts any in-flight upload (its records return to the
+  // pending queue; a later Start() resumes where it left off).
+  void Stop();
+
+  // Drains the store and uploads everything pending now, size/age policy
+  // aside (engine shutdown path).
+  void FlushNow();
+
+  const Counters& counters() const { return counters_; }
+  size_t pending_records() const { return pending_.size() + inflight_.size(); }
+  bool upload_in_flight() const { return channel_ != nullptr; }
+
+ private:
+  void SchedulePoll();
+  void Poll();
+  // Takes new records out of the store; returns true if any arrived.
+  void DrainStore();
+  bool ShouldFlush() const;
+  void StartUpload();
+  void OnAckReadable();
+  void OnUploadFailure();
+  void FinishUpload();  // tears down the channel + ack timer
+  void CancelTimer(mopsim::TimerId* id);
+
+  mopnet::NetContext* net_;
+  mopeye::MeasurementStore* store_;
+  moppkt::SocketAddr collector_;
+  uint32_t device_id_;
+  UploaderPolicy policy_;
+
+  bool running_ = false;
+  std::deque<mopeye::Measurement> pending_;
+  // The batch currently being delivered: its records and the exact encoded
+  // frame. Retries re-send the identical frame (same batch_seq), so the
+  // collector can recognize a re-delivery whose ack went missing and not
+  // fold the records twice. Cleared only on ack.
+  std::vector<mopeye::Measurement> inflight_;
+  std::vector<uint8_t> inflight_frame_;
+  // Next batch_seq; starts at a device-rng offset so an uploader restart
+  // does not collide with sequences the collector already recorded.
+  uint32_t next_seq_;
+  std::shared_ptr<mopnet::SocketChannel> channel_;
+  FrameReader ack_reader_;
+  mopsim::TimerId poll_timer_ = mopsim::kInvalidTimer;
+  mopsim::TimerId ack_timer_ = mopsim::kInvalidTimer;
+  moputil::SimDuration backoff_ = 0;  // 0 = healthy, no backoff
+  moputil::SimTime next_attempt_ = 0;
+
+  Counters counters_;
+};
+
+}  // namespace mopcollect
+
+#endif  // MOPEYE_COLLECTOR_UPLOADER_H_

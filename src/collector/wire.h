@@ -1,0 +1,167 @@
+// Wire format of the crowdsourcing upload channel (device -> collector).
+//
+// A compact, versioned binary batch format: each TCP upload is a stream of
+// length-prefixed frames. A batch frame interns every app/ISP/country/domain
+// string once into per-batch string tables and then carries fixed 20-byte
+// records mirroring mopcrowd::CrowdRecord, so a 200-record batch costs ~21
+// bytes/record on the wire instead of re-sending five strings per record.
+// Decoding is strictly bounds-checked and rejects malformed input (truncated
+// frames, bad magic/version, out-of-range table indices) with a clean
+// moputil::Status — the collector faces the open network.
+#ifndef MOPEYE_COLLECTOR_WIRE_H_
+#define MOPEYE_COLLECTOR_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measurement.h"
+#include "util/status.h"
+
+namespace mopcollect {
+
+// Frame payload limit: a batch of kMaxRecordsPerBatch records with full
+// string tables fits comfortably; anything larger is a protocol violation.
+constexpr size_t kMaxFramePayload = 4u * 1024 * 1024;
+constexpr uint16_t kWireMagic = 0x4d42;  // "MB"
+constexpr uint8_t kWireVersion = 1;
+// Per-batch table sizes are u16-indexed; 0xffff is the "no entry" sentinel
+// (mirrors mopcrowd::kNoApp / kNoIsp).
+constexpr uint16_t kNoIndex = 0xffff;
+constexpr uint32_t kNoDomain = 0xffffffff;
+constexpr size_t kMaxTableEntries = 0xfffe;
+constexpr size_t kMaxRecordsPerBatch = 100000;
+// Decoder bound on a record's RTT (10 minutes — far beyond any connect or
+// DNS timeout). Extreme floats would otherwise blow up the collector's
+// log-bucket sketches: each absurd value widens a dense per-key bucket
+// vector, an easy memory-exhaustion lever on the open network.
+constexpr float kMaxRttMs = 600000.0f;
+// Longest string the builder puts in a wire table (app labels, ISP names,
+// and domains are all far shorter; a pathological string must not bloat —
+// or, past the u16 length field, corrupt — the frame).
+constexpr size_t kMaxWireStringBytes = 512;
+
+enum class FrameType : uint8_t {
+  kBatch = 0,  // device -> collector: measurement records
+  kAck = 1,    // collector -> device: per-batch receipt
+};
+
+// Interns strings into dense u16 ids. Used on both ends of the wire: the
+// batch builder assigns per-batch table indices with it, and the collector
+// remaps those onto its global id spaces (collector/aggregate_store.h).
+class Interner {
+ public:
+  // Id for `s`, interning it if new. Returns kNoIndex once full.
+  uint16_t Intern(const std::string& s);
+  // Lookup without interning: the id of `s`, or kNoIndex if never seen.
+  uint16_t Find(const std::string& s) const;
+  // Name for an id interned earlier; sentinels map to "(none)" / "(any)".
+  const std::string& Name(uint16_t id) const;
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint16_t> ids_;
+};
+
+// One measurement on the wire: 20 bytes, the CrowdRecord layout with the
+// string fields replaced by indices into the batch's tables (domain_idx is
+// u32 for parity with CrowdRecord::domain_id; tables cap at u16 entries).
+struct WireRecord {
+  float rtt_ms = 0;
+  uint8_t kind = 0;      // mopcrowd::RecordKind
+  uint8_t net_type = 0;  // mopnet::NetType
+  uint16_t isp_idx = kNoIndex;
+  uint16_t country_idx = kNoIndex;
+  uint16_t app_idx = kNoIndex;
+  uint32_t device_id = 0;
+  uint32_t domain_idx = kNoDomain;
+
+  bool operator==(const WireRecord&) const = default;
+};
+
+constexpr size_t kWireRecordBytes = 20;
+
+struct WireBatch {
+  uint32_t device_id = 0;
+  // Device-chosen batch identifier: the collector treats a (device_id,
+  // batch_seq) pair it has already ingested as a duplicate delivery (the
+  // uploader re-sends the identical frame when an ack goes missing) and
+  // acks it without folding the records twice.
+  uint32_t batch_seq = 0;
+  std::vector<std::string> apps, isps, countries, domains;
+  std::vector<WireRecord> records;
+
+  bool operator==(const WireBatch&) const = default;
+};
+
+struct WireAck {
+  uint32_t records_accepted = 0;
+  uint8_t status = 0;  // 0 = ok, nonzero = batch rejected
+
+  bool ok() const { return status == 0; }
+};
+
+// Accumulates measurements into a WireBatch, interning each distinct string
+// once. One builder per upload batch.
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(uint32_t device_id, uint32_t batch_seq = 0);
+
+  void Add(const mopeye::Measurement& m);
+  size_t record_count() const { return batch_.records.size(); }
+  // Moves the assembled batch out; the builder is spent afterwards.
+  WireBatch TakeBatch();
+
+ private:
+  WireBatch batch_;
+  Interner apps_, isps_, countries_, domains_;
+};
+
+// ---- Encoding ----
+
+// Serializes a batch as one length-prefixed frame (u32 payload length + payload).
+std::vector<uint8_t> EncodeBatchFrame(const WireBatch& batch);
+std::vector<uint8_t> EncodeAckFrame(const WireAck& ack);
+
+// ---- Decoding ----
+
+// Frame type of a complete payload (validates magic + version first).
+moputil::Result<FrameType> PeekFrameType(std::span<const uint8_t> payload);
+
+// Decodes one complete frame payload (without the length prefix). Every read
+// is bounds-checked; any structural violation yields an error Status and a
+// partially-decoded batch is never returned.
+moputil::Result<WireBatch> DecodeBatchPayload(std::span<const uint8_t> payload);
+moputil::Result<WireAck> DecodeAckPayload(std::span<const uint8_t> payload);
+
+// Reassembles length-prefixed frames from an arbitrarily-chunked TCP stream.
+// Feed() bytes as they arrive; Next() yields complete frame payloads in
+// order. A length prefix beyond kMaxFramePayload poisons the reader (sticky
+// error status) — the connection should be dropped.
+class FrameReader {
+ public:
+  void Feed(std::span<const uint8_t> data);
+  // Next complete payload, or nullopt when more bytes are needed (or the
+  // reader is poisoned).
+  std::optional<std::vector<uint8_t>> Next();
+
+  const moputil::Status& status() const { return status_; }
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  // Flat buffer with a consumed-prefix offset: appends and frame extraction
+  // are bulk operations (this sits on the collector's per-connection ingest
+  // path); the consumed prefix is compacted away once it dominates.
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+  moputil::Status status_;
+};
+
+}  // namespace mopcollect
+
+#endif  // MOPEYE_COLLECTOR_WIRE_H_

@@ -40,6 +40,15 @@ class MeasurementStore {
 
   const std::vector<Measurement>& records() const { return records_; }
   size_t size() const { return records_.size(); }
+
+  // Moves all accumulated records out (upload drain): the store is left empty
+  // and keeps working — records added afterwards accumulate and export as
+  // usual. No per-record copies.
+  std::vector<Measurement> TakeRecords() {
+    std::vector<Measurement> out = std::move(records_);
+    records_.clear();
+    return out;
+  }
   size_t CountKind(MeasureKind k) const;
 
   // RTTs in milliseconds for records matching `pred` (null = all).

@@ -5,6 +5,7 @@
 #define MOPEYE_UTIL_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,65 @@ class OnlineStats {
   double m2_ = 0;
   double min_ = 0;
   double max_ = 0;
+};
+
+// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): tracks one
+// quantile with five markers in O(1) memory, so per-key tail latencies stay
+// cheap at crowd scale (millions of records). Exact for the first five
+// samples; a few percent of the true quantile afterwards on smooth
+// distributions.
+class P2Quantile {
+ public:
+  // `percentile` in (0, 100), e.g. 50 for the median, 95 for P95.
+  explicit P2Quantile(double percentile);
+
+  void Add(double x);
+  size_t count() const { return count_; }
+  // Current estimate. Requires count() > 0.
+  double Value() const;
+
+ private:
+  double q_;  // target quantile in (0, 1)
+  size_t count_ = 0;
+  // Marker heights, positions (1-based), and desired positions.
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+// Order-insensitive streaming quantile sketch: logarithmic buckets with
+// relative width `rel_err` (DDSketch-flavored), so any quantile of any
+// positive-valued stream is answered within rel_err *regardless of arrival
+// order*. This matters for crowd ingestion: records arrive in per-device
+// batches, and such clustered (non-exchangeable) streams bias P²'s marker
+// adaptation by 10%+ on tail quantiles, while counting buckets cannot be
+// biased by ordering. Memory is one u32 per bucket in the occupied span —
+// bounded by the dynamic range (~350 buckets for 0.05 ms..60 s at 2%), not
+// the count; inputs are clamped to [5e-5, 1e9] so a hostile stream cannot
+// widen the span past ~800 buckets.
+class LogQuantile {
+ public:
+  explicit LogQuantile(double rel_err = 0.02);
+
+  void Add(double x);
+  size_t count() const { return static_cast<size_t>(total_); }
+  // Quantile estimate for `percentile` in [0, 100]. Requires count() > 0.
+  double Quantile(double percentile) const;
+  double Median() const { return Quantile(50.0); }
+  size_t bucket_count() const { return counts_.size(); }
+
+ private:
+  int IndexOf(double x) const;
+  // Bucket-midpoint value of the sample at 0-based `rank`.
+  double ValueAtRank(uint64_t rank) const;
+
+  double inv_log_gamma_;
+  double log_gamma_;
+  uint64_t total_ = 0;
+  uint64_t zero_or_less_ = 0;  // x <= kMinValue collapses into one bucket
+  int lo_index_ = 0;           // index of counts_[0]
+  std::vector<uint32_t> counts_;
 };
 
 // A bag of samples with percentile queries. Sorting is done lazily and cached.

@@ -1,0 +1,684 @@
+// Collector subsystem tests: wire codec round-trip and rejection, the
+// device-side uploader's size/age batching and retry/backoff, the sharded
+// aggregate store, and the full socket path from N devices into one
+// collector process.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/aggregate_store.h"
+#include "collector/server.h"
+#include "collector/uploader.h"
+#include "collector/wire.h"
+#include "core/measurement.h"
+#include "net/net_context.h"
+#include "net/server.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using moppkt::IpAddr;
+using moppkt::SocketAddr;
+using moputil::Millis;
+using moputil::Seconds;
+
+mopeye::Measurement MakeMeasurement(const std::string& app, const std::string& domain,
+                                    double rtt_ms, moputil::SimTime time = 0,
+                                    mopeye::MeasureKind kind = mopeye::MeasureKind::kTcpConnect,
+                                    mopnet::NetType net = mopnet::NetType::kWifi) {
+  mopeye::Measurement m;
+  m.time = time;
+  m.kind = kind;
+  m.uid = 10100;
+  m.app = app;
+  m.domain = domain;
+  m.server = SocketAddr{IpAddr(93, 184, 216, 34), 443};
+  m.rtt = Millis(rtt_ms);
+  m.net_type = net;
+  m.isp = "TestNet";
+  m.country = "US";
+  m.device_id = "Nexus 6";
+  return m;
+}
+
+// ---- MeasurementStore::TakeRecords ----
+
+TEST(MeasurementStore, TakeRecordsDrainsAndKeepsWorking) {
+  mopeye::MeasurementStore store;
+  store.Add(MakeMeasurement("A", "a.com", 10));
+  store.Add(MakeMeasurement("B", "b.com", 20));
+  auto taken = store.TakeRecords();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].app, "A");
+  EXPECT_EQ(store.size(), 0u);
+  // The store keeps accumulating and exporting after the drain.
+  store.Add(MakeMeasurement("C", "c.com", 30));
+  EXPECT_EQ(store.size(), 1u);
+  std::string csv = store.ToCsv();
+  EXPECT_NE(csv.find("C"), std::string::npos);
+  EXPECT_EQ(csv.find("A,"), std::string::npos);
+}
+
+// ---- Wire codec ----
+
+mopcollect::WireBatch RepresentativeBatch() {
+  mopcollect::BatchBuilder builder(/*device_id=*/77, /*batch_seq=*/9);
+  builder.Add(MakeMeasurement("Whatsapp", "e1.whatsapp.net", 243.5));
+  builder.Add(MakeMeasurement("Whatsapp", "mmg.whatsapp.net", 81.25, 5,
+                              mopeye::MeasureKind::kTcpConnect, mopnet::NetType::kLte));
+  builder.Add(MakeMeasurement("Youtube", "youtube.com", 12.0));
+  builder.Add(MakeMeasurement("(dns)", "jio.com", 59.0, 9, mopeye::MeasureKind::kDns,
+                              mopnet::NetType::k3G));
+  mopeye::Measurement bare;  // everything-empty record: all sentinel indices
+  bare.rtt = Millis(33.0);
+  builder.Add(bare);
+  return builder.TakeBatch();
+}
+
+TEST(WireCodec, BuilderInternsStrings) {
+  auto batch = RepresentativeBatch();
+  EXPECT_EQ(batch.device_id, 77u);
+  EXPECT_EQ(batch.batch_seq, 9u);
+  ASSERT_EQ(batch.records.size(), 5u);
+  // "Whatsapp" appears twice but is interned once.
+  EXPECT_EQ(batch.apps, (std::vector<std::string>{"Whatsapp", "Youtube", "(dns)"}));
+  EXPECT_EQ(batch.records[0].app_idx, batch.records[1].app_idx);
+  EXPECT_EQ(batch.records[4].app_idx, mopcollect::kNoIndex);
+  EXPECT_EQ(batch.records[4].domain_idx, mopcollect::kNoDomain);
+}
+
+TEST(WireCodec, RoundTripEquality) {
+  auto batch = RepresentativeBatch();
+  auto frame = mopcollect::EncodeBatchFrame(batch);
+
+  // Feed the frame through the stream reassembler one byte at a time.
+  mopcollect::FrameReader reader;
+  std::optional<std::vector<uint8_t>> payload;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    reader.Feed({&frame[i], 1});
+    auto p = reader.Next();
+    if (p) {
+      EXPECT_EQ(i, frame.size() - 1) << "frame completed early";
+      payload = std::move(p);
+    }
+  }
+  ASSERT_TRUE(payload.has_value());
+
+  auto decoded = mopcollect::DecodeBatchPayload(*payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), batch);
+}
+
+TEST(WireCodec, AckRoundTrip) {
+  auto frame = mopcollect::EncodeAckFrame({1234, 0});
+  mopcollect::FrameReader reader;
+  reader.Feed(frame);
+  auto payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  auto type = mopcollect::PeekFrameType(*payload);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.value(), mopcollect::FrameType::kAck);
+  auto ack = mopcollect::DecodeAckPayload(*payload);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value().records_accepted, 1234u);
+  EXPECT_TRUE(ack.value().ok());
+}
+
+TEST(WireCodec, RejectsTruncationAtEveryLength) {
+  auto frame = mopcollect::EncodeBatchFrame(RepresentativeBatch());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto r = mopcollect::DecodeBatchPayload({payload.data(), cut});
+    EXPECT_FALSE(r.ok()) << "decode succeeded on a " << cut << "-byte prefix";
+  }
+  // The untruncated payload still decodes.
+  EXPECT_TRUE(mopcollect::DecodeBatchPayload(payload).ok());
+  // Trailing garbage is rejected too (record section length must be exact).
+  payload.push_back(0);
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(payload).ok());
+}
+
+TEST(WireCodec, RejectsBadMagicVersionAndType) {
+  auto frame = mopcollect::EncodeBatchFrame(RepresentativeBatch());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+
+  auto corrupted = payload;
+  corrupted[0] ^= 0xff;  // magic
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(corrupted).ok());
+
+  corrupted = payload;
+  corrupted[2] = 99;  // version
+  auto r = mopcollect::DecodeBatchPayload(corrupted);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+
+  corrupted = payload;
+  corrupted[3] = 7;  // frame type
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(corrupted).ok());
+
+  // A valid ack is not a batch.
+  auto ack_frame = mopcollect::EncodeAckFrame({1, 0});
+  std::vector<uint8_t> ack_payload(ack_frame.begin() + 4, ack_frame.end());
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(ack_payload).ok());
+  EXPECT_FALSE(mopcollect::DecodeAckPayload(payload).ok());
+}
+
+TEST(WireCodec, RejectsOutOfRangeStringTableIndices) {
+  // One record, one app string: patch the record's table indices to point
+  // past the tables. Encode layout: the record is the last 20 bytes.
+  mopcollect::BatchBuilder builder(1);
+  builder.Add(MakeMeasurement("App", "dom.com", 10.0));
+  auto frame = mopcollect::EncodeBatchFrame(builder.TakeBatch());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  size_t rec = payload.size() - mopcollect::kWireRecordBytes;
+
+  auto patch = [&](size_t offset, uint16_t value) {
+    auto p = payload;
+    p[rec + offset] = static_cast<uint8_t>(value & 0xff);
+    p[rec + offset + 1] = static_cast<uint8_t>(value >> 8);
+    return p;
+  };
+  // Offsets within the record: isp@6, country@8, app@10, domain@12 (u32).
+  for (size_t offset : {6u, 8u, 10u}) {
+    auto p = patch(offset, 5);  // tables have one entry; index 5 is invalid
+    auto r = mopcollect::DecodeBatchPayload(p);
+    EXPECT_FALSE(r.ok()) << "offset " << offset;
+    EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+  }
+  auto p = patch(16, 9);  // domain_idx low half; high half stays 0
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(p).ok());
+  // Sentinel indices remain valid.
+  EXPECT_TRUE(mopcollect::DecodeBatchPayload(patch(10, mopcollect::kNoIndex)).ok());
+}
+
+TEST(WireCodec, RejectsBadEnumAndRtt) {
+  mopcollect::BatchBuilder builder(1);
+  builder.Add(MakeMeasurement("App", "dom.com", 10.0));
+  auto frame = mopcollect::EncodeBatchFrame(builder.TakeBatch());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  size_t rec = payload.size() - mopcollect::kWireRecordBytes;
+
+  auto p = payload;
+  p[rec + 4] = 2;  // kind
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(p).ok());
+  p = payload;
+  p[rec + 5] = 4;  // net_type
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(p).ok());
+  p = payload;
+  p[rec + 0] = 0;  // rtt float -> negative/NaN patterns
+  p[rec + 1] = 0;
+  p[rec + 2] = 0x80;
+  p[rec + 3] = 0xff;  // 0xff800000 = -inf
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(p).ok());
+  p = payload;
+  p[rec + 0] = 0xff;
+  p[rec + 1] = 0xff;
+  p[rec + 2] = 0x7f;
+  p[rec + 3] = 0x7f;  // 0x7f7fffff = FLT_MAX: finite but absurd as an RTT
+  EXPECT_FALSE(mopcollect::DecodeBatchPayload(p).ok());
+  p = payload;
+  p[rec + 12] ^= 0xff;  // per-record device id no longer matches the header
+  auto r = mopcollect::DecodeBatchPayload(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("device id"), std::string::npos);
+}
+
+TEST(WireCodec, BuilderClipsPathologicalStrings) {
+  mopcollect::BatchBuilder builder(1);
+  mopeye::Measurement m = MakeMeasurement("App", "dom.com", 10.0);
+  m.app = std::string(100000, 'a');  // 100KB label must not corrupt the frame
+  builder.Add(m);
+  auto batch = builder.TakeBatch();
+  ASSERT_EQ(batch.apps.size(), 1u);
+  EXPECT_EQ(batch.apps[0].size(), mopcollect::kMaxWireStringBytes);
+  auto frame = mopcollect::EncodeBatchFrame(batch);
+  auto decoded =
+      mopcollect::DecodeBatchPayload({frame.data() + 4, frame.size() - 4});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), batch);
+}
+
+TEST(WireCodec, FrameReaderRejectsOversizedFrame) {
+  mopcollect::FrameReader reader;
+  // Length prefix claiming 16 MiB.
+  std::vector<uint8_t> prefix = {0x00, 0x00, 0x00, 0x01};
+  reader.Feed(prefix);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_FALSE(reader.status().ok());
+  // Poisoned reader stays poisoned.
+  reader.Feed(prefix);
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+// ---- Aggregate store ----
+
+TEST(AggregateStore, InternerRoundTrip) {
+  mopcollect::Interner interner;
+  EXPECT_EQ(interner.Intern("Whatsapp"), 0);
+  EXPECT_EQ(interner.Intern("Youtube"), 1);
+  EXPECT_EQ(interner.Intern("Whatsapp"), 0);
+  EXPECT_EQ(interner.Name(0), "Whatsapp");
+  EXPECT_EQ(interner.Name(mopcollect::kNoneId), "(none)");
+  EXPECT_EQ(interner.Name(mopcollect::kAnyId), "(any)");
+}
+
+TEST(AggregateStore, ShardedEntriesMatchExactStats) {
+  mopcollect::AggregateStore store(/*shard_count=*/8);
+  moputil::Rng rng(99);
+  // Three keys with distinct distributions, interleaved.
+  struct KeyDist {
+    mopcollect::AggregateKey key;
+    double median;
+    moputil::Samples exact;
+  };
+  std::vector<KeyDist> dists;
+  for (uint16_t app = 0; app < 3; ++app) {
+    dists.push_back({{app, 0, 0, 0, 0}, 20.0 + 60.0 * app, {}});
+  }
+  for (int i = 0; i < 30000; ++i) {
+    auto& d = dists[static_cast<size_t>(i) % dists.size()];
+    double v = rng.LogNormalMedian(d.median, 0.5);
+    store.Add(d.key, v);
+    d.exact.Add(v);
+  }
+  EXPECT_EQ(store.samples_folded(), 30000u);
+  EXPECT_EQ(store.key_count(), 3u);
+  for (const auto& d : dists) {
+    const auto* entry = store.Find(d.key);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->count(), 10000u);
+    EXPECT_NEAR(entry->median_ms(), d.exact.Median(), 0.05 * d.exact.Median());
+    EXPECT_NEAR(entry->p95_ms(), d.exact.Percentile(95), 0.05 * d.exact.Percentile(95));
+    EXPECT_NEAR(entry->stats.mean(), d.exact.Mean(), 0.05 * d.exact.Mean());
+  }
+  EXPECT_EQ(store.Find({9, 9, 9, 0, 0}), nullptr);
+  EXPECT_GT(store.ApproxMemoryBytes(), 0u);
+}
+
+TEST(AggregateStore, KeysSpreadAcrossShards) {
+  mopcollect::AggregateStore store(/*shard_count=*/8);
+  for (uint16_t app = 0; app < 64; ++app) {
+    store.Add({app, 0, 0, 0, 0}, 1.0);
+  }
+  size_t populated = 0;
+  for (size_t s = 0; s < store.shard_count(); ++s) {
+    populated += store.shard_key_count(s) > 0 ? 1 : 0;
+  }
+  EXPECT_GE(populated, 6u);  // 64 keys over 8 shards: near-uniform
+}
+
+TEST(CollectorServer, IngestBuildsRollupsAndDataset) {
+  mopcollect::CollectorServer server({.shards = 4, .retain_records = true});
+  mopcollect::BatchBuilder b1(1);
+  b1.Add(MakeMeasurement("Whatsapp", "e1.whatsapp.net", 240));
+  b1.Add(MakeMeasurement("Whatsapp", "e1.whatsapp.net", 260, 0,
+                         mopeye::MeasureKind::kTcpConnect, mopnet::NetType::kLte));
+  b1.Add(MakeMeasurement("(dns)", "x.com", 50, 0, mopeye::MeasureKind::kDns,
+                         mopnet::NetType::kLte));
+  server.IngestBatch(b1.TakeBatch());
+  // A second device with overlapping strings in a different wire order:
+  // global interning must unify them.
+  mopcollect::BatchBuilder b2(2);
+  b2.Add(MakeMeasurement("Youtube", "youtube.com", 12));
+  b2.Add(MakeMeasurement("Whatsapp", "e2.whatsapp.net", 250));
+  server.IngestBatch(b2.TakeBatch());
+
+  EXPECT_EQ(server.counters().records_ingested, 5u);
+  auto apps = server.TcpAppStats();
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].app, "Whatsapp");
+  EXPECT_EQ(apps[0].count, 3u);
+  EXPECT_NEAR(apps[0].median_ms, 250.0, 0.021 * 250.0);  // log-bucket resolution
+  EXPECT_EQ(apps[1].app, "Youtube");
+
+  auto isps = server.IspDnsStats();
+  ASSERT_EQ(isps.size(), 1u);
+  EXPECT_EQ(isps[0].isp, "TestNet");
+  EXPECT_EQ(isps[0].net_type, static_cast<uint8_t>(mopnet::NetType::kLte));
+  EXPECT_EQ(isps[0].count, 1u);
+
+  // Retained dataset mirrors the ingest (device roster included).
+  EXPECT_EQ(server.dataset().size(), 5u);
+  EXPECT_EQ(server.dataset().devices().size(), 2u);
+  EXPECT_EQ(server.dataset().CountKind(mopcrowd::RecordKind::kDns), 1u);
+}
+
+TEST(CollectorServer, DuplicateBatchDeliveryIsAckedNotRefolded) {
+  mopcollect::CollectorServer server;
+  mopcollect::BatchBuilder b(/*device_id=*/1, /*batch_seq=*/42);
+  b.Add(MakeMeasurement("App", "a.com", 10));
+  auto frame = mopcollect::EncodeBatchFrame(b.TakeBatch());
+  std::span<const uint8_t> payload{frame.data() + 4, frame.size() - 4};
+
+  auto first = server.IngestPayload(payload);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1u);
+  // The re-delivered frame is confirmed (positive ack) but not re-folded.
+  auto second = server.IngestPayload(payload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 1u);
+  EXPECT_EQ(server.counters().records_ingested, 1u);
+  EXPECT_EQ(server.counters().batches_ok, 1u);
+  EXPECT_EQ(server.counters().batches_duplicate, 1u);
+}
+
+// The dedup state is windowed per device: old sequence numbers age out (a
+// re-delivery is always recent), keeping collector memory bounded however
+// many batches — or hostile (device, seq) pairs — arrive.
+TEST(CollectorServer, DedupWindowEvictsOldSequences) {
+  mopcollect::CollectorServer server;
+  auto frame_for_seq = [](uint32_t seq) {
+    mopcollect::BatchBuilder b(/*device_id=*/1, seq);
+    b.Add(MakeMeasurement("App", "a.com", 10));
+    return mopcollect::EncodeBatchFrame(b.TakeBatch());
+  };
+  auto ingest = [&](uint32_t seq) {
+    auto frame = frame_for_seq(seq);
+    return server.IngestPayload({frame.data() + 4, frame.size() - 4});
+  };
+  const uint32_t n = static_cast<uint32_t>(mopcollect::CollectorServer::kSeenBatchWindow) + 1;
+  for (uint32_t seq = 0; seq < n; ++seq) {
+    ASSERT_TRUE(ingest(seq).ok());
+  }
+  EXPECT_EQ(server.counters().batches_duplicate, 0u);
+  // seq 0 aged out of the window: re-delivering it is no longer detected
+  // (bounded memory beats perfect dedup for ancient batches)...
+  ASSERT_TRUE(ingest(0).ok());
+  EXPECT_EQ(server.counters().batches_duplicate, 0u);
+  // ...while a recent sequence still is.
+  ASSERT_TRUE(ingest(n - 1).ok());
+  EXPECT_EQ(server.counters().batches_duplicate, 1u);
+}
+
+// ---- Uploader over real sockets ----
+
+struct CollectorFixture {
+  mopsim::EventLoop loop;
+  mopnet::PathTable paths;
+  mopnet::ServerFarm farm;
+  mopnet::NetContext ctx;
+  mopcollect::CollectorServer server;
+  SocketAddr collector_addr{IpAddr(10, 99, 0, 1), 9000};
+
+  explicit CollectorFixture(mopcollect::CollectorOptions opts = {})
+      : ctx(&loop, MakeProfile(), &paths, &farm, moputil::Rng(7)), server(opts) {
+    paths.SetDefault(std::make_shared<moputil::FixedDelay>(Millis(10)));
+    server.RegisterWith(&farm, collector_addr);
+  }
+
+  static mopnet::NetworkProfile MakeProfile() {
+    mopnet::NetworkProfile p;
+    p.first_hop_one_way = std::make_shared<moputil::FixedDelay>(Millis(1));
+    return p;
+  }
+};
+
+TEST(Uploader, FlushesWhenSizeThresholdReached) {
+  CollectorFixture f;
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 100;
+  policy.poll_interval = Seconds(1);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, /*device_id=*/1, policy);
+  up.Start();
+
+  for (int i = 0; i < 50; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(5));
+  // Below the size threshold and younger than max_batch_age: nothing sent.
+  EXPECT_EQ(f.server.counters().records_ingested, 0u);
+  EXPECT_EQ(up.pending_records(), 50u);
+
+  for (int i = 0; i < 60; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().records_ingested, 110u);
+  EXPECT_EQ(f.server.counters().batches_ok, 1u);
+  EXPECT_EQ(up.counters().batches_sent, 1u);
+  EXPECT_EQ(up.counters().records_sent, 110u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  EXPECT_EQ(store.size(), 0u);  // drained via TakeRecords
+  up.Stop();
+}
+
+TEST(Uploader, FlushesWhenRecordsAge) {
+  CollectorFixture f;
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 1000;
+  policy.max_batch_age = Seconds(60);
+  policy.poll_interval = Seconds(5);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.Start();
+
+  for (int i = 0; i < 10; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(50));
+  EXPECT_EQ(f.server.counters().records_ingested, 0u);
+  f.loop.RunFor(Seconds(20));  // oldest record crosses 60 sim-seconds
+  EXPECT_EQ(f.server.counters().records_ingested, 10u);
+  up.Stop();
+}
+
+TEST(Uploader, RetriesWithBackoffUntilCollectorAppears) {
+  CollectorFixture f;
+  f.farm.RemoveTcpServer(f.collector_addr);  // collector not up yet
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 10;
+  policy.poll_interval = Seconds(1);
+  policy.initial_backoff = Seconds(2);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.Start();
+
+  for (int i = 0; i < 25; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(30));
+  EXPECT_GE(up.counters().upload_failures, 2u);
+  EXPECT_EQ(up.counters().batches_sent, 0u);
+  EXPECT_EQ(up.pending_records(), 25u);  // nothing lost
+
+  // Collector comes up: the next retry delivers everything exactly once.
+  f.server.RegisterWith(&f.farm, f.collector_addr);
+  f.loop.RunFor(Seconds(200));
+  EXPECT_EQ(f.server.counters().records_ingested, 25u);
+  EXPECT_EQ(up.counters().records_sent, 25u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  up.Stop();
+}
+
+TEST(Uploader, RequeuesOnServerReset) {
+  CollectorFixture f;
+  // First connection hits a server that resets immediately.
+  f.farm.AddTcpServer(f.collector_addr,
+                      [] { return std::make_unique<mopnet::ResetBehavior>(); });
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 5;
+  policy.poll_interval = Seconds(1);
+  policy.initial_backoff = Seconds(2);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.Start();
+  for (int i = 0; i < 8; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(10));
+  EXPECT_GE(up.counters().upload_failures, 1u);
+  EXPECT_EQ(up.pending_records(), 8u);
+
+  // Swap in the real collector; records arrive exactly once.
+  f.server.RegisterWith(&f.farm, f.collector_addr);
+  f.loop.RunFor(Seconds(120));
+  EXPECT_EQ(f.server.counters().records_ingested, 8u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  up.Stop();
+}
+
+// The delivery-not-acked corner of at-least-once upload: the collector
+// ingests a batch but its ack never reaches the device, the uploader times
+// out and re-sends the *identical* frame, and the (device_id, batch_seq)
+// dedup keeps the records from being folded twice.
+TEST(Uploader, LostAckRetryIsDeduplicatedByCollector) {
+  CollectorFixture f;
+  // First registration ingests but never acks.
+  class SilentIngest : public mopnet::ServerBehavior {
+   public:
+    explicit SilentIngest(mopcollect::CollectorServer* server) : server_(server) {}
+    void OnData(mopnet::ServerConn& conn, std::span<const uint8_t> data) override {
+      (void)conn;
+      reader_.Feed(data);
+      while (auto payload = reader_.Next()) {
+        (void)server_->IngestPayload(*payload);
+      }
+    }
+
+   private:
+    mopcollect::CollectorServer* server_;
+    mopcollect::FrameReader reader_;
+  };
+  f.farm.AddTcpServer(f.collector_addr,
+                      [&f] { return std::make_unique<SilentIngest>(&f.server); });
+
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 5;
+  policy.poll_interval = Seconds(1);
+  policy.ack_timeout = Seconds(5);
+  policy.initial_backoff = Seconds(2);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.Start();
+  for (int i = 0; i < 8; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(10));  // delivery lands; ack never comes; timeout
+  EXPECT_EQ(f.server.counters().records_ingested, 8u);
+  EXPECT_GE(up.counters().upload_failures, 1u);
+  EXPECT_EQ(up.counters().records_sent, 0u);
+
+  // The acking collector comes back; the re-sent frame is recognized.
+  f.server.RegisterWith(&f.farm, f.collector_addr);
+  f.loop.RunFor(Seconds(120));
+  EXPECT_EQ(f.server.counters().records_ingested, 8u);  // not double-counted
+  EXPECT_GE(f.server.counters().batches_duplicate, 1u);
+  EXPECT_EQ(up.counters().records_sent, 8u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  up.Stop();
+}
+
+TEST(Uploader, LargeBacklogChainsBatches) {
+  CollectorFixture f;
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 100;
+  policy.max_records_per_batch = 300;
+  policy.poll_interval = Seconds(1);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.Start();
+  for (int i = 0; i < 1000; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(60));
+  EXPECT_EQ(f.server.counters().records_ingested, 1000u);
+  EXPECT_GE(f.server.counters().batches_ok, 4u);  // 300-record ceiling
+  up.Stop();
+}
+
+TEST(CollectorServer, MalformedUploadIsRejectedWithoutCrashing) {
+  CollectorFixture f;
+  // Hand-roll a client that sends garbage with a valid length prefix.
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect(f.collector_addr, [&ch](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    std::vector<uint8_t> junk = {16, 0, 0, 0};  // 16-byte payload of garbage
+    for (int i = 0; i < 16; ++i) {
+      junk.push_back(0xab);
+    }
+    ch->Write(std::move(junk));
+  });
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().batches_rejected, 1u);
+  EXPECT_EQ(f.server.counters().records_ingested, 0u);
+
+  // The collector still accepts a well-formed upload afterwards.
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 1;
+  policy.poll_interval = Seconds(1);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 2, policy);
+  up.Start();
+  store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().records_ingested, 1u);
+  up.Stop();
+}
+
+// ---- End to end: several devices, one collector, aggregate accuracy ----
+
+TEST(CollectorE2E, MultiDeviceIngestMatchesExactRecomputation) {
+  mopsim::EventLoop loop;
+  mopnet::PathTable paths;
+  paths.SetDefault(std::make_shared<moputil::FixedDelay>(Millis(10)));
+  mopnet::ServerFarm farm;
+  mopcollect::CollectorServer server({.shards = 8, .retain_records = true});
+  SocketAddr addr{IpAddr(10, 99, 0, 1), 9000};
+  server.RegisterWith(&farm, addr);
+
+  constexpr int kDevices = 4;
+  constexpr int kPerDevice = 500;
+  struct Device {
+    std::unique_ptr<mopnet::NetContext> ctx;
+    mopeye::MeasurementStore store;
+    std::unique_ptr<mopcollect::Uploader> uploader;
+  };
+  std::vector<Device> devices(kDevices);
+  moputil::Rng rng(42);
+  moputil::Samples exact_whatsapp;
+  for (int d = 0; d < kDevices; ++d) {
+    mopnet::NetworkProfile profile;
+    profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(Millis(1));
+    devices[d].ctx = std::make_unique<mopnet::NetContext>(&loop, profile, &paths, &farm,
+                                                          moputil::Rng(100 + d));
+    mopcollect::UploaderPolicy policy;
+    policy.min_batch_records = 200;
+    policy.poll_interval = Seconds(2);
+    devices[d].uploader = std::make_unique<mopcollect::Uploader>(
+        devices[d].ctx.get(), &devices[d].store, addr, static_cast<uint32_t>(d), policy);
+    devices[d].uploader->Start();
+    for (int i = 0; i < kPerDevice; ++i) {
+      double rtt = rng.LogNormalMedian(230.0, 0.4);
+      exact_whatsapp.Add(rtt);
+      devices[d].store.Add(MakeMeasurement("Whatsapp", "e1.whatsapp.net", rtt, loop.Now()));
+    }
+  }
+  loop.RunFor(Seconds(30));
+  for (auto& d : devices) {
+    d.uploader->FlushNow();
+  }
+  loop.RunFor(Seconds(30));
+
+  EXPECT_EQ(server.counters().records_ingested,
+            static_cast<uint64_t>(kDevices * kPerDevice));
+  EXPECT_GE(server.counters().connections, static_cast<uint64_t>(kDevices));
+  EXPECT_EQ(server.dataset().devices().size(), static_cast<size_t>(kDevices));
+
+  auto apps = server.TcpAppStats();
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].count, static_cast<size_t>(kDevices * kPerDevice));
+  EXPECT_NEAR(apps[0].median_ms, exact_whatsapp.Median(), 0.05 * exact_whatsapp.Median());
+  EXPECT_NEAR(apps[0].p95_ms, exact_whatsapp.Percentile(95),
+              0.05 * exact_whatsapp.Percentile(95));
+
+  for (auto& d : devices) {
+    d.uploader->Stop();
+  }
+}
+
+}  // namespace

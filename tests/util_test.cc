@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -166,6 +167,113 @@ TEST(OnlineStats, MeanVarianceMinMax) {
   EXPECT_NEAR(s.stddev(), 2.1380899, 1e-5);
   EXPECT_EQ(s.min(), 2.0);
   EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  moputil::P2Quantile p50(50.0);
+  p50.Add(30.0);
+  EXPECT_DOUBLE_EQ(p50.Value(), 30.0);
+  p50.Add(10.0);
+  EXPECT_DOUBLE_EQ(p50.Value(), 20.0);
+  p50.Add(20.0);
+  EXPECT_DOUBLE_EQ(p50.Value(), 20.0);
+  p50.Add(40.0);
+  p50.Add(50.0);
+  EXPECT_DOUBLE_EQ(p50.Value(), 30.0);
+  EXPECT_EQ(p50.count(), 5u);
+}
+
+// The P² estimate must track the exact percentile across distribution shapes
+// (this is what the collector's aggregate store relies on for median/P95).
+TEST(P2Quantile, TracksExactPercentileAcrossDistributions) {
+  struct Case {
+    const char* name;
+    std::function<double(Rng&)> sample;
+  };
+  Rng rng(20160516);
+  const Case cases[] = {
+      {"uniform", [](Rng& r) { return r.Uniform(0, 100); }},
+      {"lognormal", [](Rng& r) { return r.LogNormalMedian(50.0, 0.6); }},
+      {"exponential", [](Rng& r) { return r.Exponential(30.0); }},
+      {"bimodal",
+       [](Rng& r) {
+         return r.Bernoulli(0.7) ? r.LogNormalMedian(20.0, 0.3)
+                                 : r.LogNormalMedian(200.0, 0.3);
+       }},
+  };
+  for (const Case& c : cases) {
+    for (double pct : {50.0, 90.0, 95.0}) {
+      moputil::P2Quantile sketch(pct);
+      Samples exact;
+      for (int i = 0; i < 20000; ++i) {
+        double v = c.sample(rng);
+        sketch.Add(v);
+        exact.Add(v);
+      }
+      double want = exact.Percentile(pct);
+      double tol = std::max(0.05 * want, 1.0);
+      EXPECT_NEAR(sketch.Value(), want, tol) << c.name << " p" << pct;
+    }
+  }
+}
+
+TEST(LogQuantile, GuaranteedRelativeError) {
+  moputil::LogQuantile sketch(0.02);
+  Samples exact;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.LogNormalMedian(60.0, 0.8);
+    sketch.Add(v);
+    exact.Add(v);
+  }
+  for (double pct : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    double want = exact.Percentile(pct);
+    EXPECT_NEAR(sketch.Quantile(pct), want, 0.021 * want) << "p" << pct;
+  }
+}
+
+// Regression for the property the collector relies on: upload batches arrive
+// clustered by device (non-exchangeable order), which biases P² tails by
+// 10%+; the counting sketch must be unaffected by ordering.
+TEST(LogQuantile, OrderInsensitiveOnClusteredStreams) {
+  moputil::LogQuantile sketch(0.02);
+  moputil::P2Quantile p2(95.0);
+  Samples exact;
+  Rng rng(7);
+  // Eight "devices" with strongly different network conditions, arriving as
+  // whole blocks.
+  for (int d = 0; d < 8; ++d) {
+    double scale = 0.5 + 0.35 * d;
+    for (int i = 0; i < 600; ++i) {
+      double v = rng.Bernoulli(0.5) ? rng.LogNormalMedian(20.0 * scale, 0.3)
+                                    : rng.LogNormalMedian(230.0 * scale, 0.35);
+      sketch.Add(v);
+      p2.Add(v);
+      exact.Add(v);
+    }
+  }
+  double want = exact.Percentile(95);
+  EXPECT_NEAR(sketch.Quantile(95), want, 0.021 * want);
+}
+
+TEST(LogQuantile, HandlesZeroAndTinyValues) {
+  moputil::LogQuantile sketch(0.02);
+  sketch.Add(0.0);
+  sketch.Add(-5.0);
+  sketch.Add(100.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0), 0.0);
+  EXPECT_NEAR(sketch.Quantile(100), 100.0, 2.1);
+}
+
+// Extreme values must saturate, not widen the bucket vector without bound.
+TEST(LogQuantile, ClampsHostileRangeToBoundedBuckets) {
+  moputil::LogQuantile sketch(0.02);
+  sketch.Add(1e-300);
+  sketch.Add(1e300);
+  sketch.Add(50.0);
+  EXPECT_LE(sketch.bucket_count(), 900u);
+  EXPECT_NEAR(sketch.Quantile(50), 50.0, 1.1);
 }
 
 TEST(Samples, PercentileInterpolates) {
