@@ -41,12 +41,16 @@ void AndroidDevice::DeactivateVpn() {
   net_.set_protection_checker(nullptr);
 }
 
-bool AndroidDevice::KernelSendFromApp(std::vector<uint8_t> datagram) {
+bool AndroidDevice::KernelSendFromApp(moppkt::PacketBuf datagram) {
   if (vpn_tun_ == nullptr || vpn_tun_->closed()) {
     return false;
   }
   vpn_tun_->InjectOutgoing(std::move(datagram));
   return true;
+}
+
+bool AndroidDevice::KernelSendFromApp(std::vector<uint8_t> datagram) {
+  return KernelSendFromApp(moppkt::BufPool::Default().AcquireCopy(datagram));
 }
 
 void AndroidDevice::DownloadManagerEnqueue() {

@@ -60,6 +60,7 @@ class AndroidDevice {
   // false (packet dropped) when no VPN is active — packet-level transport
   // only exists through the tunnel in this simulation; direct traffic uses
   // socket-level transports.
+  bool KernelSendFromApp(moppkt::PacketBuf datagram);
   bool KernelSendFromApp(std::vector<uint8_t> datagram);
 
   // DownloadManager.enqueue(): triggers a small download by the system

@@ -8,7 +8,7 @@ namespace mopdroid {
 
 TunDevice::TunDevice(mopsim::EventLoop* loop) : loop_(loop) { MOP_CHECK(loop != nullptr); }
 
-void TunDevice::InjectOutgoing(std::vector<uint8_t> datagram) {
+void TunDevice::InjectOutgoing(moppkt::PacketBuf datagram) {
   if (closed_) {
     return;
   }
@@ -21,6 +21,10 @@ void TunDevice::InjectOutgoing(std::vector<uint8_t> datagram) {
   }
 }
 
+void TunDevice::InjectOutgoing(std::vector<uint8_t> datagram) {
+  InjectOutgoing(moppkt::BufPool::Default().AcquireCopy(datagram));
+}
+
 std::optional<TunDevice::OutPacket> TunDevice::ReadOutgoing() {
   if (outgoing_.empty()) {
     return std::nullopt;
@@ -30,7 +34,7 @@ std::optional<TunDevice::OutPacket> TunDevice::ReadOutgoing() {
   return pkt;
 }
 
-void TunDevice::WriteIncoming(std::vector<uint8_t> datagram) {
+void TunDevice::WriteIncoming(moppkt::PacketBuf datagram) {
   if (closed_) {
     return;
   }
@@ -39,6 +43,10 @@ void TunDevice::WriteIncoming(std::vector<uint8_t> datagram) {
   if (on_deliver_to_apps) {
     on_deliver_to_apps(std::move(datagram));
   }
+}
+
+void TunDevice::WriteIncoming(std::vector<uint8_t> datagram) {
+  WriteIncoming(moppkt::BufPool::Default().AcquireCopy(datagram));
 }
 
 void TunDevice::Close() {

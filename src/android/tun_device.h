@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "netpkt/packet_buf.h"
 #include "sim/event_loop.h"
 #include "util/time.h"
 
@@ -29,19 +30,22 @@ class TunDevice {
 
   // ---- App/kernel side ----
   // The kernel routes an app datagram into the tunnel (tun fd becomes
-  // readable for the VPN app).
+  // readable for the VPN app). The pooled overload is the zero-copy path;
+  // the vector overload copies into a pooled slab at the boundary.
+  void InjectOutgoing(moppkt::PacketBuf datagram);
   void InjectOutgoing(std::vector<uint8_t> datagram);
   // Fired at the exact instant a datagram is injected; the VPN app's reader
   // uses this to model blocking-read wakeups.
   std::function<void()> on_outgoing_ready;
   // Datagrams the VPN app wrote back are handed to the kernel, which
-  // delivers them to the owning app's socket.
-  std::function<void(std::vector<uint8_t> datagram)> on_deliver_to_apps;
+  // delivers them to the owning app's socket. The receiver owns the pooled
+  // buffer; views into it die when the buffer does.
+  std::function<void(moppkt::PacketBuf datagram)> on_deliver_to_apps;
 
   // ---- VPN app side ----
   struct OutPacket {
     SimTime injected_at = 0;
-    std::vector<uint8_t> data;
+    moppkt::PacketBuf data;
   };
   // Non-destructive check.
   bool HasOutgoing() const { return !outgoing_.empty(); }
@@ -50,7 +54,9 @@ class TunDevice {
   // syscall cost in its own lane).
   std::optional<OutPacket> ReadOutgoing();
   // Writes one datagram toward the apps; delivery is immediate (in-kernel
-  // copy). The caller pays the write() cost in its own lane.
+  // handoff of the pooled buffer). The caller pays the write() cost in its
+  // own lane.
+  void WriteIncoming(moppkt::PacketBuf datagram);
   void WriteIncoming(std::vector<uint8_t> datagram);
 
   // fd teardown (VPN revoked / service stopped).

@@ -11,7 +11,7 @@ TunNetStack::TunNetStack(mopdroid::AndroidDevice* device) : device_(device) {
 void TunNetStack::AttachTun() {
   mopdroid::TunDevice* tun = device_->vpn_tun();
   MOP_CHECK(tun != nullptr) << "AttachTun with no active VPN";
-  tun->on_deliver_to_apps = [this](std::vector<uint8_t> datagram) {
+  tun->on_deliver_to_apps = [this](moppkt::PacketBuf datagram) {
     Dispatch(std::move(datagram));
   };
 }
@@ -35,12 +35,18 @@ void TunNetStack::RegisterUdp(uint16_t local_port, PacketHandler handler) {
 
 void TunNetStack::UnregisterUdp(uint16_t local_port) { udp_handlers_.erase(local_port); }
 
+bool TunNetStack::Send(moppkt::PacketBuf datagram) {
+  return device_->KernelSendFromApp(std::move(datagram));
+}
+
 bool TunNetStack::Send(std::vector<uint8_t> datagram) {
   return device_->KernelSendFromApp(std::move(datagram));
 }
 
-void TunNetStack::Dispatch(std::vector<uint8_t> datagram) {
-  auto parsed = moppkt::ParsePacket(std::move(datagram));
+void TunNetStack::Dispatch(moppkt::PacketBuf datagram) {
+  // The buffer lives for this call; everything below (ParsedPacket, handler
+  // arguments, payload spans) views it without copying.
+  auto parsed = moppkt::ParsePacket(datagram.bytes());
   if (!parsed.ok()) {
     ++parse_errors_;
     MOP_LOG(Warning) << "tun->app parse error: " << parsed.status().ToString();

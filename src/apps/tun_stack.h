@@ -29,6 +29,8 @@ class TunNetStack {
 
   uint16_t AllocatePort();
 
+  // The ParsedPacket (and its payload spans) views the pooled buffer owned
+  // by Dispatch; handlers must consume or copy within the call.
   using PacketHandler = std::function<void(const moppkt::ParsedPacket&)>;
   void RegisterTcp(uint16_t local_port, PacketHandler handler);
   void UnregisterTcp(uint16_t local_port);
@@ -36,14 +38,15 @@ class TunNetStack {
   void UnregisterUdp(uint16_t local_port);
 
   // Sends an app datagram into the kernel (routed to the TUN). False if no
-  // VPN is active.
+  // VPN is active. The pooled overload is the zero-copy path.
+  bool Send(moppkt::PacketBuf datagram);
   bool Send(std::vector<uint8_t> datagram);
 
   uint64_t parse_errors() const { return parse_errors_; }
   uint64_t unroutable_packets() const { return unroutable_; }
 
  private:
-  void Dispatch(std::vector<uint8_t> datagram);
+  void Dispatch(moppkt::PacketBuf datagram);
 
   mopdroid::AndroidDevice* device_;
   uint16_t next_port_ = 40000;

@@ -53,6 +53,9 @@ struct CostModels {
   std::shared_ptr<moputil::DelayModel> selector_register;
   // DNS message parse + UDP socket setup in the DNS thread.
   std::shared_ptr<moputil::DelayModel> dns_process;
+  // Marginal cost of each additional packet in a batched (writev-style)
+  // tunnel write burst; only sampled when Config::write_batching is on.
+  std::shared_ptr<moputil::DelayModel> tun_write_batch_extra;
 
   static CostModels Default();
 };
@@ -73,6 +76,12 @@ struct Config {
 
   enum class PutScheme { kOldPut, kNewPut };
   PutScheme put_scheme = PutScheme::kNewPut;
+  // Batched tunnel writes: the TunWriter drains its whole queue in one
+  // writev-style submission (one syscall-class cost plus a small marginal
+  // cost per extra packet) instead of one write() per packet. Off by
+  // default: the paper's tables model per-packet write(), and the checked-in
+  // experiment baselines depend on that cost stream.
+  bool write_batching = false;
   // Spin rounds before the writer gives up and wait()s (§3.5.1's counter
   // threshold). The window must outlast typical intra-burst packet gaps so
   // producers almost never find the writer parked.

@@ -186,7 +186,7 @@ void MopEyeEngine::DrainEvents() {
       more = true;
     }
     if (!read_queue_.items.empty()) {
-      std::vector<uint8_t> pkt = std::move(read_queue_.items.front().second);
+      moppkt::PacketBuf pkt = std::move(read_queue_.items.front().second);
       read_queue_.items.pop_front();
       moputil::SimDuration cost = config_.costs.packet_parse->Sample(rng_);
       if (config_.content_inspection) {
@@ -200,12 +200,15 @@ void MopEyeEngine::DrainEvents() {
   }
 }
 
-void MopEyeEngine::ProcessTunPacket(std::vector<uint8_t> raw) {
+void MopEyeEngine::ProcessTunPacket(moppkt::PacketBuf raw) {
   if (!running_) {
     return;
   }
   ++counters_.tun_packets;
-  auto parsed = moppkt::ParsePacket(std::move(raw));
+  // Zero-copy parse: `pkt` is a bundle of views into `raw`'s slab, which
+  // stays alive for the rest of this call (and beyond it only if a data
+  // segment moves the buffer into the client's staged socket writes).
+  auto parsed = moppkt::ParsePacket(raw.bytes());
   if (!parsed.ok()) {
     ++counters_.parse_errors;
     return;
@@ -215,7 +218,7 @@ void MopEyeEngine::ProcessTunPacket(std::vector<uint8_t> raw) {
     if (pkt.tcp->flags.syn && !pkt.tcp->flags.ack) {
       HandleSyn(pkt);
     } else {
-      HandleTcpSegment(pkt);
+      HandleTcpSegment(pkt, std::move(raw));
     }
     return;
   }
@@ -413,7 +416,8 @@ void MopEyeEngine::MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& c
   store_.Add(std::move(m));
 }
 
-void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt) {
+void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt,
+                                    moppkt::PacketBuf raw) {
   moppkt::FlowKey flow = pkt.flow();
   auto client = FindClient(flow);
   if (!client) {
@@ -449,11 +453,14 @@ void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt) {
   }
 
   if (!out.to_socket.empty()) {
-    // §2.3 "TCP Data": stage into the socket write buffer and trigger a
-    // write event for the socket instance.
+    // §2.3 "TCP Data": stage for the socket write and trigger a write event
+    // for the socket instance. `to_socket` is a view into `raw`, so the
+    // pooled buffer rides along unserialized until the flush — no byte is
+    // copied here.
     counters_.bytes_app_to_server += out.to_socket.size();
-    client->socket_write_buf.insert(client->socket_write_buf.end(), out.to_socket.begin(),
-                                    out.to_socket.end());
+    client->socket_write_bytes += out.to_socket.size();
+    client->socket_write_buf.push_back(
+        TcpClient::PendingWrite{std::move(raw), out.to_socket});
     if (!client->write_event_pending && client->channel) {
       client->write_event_pending = true;
       selector_.TriggerWrite(client->channel);
@@ -535,8 +542,15 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
   if (!client->channel || client->socket_write_buf.empty()) {
     return;
   }
-  std::vector<uint8_t> data(client->socket_write_buf.begin(), client->socket_write_buf.end());
+  // Gather the staged spans into the socket's buffer in one pass; the pooled
+  // packets they point into return to the pool as the deque clears.
+  std::vector<uint8_t> data;
+  data.reserve(client->socket_write_bytes);
+  for (const auto& pending : client->socket_write_buf) {
+    data.insert(data.end(), pending.data.begin(), pending.data.end());
+  }
   client->socket_write_buf.clear();
+  client->socket_write_bytes = 0;
   moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
   main_lane_.Submit(0, cost, [this, client, data = std::move(data)]() mutable {
     if (client->removed || !client->channel) {
@@ -563,13 +577,15 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
     return;
   }
   // §2.3 "Socket Read": pull from the (64 KiB) read buffer and construct data
-  // packets for the internal connection.
-  std::vector<uint8_t> buf(config_.socket_buffer);
-  size_t n = client->channel->Read(buf);
+  // packets for the internal connection. The read lands in the engine-wide
+  // scratch; only the bytes actually read are carried across the lane hop.
+  socket_read_scratch_.resize(config_.socket_buffer);
+  size_t n = client->channel->Read(socket_read_scratch_);
   if (n == 0) {
     return;
   }
-  buf.resize(n);
+  std::vector<uint8_t> buf(socket_read_scratch_.begin(),
+                           socket_read_scratch_.begin() + static_cast<long>(n));
   counters_.bytes_server_to_app += n;
   moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
   if (config_.content_inspection) {
@@ -596,12 +612,23 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
 void MopEyeEngine::EmitToApp(const std::shared_ptr<TcpClient>& client,
                              const moppkt::TcpSegmentSpec& spec,
                              mopsim::ActorLane* producer) {
-  std::vector<uint8_t> datagram = moppkt::BuildTcpDatagram(
-      spec, client->flow.remote.ip, client->flow.local.ip, client->ip_id++);
+  moppkt::PacketBuf datagram =
+      moppkt::BufPool::Default().AcquireSized(20 + moppkt::TcpSegmentBytes(spec));
+  size_t n;
+  if (moppkt::TcpPacketTemplate::Covers(spec)) {
+    // Steady state (data/ACK/FIN/RST): stamp the per-flow template — header
+    // image memcpy + incremental checksums, no full rebuild.
+    n = client->tmpl.EmitSpec(spec, client->ip_id++, datagram.writable());
+  } else {
+    // SYN/ACK carries options; built in place once per connection.
+    n = moppkt::BuildTcpDatagramInto(spec, client->flow.remote.ip, client->flow.local.ip,
+                                     client->ip_id++, /*ttl=*/64, datagram.writable());
+  }
+  datagram.set_size(n);
   EmitRawToApp(std::move(datagram), producer);
 }
 
-void MopEyeEngine::EmitRawToApp(std::vector<uint8_t> datagram, mopsim::ActorLane* producer) {
+void MopEyeEngine::EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer) {
   moputil::SimDuration overhead = writer_->SubmitPacket(std::move(datagram));
   if (producer != nullptr && overhead > 0) {
     producer->Submit(0, overhead, [] {});
@@ -688,9 +715,12 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
                         m.device_id = device_->model();
                         store_.Add(std::move(m));
                         // Relay the answer back through the tunnel.
-                        std::vector<uint8_t> datagram = moppkt::BuildUdpDatagram(
+                        moppkt::PacketBuf datagram =
+                            moppkt::BufPool::Default().AcquireSized(28 + response.size());
+                        datagram.set_size(moppkt::BuildUdpDatagramInto(
                             u->flow.remote.port, u->flow.local.port, response,
-                            u->flow.remote.ip, u->flow.local.ip, u->ip_id++);
+                            u->flow.remote.ip, u->flow.local.ip, u->ip_id++,
+                            datagram.writable()));
                         EmitRawToApp(std::move(datagram), u->lane.get());
                         // Temporary DNS client retires.
                         retired_worker_busy_ += u->lane->busy_time();
@@ -725,9 +755,11 @@ void MopEyeEngine::HandleUdp(const moppkt::ParsedPacket& pkt) {
       if (!u) {
         return;
       }
-      std::vector<uint8_t> datagram =
-          moppkt::BuildUdpDatagram(u->flow.remote.port, u->flow.local.port, response,
-                                   u->flow.remote.ip, u->flow.local.ip, u->ip_id++);
+      moppkt::PacketBuf datagram =
+          moppkt::BufPool::Default().AcquireSized(28 + response.size());
+      datagram.set_size(moppkt::BuildUdpDatagramInto(
+          u->flow.remote.port, u->flow.local.port, response, u->flow.remote.ip,
+          u->flow.local.ip, u->ip_id++, datagram.writable()));
       EmitRawToApp(std::move(datagram), &main_lane_);
       u->last_activity = loop_->Now();
     };

@@ -30,6 +30,8 @@
 #include "core/tun_writer.h"
 #include "net/selector.h"
 #include "net/socket.h"
+#include "netpkt/packet_buf.h"
+#include "netpkt/tcp_template.h"
 #include "util/status.h"
 
 namespace mopeye {
@@ -106,9 +108,22 @@ class MopEyeEngine {
   struct TcpClient {
     moppkt::FlowKey flow;
     TcpStateMachine sm;
+    // Prototype datagram for everything we emit toward the app on this flow
+    // (we speak as the server: src = remote). Option-less segments — the
+    // steady state — are stamped out of this template with incremental
+    // checksums instead of being rebuilt from scratch.
+    moppkt::TcpPacketTemplate tmpl;
     std::shared_ptr<mopnet::SocketChannel> channel;
     std::unique_ptr<mopsim::ActorLane> connect_lane;
-    std::deque<uint8_t> socket_write_buf;
+    // App payload staged for the external socket. Each entry keeps the
+    // pooled packet its span points into alive until the flush — the
+    // zero-copy replacement for the old per-byte staging deque.
+    struct PendingWrite {
+      moppkt::PacketBuf buf;
+      std::span<const uint8_t> data;
+    };
+    std::deque<PendingWrite> socket_write_buf;
+    size_t socket_write_bytes = 0;
     bool write_event_pending = false;
     bool external_connected = false;
     bool removed = false;
@@ -122,7 +137,9 @@ class MopEyeEngine {
     uint16_t ip_id = 1;
 
     TcpClient(const moppkt::FlowKey& f, uint32_t iss, uint16_t mss, uint16_t window)
-        : flow(f), sm(f, iss, mss, window) {}
+        : flow(f),
+          sm(f, iss, mss, window),
+          tmpl(f.remote.ip, f.local.ip, f.remote.port, f.local.port) {}
   };
 
   struct UdpClient {
@@ -141,13 +158,16 @@ class MopEyeEngine {
 
   void OnSelectorWakeup();
   void DrainEvents();
-  void ProcessTunPacket(std::vector<uint8_t> raw);
+  void ProcessTunPacket(moppkt::PacketBuf raw);
   void HandleSyn(const moppkt::ParsedPacket& pkt);
   void StartExternalConnect(const std::shared_ptr<TcpClient>& client);
   void FinishConnect(const std::shared_ptr<TcpClient>& client, moputil::SimTime t1);
   // Stores the record once both the RTT and the app mapping are available.
   void MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& client);
-  void HandleTcpSegment(const moppkt::ParsedPacket& pkt);
+  // `raw` is the pooled buffer `pkt`'s views point into; if the segment
+  // carries in-order payload the buffer moves into the client's staged
+  // writes, otherwise it dies (returns to the pool) on return.
+  void HandleTcpSegment(const moppkt::ParsedPacket& pkt, moppkt::PacketBuf raw);
   void HandleSocketEvent(const mopnet::ReadyEvent& ev);
   void FlushSocketWrites(const std::shared_ptr<TcpClient>& client);
   void HandleSocketReadable(const std::shared_ptr<TcpClient>& client);
@@ -159,7 +179,7 @@ class MopEyeEngine {
   // `producer` (null = fire and forget from a non-lane context).
   void EmitToApp(const std::shared_ptr<TcpClient>& client,
                  const moppkt::TcpSegmentSpec& spec, mopsim::ActorLane* producer);
-  void EmitRawToApp(std::vector<uint8_t> datagram, mopsim::ActorLane* producer);
+  void EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer);
 
   std::shared_ptr<TcpClient> FindClient(const moppkt::FlowKey& flow);
 
@@ -176,6 +196,9 @@ class MopEyeEngine {
   mopsim::ActorLane main_lane_;
   std::unique_ptr<PacketToAppMapper> mapper_;
   MeasurementStore store_;
+  // Reused destination for external-socket reads (used synchronously only):
+  // one 64 KiB buffer for the engine's lifetime instead of one per read.
+  std::vector<uint8_t> socket_read_scratch_;
 
   std::unordered_map<moppkt::FlowKey, std::shared_ptr<TcpClient>, moppkt::FlowKeyHash>
       clients_;

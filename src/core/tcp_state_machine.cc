@@ -161,7 +161,7 @@ TcpStateMachine::Output TcpStateMachine::OnAppSegment(const moppkt::TcpSegment& 
     if (seg.seq == rcv_nxt_) {
       rcv_nxt_ += static_cast<uint32_t>(seg.payload.size());
       bytes_from_app_ += seg.payload.size();
-      out.to_socket.assign(seg.payload.begin(), seg.payload.end());
+      out.to_socket = seg.payload;
     } else if (moppkt::SeqLt(seg.seq, rcv_nxt_)) {
       // Retransmission of data we already relayed: re-ACK, don't relay.
       out.to_app.push_back(MakeAck());

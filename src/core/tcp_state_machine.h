@@ -54,8 +54,11 @@ class TcpStateMachine {
   struct Output {
     // Segments to emit toward the app (in order).
     std::vector<moppkt::TcpSegmentSpec> to_app;
-    // In-order payload bytes to relay to the external socket.
-    std::vector<uint8_t> to_socket;
+    // In-order payload bytes to relay to the external socket. A view into
+    // the consumed segment's buffer (zero-copy): valid only while the packet
+    // buffer the segment was parsed from is alive, so the engine either
+    // consumes it immediately or keeps that buffer until the socket write.
+    std::span<const uint8_t> to_socket;
     // The app acknowledged our SYN/ACK: connection fully established.
     bool established = false;
     // App half-closed (FIN): trigger a half-close write event (§2.3).

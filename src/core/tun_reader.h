@@ -15,9 +15,9 @@
 
 #include <deque>
 #include <utility>
-#include <vector>
 
 #include "android/tun_device.h"
+#include "netpkt/packet_buf.h"
 #include "core/config.h"
 #include "net/selector.h"
 #include "sim/actor.h"
@@ -26,11 +26,13 @@
 namespace mopeye {
 
 // Packets handed from TunReader to MainWorker, stamped with enqueue time.
+// Entries keep their pooled tun-read buffer; the slab is reused once the
+// MainWorker finishes with the packet.
 struct ReadQueue {
-  std::deque<std::pair<moputil::SimTime, std::vector<uint8_t>>> items;
+  std::deque<std::pair<moputil::SimTime, moppkt::PacketBuf>> items;
   size_t high_water = 0;
 
-  void Push(moputil::SimTime t, std::vector<uint8_t> pkt) {
+  void Push(moputil::SimTime t, moppkt::PacketBuf pkt) {
     items.emplace_back(t, std::move(pkt));
     high_water = std::max(high_water, items.size());
   }

@@ -16,10 +16,10 @@
 #define MOPEYE_CORE_TUN_WRITER_H_
 
 #include <deque>
-#include <vector>
 
 #include "android/tun_device.h"
 #include "core/config.h"
+#include "netpkt/packet_buf.h"
 #include "sim/actor.h"
 #include "util/stats.h"
 
@@ -31,10 +31,11 @@ class TunWriter {
             moputil::Rng rng);
 
   // Hands one packet to the write path, called by a producing lane at the
-  // instant it finishes building the packet. Returns the producer-visible
-  // overhead; the caller must occupy its own lane for that long (the engine
-  // submits a follow-up task).
-  moputil::SimDuration SubmitPacket(std::vector<uint8_t> packet);
+  // instant it finishes building the packet. The pooled buffer travels to
+  // the tun write untouched (no copy, no allocation). Returns the
+  // producer-visible overhead; the caller must occupy its own lane for that
+  // long (the engine submits a follow-up task).
+  moputil::SimDuration SubmitPacket(moppkt::PacketBuf packet);
 
   void Stop();
 
@@ -43,8 +44,12 @@ class TunWriter {
   const moputil::Samples& producer_overhead_ms() const { return producer_overhead_ms_; }
   // Delay of each actual write() to the tunnel (the TunWriter thread's cost
   // under queueWrite; equal to the producer overhead under directWrite).
+  // With write_batching on, one sample covers a whole drained burst.
   const moputil::Samples& tunnel_write_ms() const { return tunnel_write_ms_; }
   size_t packets_written() const { return packets_written_; }
+  // Write submissions issued (== packets_written unless batching coalesced
+  // bursts into single writev-style drains).
+  size_t write_bursts() const { return write_bursts_; }
   size_t queue_high_water() const { return queue_high_water_; }
   moputil::SimDuration writer_busy_time() const { return writer_busy_total(); }
   // Times the writer actually parked in wait() (newPut should keep this low).
@@ -63,7 +68,7 @@ class TunWriter {
   moputil::Rng rng_;
   mopsim::ActorLane lane_;
 
-  std::deque<std::vector<uint8_t>> queue_;
+  std::deque<moppkt::PacketBuf> queue_;
   WriterState state_ = WriterState::kWaiting;
   uint64_t spin_epoch_ = 0;  // invalidates a scheduled spin-expiry
   moputil::SimTime spin_started_ = 0;
@@ -76,6 +81,7 @@ class TunWriter {
   moputil::Samples producer_overhead_ms_;
   moputil::Samples tunnel_write_ms_;
   size_t packets_written_ = 0;
+  size_t write_bursts_ = 0;
   size_t queue_high_water_ = 0;
   int waits_ = 0;
   int notifies_ = 0;

@@ -150,12 +150,24 @@ GeoSummary GeoMap(const CrowdDataset& ds, size_t width, size_t height) {
     }
   }
   g.locations = cells.size();
+  // Built with append() rather than operator+ chains: GCC 12 -O2+ emits a
+  // -Wrestrict false positive (PR105651) for `"+" + std::string(...)`, which
+  // -Werror turns into a Release-build failure. append() also skips the
+  // temporary strings.
   std::string map;
-  map += "+" + std::string(width, '-') + "+\n";
+  map.reserve((width + 3) * (height + 2));
+  auto add_border = [&map, width] {
+    map += '+';
+    map.append(width, '-');
+    map += "+\n";
+  };
+  add_border();
   for (const auto& row : grid) {
-    map += "|" + row + "|\n";
+    map += '|';
+    map += row;
+    map += "|\n";
   }
-  map += "+" + std::string(width, '-') + "+\n";
+  add_border();
   g.ascii_map = std::move(map);
   return g;
 }

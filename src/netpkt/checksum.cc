@@ -1,19 +1,90 @@
 #include "netpkt/checksum.h"
 
+#include <bit>
+#include <cstring>
+
 #include "netpkt/ip.h"
 
 namespace moppkt {
 
+namespace {
+
+inline uint64_t AddWithCarry(uint64_t sum, uint64_t word) {
+  sum += word;
+  return sum + (sum < word);  // end-around carry
+}
+
+// Folds a 64-bit one's-complement accumulator to a value in [0, 0xffff].
+inline uint16_t Fold64(uint64_t sum) {
+  sum = (sum >> 32) + (sum & 0xffffffffULL);
+  sum = (sum >> 32) + (sum & 0xffffffffULL);
+  sum = (sum >> 16) + (sum & 0xffffULL);
+  sum = (sum >> 16) + (sum & 0xffffULL);
+  return static_cast<uint16_t>(sum);
+}
+
+}  // namespace
+
 uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
-  uint32_t sum = initial;
-  size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+
+  // Sum in native word order; RFC 1071 §2(B): the one's-complement sum is
+  // independent of byte order up to a final 16-bit byte swap.
+  uint64_t sum = 0;
+  while (n >= 32) {
+    uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, p, 8);
+    std::memcpy(&w1, p + 8, 8);
+    std::memcpy(&w2, p + 16, 8);
+    std::memcpy(&w3, p + 24, 8);
+    sum = AddWithCarry(sum, w0);
+    sum = AddWithCarry(sum, w1);
+    sum = AddWithCarry(sum, w2);
+    sum = AddWithCarry(sum, w3);
+    p += 32;
+    n -= 32;
   }
-  if (i < data.size()) {
-    sum += static_cast<uint32_t>(data[i]) << 8;  // odd trailing byte, zero-padded
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    sum = AddWithCarry(sum, w);
+    p += 8;
+    n -= 8;
   }
-  return sum;
+  if (n >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    sum = AddWithCarry(sum, w);
+    p += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    uint16_t w;
+    std::memcpy(&w, p, 2);
+    sum = AddWithCarry(sum, w);
+    p += 2;
+    n -= 2;
+  }
+  if (n == 1) {
+    // Odd trailing byte, zero-padded: the pad makes the pair (b, 0), whose
+    // native little-endian representation is just b (big-endian: b << 8).
+    uint16_t w = std::endian::native == std::endian::little
+                     ? static_cast<uint16_t>(*p)
+                     : static_cast<uint16_t>(*p << 8);
+    sum = AddWithCarry(sum, w);
+  }
+
+  uint16_t folded = Fold64(sum);
+  if constexpr (std::endian::native == std::endian::little) {
+    folded = static_cast<uint16_t>((folded >> 8) | (folded << 8));
+  }
+
+  // Chain onto `initial` (already in big-endian word space); keep the result
+  // within uint32 range so further chaining cannot overflow.
+  uint64_t chained = static_cast<uint64_t>(initial) + folded;
+  chained = (chained >> 32) + (chained & 0xffffffffULL);
+  return static_cast<uint32_t>(chained);
 }
 
 uint16_t ChecksumFinish(uint32_t partial) {
@@ -37,6 +108,25 @@ uint32_t PseudoHeaderSum(const IpAddr& src, const IpAddr& dst, uint8_t protocol,
   sum += protocol;
   sum += l4_length;
   return sum;
+}
+
+uint16_t ChecksumIncrementalUpdate(uint16_t old_csum, uint16_t old_word,
+                                   uint16_t new_word) {
+  // RFC 1624 [Eqn. 3]: HC' = ~(~HC + ~m + m').
+  uint32_t sum = static_cast<uint16_t>(~old_csum);
+  sum += static_cast<uint16_t>(~old_word);
+  sum += new_word;
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t ChecksumIncrementalUpdate32(uint16_t old_csum, uint32_t old_value,
+                                     uint32_t new_value) {
+  uint16_t c = ChecksumIncrementalUpdate(old_csum, static_cast<uint16_t>(old_value >> 16),
+                                         static_cast<uint16_t>(new_value >> 16));
+  return ChecksumIncrementalUpdate(c, static_cast<uint16_t>(old_value & 0xffff),
+                                   static_cast<uint16_t>(new_value & 0xffff));
 }
 
 }  // namespace moppkt

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "netpkt/checksum.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace moppkt {
@@ -44,10 +45,6 @@ std::string SocketAddr::ToString() const {
 }
 
 namespace {
-void PutU16(std::vector<uint8_t>& out, size_t pos, uint16_t v) {
-  out[pos] = static_cast<uint8_t>(v >> 8);
-  out[pos + 1] = static_cast<uint8_t>(v & 0xff);
-}
 uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
   return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
 }
@@ -92,29 +89,48 @@ moputil::Result<Ipv4Header> ParseIpv4(std::span<const uint8_t> data) {
   return h;
 }
 
-std::vector<uint8_t> BuildIpv4(Ipv4Header h, std::span<const uint8_t> payload) {
-  h.ihl = 5;  // the relay never emits IP options
-  h.total_length = static_cast<uint16_t>(20 + payload.size());
-  std::vector<uint8_t> out(20 + payload.size());
-  out[0] = static_cast<uint8_t>(0x40 | h.ihl);
-  out[1] = h.dscp_ecn;
-  PutU16(out, 2, h.total_length);
-  PutU16(out, 4, h.identification);
-  PutU16(out, 6, h.flags_fragment);
-  out[8] = h.ttl;
-  out[9] = h.protocol;
-  PutU16(out, 10, 0);
-  out[12] = static_cast<uint8_t>(h.src.value() >> 24);
-  out[13] = static_cast<uint8_t>(h.src.value() >> 16);
-  out[14] = static_cast<uint8_t>(h.src.value() >> 8);
-  out[15] = static_cast<uint8_t>(h.src.value());
-  out[16] = static_cast<uint8_t>(h.dst.value() >> 24);
-  out[17] = static_cast<uint8_t>(h.dst.value() >> 16);
-  out[18] = static_cast<uint8_t>(h.dst.value() >> 8);
-  out[19] = static_cast<uint8_t>(h.dst.value());
-  uint16_t csum = Checksum(std::span<const uint8_t>(out.data(), 20));
-  PutU16(out, 10, csum);
+void WriteIpv4Header(const Ipv4Header& h, uint16_t total_length, std::span<uint8_t> out) {
+  MOP_CHECK(out.size() >= 20);
+  uint8_t* d = out.data();
+  d[0] = 0x45;  // version 4, IHL 5: the relay never emits IP options
+  d[1] = h.dscp_ecn;
+  d[2] = static_cast<uint8_t>(total_length >> 8);
+  d[3] = static_cast<uint8_t>(total_length & 0xff);
+  d[4] = static_cast<uint8_t>(h.identification >> 8);
+  d[5] = static_cast<uint8_t>(h.identification & 0xff);
+  d[6] = static_cast<uint8_t>(h.flags_fragment >> 8);
+  d[7] = static_cast<uint8_t>(h.flags_fragment & 0xff);
+  d[8] = h.ttl;
+  d[9] = h.protocol;
+  d[10] = 0;
+  d[11] = 0;
+  d[12] = static_cast<uint8_t>(h.src.value() >> 24);
+  d[13] = static_cast<uint8_t>(h.src.value() >> 16);
+  d[14] = static_cast<uint8_t>(h.src.value() >> 8);
+  d[15] = static_cast<uint8_t>(h.src.value());
+  d[16] = static_cast<uint8_t>(h.dst.value() >> 24);
+  d[17] = static_cast<uint8_t>(h.dst.value() >> 16);
+  d[18] = static_cast<uint8_t>(h.dst.value() >> 8);
+  d[19] = static_cast<uint8_t>(h.dst.value());
+  uint16_t csum = Checksum(std::span<const uint8_t>(d, 20));
+  d[10] = static_cast<uint8_t>(csum >> 8);
+  d[11] = static_cast<uint8_t>(csum & 0xff);
+}
+
+size_t BuildIpv4Into(const Ipv4Header& h, std::span<const uint8_t> payload,
+                     std::span<uint8_t> out) {
+  size_t total = 20 + payload.size();
+  MOP_CHECK(out.size() >= total);
+  WriteIpv4Header(h, static_cast<uint16_t>(total), out);
   std::copy(payload.begin(), payload.end(), out.begin() + 20);
+  return total;
+}
+
+std::vector<uint8_t> BuildIpv4(Ipv4Header h, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out(20 + payload.size());
+  h.ihl = 5;
+  h.total_length = static_cast<uint16_t>(out.size());
+  BuildIpv4Into(h, payload, out);
   return out;
 }
 

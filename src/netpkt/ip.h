@@ -54,12 +54,6 @@ struct SocketAddr {
   std::string ToString() const;
 };
 
-struct SocketAddrHash {
-  size_t operator()(const SocketAddr& a) const {
-    return std::hash<uint64_t>()((static_cast<uint64_t>(a.ip.value()) << 16) ^ a.port);
-  }
-};
-
 enum class IpProto : uint8_t {
   kIcmp = 1,
   kTcp = 6,
@@ -87,6 +81,17 @@ struct Ipv4Header {
 // Parses and validates an IPv4 header from `data` (which may be longer than
 // the datagram). Verifies version, length bounds, and header checksum.
 moputil::Result<Ipv4Header> ParseIpv4(std::span<const uint8_t> data);
+
+// Writes the 20-byte option-less header (checksum computed) for a datagram
+// of `total_length` bytes into out[0..20). Bytes past the header are not
+// touched, so the L4 payload can already be sitting at out+20 — this is the
+// zero-copy building block.
+void WriteIpv4Header(const Ipv4Header& h, uint16_t total_length, std::span<uint8_t> out);
+
+// Serializes header + payload into `out` (capacity >= 20 + payload.size()),
+// returning the datagram size. No allocation.
+size_t BuildIpv4Into(const Ipv4Header& h, std::span<const uint8_t> payload,
+                     std::span<uint8_t> out);
 
 // Serializes `h` (with checksum computed) followed by `payload` into a full
 // datagram. Sets total_length from the payload size.

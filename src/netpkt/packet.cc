@@ -22,9 +22,9 @@ FlowKey ParsedPacket::flow() const {
   return key;
 }
 
-moputil::Result<ParsedPacket> ParsePacket(std::vector<uint8_t> datagram) {
+moputil::Result<ParsedPacket> ParsePacket(std::span<const uint8_t> datagram) {
   ParsedPacket pkt;
-  pkt.raw = std::move(datagram);
+  pkt.raw = datagram;
   auto ip = ParseIpv4(pkt.raw);
   if (!ip.ok()) {
     return ip.status();

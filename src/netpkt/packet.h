@@ -29,18 +29,30 @@ struct FlowKey {
 };
 
 struct FlowKeyHash {
+  // splitmix64 finalizer — a full-avalanche mixer, unlike the previous
+  // xor/multiply which collided heavily for same-subnet address pairs (only
+  // the low port bits varied the result).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
   size_t operator()(const FlowKey& k) const {
-    SocketAddrHash h;
-    size_t a = h(k.local);
-    size_t b = h(k.remote);
-    return a ^ (b * 0x9e3779b97f4a7c15ULL) ^ static_cast<size_t>(k.proto);
+    uint64_t a = (static_cast<uint64_t>(k.local.ip.value()) << 16) | k.local.port;
+    uint64_t b = (static_cast<uint64_t>(k.remote.ip.value()) << 16) | k.remote.port;
+    uint64_t h = Mix(a ^ (static_cast<uint64_t>(k.proto) << 56));
+    return static_cast<size_t>(Mix(h ^ b));
   }
 };
 
-// A fully classified datagram: IP header plus the parsed L4 view. The L4
-// views reference `raw`, so ParsedPacket owns the bytes.
+// A fully classified datagram: IP header plus the parsed L4 view. All views
+// (`raw`, `tcp->payload`, `udp->payload`) reference the buffer handed to
+// ParsePacket — typically a pooled PacketBuf slab — and are valid only while
+// that buffer lives. ParsedPacket owns nothing: parsing allocates nothing
+// and copies nothing.
 struct ParsedPacket {
-  std::vector<uint8_t> raw;
+  std::span<const uint8_t> raw;
   Ipv4Header ip;
   std::optional<TcpSegment> tcp;
   std::optional<UdpDatagram> udp;
@@ -53,8 +65,10 @@ struct ParsedPacket {
 };
 
 // Parses an IPv4 datagram and its TCP/UDP payload, verifying checksums.
-// Non-TCP/UDP protocols yield a packet with neither view set.
-moputil::Result<ParsedPacket> ParsePacket(std::vector<uint8_t> datagram);
+// Non-TCP/UDP protocols yield a packet with neither view set. The caller
+// keeps `datagram`'s backing bytes alive for as long as the result's views
+// are used.
+moputil::Result<ParsedPacket> ParsePacket(std::span<const uint8_t> datagram);
 
 }  // namespace moppkt
 

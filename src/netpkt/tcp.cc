@@ -1,6 +1,7 @@
 #include "netpkt/tcp.h"
 
 #include "netpkt/checksum.h"
+#include "util/logging.h"
 
 namespace moppkt {
 
@@ -78,15 +79,37 @@ uint32_t GetU32(std::span<const uint8_t> d, size_t pos) {
   return (static_cast<uint32_t>(d[pos]) << 24) | (static_cast<uint32_t>(d[pos + 1]) << 16) |
          (static_cast<uint32_t>(d[pos + 2]) << 8) | d[pos + 3];
 }
-void PutU16(std::vector<uint8_t>& out, size_t pos, uint16_t v) {
+void PutU16(std::span<uint8_t> out, size_t pos, uint16_t v) {
   out[pos] = static_cast<uint8_t>(v >> 8);
   out[pos + 1] = static_cast<uint8_t>(v & 0xff);
 }
-void PutU32(std::vector<uint8_t>& out, size_t pos, uint32_t v) {
+void PutU32(std::span<uint8_t> out, size_t pos, uint32_t v) {
   out[pos] = static_cast<uint8_t>(v >> 24);
   out[pos + 1] = static_cast<uint8_t>(v >> 16);
   out[pos + 2] = static_cast<uint8_t>(v >> 8);
   out[pos + 3] = static_cast<uint8_t>(v);
+}
+
+// Encodes the option block (MSS, window scale, padding) into `opts`,
+// returning its length. Max 8 bytes; callers provide uint8_t[8].
+size_t EncodeOptions(const TcpSegmentSpec& spec, std::span<uint8_t> opts) {
+  size_t n = 0;
+  if (spec.mss.has_value()) {
+    opts[n++] = 2;
+    opts[n++] = 4;
+    opts[n++] = static_cast<uint8_t>(*spec.mss >> 8);
+    opts[n++] = static_cast<uint8_t>(*spec.mss & 0xff);
+  }
+  if (spec.window_scale.has_value()) {
+    opts[n++] = 1;  // NOP for alignment
+    opts[n++] = 3;
+    opts[n++] = 3;
+    opts[n++] = *spec.window_scale;
+  }
+  while (n % 4 != 0) {
+    opts[n++] = 0;
+  }
+  return n;
 }
 }  // namespace
 
@@ -150,26 +173,18 @@ moputil::Result<TcpSegment> ParseTcp(std::span<const uint8_t> l4, const IpAddr& 
   return seg;
 }
 
-std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src,
-                              const IpAddr& dst) {
-  std::vector<uint8_t> options;
-  if (spec.mss.has_value()) {
-    options.push_back(2);
-    options.push_back(4);
-    options.push_back(static_cast<uint8_t>(*spec.mss >> 8));
-    options.push_back(static_cast<uint8_t>(*spec.mss & 0xff));
-  }
-  if (spec.window_scale.has_value()) {
-    options.push_back(1);  // NOP for alignment
-    options.push_back(3);
-    options.push_back(3);
-    options.push_back(*spec.window_scale);
-  }
-  while (options.size() % 4 != 0) {
-    options.push_back(0);
-  }
-  size_t header_bytes = 20 + options.size();
-  std::vector<uint8_t> out(header_bytes + spec.payload.size());
+size_t TcpSegmentBytes(const TcpSegmentSpec& spec) {
+  size_t options = (spec.mss.has_value() ? 4u : 0u) + (spec.window_scale.has_value() ? 4u : 0u);
+  return 20 + options + spec.payload.size();
+}
+
+size_t BuildTcpInto(const TcpSegmentSpec& spec, const IpAddr& src, const IpAddr& dst,
+                    std::span<uint8_t> out) {
+  uint8_t options[8];
+  size_t options_bytes = EncodeOptions(spec, options);
+  size_t header_bytes = 20 + options_bytes;
+  size_t total = header_bytes + spec.payload.size();
+  MOP_CHECK(out.size() >= total);
   PutU16(out, 0, spec.src_port);
   PutU16(out, 2, spec.dst_port);
   PutU32(out, 4, spec.seq);
@@ -179,26 +194,48 @@ std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src,
   PutU16(out, 14, spec.window);
   PutU16(out, 16, 0);  // checksum placeholder
   PutU16(out, 18, 0);
-  std::copy(options.begin(), options.end(), out.begin() + 20);
-  std::copy(spec.payload.begin(), spec.payload.end(), out.begin() + static_cast<long>(header_bytes));
+  std::copy(options, options + options_bytes, out.begin() + 20);
+  std::copy(spec.payload.begin(), spec.payload.end(),
+            out.begin() + static_cast<long>(header_bytes));
 
   uint32_t partial = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kTcp),
-                                     static_cast<uint16_t>(out.size()));
-  uint16_t csum = ChecksumFinish(ChecksumPartial(out, partial));
+                                     static_cast<uint16_t>(total));
+  uint16_t csum = ChecksumFinish(ChecksumPartial(out.subspan(0, total), partial));
   PutU16(out, 16, csum);
-  return out;
+  return total;
 }
 
-std::vector<uint8_t> BuildTcpDatagram(const TcpSegmentSpec& spec, const IpAddr& src,
-                                      const IpAddr& dst, uint16_t ip_id, uint8_t ttl) {
-  std::vector<uint8_t> l4 = BuildTcp(spec, src, dst);
+size_t BuildTcpDatagramInto(const TcpSegmentSpec& spec, const IpAddr& src,
+                            const IpAddr& dst, uint16_t ip_id, uint8_t ttl,
+                            std::span<uint8_t> out) {
+  // Checked before the subspan: slicing a too-short span is UB and would
+  // bypass the size guards below.
+  MOP_CHECK(out.size() >= 20 + TcpSegmentBytes(spec));
+  // L4 first, directly at its final offset; then the IP header around it.
+  size_t l4_bytes = BuildTcpInto(spec, src, dst, out.subspan(20));
   Ipv4Header ip;
   ip.protocol = static_cast<uint8_t>(IpProto::kTcp);
   ip.src = src;
   ip.dst = dst;
   ip.identification = ip_id;
   ip.ttl = ttl;
-  return BuildIpv4(ip, l4);
+  size_t total = 20 + l4_bytes;
+  WriteIpv4Header(ip, static_cast<uint16_t>(total), out);
+  return total;
+}
+
+std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src,
+                              const IpAddr& dst) {
+  std::vector<uint8_t> out(TcpSegmentBytes(spec));
+  BuildTcpInto(spec, src, dst, out);
+  return out;
+}
+
+std::vector<uint8_t> BuildTcpDatagram(const TcpSegmentSpec& spec, const IpAddr& src,
+                                      const IpAddr& dst, uint16_t ip_id, uint8_t ttl) {
+  std::vector<uint8_t> out(20 + TcpSegmentBytes(spec));
+  BuildTcpDatagramInto(spec, src, dst, ip_id, ttl, out);
+  return out;
 }
 
 }  // namespace moppkt

@@ -75,6 +75,23 @@ struct TcpSegmentSpec {
 moputil::Result<TcpSegment> ParseTcp(std::span<const uint8_t> l4, const IpAddr& src,
                                      const IpAddr& dst);
 
+// Bytes a built segment / datagram for `spec` will occupy (header + options
+// + payload). Use to size the destination of the Into variants.
+size_t TcpSegmentBytes(const TcpSegmentSpec& spec);
+
+// Serializes the TCP segment (valid checksum) into `out`, which must hold at
+// least TcpSegmentBytes(spec). Returns the segment size. No allocation.
+size_t BuildTcpInto(const TcpSegmentSpec& spec, const IpAddr& src, const IpAddr& dst,
+                    std::span<uint8_t> out);
+
+// Serializes the full IPv4 datagram containing the segment into `out`
+// (capacity >= 20 + TcpSegmentBytes(spec)). Returns the datagram size.
+// Headers are written around the payload in place: no intermediate buffers,
+// no allocation — the relay hot path.
+size_t BuildTcpDatagramInto(const TcpSegmentSpec& spec, const IpAddr& src,
+                            const IpAddr& dst, uint16_t ip_id, uint8_t ttl,
+                            std::span<uint8_t> out);
+
 // Serializes a TCP segment with a valid checksum.
 std::vector<uint8_t> BuildTcp(const TcpSegmentSpec& spec, const IpAddr& src, const IpAddr& dst);
 

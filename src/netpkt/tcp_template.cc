@@ -1,0 +1,89 @@
+#include "netpkt/tcp_template.h"
+
+#include <cstring>
+
+#include "netpkt/checksum.h"
+#include "util/logging.h"
+
+namespace moppkt {
+
+namespace {
+inline void PutU16(uint8_t* d, uint16_t v) {
+  d[0] = static_cast<uint8_t>(v >> 8);
+  d[1] = static_cast<uint8_t>(v & 0xff);
+}
+inline void PutU32(uint8_t* d, uint32_t v) {
+  d[0] = static_cast<uint8_t>(v >> 24);
+  d[1] = static_cast<uint8_t>(v >> 16);
+  d[2] = static_cast<uint8_t>(v >> 8);
+  d[3] = static_cast<uint8_t>(v);
+}
+}  // namespace
+
+TcpPacketTemplate::TcpPacketTemplate(const IpAddr& src, const IpAddr& dst,
+                                     uint16_t src_port, uint16_t dst_port, uint8_t ttl) {
+  std::memset(hdr_, 0, sizeof(hdr_));
+  // IP header (mutable: total_length@2, id@4, checksum@10).
+  hdr_[0] = 0x45;
+  PutU16(hdr_ + 6, 0x4000);  // DF, no fragmentation
+  hdr_[8] = ttl;
+  hdr_[9] = static_cast<uint8_t>(IpProto::kTcp);
+  PutU32(hdr_ + 12, src.value());
+  PutU32(hdr_ + 16, dst.value());
+  // TCP header at 20 (mutable: seq@24, ack@28, flags@33, window@34, csum@36).
+  PutU16(hdr_ + 20, src_port);
+  PutU16(hdr_ + 22, dst_port);
+  hdr_[32] = 5 << 4;  // data offset: no options
+
+  // IP checksum over the image (total_length and id are zero here); Emit
+  // derives the real checksum from this by RFC 1624 incremental update.
+  ip_csum_base_ = Checksum(std::span<const uint8_t>(hdr_, 20));
+  // Constant part of the TCP/pseudo-header sum; the l4 length term and the
+  // mutable header words are added per emission.
+  tcp_sum_const_ = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kTcp), 0) +
+                   src_port + dst_port;
+}
+
+size_t TcpPacketTemplate::Emit(uint32_t seq, uint32_t ack, TcpFlags flags,
+                               uint16_t window, uint16_t ip_id,
+                               std::span<const uint8_t> payload,
+                               std::span<uint8_t> out) const {
+  size_t total = sizeof(hdr_) + payload.size();
+  MOP_CHECK(out.size() >= total);
+  uint8_t* d = out.data();
+  std::memcpy(d, hdr_, sizeof(hdr_));
+
+  uint16_t total16 = static_cast<uint16_t>(total);
+  PutU16(d + 2, total16);
+  PutU16(d + 4, ip_id);
+  // The image's checksum was computed with total_length=0 and id=0; patch in
+  // the two words that changed instead of re-summing the header.
+  uint16_t ip_csum = ChecksumIncrementalUpdate(ip_csum_base_, 0, total16);
+  ip_csum = ChecksumIncrementalUpdate(ip_csum, 0, ip_id);
+  PutU16(d + 10, ip_csum);
+
+  PutU32(d + 24, seq);
+  PutU32(d + 28, ack);
+  uint8_t flags_byte = flags.ToByte();
+  d[33] = flags_byte;
+  PutU16(d + 34, window);
+
+  uint16_t l4_len = static_cast<uint16_t>(20 + payload.size());
+  uint32_t sum = tcp_sum_const_ + l4_len + (seq >> 16) + (seq & 0xffff) + (ack >> 16) +
+                 (ack & 0xffff) + ((uint32_t{5 << 4} << 8) | flags_byte) + window;
+  uint16_t tcp_csum = ChecksumFinish(ChecksumPartial(payload, sum));
+  PutU16(d + 36, tcp_csum);
+
+  if (!payload.empty()) {
+    std::memcpy(d + 40, payload.data(), payload.size());
+  }
+  return total;
+}
+
+size_t TcpPacketTemplate::EmitSpec(const TcpSegmentSpec& spec, uint16_t ip_id,
+                                   std::span<uint8_t> out) const {
+  MOP_CHECK(Covers(spec));
+  return Emit(spec.seq, spec.ack, spec.flags, spec.window, ip_id, spec.payload, out);
+}
+
+}  // namespace moppkt

@@ -1,0 +1,54 @@
+// Per-flow prototype datagram for the relay's steady-state emissions.
+//
+// Every packet MopEye sends toward an app on one connection shares its
+// addresses, ports, TTL, and (after the SYN/ACK) carries no TCP options: only
+// seq/ack/flags/window/ip_id and the payload vary. Rebuilding the 40 bytes of
+// headers and re-summing their constant words per packet is wasted work, so
+// the engine keeps one TcpPacketTemplate per TCP client: the header image and
+// the one's-complement sum of its constant words are computed once, and each
+// Emit() memcpys the image, patches the mutable fields, derives the IP header
+// checksum by RFC 1624 incremental update, and folds only the mutable words
+// plus the payload into the TCP checksum. Output is byte-identical to
+// BuildTcpDatagram for the option-less segment shape.
+#ifndef MOPEYE_NETPKT_TCP_TEMPLATE_H_
+#define MOPEYE_NETPKT_TCP_TEMPLATE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "netpkt/tcp.h"
+
+namespace moppkt {
+
+class TcpPacketTemplate {
+ public:
+  // Fixed per-flow fields. For relay emissions toward the app, src is the
+  // remote (server) endpoint and dst the app's tunnel address.
+  TcpPacketTemplate(const IpAddr& src, const IpAddr& dst, uint16_t src_port,
+                    uint16_t dst_port, uint8_t ttl = 64);
+
+  // True if `spec` fits the template (no TCP options). SYN/ACKs carry an MSS
+  // option and take the general builder instead — once per connection.
+  static bool Covers(const TcpSegmentSpec& spec) {
+    return !spec.mss.has_value() && !spec.window_scale.has_value();
+  }
+
+  // Writes the full 40-byte-header datagram into `out` (capacity >= 40 +
+  // payload.size()). Returns the datagram size. No allocation.
+  size_t Emit(uint32_t seq, uint32_t ack, TcpFlags flags, uint16_t window,
+              uint16_t ip_id, std::span<const uint8_t> payload,
+              std::span<uint8_t> out) const;
+
+  // Spec-shaped convenience for engine call sites. Requires Covers(spec).
+  size_t EmitSpec(const TcpSegmentSpec& spec, uint16_t ip_id,
+                  std::span<uint8_t> out) const;
+
+ private:
+  uint8_t hdr_[40];         // header image: mutable fields zeroed
+  uint16_t ip_csum_base_;   // finished IP checksum with total_length=0, id=0
+  uint32_t tcp_sum_const_;  // pseudo header (zero length) + ports
+};
+
+}  // namespace moppkt
+
+#endif  // MOPEYE_NETPKT_TCP_TEMPLATE_H_

@@ -1,6 +1,7 @@
 #include "netpkt/udp.h"
 
 #include "netpkt/checksum.h"
+#include "util/logging.h"
 
 namespace moppkt {
 
@@ -34,11 +35,11 @@ moputil::Result<UdpDatagram> ParseUdp(std::span<const uint8_t> l4, const IpAddr&
   return d;
 }
 
-std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
-                              std::span<const uint8_t> payload, const IpAddr& src,
-                              const IpAddr& dst) {
-  std::vector<uint8_t> out(8 + payload.size());
-  uint16_t length = static_cast<uint16_t>(out.size());
+size_t BuildUdpInto(uint16_t src_port, uint16_t dst_port, std::span<const uint8_t> payload,
+                    const IpAddr& src, const IpAddr& dst, std::span<uint8_t> out) {
+  size_t total = 8 + payload.size();
+  MOP_CHECK(out.size() >= total);
+  uint16_t length = static_cast<uint16_t>(total);
   out[0] = static_cast<uint8_t>(src_port >> 8);
   out[1] = static_cast<uint8_t>(src_port & 0xff);
   out[2] = static_cast<uint8_t>(dst_port >> 8);
@@ -49,25 +50,46 @@ std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
   out[7] = 0;
   std::copy(payload.begin(), payload.end(), out.begin() + 8);
   uint32_t partial = PseudoHeaderSum(src, dst, static_cast<uint8_t>(IpProto::kUdp), length);
-  uint16_t csum = ChecksumFinish(ChecksumPartial(out, partial));
+  uint16_t csum = ChecksumFinish(ChecksumPartial(out.subspan(0, total), partial));
   if (csum == 0) {
     csum = 0xffff;  // RFC 768: transmitted as all ones if computed as zero
   }
   out[6] = static_cast<uint8_t>(csum >> 8);
   out[7] = static_cast<uint8_t>(csum & 0xff);
+  return total;
+}
+
+size_t BuildUdpDatagramInto(uint16_t src_port, uint16_t dst_port,
+                            std::span<const uint8_t> payload, const IpAddr& src,
+                            const IpAddr& dst, uint16_t ip_id, std::span<uint8_t> out) {
+  // Checked before the subspan: slicing a too-short span is UB and would
+  // bypass the size guards below.
+  MOP_CHECK(out.size() >= 28 + payload.size());
+  size_t l4_bytes = BuildUdpInto(src_port, dst_port, payload, src, dst, out.subspan(20));
+  Ipv4Header ip;
+  ip.protocol = static_cast<uint8_t>(IpProto::kUdp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.identification = ip_id;
+  size_t total = 20 + l4_bytes;
+  WriteIpv4Header(ip, static_cast<uint16_t>(total), out);
+  return total;
+}
+
+std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
+                              std::span<const uint8_t> payload, const IpAddr& src,
+                              const IpAddr& dst) {
+  std::vector<uint8_t> out(8 + payload.size());
+  BuildUdpInto(src_port, dst_port, payload, src, dst, out);
   return out;
 }
 
 std::vector<uint8_t> BuildUdpDatagram(uint16_t src_port, uint16_t dst_port,
                                       std::span<const uint8_t> payload, const IpAddr& src,
                                       const IpAddr& dst, uint16_t ip_id) {
-  std::vector<uint8_t> l4 = BuildUdp(src_port, dst_port, payload, src, dst);
-  Ipv4Header ip;
-  ip.protocol = static_cast<uint8_t>(IpProto::kUdp);
-  ip.src = src;
-  ip.dst = dst;
-  ip.identification = ip_id;
-  return BuildIpv4(ip, l4);
+  std::vector<uint8_t> out(28 + payload.size());
+  BuildUdpDatagramInto(src_port, dst_port, payload, src, dst, ip_id, out);
+  return out;
 }
 
 }  // namespace moppkt

@@ -25,6 +25,17 @@ struct UdpDatagram {
 moputil::Result<UdpDatagram> ParseUdp(std::span<const uint8_t> l4, const IpAddr& src,
                                       const IpAddr& dst);
 
+// Serializes the UDP segment into `out` (capacity >= 8 + payload.size()),
+// returning the segment size. No allocation.
+size_t BuildUdpInto(uint16_t src_port, uint16_t dst_port, std::span<const uint8_t> payload,
+                    const IpAddr& src, const IpAddr& dst, std::span<uint8_t> out);
+
+// Serializes the full IPv4+UDP datagram into `out` (capacity >= 28 +
+// payload.size()), returning the datagram size. No allocation.
+size_t BuildUdpDatagramInto(uint16_t src_port, uint16_t dst_port,
+                            std::span<const uint8_t> payload, const IpAddr& src,
+                            const IpAddr& dst, uint16_t ip_id, std::span<uint8_t> out);
+
 // Serializes a UDP datagram with checksum.
 std::vector<uint8_t> BuildUdp(uint16_t src_port, uint16_t dst_port,
                               std::span<const uint8_t> payload, const IpAddr& src,

@@ -40,7 +40,7 @@ TEST(TunDevice, QueueAndReadBack) {
   EXPECT_EQ(tun.OutgoingDepth(), 2u);
   auto p1 = tun.ReadOutgoing();
   ASSERT_TRUE(p1.has_value());
-  EXPECT_EQ(p1->data, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(p1->data.ToVector(), (std::vector<uint8_t>{1, 2, 3}));
   auto p2 = tun.ReadOutgoing();
   ASSERT_TRUE(p2.has_value());
   EXPECT_FALSE(tun.ReadOutgoing().has_value());
@@ -63,7 +63,7 @@ TEST(TunDevice, WriteIncomingDelivers) {
   mopsim::EventLoop loop;
   mopdroid::TunDevice tun(&loop);
   std::vector<uint8_t> got;
-  tun.on_deliver_to_apps = [&](std::vector<uint8_t> d) { got = std::move(d); };
+  tun.on_deliver_to_apps = [&](moppkt::PacketBuf d) { got = d.ToVector(); };
   tun.WriteIncoming({9, 8, 7});
   EXPECT_EQ(got, (std::vector<uint8_t>{9, 8, 7}));
   EXPECT_EQ(tun.packets_in(), 1u);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "netpkt/dns.h"
+#include "netpkt/packet_buf.h"
 #include "tests/test_world.h"
 
 namespace {
@@ -290,6 +291,38 @@ TEST(EngineIntegration, SelectorTimestampModeInflatesRtt) {
     (mode == 0 ? blocking_mean : selector_mean) = rtts.Mean();
   }
   EXPECT_GT(selector_mean, blocking_mean);
+}
+
+TEST(EngineIntegration, SteadyStateRelayReusesPooledBuffers) {
+  // End-to-end pool discipline: after a first transfer warms the shared pool,
+  // a second identical transfer must be served entirely from the free list —
+  // no new slab allocations, no oversize fallbacks, no hidden deep copies.
+  TestWorld w;
+  ASSERT_TRUE(w.StartEngine().ok());
+  auto addr = w.AddServer(moppkt::IpAddr(93, 10, 0, 9), 7, Millis(5),
+                          [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  auto* app = w.MakeApp(10160, "com.example.pool", "Pool");
+
+  auto run_transfer = [&] {
+    auto conn = std::shared_ptr<mopapps::AppConn>(app->CreateConn().release());
+    size_t received = 0;
+    conn->on_data = [&](size_t n) { received += n; };
+    conn->Connect(addr, [conn](moputil::Status st) {
+      ASSERT_TRUE(st.ok());
+      conn->SendBytes(50000);
+    });
+    w.RunMs(5000);
+    EXPECT_EQ(received, 50000u);
+  };
+
+  run_transfer();  // warm the pool
+  auto before = moppkt::BufPool::Default().stats();
+  run_transfer();
+  auto after = moppkt::BufPool::Default().stats();
+  EXPECT_EQ(after.slab_allocs, before.slab_allocs);
+  EXPECT_EQ(after.oversize_allocs, before.oversize_allocs);
+  EXPECT_EQ(after.copies, before.copies);
+  EXPECT_GT(after.acquires, before.acquires);  // traffic really flowed
 }
 
 TEST(EngineIntegration, BrowsingSessionEndToEnd) {

@@ -1,12 +1,68 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/tcp_state_machine.h"
 #include "netpkt/checksum.h"
 #include "netpkt/dns.h"
 #include "netpkt/ip.h"
 #include "netpkt/packet.h"
+#include "netpkt/packet_buf.h"
 #include "netpkt/tcp.h"
+#include "netpkt/tcp_template.h"
 #include "netpkt/udp.h"
 #include "util/rng.h"
+
+// Global allocation counter for the zero-allocation hot-path test. Overriding
+// operator new/delete in the test binary counts every heap allocation made by
+// any code linked into it; the test measures the delta across the relay
+// chain.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs the replaced operator new with the malloc-family it sees inside
+// and warns about new/free mismatches at inlined call sites; the pairing is
+// intentional here (new=malloc, delete=free), so silence the false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -231,7 +287,7 @@ TEST(Packet, ClassifiesTcp) {
   spec.flags = moppkt::SynFlag();
   spec.mss = 1460;
   auto dgram = moppkt::BuildTcpDatagram(spec, src, dst);
-  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  auto pkt = moppkt::ParsePacket(dgram);
   ASSERT_TRUE(pkt.ok());
   EXPECT_TRUE(pkt.value().is_tcp());
   auto flow = pkt.value().flow();
@@ -243,7 +299,7 @@ TEST(Packet, ClassifiesTcp) {
 TEST(Packet, ClassifiesUdp) {
   IpAddr src(10, 0, 0, 2), dst(8, 8, 8, 8);
   auto dgram = moppkt::BuildUdpDatagram(40001, 53, std::vector<uint8_t>{1}, src, dst);
-  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  auto pkt = moppkt::ParsePacket(dgram);
   ASSERT_TRUE(pkt.ok());
   EXPECT_TRUE(pkt.value().is_udp());
 }
@@ -277,7 +333,7 @@ TEST_P(TcpRoundTrip, PayloadSurvives) {
   spec.flags = moppkt::PshAckFlag();
   spec.payload = payload;
   auto dgram = moppkt::BuildTcpDatagram(spec, src, dst);
-  auto pkt = moppkt::ParsePacket(std::move(dgram));
+  auto pkt = moppkt::ParsePacket(dgram);
   ASSERT_TRUE(pkt.ok());
   ASSERT_TRUE(pkt.value().is_tcp());
   EXPECT_EQ(std::vector<uint8_t>(pkt.value().tcp->payload.begin(),
@@ -326,6 +382,345 @@ TEST(Packet, RandomBytesNeverCrash) {
     (void)moppkt::ParsePacket(junk);
     (void)moppkt::DecodeDns(junk);
   }
+}
+
+// ---- Fast checksum path (word-at-a-time) ----
+
+namespace reference {
+// The original byte-pair implementation, kept as the oracle for the
+// unrolled word-at-a-time path.
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial = 0) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+}  // namespace reference
+
+TEST(Checksum, FastPathMatchesReferenceAtEveryLength) {
+  // Sweep every length through the 32/8/4/2/1-byte tails, random content.
+  moputil::Rng rng(7);
+  for (size_t n = 0; n <= 130; ++n) {
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    EXPECT_EQ(moppkt::ChecksumFinish(moppkt::ChecksumPartial(data)),
+              moppkt::ChecksumFinish(reference::ChecksumPartial(data)))
+        << "length " << n;
+  }
+}
+
+TEST(Checksum, OddLengthTailsAndBoundaries) {
+  // Lengths straddling the unroll boundaries with a hot (carry-heavy) fill.
+  for (size_t n : {1u, 7u, 8u, 9u, 31u, 32u, 33u, 63u, 64u, 65u, 1459u, 1460u, 1461u}) {
+    std::vector<uint8_t> data(n, 0xff);
+    EXPECT_EQ(moppkt::ChecksumFinish(moppkt::ChecksumPartial(data)),
+              moppkt::ChecksumFinish(reference::ChecksumPartial(data)))
+        << "length " << n;
+  }
+}
+
+TEST(Checksum, ChainedRegionsMatchContiguous) {
+  // Chaining even-length regions must equal one pass over the concatenation
+  // (the pseudo-header + segment pattern every L4 checksum uses).
+  moputil::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = 2 * rng.UniformInt(0, 20);
+    size_t b = rng.UniformInt(0, 40);  // last region may be odd
+    std::vector<uint8_t> data(a + b);
+    for (auto& x : data) {
+      x = static_cast<uint8_t>(rng.NextU32());
+    }
+    std::span<const uint8_t> all(data);
+    uint32_t chained = moppkt::ChecksumPartial(all.subspan(a), moppkt::ChecksumPartial(all.subspan(0, a)));
+    EXPECT_EQ(moppkt::ChecksumFinish(chained),
+              moppkt::ChecksumFinish(moppkt::ChecksumPartial(all)))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Checksum, ChainsOntoPseudoHeaderInitial) {
+  // Initial values larger than 16 bits (a pseudo-header sum) must chain the
+  // same through both implementations.
+  IpAddr src(10, 0, 0, 2), dst(93, 1, 2, 3);
+  std::vector<uint8_t> seg(41, 0xee);
+  uint32_t initial = moppkt::PseudoHeaderSum(src, dst, 6, static_cast<uint16_t>(seg.size()));
+  EXPECT_EQ(moppkt::ChecksumFinish(moppkt::ChecksumPartial(seg, initial)),
+            moppkt::ChecksumFinish(reference::ChecksumPartial(seg, initial)));
+}
+
+// ---- RFC 1624 incremental update ----
+
+TEST(Checksum, IncrementalUpdateMatchesRecomputeProperty) {
+  // Random 20-byte headers, random word edits: the incremental update of the
+  // embedded checksum must equal a full recompute after the edit.
+  moputil::Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> hdr(20);
+    for (auto& b : hdr) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    // Fold a valid checksum into words 5 (offset 10), like IPv4.
+    hdr[10] = hdr[11] = 0;
+    uint16_t csum = moppkt::Checksum(hdr);
+    hdr[10] = static_cast<uint8_t>(csum >> 8);
+    hdr[11] = static_cast<uint8_t>(csum & 0xff);
+
+    // Edit one random non-checksum 16-bit word.
+    size_t word = rng.UniformInt(0, 9);
+    if (word == 5) {
+      word = 6;
+    }
+    size_t off = word * 2;
+    uint16_t old_word = static_cast<uint16_t>((hdr[off] << 8) | hdr[off + 1]);
+    uint16_t new_word = static_cast<uint16_t>(rng.NextU32());
+    hdr[off] = static_cast<uint8_t>(new_word >> 8);
+    hdr[off + 1] = static_cast<uint8_t>(new_word & 0xff);
+
+    uint16_t incremental = moppkt::ChecksumIncrementalUpdate(csum, old_word, new_word);
+    hdr[10] = hdr[11] = 0;
+    uint16_t recomputed = moppkt::Checksum(hdr);
+    EXPECT_EQ(incremental, recomputed) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, IncrementalUpdateHandlesRfc1624CornerCase) {
+  // The case RFC 1624 §3 shows RFC 1141 getting wrong: checksum 0xdd2f,
+  // word 0x5555 -> 0x3285 must give 0x0000, not 0xffff.
+  EXPECT_EQ(moppkt::ChecksumIncrementalUpdate(0xdd2f, 0x5555, 0x3285), 0x0000);
+}
+
+TEST(Checksum, IncrementalUpdate32MatchesTwoWordEdits) {
+  moputil::Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint16_t csum = static_cast<uint16_t>(rng.NextU32());
+    uint32_t old_value = rng.NextU32();
+    uint32_t new_value = rng.NextU32();
+    uint16_t via_words = moppkt::ChecksumIncrementalUpdate(
+        moppkt::ChecksumIncrementalUpdate(csum, static_cast<uint16_t>(old_value >> 16),
+                                          static_cast<uint16_t>(new_value >> 16)),
+        static_cast<uint16_t>(old_value & 0xffff), static_cast<uint16_t>(new_value & 0xffff));
+    EXPECT_EQ(moppkt::ChecksumIncrementalUpdate32(csum, old_value, new_value), via_words);
+  }
+}
+
+// ---- FlowKeyHash spread ----
+
+TEST(Packet, FlowKeyHashSpreadsSameSubnetFlows) {
+  // The adversarial shape for the old xor/multiply hash: one /24 of clients
+  // talking to one server, ports from a small contiguous range — exactly the
+  // engine's client map under load. Require near-uniform bucket occupancy.
+  constexpr size_t kBuckets = 1024;
+  std::vector<int> buckets(kBuckets, 0);
+  size_t n = 0;
+  for (int host = 0; host < 64; ++host) {
+    for (uint16_t port = 40000; port < 40064; ++port) {
+      moppkt::FlowKey k;
+      k.proto = moppkt::IpProto::kTcp;
+      k.local = {IpAddr(10, 0, 0, static_cast<uint8_t>(host)), port};
+      k.remote = {IpAddr(93, 184, 216, 34), 443};
+      ++buckets[moppkt::FlowKeyHash{}(k) % kBuckets];
+      ++n;
+    }
+  }
+  // Expected load 4/bucket; a full-avalanche hash stays in single digits
+  // (binomial tail), while the old mixer put hundreds in a few buckets.
+  int max_bucket = 0;
+  for (int b : buckets) {
+    max_bucket = std::max(max_bucket, b);
+  }
+  EXPECT_LE(max_bucket, 16) << n << " keys";
+}
+
+// ---- PacketBuf / BufPool ----
+
+TEST(BufPool, ReusesSlabsAndCountsStats) {
+  moppkt::BufPool pool(2048, 16);
+  {
+    moppkt::PacketBuf a = pool.Acquire();
+    moppkt::PacketBuf b = pool.Acquire();
+    EXPECT_EQ(pool.stats().slab_allocs, 2u);
+    EXPECT_EQ(pool.stats().in_use, 2u);
+    a.Assign(std::vector<uint8_t>{1, 2, 3});
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.capacity(), 2048u);
+  }
+  EXPECT_EQ(pool.stats().in_use, 0u);
+  EXPECT_EQ(pool.stats().free_count, 2u);
+  // Steady state: no new slab allocations, only free-list reuse.
+  for (int i = 0; i < 100; ++i) {
+    moppkt::PacketBuf c = pool.Acquire();
+    c.Assign(std::vector<uint8_t>{9});
+  }
+  EXPECT_EQ(pool.stats().slab_allocs, 2u);
+  EXPECT_EQ(pool.stats().acquires, 102u);
+}
+
+TEST(BufPool, OversizeRequestsBypassTheFreeList) {
+  moppkt::BufPool pool(2048, 16);
+  {
+    moppkt::PacketBuf big = pool.AcquireSized(10000);
+    EXPECT_GE(big.capacity(), 10000u);
+    big.set_size(10000);
+  }
+  EXPECT_EQ(pool.stats().oversize_allocs, 1u);
+  EXPECT_EQ(pool.stats().free_count, 0u);  // never pooled
+}
+
+TEST(BufPool, DeepCopiesAreCounted) {
+  moppkt::BufPool pool(2048, 16);
+  uint64_t before = pool.stats().copies;
+  moppkt::PacketBuf a = pool.AcquireCopy(std::vector<uint8_t>{1, 2, 3});
+  moppkt::PacketBuf b = a;  // deep copy
+  EXPECT_EQ(b.ToVector(), a.ToVector());
+  EXPECT_EQ(pool.stats().copies, before + 1);
+  moppkt::PacketBuf c = std::move(a);  // move: not a copy
+  EXPECT_EQ(pool.stats().copies, before + 1);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+// ---- TcpPacketTemplate ----
+
+TEST(TcpTemplate, EmitIsByteIdenticalToGeneralBuilder) {
+  IpAddr src(93, 1, 2, 3), dst(10, 0, 0, 2);
+  moppkt::TcpPacketTemplate tmpl(src, dst, 443, 40000);
+  moputil::Rng rng(31);
+  std::vector<moppkt::TcpFlags> flag_sets = {moppkt::AckFlag(), moppkt::PshAckFlag(),
+                                             moppkt::FinAckFlag(), moppkt::RstFlag()};
+  for (int trial = 0; trial < 100; ++trial) {
+    moppkt::TcpSegmentSpec spec;
+    spec.src_port = 443;
+    spec.dst_port = 40000;
+    spec.seq = rng.NextU32();
+    spec.ack = rng.NextU32();
+    spec.flags = flag_sets[trial % flag_sets.size()];
+    spec.window = static_cast<uint16_t>(rng.NextU32());
+    std::vector<uint8_t> payload(rng.UniformInt(0, 1460));
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    spec.payload = payload;
+    uint16_t ip_id = static_cast<uint16_t>(rng.NextU32());
+
+    ASSERT_TRUE(moppkt::TcpPacketTemplate::Covers(spec));
+    std::vector<uint8_t> via_template(40 + payload.size());
+    size_t n = tmpl.EmitSpec(spec, ip_id, via_template);
+    via_template.resize(n);
+    EXPECT_EQ(via_template, moppkt::BuildTcpDatagram(spec, src, dst, ip_id)) << trial;
+  }
+}
+
+TEST(TcpTemplate, EmittedPacketsParseAndVerify) {
+  IpAddr src(93, 1, 2, 3), dst(10, 0, 0, 2);
+  moppkt::TcpPacketTemplate tmpl(src, dst, 443, 40000);
+  std::vector<uint8_t> payload(777, 0x5a);
+  std::vector<uint8_t> out(40 + payload.size());
+  size_t n = tmpl.Emit(123456, 654321, moppkt::PshAckFlag(), 31000, 42, payload, out);
+  auto pkt = moppkt::ParsePacket(std::span<const uint8_t>(out.data(), n));
+  ASSERT_TRUE(pkt.ok());  // both IP and TCP checksums verified by the parse
+  ASSERT_TRUE(pkt.value().is_tcp());
+  EXPECT_EQ(pkt.value().tcp->seq, 123456u);
+  EXPECT_EQ(pkt.value().tcp->ack, 654321u);
+  EXPECT_EQ(pkt.value().tcp->payload.size(), payload.size());
+  EXPECT_EQ(pkt.value().ip.identification, 42);
+}
+
+// ---- In-place builders match the allocating ones ----
+
+TEST(Build, IntoVariantsAreByteIdentical) {
+  IpAddr src(10, 0, 0, 2), dst(93, 1, 2, 3);
+  moppkt::TcpSegmentSpec spec;
+  spec.src_port = 40000;
+  spec.dst_port = 443;
+  spec.seq = 7;
+  spec.ack = 9;
+  spec.flags = moppkt::SynFlag();
+  spec.mss = 1460;
+  spec.window_scale = 7;
+  std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+  spec.payload = payload;
+
+  std::vector<uint8_t> tcp_into(20 + moppkt::TcpSegmentBytes(spec));
+  tcp_into.resize(moppkt::BuildTcpDatagramInto(spec, src, dst, 3, 64, tcp_into));
+  EXPECT_EQ(tcp_into, moppkt::BuildTcpDatagram(spec, src, dst, 3));
+
+  std::vector<uint8_t> udp_into(28 + payload.size());
+  udp_into.resize(moppkt::BuildUdpDatagramInto(40001, 53, payload, src, dst, 5, udp_into));
+  EXPECT_EQ(udp_into, moppkt::BuildUdpDatagram(40001, 53, payload, src, dst, 5));
+}
+
+// ---- The zero-allocation steady state ----
+
+TEST(HotPath, SteadyStateRelayPerformsZeroHeapAllocations) {
+  // The tentpole acceptance check: once the pool is warm, relaying a
+  // 1460-byte TCP data packet — parse -> state machine -> template-stamped
+  // ACK — performs zero heap allocations and zero pool slab allocations.
+  moppkt::BufPool pool(2048, 64);
+  moppkt::FlowKey flow;
+  flow.proto = moppkt::IpProto::kTcp;
+  flow.local = {IpAddr(10, 0, 0, 2), 40000};
+  flow.remote = {IpAddr(93, 1, 2, 3), 443};
+
+  // Inbound 1460-byte data packet as it would arrive from the tun.
+  std::vector<uint8_t> payload(1460, 0x55);
+  moppkt::TcpSegmentSpec data_spec;
+  data_spec.src_port = flow.local.port;
+  data_spec.dst_port = flow.remote.port;
+  data_spec.seq = 101;
+  data_spec.ack = 5001;
+  data_spec.flags = moppkt::PshAckFlag();
+  data_spec.payload = payload;
+  auto wire = moppkt::BuildTcpDatagram(data_spec, flow.local.ip, flow.remote.ip);
+
+  mopeye::TcpStateMachine sm(flow, 5000, 1460, 65535);
+  moppkt::TcpSegment syn;
+  syn.flags = moppkt::SynFlag();
+  syn.seq = 100;
+  sm.NoteSyn(syn);
+  (void)sm.MakeSynAck();
+  moppkt::TcpSegment ack;
+  ack.flags = moppkt::AckFlag();
+  ack.seq = 101;
+  ack.ack = 5001;
+  (void)sm.OnAppSegment(ack);
+
+  moppkt::TcpPacketTemplate tmpl(flow.remote.ip, flow.local.ip, flow.remote.port,
+                                 flow.local.port);
+  moppkt::PacketBuf in = pool.AcquireCopy(wire);
+  moppkt::PacketBuf out = pool.Acquire();
+
+  auto relay_one = [&](uint32_t expected_seq, uint16_t ip_id) {
+    auto parsed = moppkt::ParsePacket(in.bytes());
+    ASSERT_TRUE(parsed.ok());
+    auto seg = *parsed.value().tcp;
+    seg.seq = expected_seq;  // keep in-order across iterations
+    auto sm_out = sm.OnAppSegment(seg);
+    ASSERT_EQ(sm_out.to_socket.size(), 1460u);
+    ASSERT_TRUE(sm_out.to_app.empty());
+    out.set_size(
+        tmpl.Emit(sm.snd_nxt(), sm.rcv_nxt(), moppkt::AckFlag(), 65535, ip_id, {}, out.writable()));
+  };
+
+  relay_one(101, 1);  // warm-up
+
+  moppkt::BufPool::Stats pool_before = pool.stats();
+  uint64_t heap_before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    relay_one(101 + 1460u * static_cast<uint32_t>(i + 1), static_cast<uint16_t>(i + 2));
+  }
+  uint64_t heap_after = g_allocations.load(std::memory_order_relaxed);
+  moppkt::BufPool::Stats pool_after = pool.stats();
+
+  EXPECT_EQ(heap_after - heap_before, 0u) << "heap allocations on the steady-state path";
+  EXPECT_EQ(pool_after.slab_allocs, pool_before.slab_allocs);
+  EXPECT_EQ(pool_after.oversize_allocs, pool_before.oversize_allocs);
+  EXPECT_EQ(pool_after.copies, pool_before.copies);
 }
 
 }  // namespace

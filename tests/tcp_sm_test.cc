@@ -92,7 +92,7 @@ TEST_F(SmTest, InOrderDataRelaysToSocket) {
   Establish();
   std::vector<uint8_t> payload{1, 2, 3, 4};
   auto out = sm_.OnAppSegment(Seg(moppkt::PshAckFlag(), 101, 5001, payload));
-  EXPECT_EQ(out.to_socket, payload);
+  EXPECT_EQ(std::vector<uint8_t>(out.to_socket.begin(), out.to_socket.end()), payload);
   EXPECT_EQ(sm_.rcv_nxt(), 105u);
   EXPECT_EQ(sm_.bytes_from_app(), 4u);
 }
