@@ -131,10 +131,12 @@ int main(int argc, char** argv) {
     double exact_p50 = probe_exact.Median();
     double exact_p95 = probe_exact.Percentile(95);
     moputil::Table acc({"\"" + probe_app + "\" quantile", "exact", "log sketch", "P2 sketch"});
+    // A single collector's store is never merged, so the P² point estimates
+    // are queryable here (a fleet-merged view would get a typed error).
     acc.AddRow({"median", mopbench::Ms(exact_p50), mopbench::Ms(s.median_ms),
-                entry != nullptr ? mopbench::Ms(entry->p2_median_ms()) : "-"});
+                entry != nullptr ? mopbench::Ms(entry->p2_median_ms().value()) : "-"});
     acc.AddRow({"P95", mopbench::Ms(exact_p95), mopbench::Ms(s.p95_ms),
-                entry != nullptr ? mopbench::Ms(entry->p2_p95_ms()) : "-"});
+                entry != nullptr ? mopbench::Ms(entry->p2_p95_ms().value()) : "-"});
     std::printf("%s\n", acc.Render().c_str());
     break;
   }

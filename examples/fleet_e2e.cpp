@@ -1,0 +1,415 @@
+// Fleet-scale crowdsourcing loop: N simulated devices are sharded across M
+// collector processes by a FleetRouter, upload over real mopnet TCP sockets
+// with durable (ack-after-snapshot) delivery, and one collector is killed
+// mid-run and restarted from its snapshot file. The merged FleetView then
+// answers Fig. 9-style queries over the union of all collectors and is
+// verified against exact recomputation from the generated records.
+//
+//   build/examples/fleet_e2e [--devices=24] [--records=2000] [--collectors=3]
+//                            [--seed=11]
+//
+// Exits nonzero if any record is lost or double-counted across the
+// kill/restart (total ingested must equal total generated exactly), if any
+// merged aggregate median/P95 drifts more than 5% from exact, or if the P²
+// merge guard fails to refuse — CI runs this as the fleet smoke test.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <unistd.h>
+
+#include "collector/server.h"
+#include "collector/uploader.h"
+#include "core/measurement.h"
+#include "crowd/world.h"
+#include "fleet/router.h"
+#include "fleet/snapshot.h"
+#include "fleet/view.h"
+#include "net/net_context.h"
+#include "net/server.h"
+#include "sim/event_loop.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+struct Flags {
+  int devices = 24;
+  int records = 2000;  // per device
+  int collectors = 3;
+  uint64_t seed = 11;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--devices=", 10) == 0) {
+      f.devices = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--records=", 10) == 0) {
+      f.records = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--collectors=", 13) == 0) {
+      f.collectors = std::atoi(arg + 13);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      f.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("flags: --devices=<n> --records=<per-device> --collectors=<m> --seed=<n>\n");
+      std::exit(0);
+    }
+  }
+  if (f.collectors < 1) {
+    f.collectors = 1;
+  }
+  return f;
+}
+
+struct Device {
+  std::unique_ptr<mopnet::NetContext> ctx;
+  mopeye::MeasurementStore store;
+  std::unique_ptr<mopcollect::Uploader> uploader;
+  moputil::Rng rng{0};
+  const mopcrowd::IspProfile* isp = nullptr;
+  const mopcrowd::CountryProfile* country = nullptr;
+  int remaining = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  auto world = mopcrowd::World::Default();
+  moputil::Rng rng(flags.seed);
+
+  mopsim::EventLoop loop;
+  mopnet::PathTable paths;
+  paths.SetDefault(std::make_shared<moputil::FixedDelay>(moputil::Millis(20)));
+  mopnet::ServerFarm farm;
+
+  // ---- The collector fleet: durable acks, multi-lane ingest, snapshots ----
+  const std::string snap_dir =
+      "/tmp/mopeye_fleet_e2e_" + std::to_string(getpid()) + "_";
+  mopcollect::CollectorOptions copts;
+  copts.shards = 16;
+  copts.durable_acks = true;  // ack only snapshot-covered folds
+  copts.ingest_lanes = 2;
+  const moputil::SimDuration snapshot_interval = moputil::Seconds(5);
+
+  std::vector<moppkt::SocketAddr> addrs;
+  std::vector<std::unique_ptr<mopcollect::CollectorServer>> collectors;
+  std::vector<std::unique_ptr<mopfleet::Snapshotter>> snapshotters;
+  std::vector<std::string> snap_paths;
+  for (int c = 0; c < flags.collectors; ++c) {
+    addrs.push_back({moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9000});
+    snap_paths.push_back(snap_dir + std::to_string(c) + ".snap");
+    collectors.push_back(std::make_unique<mopcollect::CollectorServer>(copts));
+    collectors.back()->EnableIngestLanes(&loop);
+    collectors.back()->RegisterWith(&farm, addrs.back());
+    snapshotters.push_back(std::make_unique<mopfleet::Snapshotter>(
+        &loop, collectors.back().get(), snap_paths.back(), snapshot_interval));
+    snapshotters.back()->Start();
+  }
+  mopfleet::FleetRouter router(addrs);
+
+  // ---- Device roster, sharded by the router ----
+  std::vector<double> country_weights;
+  for (const auto& c : world.countries()) {
+    country_weights.push_back(c.user_weight);
+  }
+  std::vector<Device> devices(static_cast<size_t>(flags.devices));
+  std::vector<int> devices_per_shard(static_cast<size_t>(flags.collectors), 0);
+  for (size_t d = 0; d < devices.size(); ++d) {
+    Device& dev = devices[d];
+    dev.rng = moputil::Rng(flags.seed ^ (0x9e3779b9ull * (d + 1)));
+    dev.country = &world.countries()[rng.WeightedIndex(country_weights)];
+    if (!dev.country->cellular_isps.empty()) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(dev.country->cellular_isps.size()) - 1));
+      dev.isp = &world.isps()[static_cast<size_t>(dev.country->cellular_isps[pick])];
+    }
+    dev.remaining = flags.records;
+
+    mopnet::NetworkProfile profile;
+    profile.type = mopnet::NetType::kWifi;
+    profile.isp = dev.isp != nullptr ? dev.isp->name : "HomeFiber";
+    profile.country = dev.country->code;
+    profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(moputil::Millis(2));
+    dev.ctx = std::make_unique<mopnet::NetContext>(&loop, profile, &paths, &farm,
+                                                   moputil::Rng(flags.seed ^ (7919 * d)));
+
+    mopcollect::UploaderPolicy policy;
+    policy.min_batch_records = 200;
+    policy.max_batch_age = moputil::Seconds(30);
+    policy.poll_interval = moputil::Seconds(2);
+    policy.initial_backoff = moputil::Seconds(1);
+    policy.max_backoff = moputil::Seconds(4);
+    policy.ack_timeout = moputil::Seconds(30);
+    uint32_t device_id = static_cast<uint32_t>(d);
+    ++devices_per_shard[router.ShardOf(device_id)];
+    dev.uploader = std::make_unique<mopcollect::Uploader>(
+        dev.ctx.get(), &dev.store, router.PlanFor(device_id), device_id, policy);
+    dev.uploader->Start();
+  }
+
+  // ---- Opportunistic generation, with exact distributions tracked ----
+  const size_t head_apps = std::min<size_t>(world.apps().size(), 24);
+  std::vector<double> app_weights;
+  for (size_t a = 0; a < head_apps; ++a) {
+    app_weights.push_back(world.apps()[a].install_rate * world.apps()[a].usage_weight);
+  }
+  std::vector<std::vector<double>> domain_weights(head_apps);
+  for (size_t a = 0; a < head_apps; ++a) {
+    for (const auto& g : world.apps()[a].domains) {
+      domain_weights[a].push_back(g.traffic_weight);
+    }
+  }
+  std::unordered_map<std::string, moputil::Samples> exact_tcp;
+
+  constexpr int kGenSeconds = 60;
+  const int slice = std::max(1, flags.records / kGenSeconds);
+  std::function<void(size_t)> generate = [&](size_t d) {
+    Device& dev = devices[d];
+    int n = std::min(slice, dev.remaining);
+    dev.remaining -= n;
+    for (int i = 0; i < n; ++i) {
+      size_t a = dev.rng.WeightedIndex(app_weights);
+      const auto& app = world.apps()[a];
+      bool wifi = dev.isp == nullptr || dev.rng.Bernoulli(0.5);
+      mopnet::NetType net = wifi ? mopnet::NetType::kWifi : dev.isp->type;
+      const mopcrowd::IspProfile* isp = wifi ? nullptr : dev.isp;
+
+      mopeye::Measurement m;
+      m.time = loop.Now();
+      m.net_type = net;
+      m.isp = wifi ? "HomeFiber" : dev.isp->name;
+      m.country = dev.country->code;
+      m.device_id = moputil::StrFormat("device-%zu", d);
+      if (dev.rng.Bernoulli(0.3)) {
+        m.kind = mopeye::MeasureKind::kDns;
+        m.app = "(dns)";
+        m.rtt = moputil::Millis(world.SampleDnsRttMs(
+            net, isp, dev.country->wifi_dns_median_ms, dev.rng));
+      } else {
+        const auto& group = app.domains[dev.rng.WeightedIndex(domain_weights[a])];
+        m.kind = mopeye::MeasureKind::kTcpConnect;
+        m.app = app.label;
+        m.domain = group.pattern;
+        double rtt_ms = world.SampleAppRttMs(net, isp, group.placement, dev.rng);
+        m.rtt = moputil::Millis(rtt_ms);
+        exact_tcp[app.label].Add(rtt_ms);
+      }
+      dev.store.Add(std::move(m));
+    }
+    if (dev.remaining > 0) {
+      loop.Schedule(moputil::kSecond, [&generate, d] { generate(d); });
+    }
+  };
+  // A third of the fleet comes online during the outage window: their first
+  // upload hits a dead home collector and has to fail over, while the
+  // already-busy devices ride out the outage pinned to their in-flight
+  // frames (the two halves of the failover contract).
+  for (size_t d = 0; d < devices.size(); ++d) {
+    moputil::SimDuration start = d % 3 == 2
+                                     ? moputil::Seconds(30) + moputil::Millis(static_cast<double>(d))
+                                     : moputil::Millis(static_cast<double>(d));
+    loop.Schedule(start, [&generate, d] { generate(d); });
+  }
+
+  // ---- Kill the busiest collector mid-run, restart from snapshot at 55s ----
+  // The kill lands just after a snapshot's ack flush (t=26), when most home
+  // devices are between batches: their next upload hits a dead address and
+  // exercises connect-failure failover. Devices caught mid-delivery stay
+  // pinned to the victim and re-deliver after the restart instead (the
+  // dedup-preserving path, unit-tested in fleet_test).
+  size_t victim = 0;
+  for (size_t c = 1; c < devices_per_shard.size(); ++c) {
+    if (devices_per_shard[c] > devices_per_shard[victim]) {
+      victim = c;
+    }
+  }
+  uint64_t victim_ingested_at_kill = 0;
+  loop.Schedule(moputil::Seconds(26), [&] {
+    victim_ingested_at_kill = collectors[victim]->counters().records_ingested;
+    std::printf("[t=%2.0fs] CRASH collector %zu (%d home devices, %llu records folded, "
+                "%llu acks in flight discarded)\n",
+                moputil::ToSeconds(loop.Now()), victim, devices_per_shard[victim],
+                static_cast<unsigned long long>(victim_ingested_at_kill),
+                static_cast<unsigned long long>(collectors[victim]->pending_ack_count()));
+    farm.RemoveTcpServer(addrs[victim]);
+    snapshotters[victim]->Stop();
+    collectors[victim]->Shutdown();
+    // The crashed incarnation stays allocated (in-flight events may still
+    // reference it) but never serves again.
+  });
+  loop.Schedule(moputil::Seconds(55), [&] {
+    auto state = mopfleet::ReadSnapshotFile(snap_paths[victim]);
+    if (!state.ok()) {
+      std::printf("FATAL: snapshot load failed: %s\n", state.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto fresh = std::make_unique<mopcollect::CollectorServer>(copts);
+    fresh->ImportState(std::move(state).value());
+    fresh->EnableIngestLanes(&loop);
+    fresh->RegisterWith(&farm, addrs[victim]);
+    std::printf("[t=%2.0fs] RESTART collector %zu from snapshot (%llu records restored — "
+                "unsnapshotted folds will be re-delivered)\n",
+                moputil::ToSeconds(loop.Now()), victim,
+                static_cast<unsigned long long>(fresh->counters().records_ingested));
+    // Swap in the new incarnation; keep the crashed one alive but inert.
+    static std::vector<std::unique_ptr<mopcollect::CollectorServer>> graveyard;
+    graveyard.push_back(std::move(collectors[victim]));
+    collectors[victim] = std::move(fresh);
+    snapshotters[victim] = std::make_unique<mopfleet::Snapshotter>(
+        &loop, collectors[victim].get(), snap_paths[victim], snapshot_interval);
+    snapshotters[victim]->Start();
+  });
+
+  // Generation + outage + drain; a final flush sweeps the sub-batch tails.
+  loop.RunFor(moputil::Seconds(kGenSeconds + 120));
+  for (auto& dev : devices) {
+    dev.uploader->FlushNow();
+  }
+  loop.RunFor(moputil::Seconds(240));
+
+  // ---- Merged query plane over the live fleet ----
+  mopfleet::FleetView view;
+  for (auto& c : collectors) {
+    view.AttachCollector(c.get());
+  }
+  view.Refresh();
+
+  const uint64_t generated =
+      static_cast<uint64_t>(flags.devices) * static_cast<uint64_t>(flags.records);
+  uint64_t failovers = 0, duplicates = 0, pending = 0;
+  for (auto& dev : devices) {
+    failovers += dev.uploader->counters().failovers;
+    pending += dev.uploader->pending_records();
+  }
+  for (auto& c : collectors) {
+    duplicates += c->counters().batches_duplicate;
+  }
+
+  std::printf("\nfleet: %d devices over %d collectors (home devices per shard:", flags.devices,
+              flags.collectors);
+  for (int n : devices_per_shard) {
+    std::printf(" %d", n);
+  }
+  std::printf(")\n");
+  std::printf("ingested %s of %s records | %llu failovers, %llu duplicate deliveries "
+              "deduped, %llu still pending\n",
+              moputil::WithCommas(static_cast<int64_t>(view.records_ingested())).c_str(),
+              moputil::WithCommas(static_cast<int64_t>(generated)).c_str(),
+              static_cast<unsigned long long>(failovers),
+              static_cast<unsigned long long>(duplicates),
+              static_cast<unsigned long long>(pending));
+  for (size_t c = 0; c < collectors.size(); ++c) {
+    std::printf("  collector %zu%s: %s records, %zu keys, %llu dup batches, "
+                "%llu snapshots (%zu B last), lane busy %.1f ms\n",
+                c, c == victim ? " (restarted)" : "",
+                moputil::WithCommas(
+                    static_cast<int64_t>(collectors[c]->counters().records_ingested))
+                    .c_str(),
+                collectors[c]->store().key_count(),
+                static_cast<unsigned long long>(collectors[c]->counters().batches_duplicate),
+                static_cast<unsigned long long>(snapshotters[c]->counters().snapshots_written),
+                snapshotters[c]->counters().last_bytes,
+                moputil::ToMillis(collectors[c]->ingest_lane_busy()));
+  }
+
+  // ---- Verify the merged aggregates against exact recomputation ----
+  bool ok = true;
+  if (view.records_ingested() != generated) {
+    std::printf("FAIL: generated %llu records but the fleet ingested %llu "
+                "(loss or double-count across the crash)\n",
+                static_cast<unsigned long long>(generated),
+                static_cast<unsigned long long>(view.records_ingested()));
+    ok = false;
+  }
+  if (pending != 0) {
+    std::printf("FAIL: %llu records still pending on devices\n",
+                static_cast<unsigned long long>(pending));
+    ok = false;
+  }
+
+  auto app_stats = view.TcpAppStats(/*min_count=*/1);
+  moputil::Table table({"app", "records", "p50 (merged)", "p50 (exact)", "p95 (merged)",
+                        "p95 (exact)", "max err"});
+  double worst_err = 0;
+  size_t verified_apps = 0, shown = 0;
+  uint64_t merged_tcp_records = 0;
+  for (const auto& s : app_stats) {
+    merged_tcp_records += s.count;
+    auto it = exact_tcp.find(s.app);
+    if (it == exact_tcp.end()) {
+      std::printf("FAIL: merged view reports app %s that was never generated\n", s.app.c_str());
+      ok = false;
+      continue;
+    }
+    const moputil::Samples& exact = it->second;
+    if (s.count != exact.count()) {
+      std::printf("FAIL: app %s has %zu merged records, expected %zu\n", s.app.c_str(),
+                  s.count, exact.count());
+      ok = false;
+    }
+    double exact_p50 = exact.Median();
+    double exact_p95 = exact.Percentile(95);
+    double err = std::max(std::fabs(s.median_ms - exact_p50) / exact_p50,
+                          std::fabs(s.p95_ms - exact_p95) / exact_p95);
+    if (s.count >= 200) {
+      ++verified_apps;
+      worst_err = std::max(worst_err, err);
+      if (err > 0.05) {
+        std::printf("FAIL: %s merged sketch error %.1f%% (p50 %.1f vs %.1f, p95 %.1f vs %.1f)\n",
+                    s.app.c_str(), err * 100, s.median_ms, exact_p50, s.p95_ms, exact_p95);
+        ok = false;
+      }
+    }
+    if (shown < 12) {
+      table.AddRow({s.app, moputil::WithCommas(static_cast<int64_t>(s.count)),
+                    moputil::StrFormat("%.1fms", s.median_ms),
+                    moputil::StrFormat("%.1fms", exact_p50),
+                    moputil::StrFormat("%.1fms", s.p95_ms),
+                    moputil::StrFormat("%.1fms", exact_p95),
+                    moputil::StrFormat("%.2f%%", err * 100)});
+      ++shown;
+    }
+  }
+  std::printf("\n==== Fig. 9-style per-app RTT from the merged fleet view ====\n\n%s\n",
+              table.Render().c_str());
+
+  // The documented constraint: merged quantiles are log-bucket only.
+  if (!app_stats.empty()) {
+    auto key = view.MakeKey(app_stats[0].app, "", "", mopcollect::kAnyByte,
+                            static_cast<uint8_t>(mopcrowd::RecordKind::kTcp));
+    auto p2 = view.MergedP2Median(key);
+    if (p2.ok() || p2.status().code() != moputil::StatusCode::kFailedPrecondition) {
+      std::printf("FAIL: P² query on the merged view did not return FAILED_PRECONDITION\n");
+      ok = false;
+    } else {
+      std::printf("P² on merged view correctly refused: %s\n", p2.status().ToString().c_str());
+    }
+  }
+
+  for (auto& dev : devices) {
+    dev.uploader->Stop();
+  }
+  for (auto& s : snapshotters) {
+    s->Stop();
+  }
+  for (const auto& p : snap_paths) {
+    std::remove(p.c_str());
+  }
+
+  std::printf("\n%s: %llu/%llu records across %d collectors (1 crash+restart), "
+              "%zu apps verified, worst merged-sketch error %.2f%% (bar: 5%%)\n",
+              ok ? "OK" : "FAILED",
+              static_cast<unsigned long long>(view.records_ingested()),
+              static_cast<unsigned long long>(generated), flags.collectors, verified_apps,
+              worst_err * 100);
+  return ok ? 0 : 1;
+}

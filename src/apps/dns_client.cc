@@ -29,7 +29,8 @@ void TunDnsClient::Attempt(
 
   uint16_t query_id = next_id_++;
   moppkt::DnsMessage query = moppkt::DnsMessage::Query(query_id, domain);
-  std::vector<uint8_t> payload = moppkt::EncodeDns(query);
+  std::vector<uint8_t> payload(moppkt::DnsEncodedSizeBound(query));
+  payload.resize(moppkt::EncodeDnsInto(query, payload));
 
   mopnet::ConnEntry entry;
   entry.proto = moppkt::IpProto::kUdp;

@@ -1,27 +1,43 @@
 #include "collector/aggregate_store.h"
 
+#include <algorithm>
 #include <functional>
+
+#include "crowd/dataset.h"
+#include "util/hash.h"
 
 namespace mopcollect {
 
 namespace {
 
-// splitmix64 finisher: decorrelates the packed key bits before sharding so
-// adjacent ids spread across shards.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+moputil::Status P2DoesNotMerge() {
+  return moputil::FailedPrecondition(
+      "P² sketches do not merge: this entry aggregates more than one "
+      "collector's stream; query the log-bucket quantiles instead");
 }
 
 }  // namespace
 
+moputil::Result<double> AggregateEntry::p2_median_ms() const {
+  if (merged) {
+    return P2DoesNotMerge();
+  }
+  return p50.Value();
+}
+
+moputil::Result<double> AggregateEntry::p2_p95_ms() const {
+  if (merged) {
+    return P2DoesNotMerge();
+  }
+  return p95.Value();
+}
+
 AggregateStore::AggregateStore(size_t shard_count)
     : shards_(shard_count == 0 ? 1 : shard_count) {}
 
+// Keys are mixed before sharding so adjacent packed ids spread uniformly.
 size_t AggregateStore::ShardOf(uint64_t packed) const {
-  return static_cast<size_t>(Mix64(packed) % shards_.size());
+  return static_cast<size_t>(moputil::Mix64(packed) % shards_.size());
 }
 
 void AggregateStore::Add(const AggregateKey& key, double rtt_ms) {
@@ -35,6 +51,23 @@ const AggregateEntry* AggregateStore::Find(const AggregateKey& key) const {
   const Shard& shard = shards_[ShardOf(packed)];
   auto it = shard.entries.find(packed);
   return it == shard.entries.end() ? nullptr : &it->second;
+}
+
+AggregateEntry& AggregateStore::MutableEntry(const AggregateKey& key) {
+  uint64_t packed = key.Packed();
+  return shards_[ShardOf(packed)].entries[packed];
+}
+
+void AggregateStore::MergeFrom(const AggregateStore& src,
+                               const std::function<AggregateKey(const AggregateKey&)>& remap) {
+  for (const Shard& shard : src.shards_) {
+    for (const auto& [packed, entry] : shard.entries) {
+      AggregateKey key = AggregateKey::Unpack(packed);
+      MutableEntry(remap ? remap(key) : key).MergeFrom(entry);
+    }
+  }
+  samples_folded_ += src.samples_folded_;
+  merged_ = true;
 }
 
 std::vector<std::pair<AggregateKey, const AggregateEntry*>> AggregateStore::Match(
@@ -71,6 +104,52 @@ size_t AggregateStore::ApproxMemoryBytes() const {
     }
   }
   return bytes;
+}
+
+std::vector<AppStat> TcpAppStatsOf(const AggregateStore& store, const Interner& apps,
+                                   size_t min_count) {
+  std::vector<AppStat> out;
+  auto entries = store.Match([](const AggregateKey& k) {
+    return k.app_id != kAnyId && k.isp_id == kAnyId && k.country_id == kAnyId &&
+           k.net_type == kAnyByte && k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kTcp);
+  });
+  for (const auto& [key, entry] : entries) {
+    if (entry->count() < min_count) {
+      continue;
+    }
+    out.push_back({apps.Name(key.app_id), entry->count(), entry->median_ms(),
+                   entry->p95_ms(), entry->stats.mean()});
+  }
+  std::sort(out.begin(), out.end(), [](const AppStat& a, const AppStat& b) {
+    return a.count != b.count ? a.count > b.count : a.app < b.app;
+  });
+  return out;
+}
+
+std::vector<IspDnsStat> IspDnsStatsOf(const AggregateStore& store, const Interner& isps,
+                                      size_t min_count) {
+  std::vector<IspDnsStat> out;
+  auto entries = store.Match([](const AggregateKey& k) {
+    return k.app_id == kAnyId && k.isp_id != kAnyId && k.net_type != kAnyByte &&
+           k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kDns);
+  });
+  for (const auto& [key, entry] : entries) {
+    if (entry->count() < min_count) {
+      continue;
+    }
+    out.push_back({isps.Name(key.isp_id), key.net_type, entry->count(), entry->median_ms(),
+                   entry->p95_ms()});
+  }
+  std::sort(out.begin(), out.end(), [](const IspDnsStat& a, const IspDnsStat& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    if (a.isp != b.isp) {
+      return a.isp < b.isp;
+    }
+    return a.net_type < b.net_type;
+  });
+  return out;
 }
 
 }  // namespace mopcollect

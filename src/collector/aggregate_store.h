@@ -24,6 +24,7 @@
 
 #include "collector/wire.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace mopcollect {
 
@@ -74,6 +75,11 @@ struct AggregateEntry {
   moputil::P2Quantile p50{50.0};
   moputil::P2Quantile p95{95.0};
   moputil::LogQuantile quantiles{0.02};
+  // Set once another entry has been folded in. Count, moments, and the
+  // log-bucket quantiles merge exactly; the P² markers cannot, so on a
+  // merged entry they are stale for one source's stream only and the P²
+  // accessors refuse to answer.
+  bool merged = false;
 
   void Add(double rtt_ms) {
     stats.Add(rtt_ms);
@@ -81,12 +87,24 @@ struct AggregateEntry {
     p95.Add(rtt_ms);
     quantiles.Add(rtt_ms);
   }
+
+  // Folds `o` in: as if both entries' streams had been Add()ed here, for
+  // everything except the P² markers (see `merged`).
+  void MergeFrom(const AggregateEntry& o) {
+    stats.MergeFrom(o.stats);
+    quantiles.MergeFrom(o.quantiles);
+    merged = true;
+  }
+
   size_t count() const { return stats.count(); }
   double median_ms() const { return quantiles.Median(); }
   double p95_ms() const { return quantiles.Quantile(95.0); }
-  // The P² point estimates of the same quantiles (see above).
-  double p2_median_ms() const { return p50.Value(); }
-  double p2_p95_ms() const { return p95.Value(); }
+  // The P² point estimates of the same quantiles (see above). On a merged
+  // entry these return kFailedPrecondition instead of a silently-wrong
+  // value: P² sketches do not merge, so a fleet-level view only answers
+  // log-bucket quantiles.
+  moputil::Result<double> p2_median_ms() const;
+  moputil::Result<double> p2_p95_ms() const;
 };
 
 class AggregateStore {
@@ -99,6 +117,23 @@ class AggregateStore {
   // Entry lookup; null when the key was never fed.
   const AggregateEntry* Find(const AggregateKey& key) const;
 
+  // Mutable entry for `key`, creating it if absent (snapshot restore and
+  // store merging; regular ingest goes through Add).
+  AggregateEntry& MutableEntry(const AggregateKey& key);
+
+  // Folds every entry of `src` into this store, routing each key through
+  // `remap` first (a fleet view remaps per-collector interner ids onto its
+  // merged id spaces; pass identity to merge stores sharing interners).
+  // Marks the store — and every touched entry — merged: log-bucket
+  // quantiles stay exact under bucket addition, P² queries are refused.
+  void MergeFrom(const AggregateStore& src,
+                 const std::function<AggregateKey(const AggregateKey&)>& remap);
+
+  // True once MergeFrom folded foreign entries in (or a snapshot of a
+  // merged store was restored).
+  bool merged() const { return merged_; }
+  void set_merged(bool m) { merged_ = m; }
+
   // All (key, entry) pairs, shard by shard (iteration order is unspecified
   // within a shard). `pred` filters; null takes everything.
   std::vector<std::pair<AggregateKey, const AggregateEntry*>> Match(
@@ -106,8 +141,12 @@ class AggregateStore {
 
   size_t key_count() const;
   uint64_t samples_folded() const { return samples_folded_; }
+  void set_samples_folded(uint64_t n) { samples_folded_ = n; }
   size_t shard_count() const { return shards_.size(); }
   size_t shard_key_count(size_t shard) const { return shards_[shard].entries.size(); }
+  // Shard that owns `key` — the multi-lane collector routes each fold to the
+  // ingest lane owning the shard, so lanes never touch each other's maps.
+  size_t ShardIndexOf(const AggregateKey& key) const { return ShardOf(key.Packed()); }
   // Resident-size estimate of the aggregate state (entries + hash overhead).
   size_t ApproxMemoryBytes() const;
 
@@ -120,7 +159,38 @@ class AggregateStore {
 
   std::vector<Shard> shards_;
   uint64_t samples_folded_ = 0;
+  bool merged_ = false;
 };
+
+// ---- Query plane over a store + its interners ----
+//
+// Shared by CollectorServer (one collector's aggregates) and mopfleet's
+// FleetView (the merged union of many collectors): the rollup keys folded at
+// ingest time make both O(keys).
+
+struct AppStat {
+  std::string app;
+  size_t count = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double mean_ms = 0;
+};
+// Fig. 9-style per-app TCP RTT stats (all networks folded), apps with at
+// least `min_count` records, sorted by count descending.
+std::vector<AppStat> TcpAppStatsOf(const AggregateStore& store, const Interner& apps,
+                                   size_t min_count = 1);
+
+struct IspDnsStat {
+  std::string isp;
+  uint8_t net_type = 0;
+  size_t count = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+};
+// Fig. 11 / Table 6-style per-(ISP, net type) DNS stats, sorted by count
+// descending.
+std::vector<IspDnsStat> IspDnsStatsOf(const AggregateStore& store, const Interner& isps,
+                                      size_t min_count = 1);
 
 }  // namespace mopcollect
 

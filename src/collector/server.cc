@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
+
+#include "util/strings.h"
 
 namespace mopcollect {
 
@@ -12,13 +15,22 @@ namespace mopcollect {
 class CollectorServer::Behavior : public mopnet::ServerBehavior {
  public:
   explicit Behavior(CollectorServer* server) : server_(server) {}
+  ~Behavior() override { server_->live_conns_.erase(this); }
 
   void OnConnect(mopnet::ServerConn& conn) override {
-    (void)conn;
+    if (server_->shut_down_) {
+      conn.Reset();
+      return;
+    }
     ++server_->counters_.connections;
+    server_->live_conns_[this] = conn.weak_from_this();
   }
 
   void OnData(mopnet::ServerConn& conn, std::span<const uint8_t> data) override {
+    if (server_->shut_down_) {
+      conn.Reset();
+      return;
+    }
     reader_.Feed(data);
     while (auto payload = reader_.Next()) {
       ++server_->counters_.frames;
@@ -28,6 +40,14 @@ class CollectorServer::Behavior : public mopnet::ServerBehavior {
         ack.records_accepted = accepted.value();
       } else {
         ack.status = 1;
+      }
+      if (accepted.ok() && server_->opts_.durable_acks) {
+        // Ack-after-durable: the receipt leaves only once a snapshot
+        // covering this fold has been written (NotifyDurable). A crash in
+        // between loses the fold *and* the ack together, so the device
+        // re-sends and nothing is lost or double-counted.
+        server_->pending_acks_.push_back({conn.shared_from_this(), EncodeAckFrame(ack)});
+        continue;
       }
       conn.Send(EncodeAckFrame(ack));
       if (!accepted.ok()) {
@@ -44,10 +64,22 @@ class CollectorServer::Behavior : public mopnet::ServerBehavior {
     }
   }
 
+  void OnClosed(mopnet::ServerConn& conn) override {
+    (void)conn;
+    server_->live_conns_.erase(this);
+  }
+
  private:
   CollectorServer* server_;
   FrameReader reader_;
 };
+
+namespace {
+// Simulated cost of folding one RTT into one aggregate entry (hash + sketch
+// updates), paid on the owning ingest lane. Calibrated to the ~100 ns/fold
+// the collector_ingest bench measures on real hardware.
+constexpr moputil::SimDuration kFoldCost = 100;
+}  // namespace
 
 CollectorServer::CollectorServer(CollectorOptions opts) : opts_(opts), store_(opts.shards) {}
 
@@ -56,9 +88,115 @@ void CollectorServer::RegisterWith(mopnet::ServerFarm* farm, const moppkt::Socke
                      [this] { return std::make_unique<Behavior>(this); });
 }
 
+void CollectorServer::Shutdown() {
+  shut_down_ = true;
+  // A crash takes the withheld acks with it — that is the durable-ack
+  // guarantee working, not a leak: the unacked batches get re-sent.
+  pending_acks_.clear();
+  auto conns = std::move(live_conns_);
+  live_conns_.clear();
+  for (auto& [behavior, weak] : conns) {
+    if (auto conn = weak.lock()) {
+      conn->Reset();
+    }
+  }
+}
+
+void CollectorServer::EnableIngestLanes(mopsim::EventLoop* loop) {
+  lanes_.clear();
+  lane_pending_.clear();
+  if (opts_.ingest_lanes <= 1) {
+    return;
+  }
+  for (size_t i = 0; i < opts_.ingest_lanes; ++i) {
+    lanes_.push_back(std::make_unique<mopsim::ActorLane>(
+        loop, moputil::StrFormat("ingest-%zu", i)));
+  }
+  lane_pending_.resize(lanes_.size());
+}
+
+moputil::SimDuration CollectorServer::ingest_lane_busy() const {
+  moputil::SimDuration total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->busy_time();
+  }
+  return total;
+}
+
+CollectorState CollectorServer::ExportState() const {
+  CollectorState s;
+  s.store = store_;
+  // Apply folds still queued on ingest lanes to the exported copy: every
+  // accepted batch is fully represented in the snapshot (matching its dedup
+  // record, the counters, and any withheld ack), whatever the lanes'
+  // simulated progress. Per-lane FIFO order matches the order the lanes
+  // will apply them to the live store.
+  for (const auto& pending : lane_pending_) {
+    for (const auto& folds : pending) {
+      for (const auto& [key, rtt] : folds) {
+        s.store.Add(key, rtt);
+      }
+    }
+  }
+  s.apps = apps_;
+  s.isps = isps_;
+  s.countries = countries_;
+  s.seen_batches.reserve(seen_batches_.size());
+  for (const auto& [device, seen] : seen_batches_) {
+    s.seen_batches.emplace_back(device,
+                                std::vector<uint32_t>(seen.order.begin(), seen.order.end()));
+  }
+  // Canonical order: the map iterates in hash order, which would make
+  // snapshot bytes depend on stdlib internals.
+  std::sort(s.seen_batches.begin(), s.seen_batches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.connections = counters_.connections;
+  s.frames = counters_.frames;
+  s.batches_ok = counters_.batches_ok;
+  s.batches_rejected = counters_.batches_rejected;
+  s.batches_duplicate = counters_.batches_duplicate;
+  s.records_ingested = counters_.records_ingested;
+  s.stream_errors = counters_.stream_errors;
+  return s;
+}
+
+void CollectorServer::ImportState(CollectorState state) {
+  store_ = std::move(state.store);
+  apps_ = std::move(state.apps);
+  isps_ = std::move(state.isps);
+  countries_ = std::move(state.countries);
+  seen_batches_.clear();
+  for (auto& [device, seqs] : state.seen_batches) {
+    SeenBatches& seen = seen_batches_[device];
+    for (uint32_t seq : seqs) {
+      if (seen.set.insert(seq).second) {
+        seen.order.push_back(seq);
+      }
+    }
+  }
+  counters_ = Counters();
+  counters_.connections = state.connections;
+  counters_.frames = state.frames;
+  counters_.batches_ok = state.batches_ok;
+  counters_.batches_rejected = state.batches_rejected;
+  counters_.batches_duplicate = state.batches_duplicate;
+  counters_.records_ingested = state.records_ingested;
+  counters_.stream_errors = state.stream_errors;
+}
+
+void CollectorServer::NotifyDurable() {
+  auto acks = std::move(pending_acks_);
+  pending_acks_.clear();
+  for (auto& pending : acks) {
+    pending.conn->Send(std::move(pending.frame));
+  }
+}
+
 void CollectorServer::IngestBatch(const WireBatch& batch) {
   // Remap the per-batch wire tables onto the global interners once, then
-  // fold records through the cached mapping.
+  // fold records through the cached mapping. Interning stays on the
+  // connection handler even in lane mode: ids must be assigned in arrival
+  // order regardless of how folds are spread.
   std::vector<uint16_t> app_map(batch.apps.size()), isp_map(batch.isps.size()),
       country_map(batch.countries.size());
   for (size_t i = 0; i < batch.apps.size(); ++i) {
@@ -71,6 +209,10 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
     country_map[i] = countries_.Intern(batch.countries[i]);
   }
 
+  // In lane mode each fold routes to the lane owning its shard; the lists
+  // are built per batch and handed over in one Submit per lane.
+  std::vector<std::vector<std::pair<AggregateKey, double>>> lane_folds(lanes_.size());
+
   for (const WireRecord& rec : batch.records) {
     uint16_t app = rec.app_idx == kNoIndex ? kNoneId : app_map[rec.app_idx];
     uint16_t isp = rec.isp_idx == kNoIndex ? kNoneId : isp_map[rec.isp_idx];
@@ -79,9 +221,16 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
 
     // Fine-grained key plus the two wildcard rollups (P² sketches cannot be
     // merged later, so the rollups fold in at ingest time).
-    store_.Add({app, isp, country, rec.net_type, rec.kind}, rtt);
-    store_.Add({app, kAnyId, kAnyId, kAnyByte, rec.kind}, rtt);
-    store_.Add({kAnyId, isp, kAnyId, rec.net_type, rec.kind}, rtt);
+    const AggregateKey keys[3] = {{app, isp, country, rec.net_type, rec.kind},
+                                  {app, kAnyId, kAnyId, kAnyByte, rec.kind},
+                                  {kAnyId, isp, kAnyId, rec.net_type, rec.kind}};
+    for (const AggregateKey& key : keys) {
+      if (lanes_.empty()) {
+        store_.Add(key, rtt);
+      } else {
+        lane_folds[store_.ShardIndexOf(key) % lanes_.size()].emplace_back(key, rtt);
+      }
+    }
     ++counters_.records_ingested;
 
     if (opts_.retain_records) {
@@ -106,6 +255,27 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
       dev.country_id = country;
       ++dev.measurements;
     }
+  }
+
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    if (lane_folds[lane].empty()) {
+      continue;
+    }
+    // One simulated task per (batch, lane): the folds become externally
+    // visible when that lane's worker finishes, and the per-fold cost keeps
+    // lane busy-time proportional to work so the scaling model is honest.
+    // The list is parked in lane_pending_ (not captured) so ExportState can
+    // include not-yet-applied folds in a snapshot.
+    const moputil::SimDuration service =
+        kFoldCost * static_cast<moputil::SimDuration>(lane_folds[lane].size());
+    lane_pending_[lane].push_back(std::move(lane_folds[lane]));
+    lanes_[lane]->Submit(0, service, [this, lane] {
+      auto folds = std::move(lane_pending_[lane].front());
+      lane_pending_[lane].pop_front();
+      for (const auto& [key, rtt] : folds) {
+        store_.Add(key, rtt);
+      }
+    });
   }
 }
 
@@ -141,50 +311,6 @@ bool CollectorServer::CheckAndRecordDelivery(uint32_t device, uint32_t seq) {
     seen.order.pop_front();
   }
   return false;
-}
-
-std::vector<CollectorServer::AppStat> CollectorServer::TcpAppStats(size_t min_count) const {
-  std::vector<AppStat> out;
-  auto entries = store_.Match([](const AggregateKey& k) {
-    return k.app_id != kAnyId && k.isp_id == kAnyId && k.country_id == kAnyId &&
-           k.net_type == kAnyByte && k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kTcp);
-  });
-  for (const auto& [key, entry] : entries) {
-    if (entry->count() < min_count) {
-      continue;
-    }
-    out.push_back({apps_.Name(key.app_id), entry->count(), entry->median_ms(),
-                   entry->p95_ms(), entry->stats.mean()});
-  }
-  std::sort(out.begin(), out.end(), [](const AppStat& a, const AppStat& b) {
-    return a.count != b.count ? a.count > b.count : a.app < b.app;
-  });
-  return out;
-}
-
-std::vector<CollectorServer::IspDnsStat> CollectorServer::IspDnsStats(size_t min_count) const {
-  std::vector<IspDnsStat> out;
-  auto entries = store_.Match([](const AggregateKey& k) {
-    return k.app_id == kAnyId && k.isp_id != kAnyId && k.net_type != kAnyByte &&
-           k.kind == static_cast<uint8_t>(mopcrowd::RecordKind::kDns);
-  });
-  for (const auto& [key, entry] : entries) {
-    if (entry->count() < min_count) {
-      continue;
-    }
-    out.push_back({isps_.Name(key.isp_id), key.net_type, entry->count(), entry->median_ms(),
-                   entry->p95_ms()});
-  }
-  std::sort(out.begin(), out.end(), [](const IspDnsStat& a, const IspDnsStat& b) {
-    if (a.count != b.count) {
-      return a.count > b.count;
-    }
-    if (a.isp != b.isp) {
-      return a.isp < b.isp;
-    }
-    return a.net_type < b.net_type;
-  });
-  return out;
 }
 
 }  // namespace mopcollect

@@ -19,15 +19,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "collector/aggregate_store.h"
 #include "collector/wire.h"
 #include "crowd/dataset.h"
 #include "net/server.h"
+#include "sim/actor.h"
 #include "util/status.h"
 
 namespace mopcollect {
@@ -37,6 +40,41 @@ struct CollectorOptions {
   // Also keep raw records as a CrowdDataset (exact recomputation / full
   // mopcrowd analyses). Off by default: the aggregate path is the product.
   bool retain_records = false;
+  // Withhold positive batch acks until NotifyDurable() confirms a snapshot
+  // covering them reached disk (mopfleet::Snapshotter calls it after every
+  // write). With at-least-once upload this makes acked records crash-proof:
+  // anything folded but not yet durable is unacked, so the device re-sends
+  // it to the restarted collector, and anything acked is both in the
+  // snapshot's store and in its dedup state. Requires a Snapshotter (or a
+  // manual NotifyDurable caller); otherwise acks never flush.
+  bool durable_acks = false;
+  // Number of ingest lanes (simulated worker threads) the aggregate folds
+  // are spread across; enable with EnableIngestLanes(). Lane i owns store
+  // shards s with s % lanes == i — the store is already hash-partitioned,
+  // so lanes never touch each other's shard maps and no reshaping happens.
+  // <= 1 folds inline on the connection handler (the PR-2 behavior).
+  size_t ingest_lanes = 1;
+};
+
+// The collector state a snapshot captures: the aggregate store, the global
+// interners the keys index into, the ingest counters, and the per-device
+// duplicate-delivery windows (without which a restart would re-fold batches
+// whose ack was lost in the crash). The retained CrowdDataset is an analysis
+// adapter, not durable state, and is deliberately excluded.
+struct CollectorState {
+  AggregateStore store;
+  Interner apps, isps, countries;
+  // Per device: remembered batch_seq values, oldest first (insertion order,
+  // so the restore rebuilds identical eviction windows). Sorted by device id
+  // for canonical snapshot bytes.
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> seen_batches;
+  uint64_t connections = 0;
+  uint64_t frames = 0;
+  uint64_t batches_ok = 0;
+  uint64_t batches_rejected = 0;
+  uint64_t batches_duplicate = 0;
+  uint64_t records_ingested = 0;
+  uint64_t stream_errors = 0;
 };
 
 class CollectorServer {
@@ -61,6 +99,39 @@ class CollectorServer {
   // in-flight connections); connections hold a plain pointer back here.
   void RegisterWith(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr);
 
+  // Simulated crash / process stop: resets every live upload connection,
+  // discards withheld acks, and refuses further ingest. The farm
+  // registration (if any) must be removed by the caller; the object must
+  // stay alive until in-flight events drain (connections hold a plain
+  // pointer), which a composition root gets for free by destroying it after
+  // the event loop finishes.
+  void Shutdown();
+  bool shut_down() const { return shut_down_; }
+
+  // Spreads aggregate folding across opts.ingest_lanes simulated worker
+  // threads (ActorLanes on `loop`), lane i owning shard set {s : s % lanes
+  // == i}. Decode, dedup, counters, and retained records stay on the
+  // connection handler; only the per-shard folds move. Call before serving.
+  void EnableIngestLanes(mopsim::EventLoop* loop);
+  size_t ingest_lane_count() const { return lanes_.size(); }
+  // Total simulated busy time across ingest lanes (scaling diagnostics).
+  moputil::SimDuration ingest_lane_busy() const;
+
+  // ---- Snapshot hooks (serialization lives in fleet/snapshot.*) ----
+
+  // Copies everything a snapshot must capture. O(store); intended for the
+  // Snapshotter cadence, not per batch.
+  CollectorState ExportState() const;
+  // Replaces aggregates, interners, counters, and dedup windows with a
+  // previously exported state (restart recovery). Call before serving.
+  void ImportState(CollectorState state);
+
+  // Flushes acks withheld under CollectorOptions::durable_acks: the
+  // Snapshotter calls this right after a snapshot covering every fold so
+  // far has been written. No-op when nothing is pending.
+  void NotifyDurable();
+  size_t pending_ack_count() const { return pending_acks_.size(); }
+
   // Ingests one decoded batch unconditionally (no duplicate-delivery check;
   // tests and the ingest bench may call it directly).
   void IngestBatch(const WireBatch& batch);
@@ -81,28 +152,17 @@ class CollectorServer {
   const mopcrowd::CrowdDataset& dataset() const { return dataset_; }
 
   // ---- Queries over the streaming aggregates ----
+  // Thin wrappers over the shared query plane (aggregate_store.h), which
+  // mopfleet::FleetView reuses for the merged multi-collector view.
 
-  struct AppStat {
-    std::string app;
-    size_t count = 0;
-    double median_ms = 0;
-    double p95_ms = 0;
-    double mean_ms = 0;
-  };
-  // Fig. 9-style per-app TCP RTT stats (all networks folded), apps with at
-  // least `min_count` records, sorted by count descending.
-  std::vector<AppStat> TcpAppStats(size_t min_count = 1) const;
-
-  struct IspDnsStat {
-    std::string isp;
-    uint8_t net_type = 0;
-    size_t count = 0;
-    double median_ms = 0;
-    double p95_ms = 0;
-  };
-  // Fig. 11 / Table 6-style per-(ISP, net type) DNS stats, sorted by count
-  // descending.
-  std::vector<IspDnsStat> IspDnsStats(size_t min_count = 1) const;
+  using AppStat = mopcollect::AppStat;
+  using IspDnsStat = mopcollect::IspDnsStat;
+  std::vector<AppStat> TcpAppStats(size_t min_count = 1) const {
+    return TcpAppStatsOf(store_, apps_, min_count);
+  }
+  std::vector<IspDnsStat> IspDnsStats(size_t min_count = 1) const {
+    return IspDnsStatsOf(store_, isps_, min_count);
+  }
 
  private:
   class Behavior;
@@ -114,6 +174,25 @@ class CollectorServer {
   mopcrowd::CrowdDataset dataset_;
   // device_id -> index into dataset_.devices() (retain mode only).
   std::unordered_map<uint32_t, size_t> device_index_;
+  // Ingest lanes (EnableIngestLanes); empty = fold inline.
+  std::vector<std::unique_ptr<mopsim::ActorLane>> lanes_;
+  // Fold lists accepted but not yet applied by their lane (FIFO per lane).
+  // ExportState folds these into the exported copy, so a snapshot always
+  // reflects every accepted batch — the dedup record, counters, and
+  // (withheld) ack of a batch must never be durable ahead of its folds, or
+  // a crash in that window would lose the records while the restored dedup
+  // window rejects their re-delivery.
+  std::vector<std::deque<std::vector<std::pair<AggregateKey, double>>>> lane_pending_;
+  bool shut_down_ = false;
+  // Live upload connections, so Shutdown() can sever them (Behavior
+  // registers in OnConnect, deregisters in OnClosed / its destructor).
+  std::unordered_map<const Behavior*, std::weak_ptr<mopnet::ServerConn>> live_conns_;
+  // Positive acks withheld until the next durable snapshot (durable_acks).
+  struct PendingAck {
+    std::shared_ptr<mopnet::ServerConn> conn;
+    std::vector<uint8_t> frame;
+  };
+  std::vector<PendingAck> pending_acks_;
 
   // Duplicate-delivery state, bounded on both axes so hostile (device_id,
   // batch_seq) churn cannot exhaust collector memory: per device only the

@@ -1,6 +1,7 @@
 #include "collector/uploader.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "core/engine.h"  // kMopEyeUid: uploads run under MopEye's own uid
@@ -10,8 +11,19 @@ namespace mopcollect {
 Uploader::Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
                    const moppkt::SocketAddr& collector, uint32_t device_id,
                    UploaderPolicy policy)
-    : net_(net), store_(store), collector_(collector), device_id_(device_id),
-      policy_(policy), next_seq_(net->rng().NextU32()) {}
+    : Uploader(net, store, std::vector<moppkt::SocketAddr>{collector}, device_id, policy) {}
+
+Uploader::Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
+                   std::vector<moppkt::SocketAddr> collectors, uint32_t device_id,
+                   UploaderPolicy policy)
+    : net_(net), store_(store), collectors_(std::move(collectors)), device_id_(device_id),
+      policy_(policy), next_seq_(net->rng().NextU32()) {
+  assert(!collectors_.empty());
+}
+
+const moppkt::SocketAddr& Uploader::current_collector() const {
+  return inflight_possibly_delivered_ ? inflight_addr_ : collectors_[shard_offset_];
+}
 
 Uploader::~Uploader() { Stop(); }
 
@@ -113,6 +125,11 @@ void Uploader::StartUpload() {
   }
   std::vector<uint8_t> frame = inflight_frame_;  // retries re-send these bytes
 
+  // Pinned frames go back to the collector that may already hold them; new
+  // deliveries target the current failover shard.
+  const moppkt::SocketAddr target = current_collector();
+  connected_this_attempt_ = false;
+
   ack_reader_ = FrameReader();
   channel_ = mopnet::SocketChannel::Create(net_);
   // The uploader's socket must bypass the VPN it is part of (§3.5.2), under
@@ -132,11 +149,16 @@ void Uploader::StartUpload() {
       OnUploadFailure();
     }
   });
-  channel_->Connect(collector_, [this, frame = std::move(frame)](moputil::Status st) mutable {
+  channel_->Connect(target, [this, target, frame = std::move(frame)](moputil::Status st) mutable {
     if (!st.ok()) {
       OnUploadFailure();
       return;
     }
+    connected_this_attempt_ = true;
+    // The frame is on the wire: from here the batch may reach `target`, so
+    // every retry must go back there until the ack arrives.
+    inflight_possibly_delivered_ = true;
+    inflight_addr_ = target;
     channel_->Write(std::move(frame));
   });
 }
@@ -175,6 +197,7 @@ void Uploader::OnAckReadable() {
   }
   inflight_.clear();
   inflight_frame_.clear();
+  inflight_possibly_delivered_ = false;
   FinishUpload();
   if (ShouldFlush() || (!pending_.empty() && next_attempt_ <= net_->loop()->Now())) {
     StartUpload();  // drain the backlog batch by batch
@@ -189,8 +212,19 @@ void Uploader::OnUploadFailure() {
   if (keep) {
     keep->Reset();
   }
+  bool backoff_exhausted = backoff_ >= policy_.max_backoff;
   backoff_ = backoff_ == 0 ? policy_.initial_backoff
                            : std::min(backoff_ * 2, policy_.max_backoff);
+  // Failover: the shard never even accepted a connection and backoff
+  // against it is exhausted — rotate to the next collector. Only frames
+  // that were never written anywhere may move (see inflight_possibly_
+  // delivered_); backoff restarts so the new shard is tried promptly.
+  if (backoff_exhausted && !connected_this_attempt_ && !inflight_possibly_delivered_ &&
+      collectors_.size() > 1) {
+    shard_offset_ = (shard_offset_ + 1) % collectors_.size();
+    backoff_ = policy_.initial_backoff;
+    ++counters_.failovers;
+  }
   next_attempt_ = net_->loop()->Now() + backoff_;
   if (running_) {
     // Pull the next poll in to the retry instant (the regular cadence

@@ -8,6 +8,16 @@
 // runs in event-loop callbacks off the relay hot path, and failures
 // (connect refused, reset, missing ack) re-queue the records and back off
 // exponentially, so no measurement is lost while the collector is away.
+//
+// Fleet mode: constructed with a failover-ordered collector address list
+// (mopfleet::FleetRouter::PlanFor puts the device's home shard first), the
+// uploader rotates to the next address once backoff against the current one
+// is exhausted *without ever having connected* — but a frame that may have
+// reached a collector (the connection got as far as writing it) stays
+// pinned to that address until acked. Pinning is what preserves the
+// (device_id, batch_seq) dedup contract across failover: dedup state is
+// per-collector, so re-sending a possibly-delivered frame anywhere else
+// could double-count it.
 #ifndef MOPEYE_COLLECTOR_UPLOADER_H_
 #define MOPEYE_COLLECTOR_UPLOADER_H_
 
@@ -18,6 +28,7 @@
 
 #include "collector/wire.h"
 #include "core/measurement.h"
+#include "core/service.h"
 #include "net/socket.h"
 #include "sim/event_loop.h"
 #include "util/time.h"
@@ -40,13 +51,14 @@ struct UploaderPolicy {
   moputil::SimDuration ack_timeout = 30 * moputil::kSecond;
 };
 
-class Uploader {
+class Uploader : public mopeye::EngineService {
  public:
   struct Counters {
     uint64_t batches_sent = 0;    // acked by the collector
     uint64_t records_sent = 0;    // records in acked batches
     uint64_t batches_rejected = 0;  // collector nacked (records dropped)
     uint64_t upload_failures = 0;   // connect/reset/timeout, will retry
+    uint64_t failovers = 0;         // rotated to the next collector shard
   };
 
   // `net` and `store` must outlive the uploader. `device_id` stamps every
@@ -54,7 +66,12 @@ class Uploader {
   Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
            const moppkt::SocketAddr& collector, uint32_t device_id,
            UploaderPolicy policy = UploaderPolicy());
-  ~Uploader();
+  // Fleet overload: `collectors` is the failover order (home shard first —
+  // see mopfleet::FleetRouter::PlanFor). Must be non-empty.
+  Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
+           std::vector<moppkt::SocketAddr> collectors, uint32_t device_id,
+           UploaderPolicy policy = UploaderPolicy());
+  ~Uploader() override;
 
   Uploader(const Uploader&) = delete;
   Uploader& operator=(const Uploader&) = delete;
@@ -72,6 +89,15 @@ class Uploader {
   const Counters& counters() const { return counters_; }
   size_t pending_records() const { return pending_.size() + inflight_.size(); }
   bool upload_in_flight() const { return channel_ != nullptr; }
+  // The collector address the next attempt will use.
+  const moppkt::SocketAddr& current_collector() const;
+
+  // EngineService: registered on a MopEyeEngine, the uploader starts with
+  // the engine and Stop() triggers the final flush (the upload itself
+  // completes on the event loop afterwards).
+  std::string_view service_name() const override { return "uploader"; }
+  void OnEngineStart() override { Start(); }
+  void OnEngineStop() override { FlushNow(); }
 
  private:
   void SchedulePoll();
@@ -87,7 +113,10 @@ class Uploader {
 
   mopnet::NetContext* net_;
   mopeye::MeasurementStore* store_;
-  moppkt::SocketAddr collector_;
+  // Failover-ordered collector addresses; shard_offset_ rotates through
+  // them (0 = home shard).
+  std::vector<moppkt::SocketAddr> collectors_;
+  size_t shard_offset_ = 0;
   uint32_t device_id_;
   UploaderPolicy policy_;
 
@@ -99,6 +128,14 @@ class Uploader {
   // fold the records twice. Cleared only on ack.
   std::vector<mopeye::Measurement> inflight_;
   std::vector<uint8_t> inflight_frame_;
+  // Set once the in-flight frame has been written toward inflight_addr_:
+  // from then on retries are pinned to that collector (it may have folded
+  // the batch; only it can dedup the re-delivery).
+  bool inflight_possibly_delivered_ = false;
+  moppkt::SocketAddr inflight_addr_;
+  // Whether the current attempt's connect succeeded (failover triggers only
+  // on attempts that never reached the collector).
+  bool connected_this_attempt_ = false;
   // Next batch_seq; starts at a device-rng offset so an uploader restart
   // does not collide with sequences the collector already recorded.
   uint32_t next_seq_;

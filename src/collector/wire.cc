@@ -9,9 +9,9 @@
 
 namespace mopcollect {
 
-namespace {
-
 // ---- Little-endian primitives ----
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
 
 void PutU16(std::vector<uint8_t>* out, uint16_t v) {
   out->push_back(static_cast<uint8_t>(v & 0xff));
@@ -24,65 +24,91 @@ void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   }
 }
 
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
 void PutF32(std::vector<uint8_t>* out, float v) { PutU32(out, std::bit_cast<uint32_t>(v)); }
 
-// Cursor over a frame payload; every read checks remaining length.
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+void PutF64(std::vector<uint8_t>* out, double v) { PutU64(out, std::bit_cast<uint64_t>(v)); }
 
-  size_t remaining() const { return data_.size() - pos_; }
+bool ByteReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) {
+    return false;
+  }
+  *v = data_[pos_++];
+  return true;
+}
 
-  bool ReadU8(uint8_t* v) {
-    if (remaining() < 1) {
-      return false;
-    }
-    *v = data_[pos_++];
-    return true;
+bool ByteReader::ReadU16(uint16_t* v) {
+  if (remaining() < 2) {
+    return false;
   }
-  bool ReadU16(uint16_t* v) {
-    if (remaining() < 2) {
-      return false;
-    }
-    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
-    pos_ += 2;
-    return true;
-  }
-  bool ReadU32(uint32_t* v) {
-    if (remaining() < 4) {
-      return false;
-    }
-    *v = static_cast<uint32_t>(data_[pos_]) | (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
-         (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
-         (static_cast<uint32_t>(data_[pos_ + 3]) << 24);
-    pos_ += 4;
-    return true;
-  }
-  bool ReadF32(float* v) {
-    uint32_t bits = 0;
-    if (!ReadU32(&bits)) {
-      return false;
-    }
-    *v = std::bit_cast<float>(bits);
-    return true;
-  }
-  bool ReadString(size_t len, std::string* v) {
-    if (remaining() < len) {
-      return false;
-    }
-    v->assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
-    pos_ += len;
-    return true;
-  }
+  *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return true;
+}
 
- private:
-  std::span<const uint8_t> data_;
-  size_t pos_ = 0;
-};
+bool ByteReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) {
+    return false;
+  }
+  *v = static_cast<uint32_t>(data_[pos_]) | (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
+       (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
+       (static_cast<uint32_t>(data_[pos_ + 3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::ReadF32(float* v) {
+  uint32_t bits = 0;
+  if (!ReadU32(&bits)) {
+    return false;
+  }
+  *v = std::bit_cast<float>(bits);
+  return true;
+}
+
+bool ByteReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) {
+    return false;
+  }
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ByteReader::ReadString(size_t len, std::string* v) {
+  if (remaining() < len) {
+    return false;
+  }
+  v->assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+namespace {
 
 moputil::Status Truncated(const char* what) {
   return moputil::OutOfRange(moputil::StrFormat("truncated frame: %s", what));
 }
+
+}  // namespace
 
 void EncodeStringTable(std::vector<uint8_t>* out, const std::vector<std::string>& table) {
   PutU16(out, static_cast<uint16_t>(table.size()));
@@ -116,6 +142,8 @@ moputil::Status DecodeStringTable(ByteReader* r, const char* name,
   }
   return moputil::OkStatus();
 }
+
+namespace {
 
 // Validates one decoded record against the batch's table sizes.
 moputil::Status ValidateRecord(const WireRecord& rec, const WireBatch& batch, size_t index) {
@@ -199,6 +227,14 @@ namespace {
 const std::string kNoneName = "(none)";
 const std::string kAnyName = "(any)";
 }  // namespace
+
+Interner Interner::FromNames(const std::vector<std::string>& names) {
+  Interner in;
+  for (const std::string& s : names) {
+    in.Intern(s);
+  }
+  return in;
+}
 
 uint16_t Interner::Intern(const std::string& s) {
   auto it = ids_.find(s);

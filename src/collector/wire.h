@@ -49,11 +49,55 @@ enum class FrameType : uint8_t {
   kAck = 1,    // collector -> device: per-batch receipt
 };
 
+// ---- Codec primitives ----
+//
+// Little-endian put/read helpers shared by the upload wire format and the
+// collector snapshot format (fleet/snapshot.*): one binary dialect, one
+// bounds-checking discipline for everything that crosses a trust boundary.
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+void PutF32(std::vector<uint8_t>* out, float v);
+void PutF64(std::vector<uint8_t>* out, double v);
+
+// Cursor over an encoded payload; every read checks remaining length.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU16(uint16_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadF32(float* v);
+  bool ReadF64(double* v);
+  bool ReadString(size_t len, std::string* v);
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// String table codec (u16 count, then u16-length-prefixed strings), shared
+// by batch frames and snapshot interner sections. Decoding bounds the entry
+// count at kMaxTableEntries and rejects truncation.
+void EncodeStringTable(std::vector<uint8_t>* out, const std::vector<std::string>& table);
+moputil::Status DecodeStringTable(ByteReader* r, const char* name,
+                                  std::vector<std::string>* table);
+
 // Interns strings into dense u16 ids. Used on both ends of the wire: the
 // batch builder assigns per-batch table indices with it, and the collector
 // remaps those onto its global id spaces (collector/aggregate_store.h).
 class Interner {
  public:
+  // Rebuilds an interner from a name table (snapshot restore). Names must be
+  // distinct; entries beyond kMaxTableEntries are dropped.
+  static Interner FromNames(const std::vector<std::string>& names);
+
   // Id for `s`, interning it if new. Returns kNoIndex once full.
   uint16_t Intern(const std::string& s);
   // Lookup without interning: the id of `s`, or kNoIndex if never seen.

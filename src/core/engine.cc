@@ -66,7 +66,27 @@ moputil::Status MopEyeEngine::Start() {
   writer_ = std::make_unique<TunWriter>(loop_, tun, &config_, rng_.Fork());
   reader_->Start();
   running_ = true;
+  for (const auto& service : services_) {
+    service->OnEngineStart();
+  }
   return moputil::OkStatus();
+}
+
+void MopEyeEngine::RegisterService(std::shared_ptr<EngineService> service) {
+  MOP_CHECK(service != nullptr);
+  services_.push_back(std::move(service));
+  if (running_) {
+    services_.back()->OnEngineStart();
+  }
+}
+
+EngineService* MopEyeEngine::FindService(std::string_view name) const {
+  for (const auto& service : services_) {
+    if (service->service_name() == name) {
+      return service.get();
+    }
+  }
+  return nullptr;
 }
 
 void MopEyeEngine::Stop() {
@@ -74,6 +94,12 @@ void MopEyeEngine::Stop() {
     return;
   }
   running_ = false;
+  // Services flush first, while the loop is still fully alive: the
+  // uploader's final batch is drained from the store here and delivered by
+  // event-loop callbacks after Stop() returns.
+  for (const auto& service : services_) {
+    service->OnEngineStop();
+  }
   reader_->RequestStop();
   if (config_.read_mode == Config::TunReadMode::kBlocking) {
     // Release the blocked read() (§3.1). On 5.0+ MopEye's own packets no
@@ -664,10 +690,13 @@ void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
 void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
   ++counters_.dns_queries;
   moppkt::FlowKey flow = pkt.flow();
-  auto query = moppkt::DecodeDns(pkt.udp->payload);
+  // View-based peek: the measurement only needs the first question's name,
+  // so the relay reads it straight out of the pooled packet instead of
+  // heap-building a full DnsMessage per query.
+  moppkt::DnsQueryView query;
   std::string domain;
-  if (query.ok() && !query.value().questions.empty()) {
-    domain = query.value().questions[0].name;
+  if (moppkt::PeekDnsQuery(pkt.udp->payload, &query).ok() && query.qdcount > 0) {
+    domain.assign(query.name_view());
   }
 
   // §2.4: the whole DNS processing runs in a temporary thread so parsing and

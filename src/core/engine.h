@@ -25,6 +25,7 @@
 #include "core/config.h"
 #include "core/measurement.h"
 #include "core/packet_mapper.h"
+#include "core/service.h"
 #include "core/tcp_state_machine.h"
 #include "core/tun_reader.h"
 #include "core/tun_writer.h"
@@ -54,6 +55,17 @@ class MopEyeEngine {
   // release (§3.1): DownloadManager on SDK >= 21, a self packet otherwise.
   void Stop();
   bool running() const { return running_; }
+
+  // ---- Service registry ----
+  // Companion services (the crowdsourcing uploader, ...) registered here are
+  // started with the engine and notified from Stop() before the relay tears
+  // down — a registered uploader flushes its final batch without the
+  // composition root remembering to. Registering on a running engine starts
+  // the service immediately.
+  void RegisterService(std::shared_ptr<EngineService> service);
+  // First registered service with this name, or null.
+  EngineService* FindService(std::string_view name) const;
+  size_t service_count() const { return services_.size(); }
 
   MeasurementStore& store() { return store_; }
   PacketToAppMapper& mapper() { return *mapper_; }
@@ -209,6 +221,7 @@ class MopEyeEngine {
 
   Counters counters_;
   bool running_ = false;
+  std::vector<std::shared_ptr<EngineService>> services_;
   moputil::SimDuration retired_worker_busy_ = 0;
   size_t retired_worker_count_ = 0;
 };

@@ -1,0 +1,39 @@
+// Minimal lifecycle registry for engine-owned companion services.
+//
+// The engine proper owns the relay (reader/writer/MainWorker); everything
+// that rides along with it — today the crowdsourcing uploader, tomorrow a
+// config poller or a metrics exporter — implements EngineService and is
+// registered on the engine, which fans Start()/Stop() out to every service.
+// That is what lets MopEyeEngine::Stop() trigger the uploader's final flush
+// instead of every composition root having to remember it.
+//
+// Services are registered as shared_ptr so composition code can keep its own
+// handle; the engine's reference is dropped on destruction. Services must
+// follow the repo's callback lifetime rule: persistent std::function members
+// must not strongly capture their owner.
+#ifndef MOPEYE_CORE_SERVICE_H_
+#define MOPEYE_CORE_SERVICE_H_
+
+#include <string_view>
+
+namespace mopeye {
+
+class EngineService {
+ public:
+  virtual ~EngineService() = default;
+
+  // Stable name for FindService lookups ("uploader", ...).
+  virtual std::string_view service_name() const = 0;
+
+  // Called when the engine starts (or immediately at registration if it is
+  // already running).
+  virtual void OnEngineStart() {}
+  // Called at the top of MopEyeEngine::Stop(), before the relay tears down:
+  // last chance to flush state out (the work itself may continue on the
+  // event loop after Stop() returns).
+  virtual void OnEngineStop() {}
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_SERVICE_H_

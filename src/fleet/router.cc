@@ -1,0 +1,28 @@
+#include "fleet/router.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace mopfleet {
+
+FleetRouter::FleetRouter(std::vector<moppkt::SocketAddr> collectors)
+    : collectors_(std::move(collectors)) {
+  assert(!collectors_.empty());
+}
+
+size_t FleetRouter::ShardOf(uint32_t device_id) const {
+  return static_cast<size_t>(moputil::Mix64(device_id) % collectors_.size());
+}
+
+std::vector<moppkt::SocketAddr> FleetRouter::PlanFor(uint32_t device_id) const {
+  std::vector<moppkt::SocketAddr> plan;
+  plan.reserve(collectors_.size());
+  size_t home = ShardOf(device_id);
+  for (size_t i = 0; i < collectors_.size(); ++i) {
+    plan.push_back(collectors_[(home + i) % collectors_.size()]);
+  }
+  return plan;
+}
+
+}  // namespace mopfleet

@@ -1,0 +1,45 @@
+// FleetRouter: stable device -> collector-shard assignment.
+//
+// The fleet partitions devices (not keys) across collectors: a device's
+// whole upload stream lands on one collector, so per-batch interning,
+// (device_id, batch_seq) dedup, and backoff state all stay collector-local.
+// Assignment is a splitmix64 hash of the device id modulo the fleet size —
+// stable across restarts, no coordination, near-uniform spread — and every
+// device also gets a deterministic failover order (the successive shards,
+// wrapping) that the Uploader walks when its home collector is unreachable.
+#ifndef MOPEYE_FLEET_ROUTER_H_
+#define MOPEYE_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netpkt/ip.h"
+
+namespace mopfleet {
+
+class FleetRouter {
+ public:
+  // `collectors` are the fleet's collector addresses, shard 0..N-1. Must be
+  // non-empty.
+  explicit FleetRouter(std::vector<moppkt::SocketAddr> collectors);
+
+  size_t shard_count() const { return collectors_.size(); }
+  const std::vector<moppkt::SocketAddr>& collectors() const { return collectors_; }
+
+  // Home shard of `device_id` (stable hash, uniform across shards).
+  size_t ShardOf(uint32_t device_id) const;
+  const moppkt::SocketAddr& PrimaryFor(uint32_t device_id) const {
+    return collectors_[ShardOf(device_id)];
+  }
+
+  // Failover order for `device_id`: home shard first, then the following
+  // shards wrapping around. Feed this to the Uploader's fleet constructor.
+  std::vector<moppkt::SocketAddr> PlanFor(uint32_t device_id) const;
+
+ private:
+  std::vector<moppkt::SocketAddr> collectors_;
+};
+
+}  // namespace mopfleet
+
+#endif  // MOPEYE_FLEET_ROUTER_H_

@@ -1,0 +1,420 @@
+#include "fleet/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "collector/aggregate_store.h"
+#include "collector/wire.h"
+#include "util/strings.h"
+
+namespace mopfleet {
+
+using mopcollect::AggregateEntry;
+using mopcollect::AggregateKey;
+using mopcollect::AggregateStore;
+using mopcollect::ByteReader;
+using mopcollect::CollectorServer;
+using mopcollect::CollectorState;
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  // CRC-32/IEEE, reflected, table built on first use.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+namespace {
+
+moputil::Status Corrupt(const char* what) {
+  return moputil::InvalidArgument(moputil::StrFormat("corrupt snapshot: %s", what));
+}
+
+// Smallest possible serialized entry; bounds entry_count before the loop so
+// a forged count cannot make the decoder reserve unbounded memory.
+constexpr size_t kMinEntryBytes = 8 + 1 + (8 + 4 * 8) + 2 * (8 + 15 * 8) + (8 + 8 + 4 + 4);
+
+void PutP2(std::vector<uint8_t>* out, const moputil::P2Quantile& q) {
+  auto s = q.state();
+  mopcollect::PutU64(out, s.count);
+  for (double v : s.heights) {
+    mopcollect::PutF64(out, v);
+  }
+  for (double v : s.positions) {
+    mopcollect::PutF64(out, v);
+  }
+  for (double v : s.desired) {
+    mopcollect::PutF64(out, v);
+  }
+}
+
+bool ReadP2(ByteReader* r, moputil::P2Quantile* q) {
+  moputil::P2Quantile::State s;
+  if (!r->ReadU64(&s.count)) {
+    return false;
+  }
+  for (double& v : s.heights) {
+    if (!r->ReadF64(&v)) {
+      return false;
+    }
+  }
+  for (double& v : s.positions) {
+    if (!r->ReadF64(&v)) {
+      return false;
+    }
+  }
+  for (double& v : s.desired) {
+    if (!r->ReadF64(&v)) {
+      return false;
+    }
+  }
+  q->Restore(s);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSnapshot(const CollectorState& state) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1024 + state.store.key_count() * 512);
+
+  mopcollect::EncodeStringTable(&payload, state.apps.names());
+  mopcollect::EncodeStringTable(&payload, state.isps.names());
+  mopcollect::EncodeStringTable(&payload, state.countries.names());
+
+  mopcollect::PutU64(&payload, state.connections);
+  mopcollect::PutU64(&payload, state.frames);
+  mopcollect::PutU64(&payload, state.batches_ok);
+  mopcollect::PutU64(&payload, state.batches_rejected);
+  mopcollect::PutU64(&payload, state.batches_duplicate);
+  mopcollect::PutU64(&payload, state.records_ingested);
+  mopcollect::PutU64(&payload, state.stream_errors);
+
+  mopcollect::PutU32(&payload, static_cast<uint32_t>(state.seen_batches.size()));
+  for (const auto& [device, seqs] : state.seen_batches) {
+    mopcollect::PutU32(&payload, device);
+    mopcollect::PutU32(&payload, static_cast<uint32_t>(seqs.size()));
+    for (uint32_t seq : seqs) {
+      mopcollect::PutU32(&payload, seq);
+    }
+  }
+
+  mopcollect::PutU32(&payload, static_cast<uint32_t>(state.store.shard_count()));
+  mopcollect::PutU8(&payload, state.store.merged() ? 1 : 0);
+  mopcollect::PutU64(&payload, state.store.samples_folded());
+
+  auto entries = state.store.Match();
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.first.Packed() < b.first.Packed();
+  });
+  mopcollect::PutU32(&payload, static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, entry] : entries) {
+    mopcollect::PutU64(&payload, key.Packed());
+    mopcollect::PutU8(&payload, entry->merged ? 1 : 0);
+    auto stats = entry->stats.state();
+    mopcollect::PutU64(&payload, stats.count);
+    mopcollect::PutF64(&payload, stats.mean);
+    mopcollect::PutF64(&payload, stats.m2);
+    mopcollect::PutF64(&payload, stats.min);
+    mopcollect::PutF64(&payload, stats.max);
+    PutP2(&payload, entry->p50);
+    PutP2(&payload, entry->p95);
+    auto log = entry->quantiles.state();
+    mopcollect::PutU64(&payload, log.total);
+    mopcollect::PutU64(&payload, log.zero_or_less);
+    mopcollect::PutU32(&payload, std::bit_cast<uint32_t>(log.lo_index));
+    mopcollect::PutU32(&payload, static_cast<uint32_t>(log.counts.size()));
+    for (uint32_t c : log.counts) {
+      mopcollect::PutU32(&payload, c);
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(11 + payload.size());
+  mopcollect::PutU16(&out, kSnapshotMagic);
+  mopcollect::PutU8(&out, kSnapshotVersion);
+  mopcollect::PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  mopcollect::PutU32(&out, Crc32(payload));
+  return out;
+}
+
+moputil::Result<CollectorState> DecodeSnapshot(std::span<const uint8_t> bytes) {
+  ByteReader header(bytes);
+  uint16_t magic = 0;
+  uint8_t version = 0;
+  uint32_t payload_len = 0;
+  if (!header.ReadU16(&magic) || !header.ReadU8(&version) || !header.ReadU32(&payload_len)) {
+    return Corrupt("truncated header");
+  }
+  if (magic != kSnapshotMagic) {
+    return Corrupt("bad magic");
+  }
+  if (version != kSnapshotVersion) {
+    return moputil::InvalidArgument(
+        moputil::StrFormat("unsupported snapshot version %u", static_cast<unsigned>(version)));
+  }
+  if (payload_len > kMaxSnapshotPayload) {
+    return Corrupt("payload length exceeds limit");
+  }
+  // The frame must be exact: payload + trailing CRC and nothing else, so
+  // every truncation (and any appended garbage) is rejected.
+  if (bytes.size() != 7u + payload_len + 4u) {
+    return Corrupt("frame length mismatch");
+  }
+  std::span<const uint8_t> payload = bytes.subspan(7, payload_len);
+  ByteReader crc_reader(bytes.subspan(7 + payload_len));
+  uint32_t crc = 0;
+  (void)crc_reader.ReadU32(&crc);
+  if (crc != Crc32(payload)) {
+    return Corrupt("CRC mismatch");
+  }
+
+  ByteReader r(payload);
+  CollectorState state;
+
+  std::vector<std::string> apps, isps, countries;
+  if (auto st = mopcollect::DecodeStringTable(&r, "app", &apps); !st.ok()) {
+    return st;
+  }
+  if (auto st = mopcollect::DecodeStringTable(&r, "isp", &isps); !st.ok()) {
+    return st;
+  }
+  if (auto st = mopcollect::DecodeStringTable(&r, "country", &countries); !st.ok()) {
+    return st;
+  }
+  state.apps = mopcollect::Interner::FromNames(apps);
+  state.isps = mopcollect::Interner::FromNames(isps);
+  state.countries = mopcollect::Interner::FromNames(countries);
+  if (state.apps.size() != apps.size() || state.isps.size() != isps.size() ||
+      state.countries.size() != countries.size()) {
+    return Corrupt("duplicate interner names");
+  }
+
+  if (!r.ReadU64(&state.connections) || !r.ReadU64(&state.frames) ||
+      !r.ReadU64(&state.batches_ok) || !r.ReadU64(&state.batches_rejected) ||
+      !r.ReadU64(&state.batches_duplicate) || !r.ReadU64(&state.records_ingested) ||
+      !r.ReadU64(&state.stream_errors)) {
+    return Corrupt("truncated counters");
+  }
+
+  uint32_t device_count = 0;
+  if (!r.ReadU32(&device_count)) {
+    return Corrupt("truncated dedup section");
+  }
+  if (device_count > CollectorServer::kMaxTrackedDevices) {
+    return Corrupt("dedup device count exceeds limit");
+  }
+  state.seen_batches.reserve(device_count);
+  for (uint32_t d = 0; d < device_count; ++d) {
+    uint32_t device = 0, seq_count = 0;
+    if (!r.ReadU32(&device) || !r.ReadU32(&seq_count)) {
+      return Corrupt("truncated dedup device");
+    }
+    if (seq_count > CollectorServer::kSeenBatchWindow) {
+      return Corrupt("dedup window exceeds limit");
+    }
+    std::vector<uint32_t> seqs(seq_count);
+    for (uint32_t& seq : seqs) {
+      if (!r.ReadU32(&seq)) {
+        return Corrupt("truncated dedup sequence");
+      }
+    }
+    state.seen_batches.emplace_back(device, std::move(seqs));
+  }
+
+  uint32_t shard_count = 0;
+  uint8_t merged = 0;
+  uint64_t samples_folded = 0;
+  uint32_t entry_count = 0;
+  if (!r.ReadU32(&shard_count) || !r.ReadU8(&merged) || !r.ReadU64(&samples_folded) ||
+      !r.ReadU32(&entry_count)) {
+    return Corrupt("truncated store header");
+  }
+  if (shard_count == 0 || shard_count > 65536) {
+    return Corrupt("bad shard count");
+  }
+  if (merged > 1) {
+    return Corrupt("bad merged flag");
+  }
+  if (entry_count > r.remaining() / kMinEntryBytes) {
+    return Corrupt("entry count exceeds payload");
+  }
+
+  state.store = AggregateStore(shard_count);
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    uint64_t packed = 0;
+    uint8_t entry_merged = 0;
+    if (!r.ReadU64(&packed) || !r.ReadU8(&entry_merged)) {
+      return Corrupt("truncated entry");
+    }
+    if (entry_merged > 1) {
+      return Corrupt("bad entry merged flag");
+    }
+    AggregateKey key = AggregateKey::Unpack(packed);
+    if (state.store.Find(key) != nullptr) {
+      return Corrupt("duplicate entry key");
+    }
+    AggregateEntry& entry = state.store.MutableEntry(key);
+    entry.merged = entry_merged != 0;
+
+    moputil::OnlineStats::State stats;
+    if (!r.ReadU64(&stats.count) || !r.ReadF64(&stats.mean) || !r.ReadF64(&stats.m2) ||
+        !r.ReadF64(&stats.min) || !r.ReadF64(&stats.max)) {
+      return Corrupt("truncated entry stats");
+    }
+    entry.stats.Restore(stats);
+
+    if (!ReadP2(&r, &entry.p50) || !ReadP2(&r, &entry.p95)) {
+      return Corrupt("truncated entry P2 markers");
+    }
+
+    moputil::LogQuantile::State log;
+    uint32_t lo_bits = 0, bucket_count = 0;
+    if (!r.ReadU64(&log.total) || !r.ReadU64(&log.zero_or_less) || !r.ReadU32(&lo_bits) ||
+        !r.ReadU32(&bucket_count)) {
+      return Corrupt("truncated entry log sketch");
+    }
+    if (bucket_count > kMaxLogBuckets) {
+      return Corrupt("log bucket count exceeds limit");
+    }
+    log.lo_index = std::bit_cast<int32_t>(lo_bits);
+    log.counts.resize(bucket_count);
+    uint64_t bucket_sum = 0;
+    for (uint32_t& c : log.counts) {
+      if (!r.ReadU32(&c)) {
+        return Corrupt("truncated log buckets");
+      }
+      bucket_sum += c;
+    }
+    // Internal consistency: the sketches were fed the same stream.
+    if (bucket_sum + log.zero_or_less != log.total || log.total != stats.count) {
+      return Corrupt("entry sketch counts disagree");
+    }
+    entry.quantiles.Restore(std::move(log));
+  }
+  state.store.set_samples_folded(samples_folded);
+  state.store.set_merged(merged != 0);
+
+  if (r.remaining() != 0) {
+    return Corrupt("trailing bytes in payload");
+  }
+  return state;
+}
+
+namespace {
+
+// Write-then-rename: a crash mid-write leaves the previous snapshot intact.
+moputil::Status WriteBytesAtomic(const std::string& path, std::span<const uint8_t> bytes) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return moputil::Unavailable("cannot open " + tmp);
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return moputil::Unavailable("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return moputil::Unavailable("rename to " + path + " failed");
+  }
+  return moputil::OkStatus();
+}
+
+}  // namespace
+
+moputil::Status WriteSnapshotFile(const std::string& path, const CollectorState& state) {
+  return WriteBytesAtomic(path, EncodeSnapshot(state));
+}
+
+moputil::Result<CollectorState> ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return moputil::NotFound("no snapshot at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 || static_cast<size_t>(size) > 11u + kMaxSnapshotPayload) {
+    std::fclose(f);
+    return Corrupt("file size out of range");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    return moputil::Unavailable("short read from " + path);
+  }
+  return DecodeSnapshot(bytes);
+}
+
+Snapshotter::Snapshotter(mopsim::EventLoop* loop, mopcollect::CollectorServer* server,
+                         std::string path, moputil::SimDuration interval)
+    : loop_(loop), server_(server), path_(std::move(path)), interval_(interval) {}
+
+Snapshotter::~Snapshotter() { Stop(); }
+
+void Snapshotter::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Schedule();
+}
+
+void Snapshotter::Stop() {
+  running_ = false;
+  if (timer_ != mopsim::kInvalidTimer) {
+    loop_->Cancel(timer_);
+    timer_ = mopsim::kInvalidTimer;
+  }
+}
+
+moputil::Status Snapshotter::SnapshotNow() {
+  // Export and write run atomically w.r.t. the event loop (one callback), so
+  // the durability notification below covers exactly the folds the file
+  // holds — no ack can sneak in between.
+  std::vector<uint8_t> bytes = EncodeSnapshot(server_->ExportState());
+  counters_.last_bytes = bytes.size();
+  moputil::Status st = WriteBytesAtomic(path_, bytes);
+  last_status_ = st;
+  if (st.ok()) {
+    ++counters_.snapshots_written;
+    server_->NotifyDurable();
+  } else {
+    ++counters_.write_failures;
+  }
+  return st;
+}
+
+void Snapshotter::Schedule() {
+  if (!running_) {
+    return;
+  }
+  timer_ = loop_->Schedule(interval_, [this] {
+    timer_ = mopsim::kInvalidTimer;
+    (void)SnapshotNow();
+    Schedule();
+  });
+}
+
+}  // namespace mopfleet

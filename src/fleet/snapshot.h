@@ -1,0 +1,126 @@
+// Collector snapshot persistence.
+//
+// A snapshot is everything a collector must not lose across a restart: the
+// aggregate store (per-key counts, moments, P² markers, log buckets), the
+// global interners its keys index into, the ingest counters, and the
+// (device_id, batch_seq) duplicate-delivery windows. The last part is what
+// makes restart recovery fold-exact under at-least-once upload: a batch
+// whose ack was lost in the crash is re-sent by the device, and the restored
+// dedup window recognizes it instead of double-counting.
+//
+// File format (little-endian, built from the wire.* codec primitives):
+//
+//   u16 magic "MS"  u8 version  u32 payload_len  payload  u32 crc32(payload)
+//
+//   payload := app/isp/country string tables        (wire string-table codec)
+//              7 x u64 ingest counters
+//              u32 device_count, then per device:
+//                u32 device_id, u32 seq_count, seq_count x u32 (oldest first)
+//              u32 shard_count, u8 merged, u64 samples_folded,
+//              u32 entry_count, then per entry (sorted by packed key):
+//                u64 key, u8 merged,
+//                stats  { u64 count, f64 mean, m2, min, max }
+//                p50/p95 P² { u64 count, 5 x f64 heights, positions, desired }
+//                log    { u64 total, u64 zero_or_less, i32 lo_index,
+//                         u32 n, n x u32 buckets }
+//
+// Loading is strictly bounds-checked: bad magic/version/CRC, any truncation,
+// table or bucket counts beyond their caps, or internal inconsistencies
+// (entry count vs log-bucket totals) yield an error Status and no partial
+// state. Writes go to `<path>.tmp` and rename into place, so a crash during
+// a write leaves the previous snapshot intact.
+#ifndef MOPEYE_FLEET_SNAPSHOT_H_
+#define MOPEYE_FLEET_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collector/server.h"
+#include "sim/event_loop.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace mopfleet {
+
+constexpr uint16_t kSnapshotMagic = 0x534d;  // "MS"
+constexpr uint8_t kSnapshotVersion = 1;
+// A collector's aggregate state is O(keys), a few MiB at crowd scale; a
+// length prefix beyond this is a corrupt or hostile file.
+constexpr size_t kMaxSnapshotPayload = 256u * 1024 * 1024;
+// LogQuantile's input clamp bounds its span to ~800 buckets; anything past
+// this is not a sketch this codebase produced.
+constexpr size_t kMaxLogBuckets = 4096;
+
+// CRC-32 (IEEE, reflected) over `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// ---- In-memory codec ----
+
+// Serializes a collector state into the framed snapshot byte layout above.
+// Canonical: entries and dedup devices are emitted in sorted order, so equal
+// states produce equal bytes.
+std::vector<uint8_t> EncodeSnapshot(const mopcollect::CollectorState& state);
+
+// Decodes a complete snapshot file image. All-or-nothing.
+moputil::Result<mopcollect::CollectorState> DecodeSnapshot(std::span<const uint8_t> bytes);
+
+// ---- File IO ----
+
+// Atomic write: encodes, writes `<path>.tmp`, renames onto `path`.
+moputil::Status WriteSnapshotFile(const std::string& path,
+                                  const mopcollect::CollectorState& state);
+moputil::Result<mopcollect::CollectorState> ReadSnapshotFile(const std::string& path);
+
+// ---- Periodic snapshot policy ----
+//
+// Owns the collector's snapshot cadence: every `interval` it exports the
+// collector state, writes the snapshot file atomically, and then calls
+// CollectorServer::NotifyDurable() so acks withheld under durable_acks flush
+// — the write *is* the durability point. `loop` and `server` must outlive
+// the snapshotter.
+class Snapshotter {
+ public:
+  struct Counters {
+    uint64_t snapshots_written = 0;
+    uint64_t write_failures = 0;
+    size_t last_bytes = 0;
+  };
+
+  Snapshotter(mopsim::EventLoop* loop, mopcollect::CollectorServer* server,
+              std::string path, moputil::SimDuration interval);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  // Starts the periodic cadence. Idempotent.
+  void Start();
+  // Stops it (a simulated crash simply stops snapshotting; the file on disk
+  // stays at the last completed write).
+  void Stop();
+
+  // One immediate snapshot + durability notification.
+  moputil::Status SnapshotNow();
+
+  const std::string& path() const { return path_; }
+  const Counters& counters() const { return counters_; }
+  const moputil::Status& last_status() const { return last_status_; }
+
+ private:
+  void Schedule();
+
+  mopsim::EventLoop* loop_;
+  mopcollect::CollectorServer* server_;
+  std::string path_;
+  moputil::SimDuration interval_;
+  mopsim::TimerId timer_ = mopsim::kInvalidTimer;
+  bool running_ = false;
+  Counters counters_;
+  moputil::Status last_status_;
+};
+
+}  // namespace mopfleet
+
+#endif  // MOPEYE_FLEET_SNAPSHOT_H_

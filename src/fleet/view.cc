@@ -1,0 +1,112 @@
+#include "fleet/view.h"
+
+#include <utility>
+
+#include "fleet/snapshot.h"
+
+namespace mopfleet {
+
+using mopcollect::AggregateKey;
+using mopcollect::AggregateStore;
+using mopcollect::Interner;
+using mopcollect::kAnyId;
+using mopcollect::kNoIndex;
+using mopcollect::kNoneId;
+
+FleetView::FleetView(size_t shards) : shards_(shards), merged_(shards) {}
+
+void FleetView::AttachCollector(const mopcollect::CollectorServer* server) {
+  live_.push_back(server);
+}
+
+moputil::Status FleetView::AttachSnapshotFile(const std::string& path) {
+  auto state = ReadSnapshotFile(path);
+  if (!state.ok()) {
+    return state.status();
+  }
+  offline_.push_back(std::move(state).value());
+  return moputil::OkStatus();
+}
+
+void FleetView::AttachState(mopcollect::CollectorState state) {
+  offline_.push_back(std::move(state));
+}
+
+void FleetView::Refresh() {
+  merged_ = AggregateStore(shards_);
+  apps_ = Interner();
+  isps_ = Interner();
+  countries_ = Interner();
+  records_ingested_ = 0;
+  for (const auto* server : live_) {
+    MergeSource(server->store(), server->apps(), server->isps(), server->countries());
+    records_ingested_ += server->counters().records_ingested;
+  }
+  for (const auto& state : offline_) {
+    MergeSource(state.store, state.apps, state.isps, state.countries);
+    records_ingested_ += state.records_ingested;
+  }
+}
+
+void FleetView::MergeSource(const AggregateStore& store, const Interner& src_apps,
+                            const Interner& src_isps, const Interner& src_countries) {
+  // Remap the source's dense id spaces onto the view's: one table per axis,
+  // built once, then every key translates in O(1). Sentinels pass through.
+  auto build = [](const Interner& src, Interner* dst) {
+    std::vector<uint16_t> map(src.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+      map[i] = dst->Intern(src.names()[i]);
+    }
+    return map;
+  };
+  std::vector<uint16_t> app_map = build(src_apps, &apps_);
+  std::vector<uint16_t> isp_map = build(src_isps, &isps_);
+  std::vector<uint16_t> country_map = build(src_countries, &countries_);
+
+  auto translate = [](const std::vector<uint16_t>& map, uint16_t id) {
+    if (id == kNoneId || id == kAnyId) {
+      return id;
+    }
+    // An id past the source's interner can only come from a corrupt source;
+    // degrade to unattributed rather than alias another name.
+    return id < map.size() ? map[id] : kNoneId;
+  };
+
+  merged_.MergeFrom(store, [&](const AggregateKey& key) {
+    AggregateKey out = key;
+    out.app_id = translate(app_map, key.app_id);
+    out.isp_id = translate(isp_map, key.isp_id);
+    out.country_id = translate(country_map, key.country_id);
+    return out;
+  });
+}
+
+AggregateKey FleetView::MakeKey(const std::string& app, const std::string& isp,
+                                const std::string& country, uint8_t net_type,
+                                uint8_t kind) const {
+  AggregateKey key;
+  key.app_id = app.empty() ? kAnyId : apps_.Find(app);
+  key.isp_id = isp.empty() ? kAnyId : isps_.Find(isp);
+  key.country_id = country.empty() ? kAnyId : countries_.Find(country);
+  key.net_type = net_type;
+  key.kind = kind;
+  return key;
+}
+
+moputil::Result<double> FleetView::MergedP2Median(const AggregateKey& key) const {
+  const auto* entry = merged_.Find(key);
+  if (entry == nullptr) {
+    return moputil::NotFound("no aggregate entry for key");
+  }
+  return entry->p2_median_ms();
+}
+
+moputil::Result<double> FleetView::MergedP2P95(const AggregateKey& key) const {
+  const auto* entry = merged_.Find(key);
+  if (entry == nullptr) {
+    return moputil::NotFound("no aggregate entry for key");
+  }
+  return entry->p2_p95_ms();
+}
+
+}  // namespace mopfleet

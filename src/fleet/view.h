@@ -1,0 +1,100 @@
+// FleetView: the merged query plane over a collector fleet.
+//
+// Sources are live CollectorServers (attached by pointer, re-read on every
+// Refresh) and/or snapshot files of collectors that are not running here.
+// Refresh() rebuilds one merged AggregateStore: per-collector interner ids
+// are remapped onto the view's own id spaces and entries with the same
+// remapped key are folded together — counts and moments combine exactly and
+// the log-bucket sketches merge by bucket addition, so any merged quantile
+// carries the same 2% guarantee as a single collector's.
+//
+// Documented constraint: P² sketches do NOT merge. The merged entries keep
+// their per-collector P² markers but refuse to answer through them —
+// AggregateEntry::p2_median_ms()/p2_p95_ms() (and the MergedP2* helpers
+// below) return kFailedPrecondition on a merged view. Merged quantiles are
+// log-bucket only; that is the API, not a caveat buried in a doc.
+#ifndef MOPEYE_FLEET_VIEW_H_
+#define MOPEYE_FLEET_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/aggregate_store.h"
+#include "collector/server.h"
+#include "util/status.h"
+
+namespace mopfleet {
+
+class FleetView {
+ public:
+  explicit FleetView(size_t shards = 16);
+
+  // Live source: `server` must outlive the view; its current state is
+  // re-read on every Refresh() (cheap polling — the stores are O(keys)).
+  void AttachCollector(const mopcollect::CollectorServer* server);
+  // Offline source: a snapshot file, loaded now and folded on every
+  // Refresh(). Fails (and attaches nothing) on a corrupt file.
+  moputil::Status AttachSnapshotFile(const std::string& path);
+  // Offline source from pre-loaded state.
+  void AttachState(mopcollect::CollectorState state);
+
+  size_t source_count() const { return live_.size() + offline_.size(); }
+
+  // Rebuilds the merged store + interners from all sources.
+  void Refresh();
+
+  // ---- Merged queries ----
+
+  // The merged store: merged() is true, so P² reads are refused at the
+  // entry level. Keys use the view's interners below.
+  const mopcollect::AggregateStore& store() const { return merged_; }
+  const mopcollect::Interner& apps() const { return apps_; }
+  const mopcollect::Interner& isps() const { return isps_; }
+  const mopcollect::Interner& countries() const { return countries_; }
+
+  // Total records ingested across the fleet (sum of collector counters,
+  // which snapshots preserve across restarts).
+  uint64_t records_ingested() const { return records_ingested_; }
+
+  // Key for an (app, isp, country, net, kind) query in the merged id
+  // spaces. Empty string = wildcard (rollup) component; a name no collector
+  // ever reported yields kNoneId, which matches nothing.
+  mopcollect::AggregateKey MakeKey(const std::string& app, const std::string& isp,
+                                   const std::string& country, uint8_t net_type,
+                                   uint8_t kind) const;
+  const mopcollect::AggregateEntry* Find(const mopcollect::AggregateKey& key) const {
+    return merged_.Find(key);
+  }
+
+  // Fig. 9 / Fig. 11-style fleet-wide stats (log-bucket quantiles).
+  std::vector<mopcollect::AppStat> TcpAppStats(size_t min_count = 1) const {
+    return TcpAppStatsOf(merged_, apps_, min_count);
+  }
+  std::vector<mopcollect::IspDnsStat> IspDnsStats(size_t min_count = 1) const {
+    return IspDnsStatsOf(merged_, isps_, min_count);
+  }
+
+  // The P² constraint, surfaced: these always return kFailedPrecondition on
+  // a view with more than one source (and on single-source views they still
+  // go through the merged entries, which refuse once merged). Exists so
+  // callers porting from CollectorServer hit a typed error, not silence.
+  moputil::Result<double> MergedP2Median(const mopcollect::AggregateKey& key) const;
+  moputil::Result<double> MergedP2P95(const mopcollect::AggregateKey& key) const;
+
+ private:
+  void MergeSource(const mopcollect::AggregateStore& store, const mopcollect::Interner& apps,
+                   const mopcollect::Interner& isps, const mopcollect::Interner& countries);
+
+  size_t shards_;
+  std::vector<const mopcollect::CollectorServer*> live_;
+  std::vector<mopcollect::CollectorState> offline_;
+  mopcollect::AggregateStore merged_;
+  mopcollect::Interner apps_, isps_, countries_;
+  uint64_t records_ingested_ = 0;
+};
+
+}  // namespace mopfleet
+
+#endif  // MOPEYE_FLEET_VIEW_H_

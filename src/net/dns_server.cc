@@ -31,7 +31,11 @@ DnsServer::DnsServer(ServerFarm* farm, const moppkt::SocketAddr& addr,
         }
         moppkt::DnsMessage response =
             address ? moppkt::DnsMessage::Answer(msg, *address) : moppkt::DnsMessage::NxDomain(msg);
-        reply(moppkt::EncodeDns(response), think);
+        // One exact-size allocation via the Into-encoder (byte-identical to
+        // EncodeDns, without the push_back growth).
+        std::vector<uint8_t> wire(moppkt::DnsEncodedSizeBound(response));
+        wire.resize(moppkt::EncodeDnsInto(response, wire));
+        reply(std::move(wire), think);
       });
 }
 

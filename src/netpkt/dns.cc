@@ -1,5 +1,7 @@
 #include "netpkt/dns.h"
 
+#include <cassert>
+#include <cstring>
 #include <map>
 
 #include "util/strings.h"
@@ -101,6 +103,111 @@ uint16_t GetU16(std::span<const uint8_t> d, size_t pos) {
   return static_cast<uint16_t>((d[pos] << 8) | d[pos + 1]);
 }
 
+// Cursor over a caller-provided buffer; the Into-encoder's counterpart of
+// the vector push_back helpers above. Bounds are the caller's contract
+// (DnsEncodedSizeBound); asserted in debug builds.
+struct ByteSink {
+  std::span<uint8_t> out;
+  size_t pos = 0;
+
+  void U8(uint8_t v) {
+    assert(pos < out.size());
+    out[pos++] = v;
+  }
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v >> 8));
+    U8(static_cast<uint8_t>(v & 0xff));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v >> 16));
+    U16(static_cast<uint16_t>(v & 0xffff));
+  }
+  void Bytes(const uint8_t* p, size_t n) {
+    assert(pos + n <= out.size());
+    std::memcpy(out.data() + pos, p, n);
+    pos += n;
+  }
+};
+
+// Mirror of PutName over a ByteSink: same compression map keyed by running
+// output offset, so the Into-encoder emits the identical byte stream.
+void PutNameInto(ByteSink& s, const std::string& name,
+                 std::map<std::string, uint16_t>& offsets) {
+  std::string remaining = moputil::ToLower(name);
+  while (!remaining.empty()) {
+    auto it = offsets.find(remaining);
+    if (it != offsets.end() && it->second < 0x4000) {
+      s.U16(static_cast<uint16_t>(0xc000 | it->second));
+      return;
+    }
+    if (s.pos < 0x4000) {
+      offsets[remaining] = static_cast<uint16_t>(s.pos);
+    }
+    size_t dot = remaining.find('.');
+    std::string label = dot == std::string::npos ? remaining : remaining.substr(0, dot);
+    s.U8(static_cast<uint8_t>(label.size()));
+    s.Bytes(reinterpret_cast<const uint8_t*>(label.data()), label.size());
+    remaining = dot == std::string::npos ? "" : remaining.substr(dot + 1);
+  }
+  s.U8(0);
+}
+
+// GetName without the std::string: decompresses into `buf` (capacity `cap`).
+// Valid DNS names fit 253 bytes; anything longer is rejected rather than
+// truncated.
+moputil::Status GetNameInto(std::span<const uint8_t> d, size_t* pos, char* buf, size_t cap,
+                            size_t* out_len) {
+  size_t len_out = 0;
+  size_t p = *pos;
+  bool jumped = false;
+  int jumps = 0;
+  while (true) {
+    if (p >= d.size()) {
+      return moputil::InvalidArgument("DNS name runs past buffer");
+    }
+    uint8_t len = d[p];
+    if ((len & 0xc0) == 0xc0) {
+      if (p + 1 >= d.size()) {
+        return moputil::InvalidArgument("truncated DNS compression pointer");
+      }
+      if (++jumps > 32) {
+        return moputil::InvalidArgument("DNS compression pointer loop");
+      }
+      uint16_t target = static_cast<uint16_t>(((len & 0x3f) << 8) | d[p + 1]);
+      if (!jumped) {
+        *pos = p + 2;
+        jumped = true;
+      }
+      p = target;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) {
+        *pos = p + 1;
+      }
+      break;
+    }
+    if ((len & 0xc0) != 0) {
+      return moputil::InvalidArgument("reserved DNS label type");
+    }
+    if (p + 1 + len > d.size()) {
+      return moputil::InvalidArgument("DNS label runs past buffer");
+    }
+    size_t need = len + (len_out > 0 ? 1u : 0u);
+    if (len_out + need > cap) {
+      return moputil::InvalidArgument("DNS name too long");
+    }
+    if (len_out > 0) {
+      buf[len_out++] = '.';
+    }
+    std::memcpy(buf + len_out, d.data() + p + 1, len);
+    len_out += len;
+    p += 1 + len;
+  }
+  *out_len = len_out;
+  return moputil::OkStatus();
+}
+
 // Reads a (possibly compressed) name starting at *pos; advances *pos past the
 // in-place portion. Returns error on truncation or pointer loops.
 moputil::Status GetName(std::span<const uint8_t> d, size_t* pos, std::string* out) {
@@ -191,6 +298,86 @@ std::vector<uint8_t> EncodeDns(const DnsMessage& msg) {
     }
   }
   return out;
+}
+
+size_t DnsEncodedSizeBound(const DnsMessage& msg) {
+  // A name encodes to at most name.size() + 2 bytes (leading label length +
+  // trailing root); compression pointers only shrink that.
+  size_t bound = 12;
+  for (const auto& q : msg.questions) {
+    bound += q.name.size() + 2 + 4;
+  }
+  for (const auto& a : msg.answers) {
+    bound += a.name.size() + 2 + 10;
+    bound += a.type == DnsType::kA ? 4u : a.rdata.size();
+  }
+  return bound;
+}
+
+size_t EncodeDnsInto(const DnsMessage& msg, std::span<uint8_t> out) {
+  assert(out.size() >= DnsEncodedSizeBound(msg));
+  ByteSink s{out};
+  std::map<std::string, uint16_t> offsets;
+  s.U16(msg.id);
+  uint16_t flags = 0;
+  if (msg.is_response) {
+    flags |= 0x8000;
+  }
+  if (msg.recursion_desired) {
+    flags |= 0x0100;
+  }
+  if (msg.recursion_available) {
+    flags |= 0x0080;
+  }
+  flags |= static_cast<uint16_t>(msg.rcode);
+  s.U16(flags);
+  s.U16(static_cast<uint16_t>(msg.questions.size()));
+  s.U16(static_cast<uint16_t>(msg.answers.size()));
+  s.U16(0);  // NS count
+  s.U16(0);  // AR count
+  for (const auto& q : msg.questions) {
+    PutNameInto(s, q.name, offsets);
+    s.U16(static_cast<uint16_t>(q.type));
+    s.U16(q.qclass);
+  }
+  for (const auto& a : msg.answers) {
+    PutNameInto(s, a.name, offsets);
+    s.U16(static_cast<uint16_t>(a.type));
+    s.U16(a.rclass);
+    s.U32(a.ttl);
+    if (a.type == DnsType::kA) {
+      s.U16(4);
+      s.U32(a.address.value());
+    } else {
+      s.U16(static_cast<uint16_t>(a.rdata.size()));
+      s.Bytes(a.rdata.data(), a.rdata.size());
+    }
+  }
+  return s.pos;
+}
+
+moputil::Status PeekDnsQuery(std::span<const uint8_t> data, DnsQueryView* out) {
+  if (data.size() < 12) {
+    return moputil::InvalidArgument("DNS message shorter than header");
+  }
+  out->id = GetU16(data, 0);
+  uint16_t flags = GetU16(data, 2);
+  out->is_response = flags & 0x8000;
+  out->qdcount = GetU16(data, 4);
+  out->name_len = 0;
+  if (out->qdcount == 0) {
+    return moputil::OkStatus();
+  }
+  size_t pos = 12;
+  auto st = GetNameInto(data, &pos, out->name, sizeof(out->name), &out->name_len);
+  if (!st.ok()) {
+    return st;
+  }
+  if (pos + 4 > data.size()) {
+    return moputil::InvalidArgument("truncated DNS question");
+  }
+  out->qtype = static_cast<DnsType>(GetU16(data, pos));
+  return moputil::OkStatus();
 }
 
 moputil::Result<DnsMessage> DecodeDns(std::span<const uint8_t> data) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netpkt/ip.h"
@@ -64,8 +65,39 @@ struct DnsMessage {
 // Encodes with name compression for repeated names.
 std::vector<uint8_t> EncodeDns(const DnsMessage& msg);
 
+// Upper bound on EncodeDns's output size for `msg` (compression can only
+// shrink a name). Size an EncodeDnsInto buffer with this.
+size_t DnsEncodedSizeBound(const DnsMessage& msg);
+
+// Encodes into a caller-provided buffer of at least DnsEncodedSizeBound(msg)
+// bytes — e.g. a pooled PacketBuf slab — and returns the bytes written.
+// Byte-identical to EncodeDns (regression-tested); exists so the relay can
+// serialize responses without a per-message heap vector.
+size_t EncodeDnsInto(const DnsMessage& msg, std::span<uint8_t> out);
+
 // Decodes; follows compression pointers with loop protection.
 moputil::Result<DnsMessage> DecodeDns(std::span<const uint8_t> data);
+
+// Allocation-free view of a DNS query: header fields plus the first
+// question, with the (possibly compressed) name decompressed into an inline
+// buffer. This is all the relay's measurement path needs from a query, and
+// unlike DecodeDns it touches no heap — the input span can point straight
+// into a pooled PacketBuf.
+struct DnsQueryView {
+  uint16_t id = 0;
+  bool is_response = false;
+  uint16_t qdcount = 0;
+  DnsType qtype = DnsType::kA;
+  size_t name_len = 0;
+  char name[253];
+
+  std::string_view name_view() const { return {name, name_len}; }
+};
+
+// Parses the header and, when qdcount > 0, the first question into `out`.
+// Same validation as DecodeDns on the parsed portion (truncation, label
+// bounds, pointer loops); bytes past the first question are not examined.
+moputil::Status PeekDnsQuery(std::span<const uint8_t> data, DnsQueryView* out);
 
 // Validates a DNS name: non-empty labels of <= 63 bytes, total <= 253.
 bool IsValidDnsName(const std::string& name);

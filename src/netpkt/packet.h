@@ -12,6 +12,7 @@
 #include "netpkt/ip.h"
 #include "netpkt/tcp.h"
 #include "netpkt/udp.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace moppkt {
@@ -29,15 +30,10 @@ struct FlowKey {
 };
 
 struct FlowKeyHash {
-  // splitmix64 finalizer — a full-avalanche mixer, unlike the previous
-  // xor/multiply which collided heavily for same-subnet address pairs (only
-  // the low port bits varied the result).
-  static uint64_t Mix(uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
+  // splitmix64 finalizer (moputil::Mix64) — a full-avalanche mixer, unlike
+  // the previous xor/multiply which collided heavily for same-subnet
+  // address pairs (only the low port bits varied the result).
+  static uint64_t Mix(uint64_t x) { return moputil::Mix64(x); }
   size_t operator()(const FlowKey& k) const {
     uint64_t a = (static_cast<uint64_t>(k.local.ip.value()) << 16) | k.local.port;
     uint64_t b = (static_cast<uint64_t>(k.remote.ip.value()) << 16) | k.remote.port;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 namespace moputil {
 
@@ -20,6 +21,32 @@ void OnlineStats::Add(double x) {
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::MergeFrom(const OnlineStats& o) {
+  if (o.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  double delta = o.mean_ - mean_;
+  uint64_t n = count_ + o.count_;
+  mean_ += delta * static_cast<double>(o.count_) / static_cast<double>(n);
+  m2_ += o.m2_ + delta * delta * static_cast<double>(count_) *
+                     static_cast<double>(o.count_) / static_cast<double>(n);
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  count_ = n;
+}
+
+void OnlineStats::Restore(const State& s) {
+  count_ = s.count;
+  mean_ = s.mean;
+  m2_ = s.m2;
+  min_ = s.min;
+  max_ = s.max;
 }
 
 double OnlineStats::variance() const {
@@ -107,6 +134,26 @@ void P2Quantile::Add(double x) {
   }
 }
 
+P2Quantile::State P2Quantile::state() const {
+  State s;
+  s.count = count_;
+  for (int i = 0; i < 5; ++i) {
+    s.heights[i] = heights_[i];
+    s.positions[i] = positions_[i];
+    s.desired[i] = desired_[i];
+  }
+  return s;
+}
+
+void P2Quantile::Restore(const State& s) {
+  count_ = static_cast<size_t>(s.count);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = s.heights[i];
+    positions_[i] = s.positions[i];
+    desired_[i] = s.desired[i];
+  }
+}
+
 double P2Quantile::Value() const {
   assert(count_ > 0);
   if (count_ < 5) {
@@ -155,13 +202,7 @@ int LogQuantile::IndexOf(double x) const {
   return static_cast<int>(std::floor(std::log(x) * inv_log_gamma_));
 }
 
-void LogQuantile::Add(double x) {
-  ++total_;
-  if (!(x > kLogQuantileMin)) {  // NaN lands here too
-    ++zero_or_less_;
-    return;
-  }
-  int idx = IndexOf(std::min(x, kLogQuantileMax));
+uint32_t& LogQuantile::BucketAt(int idx) {
   if (counts_.empty()) {
     lo_index_ = idx;
     counts_.push_back(0);
@@ -171,7 +212,34 @@ void LogQuantile::Add(double x) {
   } else if (idx >= lo_index_ + static_cast<int>(counts_.size())) {
     counts_.resize(static_cast<size_t>(idx - lo_index_) + 1, 0);
   }
-  ++counts_[static_cast<size_t>(idx - lo_index_)];
+  return counts_[static_cast<size_t>(idx - lo_index_)];
+}
+
+void LogQuantile::Add(double x) {
+  ++total_;
+  if (!(x > kLogQuantileMin)) {  // NaN lands here too
+    ++zero_or_less_;
+    return;
+  }
+  ++BucketAt(IndexOf(std::min(x, kLogQuantileMax)));
+}
+
+void LogQuantile::MergeFrom(const LogQuantile& o) {
+  assert(log_gamma_ == o.log_gamma_ && "merging sketches with different rel_err");
+  total_ += o.total_;
+  zero_or_less_ += o.zero_or_less_;
+  for (size_t i = 0; i < o.counts_.size(); ++i) {
+    if (o.counts_[i] != 0) {
+      BucketAt(o.lo_index_ + static_cast<int>(i)) += o.counts_[i];
+    }
+  }
+}
+
+void LogQuantile::Restore(State s) {
+  total_ = s.total;
+  zero_or_less_ = s.zero_or_less;
+  lo_index_ = s.lo_index;
+  counts_ = std::move(s.counts);
 }
 
 double LogQuantile::ValueAtRank(uint64_t rank) const {

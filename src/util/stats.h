@@ -14,7 +14,23 @@ namespace moputil {
 // Streaming mean / variance / min / max (Welford).
 class OnlineStats {
  public:
+  // Raw accumulator state, exposed for persistence (collector snapshots) and
+  // distributed merging. Restore() trusts the caller; garbage in, garbage out.
+  struct State {
+    uint64_t count = 0;
+    double mean = 0;
+    double m2 = 0;
+    double min = 0;
+    double max = 0;
+  };
+
   void Add(double x);
+  // Folds another accumulator in (Chan et al. parallel combine): the result
+  // is as if both streams had been Add()ed into one instance.
+  void MergeFrom(const OnlineStats& o);
+  State state() const { return {count_, mean_, m2_, min_, max_}; }
+  void Restore(const State& s);
+
   size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double variance() const;
@@ -23,7 +39,7 @@ class OnlineStats {
   double max() const { return count_ ? max_ : 0.0; }
 
  private:
-  size_t count_ = 0;
+  uint64_t count_ = 0;
   double mean_ = 0;
   double m2_ = 0;
   double min_ = 0;
@@ -37,10 +53,23 @@ class OnlineStats {
 // distributions.
 class P2Quantile {
  public:
+  // Marker state for persistence. The target percentile is not part of the
+  // state: Restore() keeps the percentile this instance was constructed with
+  // (increments are derived from it), so a sketch must be restored into an
+  // instance built for the same quantile.
+  struct State {
+    uint64_t count = 0;
+    double heights[5] = {};
+    double positions[5] = {};
+    double desired[5] = {};
+  };
+
   // `percentile` in (0, 100), e.g. 50 for the median, 95 for P95.
   explicit P2Quantile(double percentile);
 
   void Add(double x);
+  State state() const;
+  void Restore(const State& s);
   size_t count() const { return count_; }
   // Current estimate. Requires count() > 0.
   double Value() const;
@@ -67,9 +96,26 @@ class P2Quantile {
 // widen the span past ~800 buckets.
 class LogQuantile {
  public:
+  // Bucket state for persistence and merging. rel_err is not part of the
+  // state; Restore()/MergeFrom() require the same bucket geometry the
+  // instance was constructed with.
+  struct State {
+    uint64_t total = 0;
+    uint64_t zero_or_less = 0;
+    int32_t lo_index = 0;
+    std::vector<uint32_t> counts;
+  };
+
   explicit LogQuantile(double rel_err = 0.02);
 
   void Add(double x);
+  // Bucket-wise addition: unlike P², log-bucket sketches merge losslessly —
+  // the merged sketch equals one fed both streams, in any order. Both
+  // sketches must share the same rel_err (asserted via bucket geometry).
+  void MergeFrom(const LogQuantile& o);
+  State state() const { return {total_, zero_or_less_, lo_index_, counts_}; }
+  void Restore(State s);
+
   size_t count() const { return static_cast<size_t>(total_); }
   // Quantile estimate for `percentile` in [0, 100]. Requires count() > 0.
   double Quantile(double percentile) const;
@@ -78,6 +124,8 @@ class LogQuantile {
 
  private:
   int IndexOf(double x) const;
+  // Grows the dense span so `idx` is addressable; returns its slot.
+  uint32_t& BucketAt(int idx);
   // Bucket-midpoint value of the sample at 0-based `rank`.
   double ValueAtRank(uint64_t rank) const;
 

@@ -16,6 +16,7 @@
 #include "net/net_context.h"
 #include "net/server.h"
 #include "sim/event_loop.h"
+#include "tests/test_world.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -618,6 +619,43 @@ TEST(CollectorServer, MalformedUploadIsRejectedWithoutCrashing) {
   f.loop.RunFor(Seconds(5));
   EXPECT_EQ(f.server.counters().records_ingested, 1u);
   up.Stop();
+}
+
+// ---- Engine service registry: uploader owned by the engine ----
+
+// The uploader registers as an EngineService: it starts with the engine and
+// MopEyeEngine::Stop() triggers its final flush, so the tail of the
+// measurement store reaches the collector without the composition layer
+// calling FlushNow() itself.
+TEST(EngineServiceRegistry, StopTriggersUploaderFinalFlush) {
+  moptest::TestWorld world;
+  mopcollect::CollectorServer collector;
+  SocketAddr addr{IpAddr(10, 99, 0, 1), 9000};
+  collector.RegisterWith(&world.farm(), addr);
+  world.paths().SetPath(addr.ip, std::make_shared<moputil::FixedDelay>(Millis(5)));
+  ASSERT_TRUE(world.StartEngine().ok());
+
+  // Thresholds no poll can hit: only the Stop() flush can deliver.
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 1000000;
+  policy.max_batch_age = Seconds(1e6);
+  auto uploader = std::make_shared<mopcollect::Uploader>(
+      &world.device().net(), &world.engine().store(), addr, /*device_id=*/1, policy);
+  world.engine().RegisterService(uploader);
+  EXPECT_EQ(world.engine().FindService("uploader"), uploader.get());
+  EXPECT_EQ(world.engine().service_count(), 1u);
+
+  for (int i = 0; i < 10; ++i) {
+    world.engine().store().Add(MakeMeasurement("App", "a.com", 10.0, world.loop().Now()));
+  }
+  world.RunMs(30000);
+  EXPECT_EQ(collector.counters().records_ingested, 0u);  // registry started it, policy held it
+
+  world.engine().Stop();
+  world.RunMs(60000);  // the flush upload completes on the loop after Stop()
+  EXPECT_EQ(collector.counters().records_ingested, 10u);
+  EXPECT_EQ(uploader->counters().batches_sent, 1u);
+  EXPECT_EQ(uploader->pending_records(), 0u);
 }
 
 // ---- End to end: several devices, one collector, aggregate accuracy ----

@@ -1,0 +1,646 @@
+// Fleet subsystem tests: device->shard routing, snapshot codec durability
+// (round-trip equality, truncation/corruption rejection, atomic file
+// replacement), restart recovery with dedup preserved, uploader failover
+// with possibly-delivered pinning, multi-lane ingest equivalence, and the
+// merged FleetView query plane with its P²-doesn't-merge guard.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "collector/aggregate_store.h"
+#include "collector/server.h"
+#include "collector/uploader.h"
+#include "collector/wire.h"
+#include "core/measurement.h"
+#include "fleet/router.h"
+#include "fleet/snapshot.h"
+#include "fleet/view.h"
+#include "net/net_context.h"
+#include "net/server.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using moppkt::IpAddr;
+using moppkt::SocketAddr;
+using moputil::Millis;
+using moputil::Seconds;
+
+mopeye::Measurement MakeMeasurement(const std::string& app, const std::string& domain,
+                                    double rtt_ms, moputil::SimTime time = 0,
+                                    mopeye::MeasureKind kind = mopeye::MeasureKind::kTcpConnect,
+                                    mopnet::NetType net = mopnet::NetType::kWifi) {
+  mopeye::Measurement m;
+  m.time = time;
+  m.kind = kind;
+  m.uid = 10100;
+  m.app = app;
+  m.domain = domain;
+  m.server = SocketAddr{IpAddr(93, 184, 216, 34), 443};
+  m.rtt = Millis(rtt_ms);
+  m.net_type = net;
+  m.isp = "TestNet";
+  m.country = "US";
+  m.device_id = "Nexus 6";
+  return m;
+}
+
+std::string TmpPath(const std::string& name) {
+  return "/tmp/mopeye_fleet_test_" + std::to_string(getpid()) + "_" + name + ".snap";
+}
+
+// Feeds `records` measurements for `app` into `server` as one wire batch.
+void IngestRecords(mopcollect::CollectorServer* server, uint32_t device, uint32_t seq,
+                   const std::string& app, const std::vector<double>& rtts,
+                   const std::string& isp = "TestNet") {
+  mopcollect::BatchBuilder builder(device, seq);
+  for (double rtt : rtts) {
+    auto m = MakeMeasurement(app, "d.com", rtt);
+    m.isp = isp;
+    builder.Add(m);
+  }
+  auto frame = mopcollect::EncodeBatchFrame(builder.TakeBatch());
+  auto accepted = server->IngestPayload({frame.data() + 4, frame.size() - 4});
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+}
+
+// ---- FleetRouter ----
+
+TEST(FleetRouter, StableAssignmentAndFailoverPlan) {
+  std::vector<SocketAddr> fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.push_back({IpAddr(10, 99, 0, static_cast<uint8_t>(i + 1)), 9000});
+  }
+  mopfleet::FleetRouter router(fleet);
+  ASSERT_EQ(router.shard_count(), 4u);
+  for (uint32_t device : {0u, 1u, 77u, 0xffffffffu}) {
+    size_t home = router.ShardOf(device);
+    EXPECT_EQ(router.ShardOf(device), home);  // stable
+    EXPECT_EQ(router.PrimaryFor(device), fleet[home]);
+    auto plan = router.PlanFor(device);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0], fleet[home]);
+    // The plan visits every collector exactly once, wrapping in shard order.
+    std::set<uint16_t> seen;
+    for (size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i], fleet[(home + i) % fleet.size()]);
+      seen.insert(static_cast<uint16_t>(plan[i].ip.value() & 0xff));
+    }
+    EXPECT_EQ(seen.size(), 4u);
+  }
+}
+
+TEST(FleetRouter, SpreadsSequentialDeviceIdsAcrossShards) {
+  std::vector<SocketAddr> fleet(8, SocketAddr{IpAddr(10, 0, 0, 1), 9000});
+  mopfleet::FleetRouter router(fleet);
+  std::vector<size_t> counts(8, 0);
+  for (uint32_t device = 0; device < 8000; ++device) {
+    ++counts[router.ShardOf(device)];
+  }
+  for (size_t shard = 0; shard < counts.size(); ++shard) {
+    // Uniform expectation 1000 per shard; 20% tolerance catches clustering.
+    EXPECT_GT(counts[shard], 800u) << "shard " << shard;
+    EXPECT_LT(counts[shard], 1200u) << "shard " << shard;
+  }
+}
+
+// ---- Snapshot codec ----
+
+// A collector with aggregate, interner, counter, and dedup state.
+std::unique_ptr<mopcollect::CollectorServer> PopulatedCollector() {
+  auto server = std::make_unique<mopcollect::CollectorServer>(
+      mopcollect::CollectorOptions{.shards = 8});
+  moputil::Rng rng(17);
+  std::vector<double> whatsapp, youtube;
+  for (int i = 0; i < 800; ++i) {
+    whatsapp.push_back(rng.LogNormalMedian(240.0, 0.5));
+    youtube.push_back(rng.LogNormalMedian(80.0, 0.4));
+  }
+  IngestRecords(server.get(), /*device=*/1, /*seq=*/100, "Whatsapp", whatsapp);
+  IngestRecords(server.get(), /*device=*/2, /*seq=*/7, "Youtube", youtube, "JioNet");
+  IngestRecords(server.get(), /*device=*/1, /*seq=*/101, "Whatsapp", {10, 20, 30});
+  return server;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  auto server = PopulatedCollector();
+  auto state = server->ExportState();
+  auto bytes = mopfleet::EncodeSnapshot(state);
+  auto decoded = mopfleet::DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = decoded.value();
+
+  EXPECT_EQ(got.records_ingested, state.records_ingested);
+  EXPECT_EQ(got.batches_ok, state.batches_ok);
+  EXPECT_EQ(got.seen_batches, state.seen_batches);
+  EXPECT_EQ(got.apps.names(), state.apps.names());
+  EXPECT_EQ(got.isps.names(), state.isps.names());
+  EXPECT_EQ(got.countries.names(), state.countries.names());
+  EXPECT_EQ(got.store.key_count(), state.store.key_count());
+  EXPECT_EQ(got.store.samples_folded(), state.store.samples_folded());
+  EXPECT_EQ(got.store.shard_count(), state.store.shard_count());
+  EXPECT_FALSE(got.store.merged());
+  for (const auto& [key, entry] : state.store.Match()) {
+    const auto* restored = got.store.Find(key);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->count(), entry->count());
+    EXPECT_DOUBLE_EQ(restored->median_ms(), entry->median_ms());
+    EXPECT_DOUBLE_EQ(restored->p95_ms(), entry->p95_ms());
+    EXPECT_DOUBLE_EQ(restored->stats.mean(), entry->stats.mean());
+    EXPECT_DOUBLE_EQ(restored->stats.variance(), entry->stats.variance());
+    EXPECT_DOUBLE_EQ(restored->stats.min(), entry->stats.min());
+    EXPECT_DOUBLE_EQ(restored->stats.max(), entry->stats.max());
+    // P² markers survive byte-exactly (both sides unmerged).
+    EXPECT_DOUBLE_EQ(restored->p2_median_ms().value(), entry->p2_median_ms().value());
+    EXPECT_DOUBLE_EQ(restored->p2_p95_ms().value(), entry->p2_p95_ms().value());
+  }
+
+  // Canonical bytes: re-encoding the decoded state reproduces the file.
+  EXPECT_EQ(mopfleet::EncodeSnapshot(got), bytes);
+}
+
+TEST(Snapshot, RejectsTruncationAtEveryOffset) {
+  auto server = PopulatedCollector();
+  auto bytes = mopfleet::EncodeSnapshot(server->ExportState());
+  ASSERT_GT(bytes.size(), 100u);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = mopfleet::DecodeSnapshot({bytes.data(), cut});
+    EXPECT_FALSE(r.ok()) << "decode succeeded on a " << cut << "-byte prefix";
+  }
+  // Appended garbage is rejected too (exact frame length).
+  auto extended = bytes;
+  extended.push_back(0);
+  EXPECT_FALSE(mopfleet::DecodeSnapshot(extended).ok());
+  // The untouched image still decodes.
+  EXPECT_TRUE(mopfleet::DecodeSnapshot(bytes).ok());
+}
+
+TEST(Snapshot, RejectsCorruptionAndBadHeader) {
+  auto server = PopulatedCollector();
+  auto bytes = mopfleet::EncodeSnapshot(server->ExportState());
+
+  // Any payload byte flip breaks the CRC.
+  for (size_t at : {size_t{7}, bytes.size() / 2, bytes.size() - 5}) {
+    auto corrupted = bytes;
+    corrupted[at] ^= 0x01;
+    EXPECT_FALSE(mopfleet::DecodeSnapshot(corrupted).ok()) << "flip at " << at;
+  }
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  auto r = mopfleet::DecodeSnapshot(bad_magic);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+  auto bad_version = bytes;
+  bad_version[2] = 99;
+  r = mopfleet::DecodeSnapshot(bad_version);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(Snapshot, FileWriteIsAtomicAndReadable) {
+  auto server = PopulatedCollector();
+  std::string path = TmpPath("atomic");
+  auto state = server->ExportState();
+  ASSERT_TRUE(mopfleet::WriteSnapshotFile(path, state).ok());
+  // No temp file left behind.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) {
+    std::fclose(tmp);
+  }
+  auto loaded = mopfleet::ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().records_ingested, state.records_ingested);
+
+  // Overwrite with newer state: the file is replaced, not appended.
+  IngestRecords(server.get(), 3, 1, "Instagram", {50, 60});
+  ASSERT_TRUE(mopfleet::WriteSnapshotFile(path, server->ExportState()).ok());
+  auto reloaded = mopfleet::ReadSnapshotFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().records_ingested, state.records_ingested + 2);
+
+  EXPECT_FALSE(mopfleet::ReadSnapshotFile(path + ".does_not_exist").ok());
+  std::remove(path.c_str());
+}
+
+// Restart recovery: a restored collector recognizes re-deliveries of batches
+// it ingested before the snapshot — the at-least-once contract survives the
+// restart instead of double-counting.
+TEST(Snapshot, ImportRestoresDedupAcrossRestart) {
+  mopcollect::CollectorServer first;
+  mopcollect::BatchBuilder builder(/*device=*/9, /*seq=*/1234);
+  builder.Add(MakeMeasurement("App", "a.com", 10));
+  auto frame = mopcollect::EncodeBatchFrame(builder.TakeBatch());
+  std::span<const uint8_t> payload{frame.data() + 4, frame.size() - 4};
+  ASSERT_TRUE(first.IngestPayload(payload).ok());
+  auto bytes = mopfleet::EncodeSnapshot(first.ExportState());
+
+  mopcollect::CollectorServer restarted;
+  auto state = mopfleet::DecodeSnapshot(bytes);
+  ASSERT_TRUE(state.ok());
+  restarted.ImportState(std::move(state).value());
+  EXPECT_EQ(restarted.counters().records_ingested, 1u);
+
+  // The lost-ack re-delivery after restart: acked as received, not refolded.
+  auto second = restarted.IngestPayload(payload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(restarted.counters().records_ingested, 1u);
+  EXPECT_EQ(restarted.counters().batches_duplicate, 1u);
+  // A genuinely new batch still folds.
+  mopcollect::BatchBuilder fresh(9, 1235);
+  fresh.Add(MakeMeasurement("App", "a.com", 20));
+  auto frame2 = mopcollect::EncodeBatchFrame(fresh.TakeBatch());
+  ASSERT_TRUE(restarted.IngestPayload({frame2.data() + 4, frame2.size() - 4}).ok());
+  EXPECT_EQ(restarted.counters().records_ingested, 2u);
+}
+
+// ---- Merged view + the P² constraint ----
+
+TEST(FleetView, MergesStoresAcrossDifferentInternerIdSpaces) {
+  // Two collectors see overlapping apps in different orders, so the same
+  // app gets different ids on each — the view must unify by name.
+  mopcollect::CollectorServer a, b;
+  moputil::Rng rng(5);
+  std::vector<double> wa_a, wa_b, yt_b;
+  for (int i = 0; i < 500; ++i) {
+    wa_a.push_back(rng.LogNormalMedian(200.0, 0.5));
+    wa_b.push_back(rng.LogNormalMedian(200.0, 0.5));
+    yt_b.push_back(rng.LogNormalMedian(60.0, 0.3));
+  }
+  IngestRecords(&a, 1, 1, "Whatsapp", wa_a);
+  IngestRecords(&b, 2, 1, "Youtube", yt_b);  // Youtube is id 0 on b
+  IngestRecords(&b, 3, 1, "Whatsapp", wa_b);
+
+  // Reference: one collector that saw everything.
+  mopcollect::CollectorServer all;
+  IngestRecords(&all, 1, 1, "Whatsapp", wa_a);
+  IngestRecords(&all, 2, 1, "Youtube", yt_b);
+  IngestRecords(&all, 3, 1, "Whatsapp", wa_b);
+
+  mopfleet::FleetView view;
+  view.AttachCollector(&a);
+  view.AttachCollector(&b);
+  view.Refresh();
+  EXPECT_EQ(view.source_count(), 2u);
+  EXPECT_EQ(view.records_ingested(), 1500u);
+
+  auto merged_stats = view.TcpAppStats();
+  auto reference_stats = all.TcpAppStats();
+  ASSERT_EQ(merged_stats.size(), reference_stats.size());
+  for (size_t i = 0; i < merged_stats.size(); ++i) {
+    EXPECT_EQ(merged_stats[i].app, reference_stats[i].app);
+    EXPECT_EQ(merged_stats[i].count, reference_stats[i].count);
+    // Log buckets merge by addition: the merged sketch is *identical* to
+    // one fed the union stream, so the quantiles agree exactly.
+    EXPECT_DOUBLE_EQ(merged_stats[i].median_ms, reference_stats[i].median_ms);
+    EXPECT_DOUBLE_EQ(merged_stats[i].p95_ms, reference_stats[i].p95_ms);
+    EXPECT_NEAR(merged_stats[i].mean_ms, reference_stats[i].mean_ms, 1e-9);
+  }
+
+  // Refresh is idempotent (rebuilds, never double-folds).
+  view.Refresh();
+  EXPECT_EQ(view.records_ingested(), 1500u);
+  EXPECT_EQ(view.TcpAppStats()[0].count, reference_stats[0].count);
+}
+
+TEST(FleetView, MergedP2QueriesReturnTypedError) {
+  mopcollect::CollectorServer a, b;
+  IngestRecords(&a, 1, 1, "Whatsapp", {100, 200, 300, 400, 500, 600});
+  IngestRecords(&b, 2, 1, "Whatsapp", {110, 210, 310});
+
+  // Unmerged single-collector entries answer P² queries fine.
+  auto solo = mopcollect::TcpAppStatsOf(a.store(), a.apps());
+  ASSERT_EQ(solo.size(), 1u);
+  mopcollect::AggregateKey solo_key{a.apps().Find("Whatsapp"), mopcollect::kAnyId,
+                                    mopcollect::kAnyId, mopcollect::kAnyByte,
+                                    static_cast<uint8_t>(mopcrowd::RecordKind::kTcp)};
+  ASSERT_NE(a.store().Find(solo_key), nullptr);
+  EXPECT_TRUE(a.store().Find(solo_key)->p2_median_ms().ok());
+
+  mopfleet::FleetView view;
+  view.AttachCollector(&a);
+  view.AttachCollector(&b);
+  view.Refresh();
+  EXPECT_TRUE(view.store().merged());
+
+  auto key = view.MakeKey("Whatsapp", "", "", mopcollect::kAnyByte,
+                          static_cast<uint8_t>(mopcrowd::RecordKind::kTcp));
+  const auto* entry = view.Find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->merged);
+  EXPECT_EQ(entry->count(), 9u);
+  // Log-bucket quantiles answer; P² refuses with a typed error.
+  EXPECT_GT(entry->median_ms(), 0.0);
+  auto p2 = entry->p2_median_ms();
+  ASSERT_FALSE(p2.ok());
+  EXPECT_EQ(p2.status().code(), moputil::StatusCode::kFailedPrecondition);
+  auto via_view = view.MergedP2Median(key);
+  ASSERT_FALSE(via_view.ok());
+  EXPECT_EQ(via_view.status().code(), moputil::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(view.MergedP2P95(key).status().code(),
+            moputil::StatusCode::kFailedPrecondition);
+  // Unknown key: NotFound, distinct from the merge refusal.
+  EXPECT_EQ(view.MergedP2Median(view.MakeKey("NoSuchApp", "", "", mopcollect::kAnyByte, 0))
+                .status()
+                .code(),
+            moputil::StatusCode::kNotFound);
+}
+
+// A snapshot of a merged store keeps refusing P² after a round-trip.
+TEST(FleetView, MergedFlagSurvivesSnapshotRoundTrip) {
+  mopcollect::CollectorServer a, b;
+  IngestRecords(&a, 1, 1, "App", {10, 20});
+  IngestRecords(&b, 2, 1, "App", {30});
+  mopfleet::FleetView view;
+  view.AttachCollector(&a);
+  view.AttachCollector(&b);
+  view.Refresh();
+
+  mopcollect::CollectorState state;
+  state.store = view.store();
+  state.apps = view.apps();
+  state.isps = view.isps();
+  state.countries = view.countries();
+  auto decoded = mopfleet::DecodeSnapshot(mopfleet::EncodeSnapshot(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().store.merged());
+  auto key = view.MakeKey("App", "", "", mopcollect::kAnyByte,
+                          static_cast<uint8_t>(mopcrowd::RecordKind::kTcp));
+  const auto* entry = decoded.value().store.Find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->p2_median_ms().ok());
+}
+
+// ---- Multi-lane ingest ----
+
+TEST(MultiLaneIngest, LanesProduceIdenticalAggregatesToInline) {
+  mopsim::EventLoop loop;
+  mopcollect::CollectorServer inline_server({.shards = 16});
+  mopcollect::CollectorServer laned({.shards = 16, .ingest_lanes = 4});
+  laned.EnableIngestLanes(&loop);
+  EXPECT_EQ(laned.ingest_lane_count(), 4u);
+
+  moputil::Rng rng(23);
+  for (uint32_t device = 0; device < 6; ++device) {
+    std::vector<double> rtts;
+    for (int i = 0; i < 400; ++i) {
+      rtts.push_back(rng.LogNormalMedian(50.0 + 40.0 * (device % 3), 0.5));
+    }
+    std::string app = device % 2 == 0 ? "Whatsapp" : "Youtube";
+    IngestRecords(&inline_server, device, 1, app, rtts);
+    IngestRecords(&laned, device, 1, app, rtts);
+  }
+  // Lane folds are simulated-thread work: they land when the loop runs.
+  EXPECT_LT(laned.store().samples_folded(), inline_server.store().samples_folded());
+  loop.Run();
+
+  EXPECT_EQ(laned.store().samples_folded(), inline_server.store().samples_folded());
+  EXPECT_EQ(laned.store().key_count(), inline_server.store().key_count());
+  EXPECT_GT(laned.ingest_lane_busy(), 0);
+  for (const auto& [key, entry] : inline_server.store().Match()) {
+    const auto* other = laned.store().Find(key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->count(), entry->count());
+    EXPECT_DOUBLE_EQ(other->median_ms(), entry->median_ms());
+    // Identical per-entry fold order means even the order-sensitive P²
+    // markers agree.
+    EXPECT_DOUBLE_EQ(other->p2_median_ms().value(), entry->p2_median_ms().value());
+  }
+}
+
+// Regression: with durable acks + ingest lanes, a snapshot can be cut while
+// a batch's folds are still queued on a lane (its dedup record and counter
+// are already in, and its withheld ack will be released by this snapshot).
+// The export must include those pending folds — otherwise a crash in that
+// window loses the records while the restored dedup window rejects their
+// re-delivery.
+TEST(MultiLaneIngest, SnapshotCutMidLaneIncludesPendingFolds) {
+  mopsim::EventLoop loop;
+  mopcollect::CollectorServer server({.shards = 16, .durable_acks = true, .ingest_lanes = 4});
+  server.EnableIngestLanes(&loop);
+
+  IngestRecords(&server, /*device=*/1, /*seq=*/50, "Whatsapp", {100, 200, 300, 400});
+  // Lane tasks have not run: the live store is empty, but the batch is
+  // already dedup-recorded and counted.
+  ASSERT_EQ(server.store().samples_folded(), 0u);
+  ASSERT_EQ(server.counters().records_ingested, 4u);
+
+  // Simulated crash directly after a snapshot cut at this instant.
+  auto decoded = mopfleet::DecodeSnapshot(mopfleet::EncodeSnapshot(server.ExportState()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  mopcollect::CollectorServer restarted;
+  restarted.ImportState(std::move(decoded).value());
+
+  // The records made it into the snapshot despite the lanes never running...
+  auto stats = restarted.TcpAppStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, 4u);
+  // ...and the re-delivered frame is recognized as a duplicate, not lost.
+  mopcollect::BatchBuilder builder(1, 50);
+  for (double rtt : {100.0, 200.0, 300.0, 400.0}) {
+    builder.Add(MakeMeasurement("Whatsapp", "d.com", rtt));
+  }
+  auto frame = mopcollect::EncodeBatchFrame(builder.TakeBatch());
+  ASSERT_TRUE(restarted.IngestPayload({frame.data() + 4, frame.size() - 4}).ok());
+  EXPECT_EQ(restarted.counters().batches_duplicate, 1u);
+  EXPECT_EQ(restarted.counters().records_ingested, 4u);
+
+  // Back on the original server, the lanes eventually apply the same folds
+  // exactly once (pending lists drain; no double-apply from the export).
+  loop.Run();
+  EXPECT_EQ(server.store().samples_folded(), restarted.store().samples_folded());
+  auto live = server.TcpAppStats();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].count, 4u);
+  EXPECT_DOUBLE_EQ(live[0].median_ms, stats[0].median_ms);
+}
+
+// ---- Uploader failover ----
+
+struct TwoCollectorFixture {
+  mopsim::EventLoop loop;
+  mopnet::PathTable paths;
+  mopnet::ServerFarm farm;
+  mopnet::NetContext ctx;
+  mopcollect::CollectorServer primary, secondary;
+  SocketAddr primary_addr{IpAddr(10, 99, 0, 1), 9000};
+  SocketAddr secondary_addr{IpAddr(10, 99, 0, 2), 9000};
+
+  TwoCollectorFixture() : ctx(&loop, MakeProfile(), &paths, &farm, moputil::Rng(7)) {
+    paths.SetDefault(std::make_shared<moputil::FixedDelay>(Millis(10)));
+  }
+
+  static mopnet::NetworkProfile MakeProfile() {
+    mopnet::NetworkProfile p;
+    p.first_hop_one_way = std::make_shared<moputil::FixedDelay>(Millis(1));
+    return p;
+  }
+
+  mopcollect::UploaderPolicy FastPolicy() {
+    mopcollect::UploaderPolicy policy;
+    policy.min_batch_records = 5;
+    policy.poll_interval = Seconds(1);
+    policy.initial_backoff = Seconds(1);
+    policy.max_backoff = Seconds(2);
+    policy.ack_timeout = Seconds(5);
+    return policy;
+  }
+};
+
+TEST(UploaderFailover, RotatesToNextShardOnConnectBackoffExhaustion) {
+  TwoCollectorFixture f;
+  // Home shard down; failover shard up.
+  f.secondary.RegisterWith(&f.farm, f.secondary_addr);
+
+  mopeye::MeasurementStore store;
+  mopcollect::Uploader up(&f.ctx, &store, {f.primary_addr, f.secondary_addr},
+                          /*device_id=*/3, f.FastPolicy());
+  up.Start();
+  EXPECT_EQ(up.current_collector(), f.primary_addr);
+  for (int i = 0; i < 8; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(30));
+
+  // Backoff against the dead home shard exhausted -> rotated -> delivered.
+  EXPECT_GE(up.counters().failovers, 1u);
+  EXPECT_EQ(up.counters().records_sent, 8u);
+  EXPECT_EQ(f.secondary.counters().records_ingested, 8u);
+  EXPECT_EQ(f.primary.counters().records_ingested, 0u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  up.Stop();
+}
+
+// The dedup contract across failover: a frame that may have reached the
+// home collector is never re-sent elsewhere. Here the home collector folds
+// but withholds acks (durable_acks with no snapshotter), so the uploader
+// times out repeatedly — yet never fails over, because only the home shard
+// can recognize the re-delivery.
+TEST(UploaderFailover, PossiblyDeliveredFramesStayPinnedToTheirCollector) {
+  TwoCollectorFixture f;
+  mopcollect::CollectorServer durable({.shards = 16, .durable_acks = true});
+  durable.RegisterWith(&f.farm, f.primary_addr);
+  f.secondary.RegisterWith(&f.farm, f.secondary_addr);
+
+  mopeye::MeasurementStore store;
+  auto policy = f.FastPolicy();
+  policy.ack_timeout = Seconds(2);
+  mopcollect::Uploader up(&f.ctx, &store, {f.primary_addr, f.secondary_addr}, 3, policy);
+  up.Start();
+  for (int i = 0; i < 8; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+  }
+  f.loop.RunFor(Seconds(25));
+
+  // Folded once at the home shard, re-delivered several times (all deduped),
+  // never sent to the healthy failover shard, never acked.
+  EXPECT_EQ(durable.counters().records_ingested, 8u);
+  EXPECT_GE(durable.counters().batches_duplicate, 1u);
+  EXPECT_EQ(f.secondary.counters().records_ingested, 0u);
+  EXPECT_EQ(up.counters().failovers, 0u);
+  EXPECT_GE(up.counters().upload_failures, 2u);
+  EXPECT_EQ(up.counters().records_sent, 0u);
+  EXPECT_EQ(up.current_collector(), f.primary_addr);
+
+  // Durability arrives: a Snapshotter starts writing (and notifying) on a
+  // cadence shorter than the ack timeout, so the next re-delivery's withheld
+  // ack flushes while its connection is still alive and the pinned batch
+  // finally completes — exactly once.
+  std::string path = TmpPath("pinned");
+  mopfleet::Snapshotter snap(&f.loop, &durable, path, Seconds(1));
+  snap.Start();
+  f.loop.RunFor(Seconds(30));
+  EXPECT_GE(snap.counters().snapshots_written, 1u);
+  EXPECT_EQ(durable.counters().records_ingested, 8u);
+  EXPECT_EQ(up.counters().records_sent, 8u);
+  EXPECT_EQ(up.pending_records(), 0u);
+  up.Stop();
+  snap.Stop();
+  std::remove(path.c_str());
+}
+
+// ---- Crash + restart from snapshot, end to end over sockets ----
+
+TEST(CrashRecovery, CollectorRestartsFromSnapshotWithoutLossOrDoubleCount) {
+  TwoCollectorFixture f;
+  std::string path = TmpPath("crash");
+  const int kRecords = 200;
+
+  auto opts = mopcollect::CollectorOptions{.shards = 16, .durable_acks = true};
+  auto server = std::make_unique<mopcollect::CollectorServer>(opts);
+  server->RegisterWith(&f.farm, f.primary_addr);
+  auto snapshotter = std::make_unique<mopfleet::Snapshotter>(&f.loop, server.get(), path,
+                                                             Seconds(2));
+  snapshotter->Start();
+
+  mopeye::MeasurementStore store;
+  auto policy = f.FastPolicy();
+  policy.min_batch_records = 20;
+  mopcollect::Uploader up(&f.ctx, &store, f.primary_addr, /*device_id=*/4, policy);
+  up.Start();
+
+  // Steady generation: 10 records/sim-second for 20 seconds.
+  int generated = 0;
+  std::function<void()> generate = [&] {
+    for (int i = 0; i < 10 && generated < kRecords; ++i, ++generated) {
+      store.Add(MakeMeasurement("App", "a.com", 10.0 + generated % 7, f.loop.Now()));
+    }
+    if (generated < kRecords) {
+      f.loop.Schedule(Seconds(1), generate);
+    }
+  };
+  f.loop.Schedule(0, generate);
+
+  // Crash mid-ingest at t=9s: no farewell snapshot, pending acks vanish,
+  // connections reset.
+  f.loop.Schedule(Seconds(9), [&] {
+    f.farm.RemoveTcpServer(f.primary_addr);
+    snapshotter->Stop();
+    server->Shutdown();
+  });
+
+  // Restart at t=14s from whatever the last completed snapshot holds.
+  std::unique_ptr<mopcollect::CollectorServer> restarted;
+  std::unique_ptr<mopfleet::Snapshotter> snapshotter2;
+  f.loop.Schedule(Seconds(14), [&] {
+    auto state = mopfleet::ReadSnapshotFile(path);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    restarted = std::make_unique<mopcollect::CollectorServer>(opts);
+    restarted->ImportState(std::move(state).value());
+    EXPECT_GT(restarted->counters().records_ingested, 0u);
+    EXPECT_LT(restarted->counters().records_ingested, static_cast<uint64_t>(kRecords));
+    restarted->RegisterWith(&f.farm, f.primary_addr);
+    snapshotter2 = std::make_unique<mopfleet::Snapshotter>(&f.loop, restarted.get(), path,
+                                                           Seconds(2));
+    snapshotter2->Start();
+  });
+
+  f.loop.RunFor(Seconds(40));
+  up.FlushNow();
+  f.loop.RunFor(Seconds(120));
+
+  ASSERT_NE(restarted, nullptr);
+  // Exactness across the crash: every generated record counted exactly once
+  // in the restored-plus-refolded collector; the uploader drained fully.
+  EXPECT_EQ(restarted->counters().records_ingested, static_cast<uint64_t>(kRecords));
+  EXPECT_EQ(up.pending_records(), 0u);
+  EXPECT_EQ(up.counters().records_sent, static_cast<uint64_t>(kRecords));
+  auto stats = restarted->TcpAppStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, static_cast<size_t>(kRecords));
+
+  up.Stop();
+  snapshotter->Stop();
+  snapshotter2->Stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -279,6 +279,78 @@ TEST(Dns, ValidatesNames) {
   EXPECT_FALSE(moppkt::IsValidDnsName(std::string(254, 'x')));
 }
 
+// The Into-encoder must emit the exact byte stream EncodeDns does —
+// including compression pointers — for every message shape the relay
+// produces. The e2e paths (DNS server, clients) now serialize through it.
+TEST(Dns, EncodeIntoIsByteIdenticalToEncodeDns) {
+  auto q1 = moppkt::DnsMessage::Query(77, "graph.facebook.com");
+  auto a1 = moppkt::DnsMessage::Answer(q1, IpAddr(31, 13, 79, 251), 300);
+  auto nx = moppkt::DnsMessage::NxDomain(q1);
+  // Multi-question + opaque-rdata answer exercises the non-A branch and
+  // cross-record compression.
+  moppkt::DnsMessage multi = q1;
+  multi.questions.push_back({"mme.graph.facebook.com", moppkt::DnsType::kAaaa, 1});
+  moppkt::DnsRecord txt;
+  txt.name = "graph.facebook.com";
+  txt.type = moppkt::DnsType::kCname;
+  txt.rdata = {1, 2, 3, 4, 5};
+  multi.answers.push_back(txt);
+  for (const auto& msg : {q1, a1, nx, multi}) {
+    auto reference = moppkt::EncodeDns(msg);
+    std::vector<uint8_t> buf(moppkt::DnsEncodedSizeBound(msg), 0xee);
+    size_t n = moppkt::EncodeDnsInto(msg, buf);
+    ASSERT_LE(n, buf.size());
+    buf.resize(n);
+    EXPECT_EQ(buf, reference);
+  }
+}
+
+TEST(Dns, PeekDnsQueryReadsFirstQuestionWithoutDecoding) {
+  auto q = moppkt::DnsMessage::Query(4242, "e1.whatsapp.net");
+  auto bytes = moppkt::EncodeDns(q);
+  moppkt::DnsQueryView view;
+  ASSERT_TRUE(moppkt::PeekDnsQuery(bytes, &view).ok());
+  EXPECT_EQ(view.id, 4242);
+  EXPECT_FALSE(view.is_response);
+  EXPECT_EQ(view.qdcount, 1);
+  EXPECT_EQ(view.qtype, moppkt::DnsType::kA);
+  EXPECT_EQ(view.name_view(), "e1.whatsapp.net");
+
+  // Responses peek too (the view reports is_response; compression in the
+  // answer section is never touched).
+  auto a = moppkt::DnsMessage::Answer(q, IpAddr(1, 2, 3, 4));
+  auto a_bytes = moppkt::EncodeDns(a);
+  ASSERT_TRUE(moppkt::PeekDnsQuery(a_bytes, &view).ok());
+  EXPECT_TRUE(view.is_response);
+  EXPECT_EQ(view.name_view(), "e1.whatsapp.net");
+}
+
+TEST(Dns, PeekDnsQueryRejectsMalformedInput) {
+  moppkt::DnsQueryView view;
+  EXPECT_FALSE(moppkt::PeekDnsQuery(std::vector<uint8_t>{1, 2, 3}, &view).ok());
+  // Self-referencing compression pointer in the question name.
+  std::vector<uint8_t> evil{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1};
+  EXPECT_FALSE(moppkt::PeekDnsQuery(evil, &view).ok());
+  // Question name cut off mid-label.
+  auto bytes = moppkt::EncodeDns(moppkt::DnsMessage::Query(1, "abcdef.example.com"));
+  EXPECT_FALSE(
+      moppkt::PeekDnsQuery(std::span<const uint8_t>(bytes.data(), 15), &view).ok());
+  // A pointer chain that assembles a name past 253 bytes must be refused,
+  // not truncated: 32 jumps x 63-byte labels.
+  std::vector<uint8_t> longname{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  size_t label_at = longname.size();
+  longname.push_back(63);
+  for (int i = 0; i < 63; ++i) {
+    longname.push_back('x');
+  }
+  // Each hop: pointer back to the label, which falls through to the next
+  // pointer... simpler: one label then pointer to itself-with-label loops
+  // grow the name each jump.
+  longname.push_back(0xc0);
+  longname.push_back(static_cast<uint8_t>(label_at));
+  EXPECT_FALSE(moppkt::PeekDnsQuery(longname, &view).ok());
+}
+
 TEST(Packet, ClassifiesTcp) {
   IpAddr src(10, 0, 0, 2), dst(93, 5, 6, 7);
   moppkt::TcpSegmentSpec spec;
