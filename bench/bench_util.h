@@ -5,6 +5,10 @@
 //   --scale=<f>   crowd-study scale factor (1.0 = the full 5.25M-record
 //                 dataset; smaller for quick runs)
 //   --seed=<n>    RNG seed
+//   --lanes=<n>   engine worker-lane sweep (table3/table4 only): run the
+//                 relay-scaling section with Config::worker_lanes = n.
+//                 Unset (0) keeps the default paper-model output unchanged,
+//                 so the checked-in baselines never see this section.
 #ifndef MOPEYE_BENCH_BENCH_UTIL_H_
 #define MOPEYE_BENCH_BENCH_UTIL_H_
 
@@ -24,6 +28,7 @@ namespace mopbench {
 struct Flags {
   double scale = 1.0;
   uint64_t seed = 20160516;
+  int lanes = 0;  // 0 = flag not given; benches keep their default output
 };
 
 inline Flags ParseFlags(int argc, char** argv) {
@@ -34,8 +39,10 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.scale = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       f.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--lanes=", 8) == 0) {
+      f.lanes = std::atoi(arg + 8);
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("flags: --scale=<f> --seed=<n>\n");
+      std::printf("flags: --scale=<f> --seed=<n> --lanes=<n>\n");
       std::exit(0);
     }
   }

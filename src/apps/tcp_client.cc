@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "netpkt/packet_buf.h"
 #include "util/logging.h"
 
 namespace mopapps {
@@ -106,8 +107,18 @@ void AppTcpConnection::EmitSegment(moppkt::TcpFlags flags, std::span<const uint8
     spec.mss = kAppMss;
   }
   spec.payload = payload;
-  std::vector<uint8_t> pkt = moppkt::BuildTcpDatagram(spec, local_.ip, remote_.ip, ip_id_++);
-  stack_->Send(std::move(pkt));
+  SendSpec(spec);
+}
+
+void AppTcpConnection::SendSpec(const moppkt::TcpSegmentSpec& spec) {
+  // Pooled in-place build: the app's "kernel" emits straight into a slab the
+  // TUN and the relay reuse, so the zero-alloc steady state holds end to end
+  // (app build -> tun -> owning engine lane).
+  moppkt::PacketBuf datagram =
+      moppkt::BufPool::Default().AcquireSized(20 + moppkt::TcpSegmentBytes(spec));
+  datagram.set_size(moppkt::BuildTcpDatagramInto(spec, local_.ip, remote_.ip, ip_id_++,
+                                                 /*ttl=*/64, datagram.writable()));
+  stack_->Send(std::move(datagram));
 }
 
 void AppTcpConnection::OnPacket(const moppkt::ParsedPacket& pkt) {
@@ -285,7 +296,7 @@ void AppTcpConnection::TrySendData() {
     spec.flags = moppkt::PshAckFlag();
     spec.window = kAppWindow;
     spec.payload = payload;
-    stack_->Send(moppkt::BuildTcpDatagram(spec, local_.ip, remote_.ip, ip_id_++));
+    SendSpec(spec);
 
     snd_nxt_ += static_cast<uint32_t>(n);
     bytes_sent_ += n;
@@ -373,7 +384,7 @@ void AppTcpConnection::OnRetransmitTimer() {
     spec.flags = moppkt::PshAckFlag();
     spec.window = kAppWindow;
     spec.payload = payload;
-    stack_->Send(moppkt::BuildTcpDatagram(spec, local_.ip, remote_.ip, ip_id_++));
+    SendSpec(spec);
     ArmRetransmit(kDataRto * 2);
   }
 }

@@ -89,6 +89,10 @@ class AppTcpConnection : public std::enable_shared_from_this<AppTcpConnection> {
   void HandleEstablished(const moppkt::ParsedPacket& pkt);
   void EmitSegment(moppkt::TcpFlags flags, std::span<const uint8_t> payload,
                    bool with_mss = false);
+  // Builds the datagram for `spec` in a pooled buffer and hands it to the
+  // stack's zero-copy Send — the app side of the relay never materializes a
+  // std::vector datagram.
+  void SendSpec(const moppkt::TcpSegmentSpec& spec);
   void SendAck();
   void TrySendData();
   void ArmRetransmit(SimDuration delay);

@@ -1,0 +1,63 @@
+// Flow-affine dispatch over N real-thread PacketQueues.
+//
+// The virtual-time engine shards its MainWorker into N lanes by
+// FlowKeyHash % N (TunReader::Dispatch); this is the same algorithm under
+// genuine std::thread contention, used by the real-thread tests and micro
+// benches to show the modeled property — one flow's packets are always
+// consumed by one lane, in order, with no cross-lane locking — is real.
+//
+// The dispatcher owns one PacketQueue per lane. Producers call
+// Put(flow_hash, item): the hash picks the owning lane and the item is
+// enqueued on that lane's queue only, so consumers never share items and a
+// flow's FIFO order is preserved end to end (a global MPMC queue with N
+// consumers would interleave a flow across threads).
+#ifndef MOPEYE_CONCURRENT_LANE_DISPATCH_H_
+#define MOPEYE_CONCURRENT_LANE_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "concurrent/packet_queue.h"
+
+namespace mopcc {
+
+template <typename T>
+class LaneDispatcher {
+ public:
+  // `lanes` consumer queues, all with the same put mode / spin budget.
+  explicit LaneDispatcher(size_t lanes, PutMode mode = PutMode::kNewPut,
+                          int spin_rounds = 4096) {
+    queues_.reserve(lanes);
+    for (size_t i = 0; i < lanes; ++i) {
+      queues_.push_back(std::make_unique<PacketQueue<T>>(mode, spin_rounds));
+    }
+  }
+
+  size_t lanes() const { return queues_.size(); }
+  size_t LaneOf(uint64_t flow_hash) const { return flow_hash % queues_.size(); }
+
+  // Producer side: enqueue on the flow's owning lane. Returns true if the
+  // put had to notify a parked consumer (the expensive path).
+  bool Put(uint64_t flow_hash, T item) {
+    return queues_[LaneOf(flow_hash)]->Put(std::move(item));
+  }
+
+  // Consumer side: lane i's thread drains queue(i) exclusively.
+  PacketQueue<T>& queue(size_t lane) { return *queues_[lane]; }
+
+  // Unblocks every lane consumer.
+  void Stop() {
+    for (auto& q : queues_) {
+      q->Stop();
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<PacketQueue<T>>> queues_;
+};
+
+}  // namespace mopcc
+
+#endif  // MOPEYE_CONCURRENT_LANE_DISPATCH_H_

@@ -106,6 +106,17 @@ struct Config {
   };
   ProtectMode protect_mode = ProtectMode::kAuto;
 
+  // ---- Worker-lane sharding (thread model v2) ----
+  // Number of MainWorker lanes the relay engine runs. 1 (the default) is the
+  // paper's single-MainWorker model and keeps every checked-in bench baseline
+  // byte-identical. With N > 1 the TunReader classifies each packet by
+  // FlowKeyHash % N and enqueues it on the owning lane; each lane owns its
+  // own selector, TCP-client table, DNS relay state, buffer pool, and
+  // measurement shard, so no flow state is ever shared across lanes. The
+  // scaled configuration also turns write_batching on (all lanes feed the
+  // single TunWriter, and per-packet write() would re-serialize them there).
+  int worker_lanes = 1;
+
   // Relay TCP parameters (§3.4).
   uint16_t mss = 1460;
   uint16_t window = 65535;

@@ -10,18 +10,48 @@ namespace mopeye {
 
 namespace {
 constexpr moputil::SimDuration kUdpIdleTimeout = moputil::Seconds(60);
+
+// Per-lane emission pools. Static duration like BufPool::Default(): packets
+// emitted by a lane can still sit in the TunWriter queue, pending event-loop
+// deliveries, or the app-side stack after the engine is destroyed, so the
+// pools they release into must outlive every engine. Lane i of every engine
+// shares pool i — same sharing model as the default pool, but lanes of one
+// engine never contend with each other.
+moppkt::BufPool& LaneEmitPool(size_t lane) {
+  static std::vector<std::unique_ptr<moppkt::BufPool>>* pools =
+      new std::vector<std::unique_ptr<moppkt::BufPool>>();
+  while (pools->size() <= lane) {
+    pools->push_back(std::make_unique<moppkt::BufPool>());
+  }
+  return *(*pools)[lane];
 }
+}  // namespace
 
 MopEyeEngine::MopEyeEngine(mopdroid::AndroidDevice* device, Config config)
     : device_(device),
       config_(std::move(config)),
       loop_(device->loop()),
-      rng_(device->rng().Fork()),
-      selector_(device->loop()),
-      main_lane_(device->loop(), "MainWorker") {
+      rng_(device->rng().Fork()) {
   MOP_CHECK(device != nullptr);
+  MOP_CHECK(config_.worker_lanes >= 1) << "worker_lanes must be >= 1";
+  if (config_.worker_lanes > 1) {
+    // The scaled configuration: all lanes feed the single TunWriter, so
+    // batched drains are what keeps the shared fd from re-serializing them.
+    config_.write_batching = true;
+  }
+  for (int i = 0; i < config_.worker_lanes; ++i) {
+    // Lane 0 of a single-lane engine keeps the historical thread name.
+    std::string name = config_.worker_lanes == 1 ? "MainWorker"
+                                                 : "MainWorker-" + std::to_string(i);
+    lanes_.push_back(std::make_unique<WorkerLane>(loop_, std::move(name),
+                                                  &LaneEmitPool(static_cast<size_t>(i))));
+  }
   device_->package_manager().Install(kMopEyeUid, "com.mopeye", "MopEye");
   mapper_ = std::make_unique<PacketToAppMapper>(device_, &config_);
+  // Reads of the merged store pull the lane shards in first, so a raw
+  // MeasurementStore* captured at composition time (the Uploader's) keeps
+  // observing lane-sharded records.
+  store_.SetRefillHook([this] { MergeStoreShards(); });
 }
 
 MopEyeEngine::~MopEyeEngine() {
@@ -49,7 +79,7 @@ moputil::Status MopEyeEngine::Start() {
       .setSession("MopEye");
   if (EffectiveProtectMode() == Config::ProtectMode::kDisallowedApp) {
     // §3.5.2: exclude MopEye itself from the VPN once, instead of protecting
-    // every socket. Invoked at initialization so MainWorker never pays it.
+    // every socket. Invoked at initialization so no worker lane ever pays it.
     auto st = builder.addDisallowedApplication("com.mopeye");
     if (!st.ok()) {
       return st;
@@ -60,10 +90,26 @@ moputil::Status MopEyeEngine::Start() {
     return moputil::Internal("VpnService.establish() failed");
   }
 
-  selector_.on_wakeup = [this] { OnSelectorWakeup(); };
-  reader_ = std::make_unique<TunReader>(loop_, tun, &config_, rng_.Fork(), &selector_,
-                                        &read_queue_);
+  std::vector<TunReader::LaneSink> sinks;
+  sinks.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    WorkerLane* l = lane.get();
+    l->selector.on_wakeup = [this, l] { OnSelectorWakeup(*l); };
+    sinks.push_back(TunReader::LaneSink{&l->read_queue, &l->selector});
+  }
+  reader_ = std::make_unique<TunReader>(loop_, tun, &config_, rng_.Fork(),
+                                        std::move(sinks));
   writer_ = std::make_unique<TunWriter>(loop_, tun, &config_, rng_.Fork());
+  if (lanes_.size() == 1) {
+    // Single-lane: the lane continues the engine's own stream, making the
+    // thread-model-v2 engine draw-for-draw identical to the historical
+    // single-MainWorker engine (the bench baselines depend on this).
+    lanes_[0]->rng = rng_;
+  } else {
+    for (auto& lane : lanes_) {
+      lane->rng = rng_.Fork();
+    }
+  }
   reader_->Start();
   running_ = true;
   for (const auto& service : services_) {
@@ -124,32 +170,75 @@ void MopEyeEngine::Stop() {
     }
   });
   // Drop relay state; external channels reset.
-  for (auto& [flow, client] : clients_) {
-    if (client->kernel_handle != 0) {
-      device_->conn_table().Unregister(client->kernel_handle);
-      client->kernel_handle = 0;
+  for (auto& lane : lanes_) {
+    for (auto& [flow, client] : lane->clients) {
+      if (client->kernel_handle != 0) {
+        device_->conn_table().Unregister(client->kernel_handle);
+        client->kernel_handle = 0;
+      }
+      if (client->connect_lane) {
+        retired_worker_busy_ += client->connect_lane->busy_time();
+        ++retired_worker_count_;
+      }
+      if (client->channel) {
+        client->channel->Deregister();
+        client->channel->Reset();
+      }
     }
-    if (client->connect_lane) {
-      retired_worker_busy_ += client->connect_lane->busy_time();
-      ++retired_worker_count_;
+    lane->clients.clear();
+    lane->by_channel.clear();
+    for (auto& [flow, udp] : lane->udp_clients) {
+      if (udp->kernel_handle != 0) {
+        device_->conn_table().Unregister(udp->kernel_handle);
+      }
+      if (udp->lane) {
+        retired_worker_busy_ += udp->lane->busy_time();
+        ++retired_worker_count_;
+      }
     }
-    if (client->channel) {
-      client->channel->Deregister();
-      client->channel->Reset();
-    }
+    lane->udp_clients.clear();
   }
-  clients_.clear();
-  by_channel_.clear();
-  for (auto& [flow, udp] : udp_clients_) {
-    if (udp->kernel_handle != 0) {
-      device_->conn_table().Unregister(udp->kernel_handle);
-    }
-    if (udp->lane) {
-      retired_worker_busy_ += udp->lane->busy_time();
-      ++retired_worker_count_;
-    }
+}
+
+MopEyeEngine::Counters MopEyeEngine::counters() const {
+  Counters total;
+  for (const auto& lane : lanes_) {
+    total += lane->counters;
   }
-  udp_clients_.clear();
+  return total;
+}
+
+const MopEyeEngine::Counters& MopEyeEngine::lane_counters(size_t lane) const {
+  MOP_CHECK(lane < lanes_.size());
+  return lanes_[lane]->counters;
+}
+
+size_t MopEyeEngine::active_clients() const {
+  size_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->clients.size();
+  }
+  return n;
+}
+
+void MopEyeEngine::MergeStoreShards() {
+  std::vector<Measurement> batch;
+  for (auto& lane : lanes_) {
+    std::vector<Measurement> shard = lane->store.TakeRecords();
+    batch.insert(batch.end(), std::make_move_iterator(shard.begin()),
+                 std::make_move_iterator(shard.end()));
+  }
+  if (batch.empty()) {
+    return;
+  }
+  // Each shard is time-ordered (sim time is monotonic); a stable sort merges
+  // them deterministically, and everything already merged is older than this
+  // batch, so appending keeps the global time order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Measurement& a, const Measurement& b) { return a.time < b.time; });
+  for (auto& m : batch) {
+    store_.Add(std::move(m));
+  }
 }
 
 MopEyeEngine::ResourceUsage MopEyeEngine::resources() const {
@@ -160,45 +249,51 @@ MopEyeEngine::ResourceUsage MopEyeEngine::resources() const {
   if (writer_) {
     u.busy_writer = writer_->writer_busy_time();
   }
-  u.busy_main = main_lane_.busy_time();
-  u.busy_workers = retired_worker_busy_;
-  for (const auto& [flow, client] : clients_) {
-    if (client->connect_lane) {
-      u.busy_workers += client->connect_lane->busy_time();
-    }
+  size_t read_queue_high_water = 0;
+  for (const auto& lane : lanes_) {
+    u.busy_main += lane->lane.busy_time();
+    read_queue_high_water += lane->read_queue.high_water;
   }
-  for (const auto& [flow, udp] : udp_clients_) {
-    if (udp->lane) {
-      u.busy_workers += udp->lane->busy_time();
+  u.busy_workers = retired_worker_busy_;
+  for (const auto& lane : lanes_) {
+    for (const auto& [flow, client] : lane->clients) {
+      if (client->connect_lane) {
+        u.busy_workers += client->connect_lane->busy_time();
+      }
+    }
+    for (const auto& [flow, udp] : lane->udp_clients) {
+      if (udp->lane) {
+        u.busy_workers += udp->lane->busy_time();
+      }
     }
   }
   // Memory model: per-client socket read+write buffers (§3.4 sizes them at
   // 64 KiB), queue high-water, and a fixed service overhead.
   size_t per_client = 2 * config_.socket_buffer + 1024 + config_.extra_memory_per_client;
-  size_t peak_clients = std::max(counters_.clients_high_water, clients_.size());
+  size_t peak_clients = std::max(counters().clients_high_water, active_clients());
   u.memory_bytes = 10 * 1024 * 1024                      // service heap + runtime-resident
                    + config_.extra_memory_base           // inspection buffers / caches
                    + peak_clients * per_client           // relay clients
-                   + read_queue_.high_water * 1600       // read queue packets
+                   + read_queue_high_water * 1600        // read queue packets
                    + (writer_ ? writer_->queue_high_water() * 1600 : 0);
   return u;
 }
 
-// ---------------- Main worker ----------------
+// ---------------- Worker lanes ----------------
 
-void MopEyeEngine::OnSelectorWakeup() {
-  // select() returns on the MainWorker thread after the dispatch latency.
-  main_lane_.Submit(config_.costs.selector_dispatch->Sample(rng_), moputil::Micros(3),
-                    [this] { DrainEvents(); });
+void MopEyeEngine::OnSelectorWakeup(WorkerLane& lane) {
+  // select() returns on this lane's thread after the dispatch latency.
+  lane.lane.Submit(config_.costs.selector_dispatch->Sample(lane.rng), moputil::Micros(3),
+                   [this, l = &lane] { DrainEvents(*l); });
 }
 
-void MopEyeEngine::DrainEvents() {
+void MopEyeEngine::DrainEvents(WorkerLane& lane) {
   if (!running_) {
     return;
   }
   // §3.2: one waiting point serves both queues; we interleave processing of
   // socket events and tunnel packets so neither starves.
-  std::vector<mopnet::ReadyEvent> events = selector_.TakeReady();
+  std::vector<mopnet::ReadyEvent> events = lane.selector.TakeReady();
   size_t ei = 0;
   bool more = true;
   while (more) {
@@ -206,54 +301,54 @@ void MopEyeEngine::DrainEvents() {
     if (ei < events.size()) {
       mopnet::ReadyEvent ev = events[ei++];
       if (ev.channel != nullptr) {
-        main_lane_.Submit(0, config_.costs.sm_process->Sample(rng_),
-                          [this, ev] { HandleSocketEvent(ev); });
+        lane.lane.Submit(0, config_.costs.sm_process->Sample(lane.rng),
+                         [this, l = &lane, ev] { HandleSocketEvent(*l, ev); });
       }
       more = true;
     }
-    if (!read_queue_.items.empty()) {
-      moppkt::PacketBuf pkt = std::move(read_queue_.items.front().second);
-      read_queue_.items.pop_front();
-      moputil::SimDuration cost = config_.costs.packet_parse->Sample(rng_);
+    if (!lane.read_queue.items.empty()) {
+      moppkt::PacketBuf pkt = std::move(lane.read_queue.items.front().second);
+      lane.read_queue.items.pop_front();
+      moputil::SimDuration cost = config_.costs.packet_parse->Sample(lane.rng);
       if (config_.content_inspection) {
-        cost += config_.content_inspection->Sample(rng_);
+        cost += config_.content_inspection->Sample(lane.rng);
       }
-      main_lane_.Submit(0, cost, [this, pkt = std::move(pkt)]() mutable {
-        ProcessTunPacket(std::move(pkt));
+      lane.lane.Submit(0, cost, [this, l = &lane, pkt = std::move(pkt)]() mutable {
+        ProcessTunPacket(*l, std::move(pkt));
       });
       more = true;
     }
   }
 }
 
-void MopEyeEngine::ProcessTunPacket(moppkt::PacketBuf raw) {
+void MopEyeEngine::ProcessTunPacket(WorkerLane& lane, moppkt::PacketBuf raw) {
   if (!running_) {
     return;
   }
-  ++counters_.tun_packets;
+  ++lane.counters.tun_packets;
   // Zero-copy parse: `pkt` is a bundle of views into `raw`'s slab, which
   // stays alive for the rest of this call (and beyond it only if a data
   // segment moves the buffer into the client's staged socket writes).
   auto parsed = moppkt::ParsePacket(raw.bytes());
   if (!parsed.ok()) {
-    ++counters_.parse_errors;
+    ++lane.counters.parse_errors;
     return;
   }
   const moppkt::ParsedPacket& pkt = parsed.value();
   if (pkt.is_tcp()) {
     if (pkt.tcp->flags.syn && !pkt.tcp->flags.ack) {
-      HandleSyn(pkt);
+      HandleSyn(lane, pkt);
     } else {
-      HandleTcpSegment(pkt, std::move(raw));
+      HandleTcpSegment(lane, pkt, std::move(raw));
     }
     return;
   }
   if (pkt.is_udp()) {
-    ++counters_.udp_packets;
+    ++lane.counters.udp_packets;
     if (pkt.udp->dst_port == 53 && config_.measure_dns) {
-      HandleDnsQuery(pkt);
+      HandleDnsQuery(lane, pkt);
     } else if (config_.relay_non_dns_udp) {
-      HandleUdp(pkt);
+      HandleUdp(lane, pkt);
     }
     return;
   }
@@ -261,38 +356,39 @@ void MopEyeEngine::ProcessTunPacket(moppkt::PacketBuf raw) {
 }
 
 std::shared_ptr<MopEyeEngine::TcpClient> MopEyeEngine::FindClient(
-    const moppkt::FlowKey& flow) {
-  auto it = clients_.find(flow);
-  return it == clients_.end() ? nullptr : it->second;
+    WorkerLane& lane, const moppkt::FlowKey& flow) {
+  auto it = lane.clients.find(flow);
+  return it == lane.clients.end() ? nullptr : it->second;
 }
 
 // ---------------- TCP relay ----------------
 
-void MopEyeEngine::HandleSyn(const moppkt::ParsedPacket& pkt) {
-  ++counters_.syns;
+void MopEyeEngine::HandleSyn(WorkerLane& lane, const moppkt::ParsedPacket& pkt) {
+  ++lane.counters.syns;
   moppkt::FlowKey flow = pkt.flow();
-  if (auto existing = FindClient(flow)) {
-    ++counters_.syn_duplicates;
+  if (auto existing = FindClient(lane, flow)) {
+    ++lane.counters.syn_duplicates;
     // The app's kernel retransmitted its SYN while our external connect is
     // still in flight (or our SYN/ACK crossed it). Re-answer if we can.
     if (existing->sm.state() == RelayTcpState::kSynRcvd) {
-      EmitToApp(existing, existing->sm.MakeSynAckRetransmit(), &main_lane_);
+      EmitToApp(existing, existing->sm.MakeSynAckRetransmit(), &lane.lane);
     }
     return;
   }
 
-  auto client = std::make_shared<TcpClient>(flow, rng_.NextU32(), config_.mss,
+  auto client = std::make_shared<TcpClient>(flow, &lane, lane.rng.NextU32(), config_.mss,
                                             config_.window);
   client->sm.NoteSyn(*pkt.tcp);
-  clients_[flow] = client;
-  counters_.clients_high_water = std::max(counters_.clients_high_water, clients_.size());
+  lane.clients[flow] = client;
+  lane.counters.clients_high_water =
+      std::max(lane.counters.clients_high_water, lane.clients.size());
 
   // Mapping strategy decides *where* the /proc parse happens (§3.3):
-  // naive & cache block the MainWorker right here; lazy defers to the
+  // naive & cache block the owning lane right here; lazy defers to the
   // socket-connect thread after the handshake.
   if (config_.mapping == Config::MappingStrategy::kNaivePerSyn ||
       config_.mapping == Config::MappingStrategy::kCacheBased) {
-    mapper_->Map(flow, &main_lane_, [this, client](PacketToAppMapper::Outcome out) {
+    mapper_->Map(flow, &lane.lane, [this, client](PacketToAppMapper::Outcome out) {
       client->app = out;
       client->mapping_done = true;
       StartExternalConnect(client);
@@ -304,15 +400,17 @@ void MopEyeEngine::HandleSyn(const moppkt::ParsedPacket& pkt) {
 
 void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client) {
   // §2.4: run connect() in a temporary blocking-mode thread.
+  WorkerLane* home = client->home;
   client->connect_lane = std::make_unique<mopsim::ActorLane>(loop_, "sock-connect");
-  moputil::SimDuration spawn = config_.costs.thread_spawn->Sample(rng_);
+  moputil::SimDuration spawn = config_.costs.thread_spawn->Sample(home->rng);
   client->connect_lane->Submit(spawn, 0, [this, client] {
     if (client->removed) {
       return;
     }
+    WorkerLane* home = client->home;
     client->channel = mopnet::SocketChannel::Create(&device_->net());
     client->channel->set_owner_uid(kMopEyeUid);
-    by_channel_[client->channel.get()] = client;
+    home->by_channel[client->channel.get()] = client;
 
     moputil::SimDuration protect_cost = 0;
     if (EffectiveProtectMode() == Config::ProtectMode::kPerSocket) {
@@ -324,6 +422,7 @@ void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client
       if (client->removed) {
         return;
       }
+      WorkerLane* home = client->home;
       // MopEye's own socket appears in the kernel table too (it grows the
       // /proc files the mapper parses, as the paper notes).
       mopnet::ConnEntry entry;
@@ -335,7 +434,8 @@ void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client
       client->kernel_handle = device_->conn_table().Register(entry);
 
       if (config_.timestamp_mode == Config::TimestampMode::kSelector) {
-        client->channel->RegisterWith(&selector_, mopnet::kOpConnect);
+        // Connect completions route back to the flow's owning lane.
+        client->channel->RegisterWith(&home->selector, mopnet::kOpConnect);
       }
       // Timestamp immediately before the blocking connect() call (§4.1.1:
       // "putting the timing function just before and after the socket call").
@@ -347,19 +447,20 @@ void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client
           return;
         }
         if (!st.ok()) {
-          ++counters_.connects_failed;
-          c->connect_lane->Submit(config_.costs.thread_wake->Sample(rng_), 0, [this, c] {
-            if (c->removed) {
-              return;
-            }
-            EmitToApp(c, c->sm.MakeRst(), c->connect_lane.get());
-            RemoveClient(c);
-          });
+          ++c->home->counters.connects_failed;
+          c->connect_lane->Submit(config_.costs.thread_wake->Sample(c->home->rng), 0,
+                                  [this, c] {
+                                    if (c->removed) {
+                                      return;
+                                    }
+                                    EmitToApp(c, c->sm.MakeRst(), c->connect_lane.get());
+                                    RemoveClient(c);
+                                  });
           return;
         }
         // The connect() call returns: wake the socket-connect thread and
         // take the post-connect() timestamp there.
-        c->connect_lane->Submit(config_.costs.thread_wake->Sample(rng_), 0,
+        c->connect_lane->Submit(config_.costs.thread_wake->Sample(c->home->rng), 0,
                                 [this, c](moputil::SimTime start, moputil::SimTime) {
                                   FinishConnect(c, start);
                                 });
@@ -373,7 +474,8 @@ void MopEyeEngine::FinishConnect(const std::shared_ptr<TcpClient>& client,
   if (client->removed) {
     return;
   }
-  ++counters_.connects_ok;
+  WorkerLane* home = client->home;
+  ++home->counters.connects_ok;
   client->external_connected = true;
   device_->conn_table().UpdateState(client->kernel_handle, mopnet::ConnState::kEstablished);
 
@@ -381,13 +483,14 @@ void MopEyeEngine::FinishConnect(const std::shared_ptr<TcpClient>& client,
     client->pending_rtt = t1 - client->connect_t0;
     MaybeRecordTcpMeasurement(client);
   }
-  // (kSelector mode captures the RTT when the kConnected event reaches
-  // MainWorker.)
+  // (kSelector mode captures the RTT when the kConnected event reaches the
+  // owning lane.)
 
   // §2.3: "Only after establishing the external connection can MopEye
   // complete the handshake with the app" — and it does so *immediately*, so
   // the app-side handshake is never delayed by mapping or registration.
-  client->connect_lane->Submit(0, config_.costs.sm_process->Sample(rng_), [this, client] {
+  client->connect_lane->Submit(0, config_.costs.sm_process->Sample(home->rng),
+                               [this, client] {
     if (client->removed) {
       return;
     }
@@ -395,13 +498,13 @@ void MopEyeEngine::FinishConnect(const std::shared_ptr<TcpClient>& client,
 
     // §3.4: register() with the selector can be expensive — run it on this
     // thread only after completing the internal handshake duties.
-    moputil::SimDuration reg = config_.costs.selector_register->Sample(rng_);
+    moputil::SimDuration reg = config_.costs.selector_register->Sample(client->home->rng);
     client->connect_lane->Submit(0, reg, [this, client] {
       if (client->removed || !client->channel) {
         return;
       }
       if (config_.timestamp_mode != Config::TimestampMode::kSelector) {
-        client->channel->RegisterWith(&selector_, mopnet::kOpRead);
+        client->channel->RegisterWith(&client->home->selector, mopnet::kOpRead);
       } else {
         client->channel->SetInterest(mopnet::kOpRead | mopnet::kOpConnect);
       }
@@ -439,34 +542,34 @@ void MopEyeEngine::MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& c
   m.isp = device_->net().profile().isp;
   m.country = device_->net().profile().country;
   m.device_id = device_->model();
-  store_.Add(std::move(m));
+  client->home->store.Add(std::move(m));
 }
 
-void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt,
+void MopEyeEngine::HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket& pkt,
                                     moppkt::PacketBuf raw) {
   moppkt::FlowKey flow = pkt.flow();
-  auto client = FindClient(flow);
+  auto client = FindClient(lane, flow);
   if (!client) {
-    ++counters_.unknown_flow;
+    ++lane.counters.unknown_flow;
     return;
   }
   const moppkt::TcpSegment& seg = *pkt.tcp;
   bool is_pure_ack = seg.flags.ack && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst &&
                      seg.payload.empty();
   if (seg.flags.fin) {
-    ++counters_.fins;
+    ++lane.counters.fins;
   }
   if (seg.flags.rst) {
-    ++counters_.rsts;
+    ++lane.counters.rsts;
   }
   if (!seg.payload.empty()) {
-    ++counters_.data_segments;
+    ++lane.counters.data_segments;
   }
 
   TcpStateMachine::Output out = client->sm.OnAppSegment(seg);
 
   for (const auto& spec : out.to_app) {
-    EmitToApp(client, spec, &main_lane_);
+    EmitToApp(client, spec, &lane.lane);
   }
 
   if (out.app_reset) {
@@ -483,17 +586,17 @@ void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt,
     // for the socket instance. `to_socket` is a view into `raw`, so the
     // pooled buffer rides along unserialized until the flush — no byte is
     // copied here.
-    counters_.bytes_app_to_server += out.to_socket.size();
+    lane.counters.bytes_app_to_server += out.to_socket.size();
     client->socket_write_bytes += out.to_socket.size();
     client->socket_write_buf.push_back(
         TcpClient::PendingWrite{std::move(raw), out.to_socket});
     if (!client->write_event_pending && client->channel) {
       client->write_event_pending = true;
-      selector_.TriggerWrite(client->channel);
+      lane.selector.TriggerWrite(client->channel);
     }
   } else if (is_pure_ack) {
     // §2.3 "Pure ACK": nothing to relay.
-    ++counters_.pure_acks_discarded;
+    ++lane.counters.pure_acks_discarded;
   }
 
   if (out.app_half_closed) {
@@ -509,12 +612,12 @@ void MopEyeEngine::HandleTcpSegment(const moppkt::ParsedPacket& pkt,
   }
 }
 
-void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
+void MopEyeEngine::HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent& ev) {
   if (!running_ || ev.channel == nullptr) {
     return;
   }
-  auto it = by_channel_.find(ev.channel.get());
-  if (it == by_channel_.end()) {
+  auto it = lane.by_channel.find(ev.channel.get());
+  if (it == lane.by_channel.end()) {
     return;
   }
   auto client = it->second.lock();
@@ -525,7 +628,7 @@ void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
     case mopnet::SocketEventType::kConnected: {
       if (config_.timestamp_mode == Config::TimestampMode::kSelector) {
         // Ablation: the event-notification timestamp the paper rejects —
-        // inflated by selector dispatch and MainWorker queueing.
+        // inflated by selector dispatch and lane queueing.
         client->pending_rtt = loop_->Now() - client->connect_t0;
         MaybeRecordTcpMeasurement(client);
       }
@@ -534,7 +637,7 @@ void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
     case mopnet::SocketEventType::kConnectFailed:
       break;  // the blocking-connect callback already handled failure
     case mopnet::SocketEventType::kReadable:
-      ++counters_.socket_read_events;
+      ++lane.counters.socket_read_events;
       HandleSocketReadable(client);
       break;
     case mopnet::SocketEventType::kWritable:
@@ -549,7 +652,7 @@ void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
       RelayTcpState s = client->sm.state();
       if (s == RelayTcpState::kEstablished || s == RelayTcpState::kSynRcvd ||
           s == RelayTcpState::kCloseWait) {
-        EmitToApp(client, client->sm.MakeFin(), &main_lane_);
+        EmitToApp(client, client->sm.MakeFin(), &lane.lane);
       }
       if (client->sm.state() == RelayTcpState::kClosed) {
         RemoveClient(client);
@@ -557,7 +660,7 @@ void MopEyeEngine::HandleSocketEvent(const mopnet::ReadyEvent& ev) {
       break;
     }
     case mopnet::SocketEventType::kReset: {
-      EmitToApp(client, client->sm.MakeRst(), &main_lane_);
+      EmitToApp(client, client->sm.MakeRst(), &lane.lane);
       RemoveClient(client);
       break;
     }
@@ -568,6 +671,7 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
   if (!client->channel || client->socket_write_buf.empty()) {
     return;
   }
+  WorkerLane* home = client->home;
   // Gather the staged spans into the socket's buffer in one pass; the pooled
   // packets they point into return to the pool as the deque clears.
   std::vector<uint8_t> data;
@@ -577,8 +681,8 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
   }
   client->socket_write_buf.clear();
   client->socket_write_bytes = 0;
-  moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
-  main_lane_.Submit(0, cost, [this, client, data = std::move(data)]() mutable {
+  moputil::SimDuration cost = config_.costs.socket_op->Sample(home->rng);
+  home->lane.Submit(0, cost, [this, client, data = std::move(data)]() mutable {
     if (client->removed || !client->channel) {
       return;
     }
@@ -589,7 +693,7 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
     client->channel->Write(std::move(data));
     // §2.3 "Socket Write": after pushing the buffer to the server, instruct
     // the state machine to ACK the app.
-    EmitToApp(client, client->sm.MakeAck(), &main_lane_);
+    EmitToApp(client, client->sm.MakeAck(), &client->home->lane);
     // Half-close deferred until the buffer flushed.
     if (client->sm.state() == RelayTcpState::kCloseWait ||
         client->sm.state() == RelayTcpState::kLastAck) {
@@ -602,31 +706,32 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
   if (!client->channel || client->removed) {
     return;
   }
+  WorkerLane* home = client->home;
   // §2.3 "Socket Read": pull from the (64 KiB) read buffer and construct data
-  // packets for the internal connection. The read lands in the engine-wide
+  // packets for the internal connection. The read lands in the lane-wide
   // scratch; only the bytes actually read are carried across the lane hop.
-  socket_read_scratch_.resize(config_.socket_buffer);
-  size_t n = client->channel->Read(socket_read_scratch_);
+  home->socket_read_scratch.resize(config_.socket_buffer);
+  size_t n = client->channel->Read(home->socket_read_scratch);
   if (n == 0) {
     return;
   }
-  std::vector<uint8_t> buf(socket_read_scratch_.begin(),
-                           socket_read_scratch_.begin() + static_cast<long>(n));
-  counters_.bytes_server_to_app += n;
-  moputil::SimDuration cost = config_.costs.socket_op->Sample(rng_);
+  std::vector<uint8_t> buf(home->socket_read_scratch.begin(),
+                           home->socket_read_scratch.begin() + static_cast<long>(n));
+  home->counters.bytes_server_to_app += n;
+  moputil::SimDuration cost = config_.costs.socket_op->Sample(home->rng);
   if (config_.content_inspection) {
     // Inspect each MSS-sized chunk of the server's data.
     for (size_t off = 0; off < n; off += config_.mss) {
-      cost += config_.content_inspection->Sample(rng_);
+      cost += config_.content_inspection->Sample(home->rng);
     }
   }
-  main_lane_.Submit(0, cost, [this, client, buf = std::move(buf)]() mutable {
+  home->lane.Submit(0, cost, [this, client, buf = std::move(buf)]() mutable {
     if (client->removed) {
       return;
     }
     auto specs = client->sm.MakeData(buf);
     for (const auto& spec : specs) {
-      EmitToApp(client, spec, &main_lane_);
+      EmitToApp(client, spec, &client->home->lane);
     }
     // More may have arrived while we processed; keep draining.
     if (client->channel && client->channel->available() > 0) {
@@ -639,7 +744,7 @@ void MopEyeEngine::EmitToApp(const std::shared_ptr<TcpClient>& client,
                              const moppkt::TcpSegmentSpec& spec,
                              mopsim::ActorLane* producer) {
   moppkt::PacketBuf datagram =
-      moppkt::BufPool::Default().AcquireSized(20 + moppkt::TcpSegmentBytes(spec));
+      client->home->pool->AcquireSized(20 + moppkt::TcpSegmentBytes(spec));
   size_t n;
   if (moppkt::TcpPacketTemplate::Covers(spec)) {
     // Steady state (data/ACK/FIN/RST): stamp the per-flow template — header
@@ -666,6 +771,7 @@ void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
     return;
   }
   client->removed = true;
+  WorkerLane* home = client->home;
   if (client->kernel_handle != 0) {
     device_->conn_table().Unregister(client->kernel_handle);
     client->kernel_handle = 0;
@@ -675,20 +781,20 @@ void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
     ++retired_worker_count_;
   }
   if (client->channel) {
-    by_channel_.erase(client->channel.get());
+    home->by_channel.erase(client->channel.get());
     client->channel->Deregister();
     if (client->channel->state() != mopnet::ChannelState::kClosed &&
         client->channel->state() != mopnet::ChannelState::kFailed) {
       client->channel->Close();
     }
   }
-  clients_.erase(client->flow);
+  home->clients.erase(client->flow);
 }
 
 // ---------------- UDP / DNS relay ----------------
 
-void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
-  ++counters_.dns_queries;
+void MopEyeEngine::HandleDnsQuery(WorkerLane& lane, const moppkt::ParsedPacket& pkt) {
+  ++lane.counters.dns_queries;
   moppkt::FlowKey flow = pkt.flow();
   // View-based peek: the measurement only needs the first question's name,
   // so the relay reads it straight out of the pooled packet instead of
@@ -700,17 +806,18 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
   }
 
   // §2.4: the whole DNS processing runs in a temporary thread so parsing and
-  // socket setup never block the VpnService main thread.
+  // socket setup never block the owning lane.
   auto udp = std::make_shared<UdpClient>();
   udp->flow = flow;
+  udp->home = &lane;
   udp->is_dns = true;
   udp->query_domain = domain;
   udp->lane = std::make_unique<mopsim::ActorLane>(loop_, "dns-worker");
-  udp_clients_[flow] = udp;
+  lane.udp_clients[flow] = udp;
 
   std::vector<uint8_t> payload(pkt.udp->payload.begin(), pkt.udp->payload.end());
-  moputil::SimDuration setup = config_.costs.thread_spawn->Sample(rng_) +
-                               config_.costs.dns_process->Sample(rng_);
+  moputil::SimDuration setup = config_.costs.thread_spawn->Sample(lane.rng) +
+                               config_.costs.dns_process->Sample(lane.rng);
   udp->lane->Submit(setup, 0, [this, udp, payload = std::move(payload)]() mutable {
     udp->socket = mopnet::UdpSocket::Create(&device_->net());
     udp->socket->set_owner_uid(kMopEyeUid);
@@ -726,10 +833,10 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
         return;
       }
       // Blocking-mode receive: timestamp on the DNS thread's wakeup (§2.4).
-      u->lane->Submit(config_.costs.thread_wake->Sample(rng_), 0,
+      u->lane->Submit(config_.costs.thread_wake->Sample(u->home->rng), 0,
                       [this, u, from, response = std::move(response)](
                           moputil::SimTime start, moputil::SimTime) mutable {
-                        ++counters_.dns_responses;
+                        ++u->home->counters.dns_responses;
                         Measurement m;
                         m.time = start;
                         m.kind = MeasureKind::kDns;
@@ -742,10 +849,10 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
                         m.isp = device_->net().profile().isp;
                         m.country = device_->net().profile().country;
                         m.device_id = device_->model();
-                        store_.Add(std::move(m));
+                        u->home->store.Add(std::move(m));
                         // Relay the answer back through the tunnel.
                         moppkt::PacketBuf datagram =
-                            moppkt::BufPool::Default().AcquireSized(28 + response.size());
+                            u->home->pool->AcquireSized(28 + response.size());
                         datagram.set_size(moppkt::BuildUdpDatagramInto(
                             u->flow.remote.port, u->flow.local.port, response,
                             u->flow.remote.ip, u->flow.local.ip, u->ip_id++,
@@ -754,7 +861,7 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
                         // Temporary DNS client retires.
                         retired_worker_busy_ += u->lane->busy_time();
                         ++retired_worker_count_;
-                        udp_clients_.erase(u->flow);
+                        u->home->udp_clients.erase(u->flow);
                       });
     };
     // Timestamp right before the send() socket call (§2.4).
@@ -763,15 +870,16 @@ void MopEyeEngine::HandleDnsQuery(const moppkt::ParsedPacket& pkt) {
   });
 }
 
-void MopEyeEngine::HandleUdp(const moppkt::ParsedPacket& pkt) {
+void MopEyeEngine::HandleUdp(WorkerLane& lane, const moppkt::ParsedPacket& pkt) {
   moppkt::FlowKey flow = pkt.flow();
-  auto it = udp_clients_.find(flow);
+  auto it = lane.udp_clients.find(flow);
   std::shared_ptr<UdpClient> udp;
-  if (it != udp_clients_.end()) {
+  if (it != lane.udp_clients.end()) {
     udp = it->second;
   } else {
     udp = std::make_shared<UdpClient>();
     udp->flow = flow;
+    udp->home = &lane;
     udp->socket = mopnet::UdpSocket::Create(&device_->net());
     udp->socket->set_owner_uid(kMopEyeUid);
     if (EffectiveProtectMode() == Config::ProtectMode::kPerSocket) {
@@ -784,30 +892,30 @@ void MopEyeEngine::HandleUdp(const moppkt::ParsedPacket& pkt) {
       if (!u) {
         return;
       }
-      moppkt::PacketBuf datagram =
-          moppkt::BufPool::Default().AcquireSized(28 + response.size());
+      moppkt::PacketBuf datagram = u->home->pool->AcquireSized(28 + response.size());
       datagram.set_size(moppkt::BuildUdpDatagramInto(
           u->flow.remote.port, u->flow.local.port, response, u->flow.remote.ip,
           u->flow.local.ip, u->ip_id++, datagram.writable()));
-      EmitRawToApp(std::move(datagram), &main_lane_);
+      EmitRawToApp(std::move(datagram), &u->home->lane);
       u->last_activity = loop_->Now();
     };
-    udp_clients_[flow] = udp;
+    lane.udp_clients[flow] = udp;
     // Idle GC for plain UDP associations.
+    WorkerLane* l = &lane;
     std::weak_ptr<UdpClient> gc_weak = udp;
-    std::function<void()> gc = [this, gc_weak, flow]() {
+    std::function<void()> gc = [this, l, gc_weak, flow]() {
       auto u = gc_weak.lock();
       if (!u) {
         return;
       }
       if (loop_->Now() - u->last_activity >= kUdpIdleTimeout) {
-        udp_clients_.erase(flow);
+        l->udp_clients.erase(flow);
         return;
       }
-      loop_->Schedule(kUdpIdleTimeout, [this, gc_weak, flow] {
+      loop_->Schedule(kUdpIdleTimeout, [this, l, gc_weak, flow] {
         auto u2 = gc_weak.lock();
         if (u2 && loop_->Now() - u2->last_activity >= kUdpIdleTimeout) {
-          udp_clients_.erase(flow);
+          l->udp_clients.erase(flow);
         }
       });
     };

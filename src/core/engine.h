@@ -1,16 +1,31 @@
 // MopEyeEngine: the MopEyeService of the paper (Fig. 4).
 //
-// Owns the three core threads (TunReader, TunWriter, MainWorker) plus the
-// temporary socket-connect threads, the user-space TCP clients that splice
-// internal (tunnel) and external (socket) connections, the UDP/DNS relay,
-// the packet-to-app mapper, and the measurement store.
+// Owns the core relay threads (TunReader, TunWriter, N MainWorker lanes)
+// plus the temporary socket-connect threads, the user-space TCP clients that
+// splice internal (tunnel) and external (socket) connections, the UDP/DNS
+// relay, the packet-to-app mapper, and the measurement store.
 //
-// Thread model (all as virtual-time ActorLanes):
-//   TunReader  -> read queue -> Selector.wakeup() -> MainWorker
-//   MainWorker -> parse/map/relay; socket events from the Selector
+// Thread model v2 (all as virtual-time ActorLanes):
+//
+//   TunReader --(FlowKeyHash % N)--> lane read queues -> Selector.wakeup()
+//
+//   WorkerLane[i] (i = 0..N-1, "MainWorker" lanes):
+//     owns its Selector, TCP-client table, DNS relay state, BufPool,
+//     counters and measurement shard. parse/map/relay for the flows hashing
+//     to it; socket events and connect completions route back to the flow's
+//     owning lane, so no flow state is ever shared across lanes.
+//
 //   socket-connect thread (per SYN): protect? -> blocking connect ->
-//     timestamp -> lazy mapping -> selector register -> SYN/ACK to app
+//     timestamp -> lazy mapping -> register with the owning lane's selector
+//     -> SYN/ACK to app
+//
 //   TunWriter  <- write queue (newPut/oldPut) <- every packet toward the app
+//     (all lanes feed the single writer; the scaled configuration batches
+//     drains so the shared fd does not re-serialize the lanes)
+//
+// Config::worker_lanes = 1 (default) is the paper's single-MainWorker model
+// and is behaviorally identical to it — same RNG stream, same costs, same
+// event order — which the checked-in bench baselines depend on.
 #ifndef MOPEYE_CORE_ENGINE_H_
 #define MOPEYE_CORE_ENGINE_H_
 
@@ -49,7 +64,7 @@ class MopEyeEngine {
   MopEyeEngine& operator=(const MopEyeEngine&) = delete;
 
   // One-time VPN consent + service start: establishes the TUN, starts the
-  // reader/writer, arms the selector.
+  // reader/writer, arms the selectors.
   moputil::Status Start();
   // Stops the service. In blocking read mode this triggers the dummy-packet
   // release (§3.1): DownloadManager on SDK >= 21, a self packet otherwise.
@@ -67,6 +82,11 @@ class MopEyeEngine {
   EngineService* FindService(std::string_view name) const;
   size_t service_count() const { return services_.size(); }
 
+  // Merged view over the per-lane measurement shards. Every read accessor of
+  // the returned store refills from the shards (stable-ordered by record
+  // time) via its refill hook, so even consumers that captured the pointer
+  // once — the crowdsourcing Uploader polls it for its whole lifetime — see
+  // lane records regardless of worker_lanes.
   MeasurementStore& store() { return store_; }
   PacketToAppMapper& mapper() { return *mapper_; }
   TunReader* tun_reader() { return reader_.get(); }
@@ -92,16 +112,55 @@ class MopEyeEngine {
     uint64_t socket_read_events = 0;
     uint64_t bytes_app_to_server = 0;
     uint64_t bytes_server_to_app = 0;
+    // Sum of per-lane high waters: exact for worker_lanes=1, an upper bound
+    // on the global peak otherwise (lanes peak independently).
     size_t clients_high_water = 0;
+
+    // Shard merge, kept next to the fields so adding one without summing it
+    // here is caught in review (counters() reports whatever this adds).
+    Counters& operator+=(const Counters& o) {
+      tun_packets += o.tun_packets;
+      syns += o.syns;
+      syn_duplicates += o.syn_duplicates;
+      data_segments += o.data_segments;
+      pure_acks_discarded += o.pure_acks_discarded;
+      fins += o.fins;
+      rsts += o.rsts;
+      parse_errors += o.parse_errors;
+      unknown_flow += o.unknown_flow;
+      udp_packets += o.udp_packets;
+      dns_queries += o.dns_queries;
+      dns_responses += o.dns_responses;
+      connects_ok += o.connects_ok;
+      connects_failed += o.connects_failed;
+      socket_read_events += o.socket_read_events;
+      bytes_app_to_server += o.bytes_app_to_server;
+      bytes_server_to_app += o.bytes_server_to_app;
+      clients_high_water += o.clients_high_water;
+      return *this;
+    }
   };
-  const Counters& counters() const { return counters_; }
-  size_t active_clients() const { return clients_.size(); }
+  // Merged over the per-lane shards. Each lane accumulates into its own
+  // Counters (no shared mutable fields across lanes); this accessor sums
+  // them on read.
+  Counters counters() const;
+  size_t active_clients() const;
+
+  // ---- Lane introspection (tests / benches) ----
+  size_t lane_count() const { return lanes_.size(); }
+  // The lane that owns a flow under the current sharding (same rule the
+  // TunReader dispatches by: moppkt::FlowLaneOf).
+  size_t LaneOf(const moppkt::FlowKey& flow) const {
+    return moppkt::FlowLaneOf(flow, lanes_.size());
+  }
+  // One lane's counter shard (flow-affinity assertions).
+  const Counters& lane_counters(size_t lane) const;
 
   // Resource usage for Table 4's CPU/memory rows.
   struct ResourceUsage {
     moputil::SimDuration busy_reader = 0;
     moputil::SimDuration busy_writer = 0;
-    moputil::SimDuration busy_main = 0;
+    moputil::SimDuration busy_main = 0;  // summed across worker lanes
     moputil::SimDuration busy_workers = 0;  // socket-connect + DNS threads
     size_t memory_bytes = 0;
 
@@ -117,8 +176,11 @@ class MopEyeEngine {
   ResourceUsage resources() const;
 
  private:
+  struct WorkerLane;
+
   struct TcpClient {
     moppkt::FlowKey flow;
+    WorkerLane* home;  // owning lane; every event for this flow runs here
     TcpStateMachine sm;
     // Prototype datagram for everything we emit toward the app on this flow
     // (we speak as the server: src = remote). Option-less segments — the
@@ -148,14 +210,17 @@ class MopEyeEngine {
     mopnet::ConnHandle kernel_handle = 0;
     uint16_t ip_id = 1;
 
-    TcpClient(const moppkt::FlowKey& f, uint32_t iss, uint16_t mss, uint16_t window)
+    TcpClient(const moppkt::FlowKey& f, WorkerLane* h, uint32_t iss, uint16_t mss,
+              uint16_t window)
         : flow(f),
+          home(h),
           sm(f, iss, mss, window),
           tmpl(f.remote.ip, f.local.ip, f.remote.port, f.local.port) {}
   };
 
   struct UdpClient {
     moppkt::FlowKey flow;
+    WorkerLane* home = nullptr;
     std::shared_ptr<mopnet::UdpSocket> socket;
     std::unique_ptr<mopsim::ActorLane> lane;  // DNS temp thread
     mopnet::ConnHandle kernel_handle = 0;
@@ -166,12 +231,36 @@ class MopEyeEngine {
     uint16_t ip_id = 1;
   };
 
+  // One MainWorker shard: everything the single MainWorker used to own,
+  // re-homed so N lanes can run flows concurrently without sharing state.
+  struct WorkerLane {
+    WorkerLane(mopsim::EventLoop* loop, std::string name, moppkt::BufPool* emit_pool)
+        : lane(loop, std::move(name)), selector(loop), pool(emit_pool), rng(0) {}
+
+    mopsim::ActorLane lane;       // the simulated MainWorker thread
+    mopnet::Selector selector;    // this lane's waiting point (§3.2)
+    ReadQueue read_queue;         // TunReader -> this lane
+    moppkt::BufPool* pool;        // lane-owned emission pool (static duration)
+    moputil::Rng rng;             // seeded in Start(); lane 0 continues the
+                                  // engine stream when worker_lanes == 1
+    std::unordered_map<moppkt::FlowKey, std::shared_ptr<TcpClient>, moppkt::FlowKeyHash>
+        clients;
+    // Channel pointer -> client, for selector event routing.
+    std::unordered_map<const mopnet::SocketChannel*, std::weak_ptr<TcpClient>> by_channel;
+    std::unordered_map<moppkt::FlowKey, std::shared_ptr<UdpClient>, moppkt::FlowKeyHash>
+        udp_clients;
+    Counters counters;            // lane shard; merged by counters()
+    MeasurementStore store;       // lane shard; merged by store()
+    // Reused destination for this lane's synchronous external-socket reads.
+    std::vector<uint8_t> socket_read_scratch;
+  };
+
   Config::ProtectMode EffectiveProtectMode() const;
 
-  void OnSelectorWakeup();
-  void DrainEvents();
-  void ProcessTunPacket(moppkt::PacketBuf raw);
-  void HandleSyn(const moppkt::ParsedPacket& pkt);
+  void OnSelectorWakeup(WorkerLane& lane);
+  void DrainEvents(WorkerLane& lane);
+  void ProcessTunPacket(WorkerLane& lane, moppkt::PacketBuf raw);
+  void HandleSyn(WorkerLane& lane, const moppkt::ParsedPacket& pkt);
   void StartExternalConnect(const std::shared_ptr<TcpClient>& client);
   void FinishConnect(const std::shared_ptr<TcpClient>& client, moputil::SimTime t1);
   // Stores the record once both the RTT and the app mapping are available.
@@ -179,12 +268,13 @@ class MopEyeEngine {
   // `raw` is the pooled buffer `pkt`'s views point into; if the segment
   // carries in-order payload the buffer moves into the client's staged
   // writes, otherwise it dies (returns to the pool) on return.
-  void HandleTcpSegment(const moppkt::ParsedPacket& pkt, moppkt::PacketBuf raw);
-  void HandleSocketEvent(const mopnet::ReadyEvent& ev);
+  void HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket& pkt,
+                        moppkt::PacketBuf raw);
+  void HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent& ev);
   void FlushSocketWrites(const std::shared_ptr<TcpClient>& client);
   void HandleSocketReadable(const std::shared_ptr<TcpClient>& client);
-  void HandleUdp(const moppkt::ParsedPacket& pkt);
-  void HandleDnsQuery(const moppkt::ParsedPacket& pkt);
+  void HandleUdp(WorkerLane& lane, const moppkt::ParsedPacket& pkt);
+  void HandleDnsQuery(WorkerLane& lane, const moppkt::ParsedPacket& pkt);
   void RemoveClient(const std::shared_ptr<TcpClient>& client);
 
   // Sends one segment toward the app, paying the producer overhead on
@@ -193,7 +283,9 @@ class MopEyeEngine {
                  const moppkt::TcpSegmentSpec& spec, mopsim::ActorLane* producer);
   void EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer);
 
-  std::shared_ptr<TcpClient> FindClient(const moppkt::FlowKey& flow);
+  std::shared_ptr<TcpClient> FindClient(WorkerLane& lane, const moppkt::FlowKey& flow);
+  // Drains the per-lane measurement shards into store_ (time-ordered).
+  void MergeStoreShards();
 
   mopdroid::AndroidDevice* device_;
   Config config_;
@@ -201,25 +293,12 @@ class MopEyeEngine {
   moputil::Rng rng_;
 
   std::unique_ptr<mopdroid::VpnService> vpn_;
-  mopnet::Selector selector_;
-  ReadQueue read_queue_;
+  std::vector<std::unique_ptr<WorkerLane>> lanes_;
   std::unique_ptr<TunReader> reader_;
   std::unique_ptr<TunWriter> writer_;
-  mopsim::ActorLane main_lane_;
   std::unique_ptr<PacketToAppMapper> mapper_;
-  MeasurementStore store_;
-  // Reused destination for external-socket reads (used synchronously only):
-  // one 64 KiB buffer for the engine's lifetime instead of one per read.
-  std::vector<uint8_t> socket_read_scratch_;
+  MeasurementStore store_;  // merged view; shards drain here on access
 
-  std::unordered_map<moppkt::FlowKey, std::shared_ptr<TcpClient>, moppkt::FlowKeyHash>
-      clients_;
-  // Channel pointer -> client, for selector event routing.
-  std::unordered_map<const mopnet::SocketChannel*, std::weak_ptr<TcpClient>> by_channel_;
-  std::unordered_map<moppkt::FlowKey, std::shared_ptr<UdpClient>, moppkt::FlowKeyHash>
-      udp_clients_;
-
-  Counters counters_;
   bool running_ = false;
   std::vector<std::shared_ptr<EngineService>> services_;
   moputil::SimDuration retired_worker_busy_ = 0;

@@ -6,7 +6,7 @@ namespace mopeye {
 
 size_t MeasurementStore::CountKind(MeasureKind k) const {
   size_t n = 0;
-  for (const auto& r : records_) {
+  for (const auto& r : records()) {
     if (r.kind == k) {
       ++n;
     }
@@ -17,7 +17,7 @@ size_t MeasurementStore::CountKind(MeasureKind k) const {
 moputil::Samples MeasurementStore::RttsMs(
     const std::function<bool(const Measurement&)>& pred) const {
   moputil::Samples s;
-  for (const auto& r : records_) {
+  for (const auto& r : records()) {
     if (!pred || pred(r)) {
       s.Add(moputil::ToMillis(r.rtt));
     }
@@ -28,7 +28,7 @@ moputil::Samples MeasurementStore::RttsMs(
 std::string MeasurementStore::ToCsv() const {
   std::ostringstream os;
   os << "time_ms,kind,uid,app,domain,server,rtt_ms,net_type,isp,country,device\n";
-  for (const auto& r : records_) {
+  for (const auto& r : records()) {
     os << moputil::ToMillis(r.time) << ","
        << (r.kind == MeasureKind::kTcpConnect ? "tcp" : "dns") << "," << r.uid << "," << r.app
        << "," << r.domain << "," << r.server.ToString() << "," << moputil::ToMillis(r.rtt)

@@ -38,13 +38,28 @@ class MeasurementStore {
   void Add(Measurement m) { records_.push_back(std::move(m)); }
   void Reserve(size_t n) { records_.reserve(n); }
 
-  const std::vector<Measurement>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  // Invoked before every read accessor. The lane-sharded engine installs a
+  // hook that drains its per-lane shards into this store, so consumers that
+  // captured a raw pointer once (the crowdsourcing Uploader polls
+  // `store_->size()` for its whole lifetime) observe shard records without
+  // knowing the engine has lanes. Writes (Add) never trigger it, so a hook
+  // that Adds into this store cannot recurse.
+  void SetRefillHook(std::function<void()> hook) { refill_ = std::move(hook); }
+
+  const std::vector<Measurement>& records() const {
+    Refill();
+    return records_;
+  }
+  size_t size() const {
+    Refill();
+    return records_.size();
+  }
 
   // Moves all accumulated records out (upload drain): the store is left empty
   // and keeps working — records added afterwards accumulate and export as
   // usual. No per-record copies.
   std::vector<Measurement> TakeRecords() {
+    Refill();
     std::vector<Measurement> out = std::move(records_);
     records_.clear();
     return out;
@@ -58,7 +73,14 @@ class MeasurementStore {
   std::string ToCsv() const;
 
  private:
+  void Refill() const {
+    if (refill_) {
+      refill_();
+    }
+  }
+
   std::vector<Measurement> records_;
+  std::function<void()> refill_;
 };
 
 }  // namespace mopeye

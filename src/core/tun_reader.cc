@@ -7,17 +7,20 @@
 namespace mopeye {
 
 TunReader::TunReader(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Config* config,
-                     moputil::Rng rng, mopnet::Selector* selector, ReadQueue* queue)
+                     moputil::Rng rng, std::vector<LaneSink> sinks)
     : loop_(loop),
       tun_(tun),
       config_(config),
       rng_(rng),
-      selector_(selector),
-      queue_(queue),
+      sinks_(std::move(sinks)),
       lane_(loop, "TunReader"),
       adaptive_sleep_(config->adaptive_min_sleep) {
   MOP_CHECK(tun != nullptr);
-  MOP_CHECK(queue != nullptr);
+  MOP_CHECK(!sinks_.empty());
+  for (const LaneSink& sink : sinks_) {
+    MOP_CHECK(sink.queue != nullptr);
+    MOP_CHECK(sink.selector != nullptr);
+  }
 }
 
 void TunReader::Start() {
@@ -38,6 +41,22 @@ void TunReader::Start() {
 }
 
 void TunReader::RequestStop() { stopped_ = true; }
+
+void TunReader::Dispatch(moputil::SimTime t, moppkt::PacketBuf pkt) {
+  size_t lane = 0;
+  if (sinks_.size() > 1) {
+    // Flow-affine classification: a header peek, not a full parse — checksum
+    // verification and L4 parsing still happen on the owning lane.
+    // Unclassifiable packets (the parse will reject them anyway) go to lane 0.
+    auto flow = moppkt::PeekFlow(pkt.bytes());
+    if (flow.ok()) {
+      lane = LaneOf(flow.value());
+    }
+  }
+  sinks_[lane].queue->Push(t, std::move(pkt));
+  // §3.2: reuse the owning lane's selector waiting point to signal it.
+  sinks_[lane].selector->Wakeup();
+}
 
 // ---- Blocking mode ----
 
@@ -66,9 +85,7 @@ void TunReader::DrainLoop() {
   lane_.Submit(0, read_cost, [this, pkt = std::move(*pkt)]() mutable {
     ++packets_read_;
     retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
-    queue_->Push(loop_->Now(), std::move(pkt.data));
-    // §3.2: reuse the selector waiting point to signal the main thread.
-    selector_->Wakeup();
+    Dispatch(loop_->Now(), std::move(pkt.data));
     DrainLoop();
   });
 }
@@ -97,8 +114,7 @@ void TunReader::Poll() {
                  [this, pkt = std::move(*pkt)]() mutable {
                    ++packets_read_;
                    retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
-                   queue_->Push(loop_->Now(), std::move(pkt.data));
-                   selector_->Wakeup();
+                   Dispatch(loop_->Now(), std::move(pkt.data));
                  });
   }
   if (drained == 0) {

@@ -10,13 +10,22 @@
 // Stopping a blocked reader needs the dummy-packet trick: nothing arrives,
 // read() never returns, Thread.interrupt() doesn't help — so the engine
 // triggers a download (SDK >= 21) or writes a self packet (SDK < 21).
+//
+// Thread model v2: the reader dispatches to one or more worker-lane sinks.
+// With a single sink this is exactly the paper's TunReader -> MainWorker
+// hand-off. With N sinks each packet is classified by FlowKeyHash % N (a
+// header peek, no full parse) and pushed onto the owning lane's queue, then
+// that lane's selector is woken — flow-affine sharding, so one flow's
+// packets always land on one lane.
 #ifndef MOPEYE_CORE_TUN_READER_H_
 #define MOPEYE_CORE_TUN_READER_H_
 
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "android/tun_device.h"
+#include "netpkt/packet.h"
 #include "netpkt/packet_buf.h"
 #include "core/config.h"
 #include "net/selector.h"
@@ -25,9 +34,9 @@
 
 namespace mopeye {
 
-// Packets handed from TunReader to MainWorker, stamped with enqueue time.
+// Packets handed from TunReader to a worker lane, stamped with enqueue time.
 // Entries keep their pooled tun-read buffer; the slab is reused once the
-// MainWorker finishes with the packet.
+// owning lane finishes with the packet.
 struct ReadQueue {
   std::deque<std::pair<moputil::SimTime, moppkt::PacketBuf>> items;
   size_t high_water = 0;
@@ -40,8 +49,15 @@ struct ReadQueue {
 
 class TunReader {
  public:
+  // One dispatch target per worker lane: the lane's read queue plus the
+  // lane-owned selector whose wakeup() signals the lane (§3.2).
+  struct LaneSink {
+    ReadQueue* queue = nullptr;
+    mopnet::Selector* selector = nullptr;
+  };
+
   TunReader(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Config* config,
-            moputil::Rng rng, mopnet::Selector* selector, ReadQueue* queue);
+            moputil::Rng rng, std::vector<LaneSink> sinks);
 
   void Start();
   // Marks the reader as stopping; in blocking mode the caller must also
@@ -56,18 +72,24 @@ class TunReader {
   uint64_t empty_polls() const { return empty_polls_; }
   moputil::SimDuration busy_time() const { return lane_.busy_time(); }
 
+  // The lane a packet with this flow identity is dispatched to.
+  size_t LaneOf(const moppkt::FlowKey& flow) const {
+    return moppkt::FlowLaneOf(flow, sinks_.size());
+  }
+
  private:
   void OnTunReadable();   // blocking mode wake
   void DrainLoop();       // blocking mode read chain
   void SchedulePoll(moputil::SimDuration sleep);  // polling modes
   void Poll();
+  // Classifies onto the owning lane's queue and wakes that lane's selector.
+  void Dispatch(moputil::SimTime t, moppkt::PacketBuf pkt);
 
   mopsim::EventLoop* loop_;
   mopdroid::TunDevice* tun_;
   const Config* config_;
   moputil::Rng rng_;
-  mopnet::Selector* selector_;
-  ReadQueue* queue_;
+  std::vector<LaneSink> sinks_;
   mopsim::ActorLane lane_;
 
   bool started_ = false;

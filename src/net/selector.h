@@ -1,8 +1,13 @@
 // Socket selector modeled after java.nio.Selector as the paper uses it
 // (§2.3, §3.2): channels register interest ops; ready events queue; the
-// owning thread (MainWorker) is woken once per batch. Selector.wakeup() lets
-// TunReader nudge the same waiting point when tunnel packets arrive, which is
-// the §3.2 co-monitoring trick.
+// owning thread is woken once per batch. Selector.wakeup() lets TunReader
+// nudge the same waiting point when tunnel packets arrive, which is the §3.2
+// co-monitoring trick.
+//
+// Ownership is per worker lane: each MainWorker lane owns one Selector, a
+// channel registers with exactly one selector for its lifetime (enforced in
+// SocketChannel::RegisterWith), and wakeups therefore only ever schedule the
+// lane that owns the flow.
 #ifndef MOPEYE_NET_SELECTOR_H_
 #define MOPEYE_NET_SELECTOR_H_
 

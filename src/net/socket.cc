@@ -351,6 +351,12 @@ void SocketChannel::Reset() {
 
 void SocketChannel::RegisterWith(Selector* selector, uint32_t interest) {
   MOP_CHECK(selector != nullptr);
+  // Wakeup ownership is per-lane in the sharded engine: a channel belongs to
+  // the selector of its flow's owning worker lane for its whole life.
+  // Re-registering with a different selector would let two lanes observe one
+  // flow's events — exactly the shared state the lane model forbids.
+  MOP_CHECK(selector_ == nullptr || selector_ == selector)
+      << "channel re-registered with a different selector (cross-lane migration)";
   selector_ = selector;
   interest_ = interest;
   selector->AddChannel(shared_from_this());

@@ -22,6 +22,37 @@ FlowKey ParsedPacket::flow() const {
   return key;
 }
 
+moputil::Result<FlowKey> PeekFlow(std::span<const uint8_t> datagram) {
+  if (datagram.size() < 20) {
+    return moputil::InvalidArgument("datagram shorter than an IPv4 header");
+  }
+  if ((datagram[0] >> 4) != 4) {
+    return moputil::InvalidArgument("not IPv4");
+  }
+  size_t header_bytes = static_cast<size_t>(datagram[0] & 0x0f) * 4;
+  if (header_bytes < 20 || datagram.size() < header_bytes) {
+    return moputil::InvalidArgument("truncated IPv4 header");
+  }
+  FlowKey key;
+  key.proto = static_cast<IpProto>(datagram[9]);
+  key.local.ip = IpAddr((static_cast<uint32_t>(datagram[12]) << 24) |
+                        (static_cast<uint32_t>(datagram[13]) << 16) |
+                        (static_cast<uint32_t>(datagram[14]) << 8) | datagram[15]);
+  key.remote.ip = IpAddr((static_cast<uint32_t>(datagram[16]) << 24) |
+                         (static_cast<uint32_t>(datagram[17]) << 16) |
+                         (static_cast<uint32_t>(datagram[18]) << 8) | datagram[19]);
+  if (key.proto == IpProto::kTcp || key.proto == IpProto::kUdp) {
+    if (datagram.size() < header_bytes + 4) {
+      return moputil::InvalidArgument("truncated L4 ports");
+    }
+    key.local.port = static_cast<uint16_t>((datagram[header_bytes] << 8) |
+                                           datagram[header_bytes + 1]);
+    key.remote.port = static_cast<uint16_t>((datagram[header_bytes + 2] << 8) |
+                                            datagram[header_bytes + 3]);
+  }
+  return key;
+}
+
 moputil::Result<ParsedPacket> ParsePacket(std::span<const uint8_t> datagram) {
   ParsedPacket pkt;
   pkt.raw = datagram;

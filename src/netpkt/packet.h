@@ -42,6 +42,14 @@ struct FlowKeyHash {
   }
 };
 
+// The worker lane that owns `key` when the relay is sharded over `lanes`
+// lanes. The single definition of the routing rule: the TunReader's
+// dispatch, the engine's introspection accessor, and any test oracle must
+// all agree, so they all call this.
+inline size_t FlowLaneOf(const FlowKey& key, size_t lanes) {
+  return FlowKeyHash{}(key) % lanes;
+}
+
 // A fully classified datagram: IP header plus the parsed L4 view. All views
 // (`raw`, `tcp->payload`, `udp->payload`) reference the buffer handed to
 // ParsePacket — typically a pooled PacketBuf slab — and are valid only while
@@ -65,6 +73,14 @@ struct ParsedPacket {
 // keeps `datagram`'s backing bytes alive for as long as the result's views
 // are used.
 moputil::Result<ParsedPacket> ParsePacket(std::span<const uint8_t> datagram);
+
+// Reads just the flow identity (proto + addresses + ports) of a TCP/UDP
+// datagram: the minimum the TunReader needs to classify a packet onto its
+// owning worker lane. No checksum verification, no payload parsing, no
+// allocation — full validation still happens on the owning lane via
+// ParsePacket. Fails on truncated headers and yields a port-less key for
+// non-TCP/UDP protocols.
+moputil::Result<FlowKey> PeekFlow(std::span<const uint8_t> datagram);
 
 }  // namespace moppkt
 

@@ -2,6 +2,8 @@
 // user-space stack onto simulated kernel sockets, against scripted servers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "netpkt/dns.h"
 #include "netpkt/packet_buf.h"
 #include "tests/test_world.h"
@@ -323,6 +325,188 @@ TEST(EngineIntegration, SteadyStateRelayReusesPooledBuffers) {
   EXPECT_EQ(after.oversize_allocs, before.oversize_allocs);
   EXPECT_EQ(after.copies, before.copies);
   EXPECT_GT(after.acquires, before.acquires);  // traffic really flowed
+}
+
+// ---- Worker-lane sharding (thread model v2) ----
+
+// One deterministic multi-client run against `lanes` worker lanes: 8 raw
+// tunnel connections from two apps to 8 distinct servers (flows spread over
+// the lane hash), each echoing a distinct payload, plus two DNS lookups.
+struct LaneRunResult {
+  std::vector<std::string> records;              // canonical projection, sorted
+  std::vector<double> tcp_rtts_ms;               // sorted
+  std::vector<std::vector<uint8_t>> received;    // per connection, index order
+  std::vector<std::vector<uint8_t>> sent;        // per connection, index order
+  uint64_t bytes_app_to_server = 0;
+  uint64_t bytes_server_to_app = 0;
+  uint64_t unknown_flow = 0;
+  uint64_t parse_errors = 0;
+};
+
+LaneRunResult RunLaneScenario(int lanes) {
+  constexpr int kConns = 8;
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = lanes;
+  EXPECT_TRUE(w.StartEngine(cfg).ok());
+  w.farm().resolution().Add("lanes.demo.test", moppkt::IpAddr(93, 88, 0, 1));
+  w.farm().resolution().Add("shard.demo.test", moppkt::IpAddr(93, 88, 0, 2));
+  auto* app_a = w.MakeApp(10170, "com.example.lanes.a", "LaneAppA");
+  auto* app_b = w.MakeApp(10171, "com.example.lanes.b", "LaneAppB");
+
+  LaneRunResult out;
+  out.received.resize(kConns);
+  out.sent.resize(kConns);
+  std::vector<std::shared_ptr<mopapps::AppTcpConnection>> conns;
+  for (int i = 0; i < kConns; ++i) {
+    auto addr = w.AddServer(moppkt::IpAddr(93, 40, 0, static_cast<uint8_t>(1 + i)), 7,
+                            Millis(10),
+                            [] { return std::make_unique<mopnet::EchoBehavior>(); });
+    auto conn = mopapps::AppTcpConnection::Create(&w.stack(),
+                                                  i % 2 == 0 ? 10170 : 10171);
+    for (int b = 0; b < 2000 + 137 * i; ++b) {
+      out.sent[i].push_back(static_cast<uint8_t>((b * 31 + i) & 0xff));
+    }
+    conn->on_data = [&out, i](std::span<const uint8_t> d) {
+      out.received[i].insert(out.received[i].end(), d.begin(), d.end());
+    };
+    auto payload = out.sent[i];
+    conn->Connect(addr, [conn, payload = std::move(payload)](moputil::Status st) mutable {
+      ASSERT_TRUE(st.ok());
+      conn->Send(std::move(payload));
+    });
+    conns.push_back(std::move(conn));
+  }
+  app_a->Resolve("lanes.demo.test", [](moputil::Result<mopapps::DnsResult>) {});
+  app_b->Resolve("shard.demo.test", [](moputil::Result<mopapps::DnsResult>) {});
+  w.RunMs(8000);
+
+  for (const auto& r : w.engine().store().records()) {
+    std::string kind = r.kind == mopeye::MeasureKind::kTcpConnect ? "tcp" : "dns";
+    out.records.push_back(kind + "|" + std::to_string(r.uid) + "|" + r.app + "|" +
+                          r.server.ToString() + "|" + r.domain);
+    if (r.kind == mopeye::MeasureKind::kTcpConnect) {
+      out.tcp_rtts_ms.push_back(moputil::ToMillis(r.rtt));
+    }
+  }
+  std::sort(out.records.begin(), out.records.end());
+  std::sort(out.tcp_rtts_ms.begin(), out.tcp_rtts_ms.end());
+  auto counters = w.engine().counters();
+  out.bytes_app_to_server = counters.bytes_app_to_server;
+  out.bytes_server_to_app = counters.bytes_server_to_app;
+  out.unknown_flow = counters.unknown_flow;
+  out.parse_errors = counters.parse_errors;
+  return out;
+}
+
+TEST(EngineLanes, FourLanesProduceSameRecordsAndPayloadsAsOne) {
+  LaneRunResult one = RunLaneScenario(1);
+  LaneRunResult four = RunLaneScenario(4);
+
+  // Byte-identical relayed payloads, connection by connection.
+  for (size_t i = 0; i < one.sent.size(); ++i) {
+    EXPECT_EQ(one.received[i], one.sent[i]) << "conn " << i << " (lanes=1)";
+    EXPECT_EQ(four.received[i], four.sent[i]) << "conn " << i << " (lanes=4)";
+    EXPECT_EQ(one.received[i], four.received[i]) << "conn " << i;
+  }
+
+  // Identical measurement records (kind, uid, app, server, domain).
+  EXPECT_EQ(one.records, four.records);
+  ASSERT_EQ(one.records.size(), 10u);  // 8 TCP + 2 DNS
+
+  // RTTs measure the same wire path: same count, sub-ms software jitter.
+  ASSERT_EQ(one.tcp_rtts_ms.size(), four.tcp_rtts_ms.size());
+  for (size_t i = 0; i < one.tcp_rtts_ms.size(); ++i) {
+    EXPECT_NEAR(one.tcp_rtts_ms[i], four.tcp_rtts_ms[i], 1.5) << "rtt " << i;
+  }
+
+  // Exact relay byte accounting matches across thread models.
+  EXPECT_EQ(one.bytes_app_to_server, four.bytes_app_to_server);
+  EXPECT_EQ(one.bytes_server_to_app, four.bytes_server_to_app);
+  EXPECT_EQ(four.unknown_flow, 0u);
+  EXPECT_EQ(four.parse_errors, 0u);
+}
+
+TEST(EngineLanes, RawStorePointerSeesLaneShardRecords) {
+  // The Uploader captures &engine.store() once at composition time and polls
+  // it for its whole lifetime. With the store sharded per lane, those reads
+  // must still observe lane records (the store's refill hook), or the whole
+  // crowdsourcing upload pipeline would silently see an empty store.
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = 4;
+  ASSERT_TRUE(w.StartEngine(cfg).ok());
+  mopeye::MeasurementStore* store = &w.engine().store();  // captured once
+  ASSERT_EQ(store->size(), 0u);
+
+  auto* app = w.MakeApp(10173, "com.example.upload", "UploadApp");
+  std::vector<std::shared_ptr<mopapps::AppConn>> conns;
+  for (int i = 0; i < 3; ++i) {
+    auto addr = w.AddServer(moppkt::IpAddr(93, 42, 0, static_cast<uint8_t>(1 + i)), 80,
+                            Millis(5));
+    auto conn = std::shared_ptr<mopapps::AppConn>(app->CreateConn().release());
+    conn->Connect(addr, [](moputil::Status) {});
+    conns.push_back(std::move(conn));
+  }
+  w.RunMs(2000);
+
+  // Reads through the long-lived raw pointer pull the lane shards in.
+  EXPECT_EQ(store->size(), 3u);
+  std::vector<mopeye::Measurement> drained = store->TakeRecords();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(store->size(), 0u);
+}
+
+TEST(EngineLanes, FlowsAreAffineToTheirHashedLane) {
+  constexpr int kConns = 12;
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = 4;
+  ASSERT_TRUE(w.StartEngine(cfg).ok());
+  ASSERT_EQ(w.engine().lane_count(), 4u);
+  auto* app = w.MakeApp(10172, "com.example.affine", "Affine");
+  (void)app;
+
+  std::vector<std::shared_ptr<mopapps::AppTcpConnection>> conns;
+  for (int i = 0; i < kConns; ++i) {
+    auto addr = w.AddServer(moppkt::IpAddr(93, 41, 0, static_cast<uint8_t>(1 + i)), 80,
+                            Millis(5),
+                            [] { return std::make_unique<mopnet::EchoBehavior>(); });
+    auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10172);
+    conn->Connect(addr, [conn](moputil::Status st) {
+      ASSERT_TRUE(st.ok());
+      conn->SendBytes(4000);
+    });
+    conns.push_back(std::move(conn));
+  }
+  w.RunMs(5000);
+
+  // Every flow's SYN (and all of its traffic) must have landed on exactly
+  // the lane its key hashes to — no flow observed on two lanes.
+  std::vector<uint64_t> expected_syns(4, 0);
+  for (const auto& conn : conns) {
+    moppkt::FlowKey flow;
+    flow.proto = moppkt::IpProto::kTcp;
+    flow.local = conn->local();
+    flow.remote = conn->remote();
+    ++expected_syns[w.engine().LaneOf(flow)];
+  }
+  uint64_t total_syns = 0;
+  for (size_t lane = 0; lane < 4; ++lane) {
+    const auto& shard = w.engine().lane_counters(lane);
+    EXPECT_EQ(shard.syns, expected_syns[lane]) << "lane " << lane;
+    EXPECT_EQ(shard.unknown_flow, 0u) << "lane " << lane;
+    total_syns += shard.syns;
+  }
+  EXPECT_EQ(total_syns, static_cast<uint64_t>(kConns));
+  // The scenario actually spread flows (hash quality): no lane owns them all.
+  uint64_t max_lane = *std::max_element(expected_syns.begin(), expected_syns.end());
+  EXPECT_LT(max_lane, static_cast<uint64_t>(kConns));
+  // All data relayed correctly despite the sharding.
+  EXPECT_EQ(w.engine().counters().bytes_app_to_server,
+            static_cast<uint64_t>(kConns) * 4000u);
+  EXPECT_EQ(w.engine().counters().bytes_server_to_app,
+            static_cast<uint64_t>(kConns) * 4000u);
 }
 
 TEST(EngineIntegration, BrowsingSessionEndToEnd) {
