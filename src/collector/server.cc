@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "concurrent/lane_affinity.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace mopcollect {
@@ -270,9 +272,16 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
         kFoldCost * static_cast<moputil::SimDuration>(lane_folds[lane].size());
     lane_pending_[lane].push_back(std::move(lane_folds[lane]));
     lanes_[lane]->Submit(0, service, [this, lane] {
+      // Lane-affinity gate for the sharded fold: this worker may only touch
+      // shards it owns (s % lanes == lane) — the property that lets the
+      // multi-lane store run without locks. Debug-only, zero Release cost.
+      mopcc::LaneScope lane_scope(lane);
       auto folds = std::move(lane_pending_[lane].front());
       lane_pending_[lane].pop_front();
       for (const auto& [key, rtt] : folds) {
+        MOP_DCHECK(store_.ShardIndexOf(key) % lanes_.size() == lane)
+            << "fold for shard " << store_.ShardIndexOf(key)
+            << " routed to ingest lane " << lane;
         store_.Add(key, rtt);
       }
     });

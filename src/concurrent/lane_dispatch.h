@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "concurrent/lane_affinity.h"
 #include "concurrent/packet_queue.h"
 
 namespace mopcc {
@@ -28,7 +29,8 @@ class LaneDispatcher {
  public:
   // `lanes` consumer queues, all with the same put mode / spin budget.
   explicit LaneDispatcher(size_t lanes, PutMode mode = PutMode::kNewPut,
-                          int spin_rounds = 4096) {
+                          int spin_rounds = 4096)
+      : consumer_affinity_(lanes) {
     queues_.reserve(lanes);
     for (size_t i = 0; i < lanes; ++i) {
       queues_.push_back(std::make_unique<PacketQueue<T>>(mode, spin_rounds));
@@ -44,8 +46,14 @@ class LaneDispatcher {
     return queues_[LaneOf(flow_hash)]->Put(std::move(item));
   }
 
-  // Consumer side: lane i's thread drains queue(i) exclusively.
-  PacketQueue<T>& queue(size_t lane) { return *queues_[lane]; }
+  // Consumer side: lane i's thread drains queue(i) exclusively. The first
+  // call for a lane stamps that lane's consumer context; a second thread
+  // draining the same lane aborts in debug builds ("one consumer per lane"
+  // was a comment-level rule before).
+  PacketQueue<T>& queue(size_t lane) {
+    consumer_affinity_[lane].Check();
+    return *queues_[lane];
+  }
 
   // Unblocks every lane consumer.
   void Stop() {
@@ -54,8 +62,16 @@ class LaneDispatcher {
     }
   }
 
+  // Releases the consumer stamps (restart with a new thread pool).
+  void RebindConsumers() {
+    for (auto& c : consumer_affinity_) {
+      c.Rebind();
+    }
+  }
+
  private:
   std::vector<std::unique_ptr<PacketQueue<T>>> queues_;
+  std::vector<LaneAffinityChecker> consumer_affinity_;
 };
 
 }  // namespace mopcc

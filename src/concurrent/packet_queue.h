@@ -13,15 +13,20 @@
 //    re-checking the queue for a bounded number of rounds (decaying the
 //    counter on nonempty finds) before parking, so producers almost never
 //    pay the notify.
+//
+// Locking discipline is machine-checked: queue_ and stopped_ are
+// MOP_GUARDED_BY(mu_), and the wait loops are written as explicit
+// while-not-ready loops so Clang's -Wthread-safety sees every guarded read
+// under the lock.
 #ifndef MOPEYE_CONCURRENT_PACKET_QUEUE_H_
 #define MOPEYE_CONCURRENT_PACKET_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace mopcc {
 
@@ -35,29 +40,29 @@ class PacketQueue {
 
   // Producer side. Returns true if this put had to notify a parked consumer
   // (the expensive path the sleep counter exists to avoid).
-  bool Put(T item) {
+  bool Put(T item) MOP_EXCLUDES(mu_) {
     bool notified = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      moputil::MutexLock lock(mu_);
       queue_.push_back(std::move(item));
     }
     if (mode_ == PutMode::kOldPut) {
       // Traditional scheme: always signal.
-      cv_.notify_one();
+      cv_.NotifyOne();
       notified = consumer_waiting_.load(std::memory_order_acquire);
     } else if (consumer_waiting_.load(std::memory_order_acquire)) {
-      cv_.notify_one();
+      cv_.NotifyOne();
       notified = true;
     }
     return notified;
   }
 
   // Consumer side: blocks until an item arrives or Stop() is called.
-  std::optional<T> Take() {
+  std::optional<T> Take() MOP_EXCLUDES(mu_) {
     int counter = 0;
     while (true) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        moputil::MutexLock lock(mu_);
         if (!queue_.empty()) {
           T item = std::move(queue_.front());
           queue_.pop_front();
@@ -73,22 +78,13 @@ class PacketQueue {
         std::this_thread::yield();
         continue;
       }
-      // Park until a producer notifies.
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!queue_.empty() || stopped_) {
-        continue;
-      }
-      consumer_waiting_.store(true, std::memory_order_release);
-      ++waits_;
-      cv_.wait(lock, [this] { return !queue_.empty() || stopped_; });
-      consumer_waiting_.store(false, std::memory_order_release);
-      counter = 0;
+      Park(&counter);
     }
   }
 
   // Non-blocking pop.
-  std::optional<T> TryTake() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryTake() MOP_EXCLUDES(mu_) {
+    moputil::MutexLock lock(mu_);
     if (queue_.empty()) {
       return std::nullopt;
     }
@@ -103,11 +99,11 @@ class PacketQueue {
   // drain the TunWriter thread uses. Returns an empty deque only after
   // Stop() with nothing queued. Spin semantics mirror Take(): in kNewPut
   // mode the consumer re-checks for spin_rounds_ before parking.
-  std::deque<T> TakeAll() {
+  std::deque<T> TakeAll() MOP_EXCLUDES(mu_) {
     int counter = 0;
     while (true) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        moputil::MutexLock lock(mu_);
         if (!queue_.empty()) {
           std::deque<T> batch;
           batch.swap(queue_);
@@ -122,49 +118,57 @@ class PacketQueue {
         std::this_thread::yield();
         continue;
       }
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!queue_.empty() || stopped_) {
-        continue;
-      }
-      consumer_waiting_.store(true, std::memory_order_release);
-      ++waits_;
-      cv_.wait(lock, [this] { return !queue_.empty() || stopped_; });
-      consumer_waiting_.store(false, std::memory_order_release);
-      counter = 0;
+      Park(&counter);
     }
   }
 
   // Non-blocking batched drain: everything queued right now, in one lock
   // round-trip.
-  std::deque<T> TryTakeAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::deque<T> TryTakeAll() MOP_EXCLUDES(mu_) {
+    moputil::MutexLock lock(mu_);
     std::deque<T> batch;
     batch.swap(queue_);
     return batch;
   }
 
-  void Stop() {
+  void Stop() MOP_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      moputil::MutexLock lock(mu_);
       stopped_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const MOP_EXCLUDES(mu_) {
+    moputil::MutexLock lock(mu_);
     return queue_.size();
   }
   // Times the consumer actually parked in wait().
   uint64_t waits() const { return waits_.load(); }
 
  private:
+  // Parks until a producer notifies (or Stop). Resets the spin counter only
+  // if this call actually waited.
+  void Park(int* counter) MOP_EXCLUDES(mu_) {
+    moputil::MutexLock lock(mu_);
+    if (!queue_.empty() || stopped_) {
+      return;  // raced with a producer: re-run the fast path
+    }
+    consumer_waiting_.store(true, std::memory_order_release);
+    ++waits_;
+    while (queue_.empty() && !stopped_) {
+      cv_.Wait(mu_);
+    }
+    consumer_waiting_.store(false, std::memory_order_release);
+    *counter = 0;
+  }
+
   PutMode mode_;
   int spin_rounds_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> queue_;
-  bool stopped_ = false;
+  mutable moputil::Mutex mu_;
+  moputil::CondVar cv_;
+  std::deque<T> queue_ MOP_GUARDED_BY(mu_);
+  bool stopped_ MOP_GUARDED_BY(mu_) = false;
   std::atomic<bool> consumer_waiting_{false};
   std::atomic<uint64_t> waits_{0};
 };

@@ -1,6 +1,11 @@
 // Lock-free single-producer/single-consumer ring buffer: the TunReader ->
 // MainWorker read queue shape (one dedicated reader thread pushing, one main
 // thread draining, §3.2).
+//
+// The "single producer, single consumer" contract is a lane-affinity
+// invariant, not a locking one — so it is enforced by LaneAffinityChecker
+// stamps (debug builds only): the first Push binds the producer end to its
+// context, the first Pop binds the consumer end, and any migration aborts.
 #ifndef MOPEYE_CONCURRENT_SPSC_RING_H_
 #define MOPEYE_CONCURRENT_SPSC_RING_H_
 
@@ -8,6 +13,8 @@
 #include <cstddef>
 #include <optional>
 #include <vector>
+
+#include "concurrent/lane_affinity.h"
 
 namespace mopcc {
 
@@ -27,6 +34,7 @@ class SpscRing {
 
   // Producer only. False when full (caller decides: drop or retry).
   bool Push(T item) {
+    producer_affinity_.Check();
     size_t head = head_.load(std::memory_order_relaxed);
     size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) {
@@ -39,6 +47,7 @@ class SpscRing {
 
   // Consumer only.
   std::optional<T> Pop() {
+    consumer_affinity_.Check();
     size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) {
       return std::nullopt;
@@ -53,11 +62,18 @@ class SpscRing {
   }
   size_t capacity() const { return mask_; }
 
+  // Hands the producer/consumer end to the next context to touch it (lane
+  // teardown + restart in tests).
+  void RebindProducer() { producer_affinity_.Rebind(); }
+  void RebindConsumer() { consumer_affinity_.Rebind(); }
+
  private:
   std::vector<T> buffer_;
   size_t mask_ = 0;
   alignas(64) std::atomic<size_t> head_{0};
   alignas(64) std::atomic<size_t> tail_{0};
+  LaneAffinityChecker producer_affinity_;
+  LaneAffinityChecker consumer_affinity_;
 };
 
 }  // namespace mopcc

@@ -3,49 +3,58 @@
 // Many threads (TunReader, socket callbacks) signal one waiting main thread.
 // Signals are coalesced: N wakeup() calls before the waiter runs produce one
 // wake, exactly like java.nio.Selector. Used by real-thread tests/benches.
+//
+// pending_ and coalesced_ are MOP_GUARDED_BY(mu_); the wait is an explicit
+// while-not-pending loop so Clang's -Wthread-safety can verify every access.
 #ifndef MOPEYE_CONCURRENT_WAKEUP_GATE_H_
 #define MOPEYE_CONCURRENT_WAKEUP_GATE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace mopcc {
 
 class WakeupGate {
  public:
   // Signals the waiter; cheap and idempotent while a signal is pending.
-  void Wakeup() {
+  void Wakeup() MOP_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      moputil::MutexLock lock(mu_);
       if (pending_) {
         ++coalesced_;
         return;
       }
       pending_ = true;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   // Blocks until signaled or the timeout elapses. Returns true if signaled.
-  bool Wait(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    bool ok = cv_.wait_for(lock, timeout, [this] { return pending_; });
+  bool Wait(std::chrono::nanoseconds timeout) MOP_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    moputil::MutexLock lock(mu_);
+    while (!pending_) {
+      if (!cv_.WaitUntil(mu_, deadline)) {
+        break;  // timed out; pending_ may still have been set by a late racer
+      }
+    }
+    bool signaled = pending_;
     pending_ = false;
-    return ok;
+    return signaled;
   }
 
-  uint64_t coalesced() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t coalesced() const MOP_EXCLUDES(mu_) {
+    moputil::MutexLock lock(mu_);
     return coalesced_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool pending_ = false;
-  uint64_t coalesced_ = 0;
+  mutable moputil::Mutex mu_;
+  moputil::CondVar cv_;
+  bool pending_ MOP_GUARDED_BY(mu_) = false;
+  uint64_t coalesced_ MOP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mopcc

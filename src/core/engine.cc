@@ -45,6 +45,7 @@ MopEyeEngine::MopEyeEngine(mopdroid::AndroidDevice* device, Config config)
                                                  : "MainWorker-" + std::to_string(i);
     lanes_.push_back(std::make_unique<WorkerLane>(loop_, std::move(name),
                                                   &LaneEmitPool(static_cast<size_t>(i))));
+    lanes_.back()->index = static_cast<size_t>(i);
   }
   device_->package_manager().Install(kMopEyeUid, "com.mopeye", "MopEye");
   mapper_ = std::make_unique<PacketToAppMapper>(device_, &config_);
@@ -291,6 +292,8 @@ void MopEyeEngine::DrainEvents(WorkerLane& lane) {
   if (!running_) {
     return;
   }
+  mopcc::LaneScope lane_scope(lane.index);
+  lane.affinity.Check();
   // §3.2: one waiting point serves both queues; we interleave processing of
   // socket events and tunnel packets so neither starves.
   std::vector<mopnet::ReadyEvent> events = lane.selector.TakeReady();
@@ -325,6 +328,8 @@ void MopEyeEngine::ProcessTunPacket(WorkerLane& lane, moppkt::PacketBuf raw) {
   if (!running_) {
     return;
   }
+  mopcc::LaneScope lane_scope(lane.index);
+  lane.affinity.Check();
   ++lane.counters.tun_packets;
   // Zero-copy parse: `pkt` is a bundle of views into `raw`'s slab, which
   // stays alive for the rest of this call (and beyond it only if a data
@@ -553,6 +558,11 @@ void MopEyeEngine::HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket
     ++lane.counters.unknown_flow;
     return;
   }
+  // The flow's state must live on the lane processing it ("a channel never
+  // migrates lanes").
+  MOP_DCHECK(client->home == &lane);
+  mopcc::LaneScope lane_scope(lane.index);
+  client->home->affinity.Check();
   const moppkt::TcpSegment& seg = *pkt.tcp;
   bool is_pure_ack = seg.flags.ack && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst &&
                      seg.payload.empty();
@@ -624,6 +634,9 @@ void MopEyeEngine::HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent&
   if (!client || client->removed) {
     return;
   }
+  MOP_DCHECK(client->home == &lane);
+  mopcc::LaneScope lane_scope(lane.index);
+  client->home->affinity.Check();
   switch (ev.type) {
     case mopnet::SocketEventType::kConnected: {
       if (config_.timestamp_mode == Config::TimestampMode::kSelector) {

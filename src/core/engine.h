@@ -37,6 +37,7 @@
 
 #include "android/device.h"
 #include "android/vpn_service.h"
+#include "concurrent/lane_affinity.h"
 #include "core/config.h"
 #include "core/measurement.h"
 #include "core/packet_mapper.h"
@@ -240,6 +241,13 @@ class MopEyeEngine {
     mopsim::ActorLane lane;       // the simulated MainWorker thread
     mopnet::Selector selector;    // this lane's waiting point (§3.2)
     ReadQueue read_queue;         // TunReader -> this lane
+    size_t index = 0;             // position in lanes_ (= LaneScope id)
+    // Debug-only affinity stamp: every lane entry point (DrainEvents,
+    // ProcessTunPacket, Handle*) opens a LaneScope for this lane and checks
+    // it, so a mis-routed call — lane A's processing invoked while lane B's
+    // scope is active, the work-stealing bug class — aborts instead of
+    // silently corrupting per-lane tables. Compiled out in Release.
+    mopcc::LaneAffinityChecker affinity;
     moppkt::BufPool* pool;        // lane-owned emission pool (static duration)
     moputil::Rng rng;             // seeded in Start(); lane 0 continues the
                                   // engine stream when worker_lanes == 1

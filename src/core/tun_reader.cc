@@ -43,6 +43,7 @@ void TunReader::Start() {
 void TunReader::RequestStop() { stopped_ = true; }
 
 void TunReader::Dispatch(moputil::SimTime t, moppkt::PacketBuf pkt) {
+  dispatch_affinity_.Check();
   size_t lane = 0;
   if (sinks_.size() > 1) {
     // Flow-affine classification: a header peek, not a full parse — checksum

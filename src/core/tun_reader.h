@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "android/tun_device.h"
+#include "concurrent/lane_affinity.h"
 #include "netpkt/packet.h"
 #include "netpkt/packet_buf.h"
 #include "core/config.h"
@@ -91,6 +92,10 @@ class TunReader {
   moputil::Rng rng_;
   std::vector<LaneSink> sinks_;
   mopsim::ActorLane lane_;
+  // Debug-only: Dispatch() (the classify + enqueue + wake step) must only
+  // ever run on the reader's own context — per-lane ingress in a future PR
+  // must re-home this stamp explicitly, not silently share it.
+  mopcc::LaneAffinityChecker dispatch_affinity_;
 
   bool started_ = false;
   bool stopped_ = false;

@@ -78,6 +78,7 @@ moputil::SimDuration TunWriter::SubmitPacket(moppkt::PacketBuf packet) {
 }
 
 void TunWriter::Pump() {
+  pump_affinity_.Check();
   if (stopped_ || tun_->closed()) {
     return;
   }

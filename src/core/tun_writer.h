@@ -18,6 +18,7 @@
 #include <deque>
 
 #include "android/tun_device.h"
+#include "concurrent/lane_affinity.h"
 #include "core/config.h"
 #include "netpkt/packet_buf.h"
 #include "sim/actor.h"
@@ -67,6 +68,9 @@ class TunWriter {
   const Config* config_;
   moputil::Rng rng_;
   mopsim::ActorLane lane_;
+  // Debug-only: the drain loop (Pump) belongs to the writer context alone;
+  // producers only ever touch the queue through SubmitPacket.
+  mopcc::LaneAffinityChecker pump_affinity_;
 
   std::deque<moppkt::PacketBuf> queue_;
   WriterState state_ = WriterState::kWaiting;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace moppkt {
 
@@ -86,10 +86,10 @@ void PacketBuf::Release() {
 // ---------------- BufPool ----------------
 
 struct BufPool::Impl {
-  mutable std::mutex mu;
-  std::vector<uint8_t*> free_list;
-  size_t max_free;
-  Stats stats;
+  mutable moputil::Mutex mu;
+  std::vector<uint8_t*> free_list MOP_GUARDED_BY(mu);
+  size_t max_free;  // set once at construction, read-only afterwards
+  Stats stats MOP_GUARDED_BY(mu);
   // Oversize one-shot slabs self-free, so only same-capacity slabs ever
   // enter the free list.
 };
@@ -103,14 +103,17 @@ BufPool::BufPool(size_t slab_capacity, size_t max_free)
 BufPool::~BufPool() {
   // Outstanding PacketBufs would dangle; the relay tears down its packets
   // before its pool (the default pool outlives everything).
-  for (uint8_t* slab : impl_->free_list) {
-    delete[] slab;
+  {
+    moputil::MutexLock lock(impl_->mu);
+    for (uint8_t* slab : impl_->free_list) {
+      delete[] slab;
+    }
   }
   delete impl_;
 }
 
 PacketBuf BufPool::AcquireSized(size_t min_capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  moputil::MutexLock lock(impl_->mu);
   ++impl_->stats.acquires;
   ++impl_->stats.in_use;
   impl_->stats.in_use_high_water =
@@ -145,7 +148,7 @@ PacketBuf BufPool::AcquireCopy(std::span<const uint8_t> bytes) {
 }
 
 void BufPool::ReleaseSlab(uint8_t* slab) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  moputil::MutexLock lock(impl_->mu);
   ++impl_->stats.releases;
   MOP_CHECK(impl_->stats.in_use > 0);
   --impl_->stats.in_use;
@@ -157,12 +160,12 @@ void BufPool::ReleaseSlab(uint8_t* slab) {
 }
 
 void BufPool::NoteCopy() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  moputil::MutexLock lock(impl_->mu);
   ++impl_->stats.copies;
 }
 
 BufPool::Stats BufPool::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  moputil::MutexLock lock(impl_->mu);
   Stats s = impl_->stats;
   s.free_count = impl_->free_list.size();
   return s;

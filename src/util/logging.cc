@@ -3,10 +3,20 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/thread_annotations.h"
+
 namespace moputil {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes the final stderr write so messages from concurrent threads
+// (worker lanes, real-thread tests) never interleave mid-line. Function-local
+// static: safe to log during static init/teardown of other objects.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,9 +52,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   std::string msg = stream_.str();
-  std::fprintf(stderr, "%s\n", msg.c_str());
-  if (level_ == LogLevel::kFatal) {
+  {
+    MutexLock lock(SinkMutex());
+    std::fprintf(stderr, "%s\n", msg.c_str());
     std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
     std::abort();
   }
 }

@@ -64,6 +64,17 @@ class Voidify {
         .stream()                                                                  \
         << "Check failed: " #cond " "
 
+// Debug-only CHECK: full MOP_CHECK in builds without NDEBUG, compiled to
+// nothing (condition unevaluated, dead-code eliminated) in optimized builds.
+// Used for invariants on hot paths — lane-affinity stamps, shard-ownership
+// checks — that must cost zero in Release.
+#ifndef NDEBUG
+#define MOP_DCHECK(cond) MOP_CHECK(cond)
+#else
+#define MOP_DCHECK(cond) \
+  while (false) MOP_CHECK(cond)
+#endif
+
 #define MOP_CHECK_EQ(a, b) MOP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
 #define MOP_CHECK_NE(a, b) MOP_CHECK((a) != (b))
 #define MOP_CHECK_LE(a, b) MOP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "

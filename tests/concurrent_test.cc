@@ -3,10 +3,12 @@
 // is about.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "concurrent/lane_affinity.h"
 #include "concurrent/lane_dispatch.h"
 #include "concurrent/packet_queue.h"
 #include "concurrent/spsc_ring.h"
@@ -153,8 +155,10 @@ TEST_P(PacketQueueModes, NoLossUnderConcurrentProducers) {
 TEST_P(PacketQueueModes, OrderPreservedPerProducer) {
   PacketQueue<std::pair<int, int>> q(GetParam());
   constexpr int kPerProducer = 3000;
-  std::vector<int> last_seen(2, -1);
-  bool order_ok = true;
+  // The main thread spin-reads last_seen while the consumer writes it, so
+  // both must be atomic (TSan flagged the original plain int version).
+  std::array<std::atomic<int>, 2> last_seen = {-1, -1};
+  std::atomic<bool> order_ok = true;
   std::thread consumer([&] {
     while (true) {
       auto item = q.Take();
@@ -162,10 +166,11 @@ TEST_P(PacketQueueModes, OrderPreservedPerProducer) {
         return;
       }
       auto [producer, seq] = *item;
-      if (seq <= last_seen[static_cast<size_t>(producer)]) {
+      auto& slot = last_seen[static_cast<size_t>(producer)];
+      if (seq <= slot.load(std::memory_order_relaxed)) {
         order_ok = false;
       }
-      last_seen[static_cast<size_t>(producer)] = seq;
+      slot.store(seq, std::memory_order_relaxed);
     }
   });
   std::vector<std::thread> producers;
@@ -179,7 +184,8 @@ TEST_P(PacketQueueModes, OrderPreservedPerProducer) {
   for (auto& t : producers) {
     t.join();
   }
-  while (last_seen[0] < kPerProducer - 1 || last_seen[1] < kPerProducer - 1) {
+  while (last_seen[0].load() < kPerProducer - 1 ||
+         last_seen[1].load() < kPerProducer - 1) {
     std::this_thread::yield();
   }
   q.Stop();
@@ -365,5 +371,94 @@ TEST(LaneDispatcher, FlowOrderPreservedAndSingleLanePerFlow) {
   }
   EXPECT_EQ(total, static_cast<size_t>(kFlows) * kPerFlow);
 }
+
+
+
+// --- Lane-affinity checker ---------------------------------------------------
+// Active in debug builds (MOPEYE_LANE_CHECKS); compiled out to empty no-op
+// classes under NDEBUG, which the #else branch below pins down.
+
+#if MOPEYE_LANE_CHECKS
+
+TEST(LaneAffinity, SameContextRepeatedAccessOk) {
+  mopcc::LaneAffinityChecker checker;
+  EXPECT_FALSE(checker.bound());
+  checker.Check();
+  checker.Check();
+  EXPECT_TRUE(checker.bound());
+}
+
+TEST(LaneAffinity, LaneScopeNestingRestoresOuterLane) {
+  mopcc::LaneAffinityChecker outer;
+  mopcc::LaneScope scope(3);
+  outer.Check();
+  {
+    mopcc::LaneScope inner(4);
+    mopcc::LaneAffinityChecker other;
+    other.Check();
+  }
+  outer.Check();  // would abort if the inner scope leaked its token
+}
+
+TEST(LaneAffinity, RebindTransfersOwnership) {
+  mopcc::LaneAffinityChecker checker;
+  {
+    mopcc::LaneScope scope(1);
+    checker.Check();
+  }
+  checker.Rebind();
+  mopcc::LaneScope scope(2);
+  checker.Check();
+}
+
+TEST(LaneAffinityDeathTest, CrossLaneAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mopcc::LaneAffinityChecker checker;
+  {
+    mopcc::LaneScope scope(1);
+    checker.Check();
+  }
+  EXPECT_DEATH(
+      {
+        mopcc::LaneScope scope(2);
+        checker.Check();
+      },
+      "lane-affinity violation");
+}
+
+TEST(LaneAffinityDeathTest, CrossThreadAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mopcc::LaneAffinityChecker checker;
+  checker.Check();  // binds to this thread
+  EXPECT_DEATH(std::thread([&] { checker.Check(); }).join(),
+               "lane-affinity violation");
+}
+
+TEST(SpscRingDeathTest, ProducerMigrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_DEATH(std::thread([&] { ring.Push(2); }).join(),
+               "lane-affinity violation");
+}
+
+TEST(LaneDispatcherDeathTest, ConsumerMigrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mopcc::LaneDispatcher<int> d(2, PutMode::kNewPut, /*spin_rounds=*/0);
+  (void)d.queue(0);  // binds lane 0's consumer end to this thread
+  EXPECT_DEATH(std::thread([&] { (void)d.queue(0); }).join(),
+               "lane-affinity violation");
+}
+
+#else  // !MOPEYE_LANE_CHECKS
+
+TEST(LaneAffinity, CompiledOutInRelease) {
+  mopcc::LaneAffinityChecker checker;
+  checker.Check();
+  std::thread([&] { checker.Check(); }).join();  // must be silent
+  EXPECT_FALSE(checker.bound());
+}
+
+#endif  // MOPEYE_LANE_CHECKS
 
 }  // namespace

@@ -1,0 +1,5 @@
+// moplint fixture: scanned as src/netpkt/bad_layering.cc — netpkt reaching up
+// into net/ and core/ MUST be flagged (twice).
+#include "net/socket.h"
+#include "core/engine.h"
+#include "util/logging.h"

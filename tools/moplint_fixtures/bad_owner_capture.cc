@@ -1,0 +1,23 @@
+// moplint fixture: both owner-capture hazard shapes MUST be flagged.
+// (Not compiled; scanned by tools/moplint_test.py with a pseudo src/ path.)
+#include <functional>
+#include <memory>
+
+struct Chan {
+  std::function<void()> on_data;
+  std::function<void()> on_close;
+};
+
+void Wire(const std::shared_ptr<Chan>& chan) {
+  // Strong self-capture: the std::function member keeps `chan` alive forever.
+  chan->on_data = [chan] { (void)chan; };
+}
+
+struct Session : std::enable_shared_from_this<Session> {
+  std::function<void()> cb;
+  Chan* chan = nullptr;
+  void Arm() {
+    // shared_from_this into a persistent callback member: same cycle.
+    chan->on_close = [self = shared_from_this()] { (void)self; };
+  }
+};

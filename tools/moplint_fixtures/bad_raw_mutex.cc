@@ -1,0 +1,14 @@
+// moplint fixture: raw standard-library locking primitives in src/ MUST be
+// flagged (four findings), while the commented one must not.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock);
+  }
+};
+// A std::mutex mentioned in a comment is not a finding.

@@ -1,0 +1,29 @@
+// moplint fixture: safe callback wiring that must NOT be flagged.
+#include <functional>
+#include <memory>
+
+struct Chan {
+  std::function<void()> on_data;
+};
+
+struct Owner {
+  std::shared_ptr<Chan> chan;
+  void Wire() {
+    // Raw `this` capture into a channel we own: no shared_ptr cycle.
+    chan->on_data = [this] { (void)this; };
+  }
+  void WireWeak(const std::shared_ptr<Owner>& self) {
+    // Weak capture: the sanctioned pattern for callbacks that may outlive us.
+    chan->on_data = [weak = std::weak_ptr<Owner>(self)] {
+      if (auto s = weak.lock()) {
+        (void)s;
+      }
+    };
+  }
+};
+
+void Transient(const std::shared_ptr<Chan>& chan, std::function<void()>& run_once) {
+  // Copy-capture into a transient argument (not a member of the captured
+  // object): fine.
+  run_once = [chan] { (void)chan; };
+}
