@@ -3,6 +3,7 @@
 // slice and report rates, which is what CPU% and battery%/h are).
 #include "baselines/presets.h"
 #include "bench/bench_util.h"
+#include "telemetry/metrics.h"
 #include "tests/test_world.h"
 
 namespace {
@@ -19,7 +20,33 @@ struct Resources {
 // paper's CPU-to-battery pairing.
 double BatteryPctPerHour(double cpu_pct) { return 0.30 + 0.105 * cpu_pct; }
 
-Resources RunVideo(uint64_t seed, const mopeye::Config& engine_cfg, double minutes) {
+// Per-lane accounting for the sharded run: how evenly the video flows landed
+// and what each lane's relay stages cost. Read from the engine's telemetry
+// registry before the world goes away.
+std::string RenderLaneTable(moptest::TestWorld& w, int lanes) {
+  const moptel::Registry* reg = w.engine().telemetry_registry();
+  const moptel::Histogram* tcp = reg->FindHistogram("mopeye_relay_stage_tcp_ms");
+  const moptel::Histogram* wr = reg->FindHistogram("mopeye_relay_stage_socket_write_ms");
+  moputil::Table t({"lane", "tun packets", "clients peak", "tcp stage p50 (n)",
+                    "sock write p50 (n)"});
+  for (int l = 0; l < lanes; ++l) {
+    size_t lane = static_cast<size_t>(l);
+    const auto& c = w.engine().lane_counters(lane);
+    auto cell = [](const moptel::Histogram* h, size_t lane) -> std::string {
+      if (h == nullptr || h->LaneCount(lane) == 0) {
+        return "-";
+      }
+      return mopbench::Num(h->LaneQuantile(lane, 50.0) * 1000.0) + "us (" +
+             std::to_string(h->LaneCount(lane)) + ")";
+    };
+    t.AddRow({std::to_string(l), std::to_string(c.tun_packets),
+              std::to_string(c.clients_high_water), cell(tcp, lane), cell(wr, lane)});
+  }
+  return t.Render();
+}
+
+Resources RunVideo(uint64_t seed, const mopeye::Config& engine_cfg, double minutes,
+                   std::string* lane_table = nullptr) {
   moptest::WorldOptions opts;
   opts.seed = seed;
   opts.first_hop_one_way = moputil::Millis(2);
@@ -50,6 +77,9 @@ Resources RunVideo(uint64_t seed, const mopeye::Config& engine_cfg, double minut
   r.battery_pct_hour = BatteryPctPerHour(r.cpu_pct);
   r.memory_mb = static_cast<double>(usage.memory_bytes) / (1024.0 * 1024.0);
   r.stalls = session.stalls();
+  if (lane_table != nullptr && w.engine().telemetry_registry() != nullptr) {
+    *lane_table = RenderLaneTable(w, static_cast<int>(w.engine().lane_count()));
+  }
   if (!done) {
     std::fprintf(stderr, "video session did not finish\n");
   }
@@ -71,7 +101,9 @@ int main(int argc, char** argv) {
                 minutes, flags.lanes);
     mopeye::Config cfg = mopbase::MopEyeConfig();
     cfg.worker_lanes = flags.lanes;
-    Resources lanes_r = RunVideo(flags.seed, cfg, minutes);
+    cfg.telemetry = true;  // per-lane stage timing rides along, cost ≈ noise
+    std::string lane_table;
+    Resources lanes_r = RunVideo(flags.seed, cfg, minutes, &lane_table);
     Resources one = RunVideo(flags.seed, mopbase::MopEyeConfig(), minutes);
     moputil::Table t({"resource", "lanes=" + std::to_string(flags.lanes), "lanes=1"});
     t.AddRow({"CPU", mopbench::Num(lanes_r.cpu_pct) + "%", mopbench::Num(one.cpu_pct) + "%"});
@@ -81,6 +113,10 @@ int main(int argc, char** argv) {
               mopbench::Num(one.memory_mb) + "MB"});
     t.AddRow({"Playback stalls", std::to_string(lanes_r.stalls), std::to_string(one.stalls)});
     std::printf("%s\n", t.Render().c_str());
+    if (!lane_table.empty()) {
+      std::printf("per-lane breakdown (lanes=%d run, from the telemetry registry):\n%s\n",
+                  flags.lanes, lane_table.c_str());
+    }
     return 0;
   }
   mopbench::PrintHeader("Table 4",

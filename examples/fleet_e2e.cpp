@@ -23,9 +23,14 @@
 
 #include <unistd.h>
 
+#include "android/device.h"
+#include "apps/app.h"
+#include "apps/tun_stack.h"
 #include "collector/server.h"
 #include "collector/uploader.h"
+#include "core/engine.h"
 #include "core/measurement.h"
+#include "core/telemetry_service.h"
 #include "crowd/world.h"
 #include "fleet/router.h"
 #include "fleet/snapshot.h"
@@ -33,6 +38,8 @@
 #include "net/net_context.h"
 #include "net/server.h"
 #include "sim/event_loop.h"
+#include "telemetry/export_server.h"
+#include "telemetry/metrics.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -101,20 +108,64 @@ int main(int argc, char** argv) {
   const moputil::SimDuration snapshot_interval = moputil::Seconds(5);
 
   std::vector<moppkt::SocketAddr> addrs;
+  std::vector<moppkt::SocketAddr> metrics_addrs;
   std::vector<std::unique_ptr<mopcollect::CollectorServer>> collectors;
   std::vector<std::unique_ptr<mopfleet::Snapshotter>> snapshotters;
   std::vector<std::string> snap_paths;
   for (int c = 0; c < flags.collectors; ++c) {
     addrs.push_back({moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9000});
+    metrics_addrs.push_back(
+        {moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9100});
     snap_paths.push_back(snap_dir + std::to_string(c) + ".snap");
     collectors.push_back(std::make_unique<mopcollect::CollectorServer>(copts));
     collectors.back()->EnableIngestLanes(&loop);
     collectors.back()->RegisterWith(&farm, addrs.back());
+    collectors.back()->ServeMetrics(&farm, metrics_addrs.back(), &loop);
     snapshotters.push_back(std::make_unique<mopfleet::Snapshotter>(
         &loop, collectors.back().get(), snap_paths.back(), snapshot_interval));
     snapshotters.back()->Start();
   }
   mopfleet::FleetRouter router(addrs);
+
+  // ---- One instrumented device: a real relay engine with telemetry on ----
+  // The fleet's synthetic devices exercise the collector scrape surface; this
+  // phone exercises the engine's. Its MetricsExportService serves the relay
+  // registry on the same farm the collectors use, so one scraper covers both.
+  mopnet::NetworkProfile phone_profile;
+  phone_profile.type = mopnet::NetType::kWifi;
+  phone_profile.isp = "HomeFiber";
+  phone_profile.country = "US";
+  phone_profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(moputil::Millis(1));
+  mopdroid::AndroidDevice phone(&loop, phone_profile, &paths, &farm, flags.seed ^ 0xfee7,
+                                /*sdk_version=*/24);
+  mopeye::Config engine_cfg;
+  engine_cfg.telemetry = true;
+  engine_cfg.worker_lanes = 2;
+  mopeye::MopEyeEngine engine(&phone, engine_cfg);
+  const moppkt::SocketAddr engine_metrics_addr{moppkt::IpAddr(10, 99, 0, 200), 9100};
+  auto metrics_service =
+      std::make_shared<mopeye::MetricsExportService>(&farm, engine_metrics_addr);
+  metrics_service->AttachEngine(&engine);
+  engine.RegisterService(metrics_service);
+  if (auto st = engine.Start(); !st.ok()) {
+    std::printf("FATAL: engine start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const moppkt::SocketAddr phone_server{moppkt::IpAddr(93, 99, 0, 1), 443};
+  farm.AddTcpServer(phone_server,
+                    [] { return std::make_unique<mopnet::EchoBehavior>(); });
+  mopapps::TunNetStack phone_stack(&phone);
+  phone_stack.AttachTun();
+  mopapps::App phone_app(&phone, &phone_stack, /*uid=*/10200, "com.example.fleet",
+                         "FleetApp");
+  std::vector<std::shared_ptr<mopapps::AppConn>> phone_conns;
+  for (int i = 0; i < 6; ++i) {
+    loop.Schedule(moputil::Seconds(1 + 2 * i), [&] {
+      auto conn = std::shared_ptr<mopapps::AppConn>(phone_app.CreateConn().release());
+      conn->Connect(phone_server, [](moputil::Status) {});
+      phone_conns.push_back(std::move(conn));
+    });
+  }
 
   // ---- Device roster, sharded by the router ----
   std::vector<double> country_weights;
@@ -220,6 +271,39 @@ int main(int argc, char** argv) {
     loop.Schedule(start, [&generate, d] { generate(d); });
   }
 
+  // ---- Scrape plane: a dedicated monitoring client on the same network ----
+  mopnet::NetworkProfile scraper_profile;
+  scraper_profile.type = mopnet::NetType::kWifi;
+  scraper_profile.isp = "Monitoring";
+  scraper_profile.first_hop_one_way = std::make_shared<moputil::FixedDelay>(moputil::Millis(1));
+  mopnet::NetContext scraper(&loop, scraper_profile, &paths, &farm,
+                             moputil::Rng(flags.seed ^ 0x5c7a9e));
+  bool scrape_ok = true;
+  // Mid-run: metrics must be scrapeable while ingest is live. The exposition
+  // is rendered at connect time, so on a monotonic counter the scraped value
+  // can never exceed a read taken after the scrape completes.
+  loop.Schedule(moputil::Seconds(20), [&] {
+    moptel::Scrape(&scraper, metrics_addrs[0], [&](moputil::Status st, std::string text) {
+      double v = 0;
+      if (!st.ok() ||
+          !moptel::ScrapeValue(text, "mopeye_collector_records_ingested_total", &v)) {
+        std::printf("FAIL: mid-run scrape of collector 0 failed (%s)\n",
+                    st.ToString().c_str());
+        scrape_ok = false;
+        return;
+      }
+      uint64_t now_ingested = collectors[0]->counters().records_ingested;
+      if (static_cast<uint64_t>(v) > now_ingested) {
+        std::printf("FAIL: mid-run scrape reports %llu records ingested, counter says %llu\n",
+                    static_cast<unsigned long long>(v),
+                    static_cast<unsigned long long>(now_ingested));
+        scrape_ok = false;
+      }
+      std::printf("[t=%2.0fs] scraped collector 0: %llu records ingested so far\n",
+                  moputil::ToSeconds(loop.Now()), static_cast<unsigned long long>(v));
+    });
+  });
+
   // ---- Kill the busiest collector mid-run, restart from snapshot at 55s ----
   // The kill lands just after a snapshot's ack flush (t=26), when most home
   // devices are between batches: their next upload hits a dead address and
@@ -256,6 +340,7 @@ int main(int argc, char** argv) {
     fresh->ImportState(std::move(state).value());
     fresh->EnableIngestLanes(&loop);
     fresh->RegisterWith(&farm, addrs[victim]);
+    fresh->ServeMetrics(&farm, metrics_addrs[victim], &loop);
     std::printf("[t=%2.0fs] RESTART collector %zu from snapshot (%llu records restored — "
                 "unsnapshotted folds will be re-delivered)\n",
                 moputil::ToSeconds(loop.Now()), victim,
@@ -275,6 +360,65 @@ int main(int argc, char** argv) {
     dev.uploader->FlushNow();
   }
   loop.RunFor(moputil::Seconds(240));
+
+  // ---- Final scrapes, against a quiescent fleet: exact equality ----
+  // Every collector endpoint (including the restarted victim's) and the
+  // engine's MetricsExportService must report exactly what the in-process
+  // counters say.
+  size_t scrapes_verified = 0;
+  for (size_t c = 0; c < collectors.size(); ++c) {
+    moptel::Scrape(&scraper, metrics_addrs[c], [&, c](moputil::Status st, std::string text) {
+      double ingested = 0, folds = 0;
+      if (!st.ok() ||
+          !moptel::ScrapeValue(text, "mopeye_collector_records_ingested_total", &ingested) ||
+          !moptel::ScrapeValue(text, "mopeye_collector_folds_applied_total", &folds)) {
+        std::printf("FAIL: final scrape of collector %zu failed (%s)\n", c,
+                    st.ToString().c_str());
+        scrape_ok = false;
+        return;
+      }
+      if (static_cast<uint64_t>(ingested) != collectors[c]->counters().records_ingested) {
+        std::printf("FAIL: collector %zu scrape says %llu records ingested, counter %llu\n",
+                    c, static_cast<unsigned long long>(ingested),
+                    static_cast<unsigned long long>(collectors[c]->counters().records_ingested));
+        scrape_ok = false;
+      }
+      if (folds <= 0) {
+        std::printf("FAIL: collector %zu scrape shows no aggregate folds\n", c);
+        scrape_ok = false;
+      }
+      ++scrapes_verified;
+    });
+  }
+  moptel::Scrape(&scraper, engine_metrics_addr, [&](moputil::Status st, std::string text) {
+    double tun_packets = 0, syns = 0;
+    if (!st.ok() ||
+        !moptel::ScrapeValue(text, "mopeye_engine_tun_packets_total", &tun_packets) ||
+        !moptel::ScrapeValue(text, "mopeye_engine_syns_total", &syns)) {
+      std::printf("FAIL: engine metrics scrape failed (%s)\n", st.ToString().c_str());
+      scrape_ok = false;
+      return;
+    }
+    if (static_cast<uint64_t>(tun_packets) != engine.counters().tun_packets ||
+        static_cast<uint64_t>(syns) != engine.counters().syns) {
+      std::printf("FAIL: engine scrape (%llu tun packets, %llu syns) disagrees with "
+                  "counters (%llu, %llu)\n",
+                  static_cast<unsigned long long>(tun_packets),
+                  static_cast<unsigned long long>(syns),
+                  static_cast<unsigned long long>(engine.counters().tun_packets),
+                  static_cast<unsigned long long>(engine.counters().syns));
+      scrape_ok = false;
+    }
+    ++scrapes_verified;
+  });
+  loop.RunFor(moputil::Seconds(5));
+  if (scrapes_verified != collectors.size() + 1) {
+    std::printf("FAIL: only %zu of %zu metrics scrapes completed\n", scrapes_verified,
+                collectors.size() + 1);
+    scrape_ok = false;
+  }
+  std::printf("metrics scrapes: %zu endpoints verified against in-process counters%s\n",
+              scrapes_verified, scrape_ok ? "" : " (MISMATCH)");
 
   // ---- Merged query plane over the live fleet ----
   mopfleet::FleetView view;
@@ -322,7 +466,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- Verify the merged aggregates against exact recomputation ----
-  bool ok = true;
+  bool ok = scrape_ok;
   if (view.records_ingested() != generated) {
     std::printf("FAIL: generated %llu records but the fleet ingested %llu "
                 "(loss or double-count across the crash)\n",
@@ -398,6 +542,7 @@ int main(int argc, char** argv) {
   for (auto& dev : devices) {
     dev.uploader->Stop();
   }
+  engine.Stop();
   for (auto& s : snapshotters) {
     s->Stop();
   }

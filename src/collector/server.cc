@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "concurrent/lane_affinity.h"
+#include "telemetry/export_server.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -85,13 +88,78 @@ constexpr moputil::SimDuration kFoldCost = 100;
 
 CollectorServer::CollectorServer(CollectorOptions opts) : opts_(opts), store_(opts.shards) {}
 
+CollectorServer::~CollectorServer() = default;
+
 void CollectorServer::RegisterWith(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr) {
   farm->AddTcpServer(addr,
                      [this] { return std::make_unique<Behavior>(this); });
 }
 
+int64_t CollectorServer::TelemetryNow() const { return loop_ != nullptr ? loop_->Now() : 0; }
+
+void CollectorServer::ServeMetrics(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+                                   mopsim::EventLoop* loop) {
+  if (loop != nullptr) {
+    loop_ = loop;
+  }
+  if (registry_ == nullptr) {
+    // One registry "lane" per ingest lane so the fold counter shards with
+    // the workers; single-lane collectors get one cell.
+    size_t lanes = std::max<size_t>(1, opts_.ingest_lanes);
+    registry_ = std::make_unique<moptel::Registry>(lanes);
+    recorder_ = std::make_unique<moptel::FlightRecorder>(lanes);
+    moptel::Registry& reg = *registry_;
+    reg.AddExternalCounter("mopeye_collector_connections_total",
+                           "Upload connections accepted",
+                           [this] { return counters_.connections; });
+    reg.AddExternalCounter("mopeye_collector_frames_total",
+                           "Upload frames reassembled",
+                           [this] { return counters_.frames; });
+    reg.AddExternalCounter("mopeye_collector_batches_ok_total",
+                           "Batches decoded and folded",
+                           [this] { return counters_.batches_ok; });
+    reg.AddExternalCounter("mopeye_collector_batches_rejected_total",
+                           "Malformed batches nacked",
+                           [this] { return counters_.batches_rejected; });
+    reg.AddExternalCounter("mopeye_collector_batches_duplicate_total",
+                           "Re-deliveries acked without re-folding",
+                           [this] { return counters_.batches_duplicate; });
+    reg.AddExternalCounter("mopeye_collector_records_ingested_total",
+                           "Records folded into the aggregate store",
+                           [this] { return counters_.records_ingested; });
+    reg.AddExternalCounter("mopeye_collector_stream_errors_total",
+                           "Framing violations that reset a connection",
+                           [this] { return counters_.stream_errors; });
+    folds_applied_ = reg.AddCounter("mopeye_collector_folds_applied_total",
+                                    "Aggregate folds applied, per ingest lane");
+    batch_records_ = reg.AddHistogram("mopeye_collector_batch_records",
+                                      "Records per accepted batch");
+    reg.AddExternalGauge("mopeye_collector_store_keys",
+                         "Distinct aggregate keys resident",
+                         [this] { return static_cast<uint64_t>(store_.key_count()); });
+    reg.AddExternalGauge("mopeye_collector_pending_acks",
+                         "Acks withheld until the next durable snapshot",
+                         [this] { return static_cast<uint64_t>(pending_acks_.size()); });
+    reg.AddExternalGauge("mopeye_collector_tracked_devices",
+                         "Devices with live duplicate-delivery windows",
+                         [this] { return static_cast<uint64_t>(seen_batches_.size()); });
+  }
+  metrics_farm_ = farm;
+  metrics_addr_ = addr;
+  moptel::ServeRegistry(farm, addr, registry_.get());
+}
+
 void CollectorServer::Shutdown() {
   shut_down_ = true;
+  if (recorder_ != nullptr) {
+    recorder_->Record(0, TelemetryNow(), moptel::TraceKind::kLifecycle,
+                      "collector-shutdown", pending_acks_.size(), live_conns_.size());
+  }
+  if (metrics_farm_ != nullptr) {
+    // A crashed collector stops answering scrapes too.
+    metrics_farm_->RemoveTcpServer(metrics_addr_);
+    metrics_farm_ = nullptr;
+  }
   // A crash takes the withheld acks with it — that is the durable-ack
   // guarantee working, not a leak: the unacked batches get re-sent.
   pending_acks_.clear();
@@ -105,6 +173,7 @@ void CollectorServer::Shutdown() {
 }
 
 void CollectorServer::EnableIngestLanes(mopsim::EventLoop* loop) {
+  loop_ = loop;
   lanes_.clear();
   lane_pending_.clear();
   if (opts_.ingest_lanes <= 1) {
@@ -126,6 +195,10 @@ moputil::SimDuration CollectorServer::ingest_lane_busy() const {
 }
 
 CollectorState CollectorServer::ExportState() const {
+  if (recorder_ != nullptr) {
+    recorder_->Record(0, TelemetryNow(), moptel::TraceKind::kSnapshot, "state-export",
+                      store_.key_count(), counters_.records_ingested);
+  }
   CollectorState s;
   s.store = store_;
   // Apply folds still queued on ingest lanes to the exported copy: every
@@ -163,6 +236,10 @@ CollectorState CollectorServer::ExportState() const {
 }
 
 void CollectorServer::ImportState(CollectorState state) {
+  if (recorder_ != nullptr) {
+    recorder_->Record(0, TelemetryNow(), moptel::TraceKind::kSnapshot, "state-import",
+                      state.store.key_count(), state.records_ingested);
+  }
   store_ = std::move(state.store);
   apps_ = std::move(state.apps);
   isps_ = std::move(state.isps);
@@ -189,6 +266,10 @@ void CollectorServer::ImportState(CollectorState state) {
 void CollectorServer::NotifyDurable() {
   auto acks = std::move(pending_acks_);
   pending_acks_.clear();
+  if (recorder_ != nullptr && !acks.empty()) {
+    recorder_->Record(0, TelemetryNow(), moptel::TraceKind::kAck, "durable-ack-flush",
+                      acks.size());
+  }
   for (auto& pending : acks) {
     pending.conn->Send(std::move(pending.frame));
   }
@@ -229,6 +310,9 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
     for (const AggregateKey& key : keys) {
       if (lanes_.empty()) {
         store_.Add(key, rtt);
+        if (folds_applied_ != nullptr) {
+          folds_applied_->Inc(0);
+        }
       } else {
         lane_folds[store_.ShardIndexOf(key) % lanes_.size()].emplace_back(key, rtt);
       }
@@ -284,6 +368,9 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
             << " routed to ingest lane " << lane;
         store_.Add(key, rtt);
       }
+      if (folds_applied_ != nullptr) {
+        folds_applied_->Add(lane, folds.size());
+      }
     });
   }
 }
@@ -303,6 +390,9 @@ moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t
   }
   IngestBatch(batch.value());
   ++counters_.batches_ok;
+  if (batch_records_ != nullptr) {
+    batch_records_->Observe(0, static_cast<double>(records));
+  }
   return records;
 }
 

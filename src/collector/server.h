@@ -33,6 +33,13 @@
 #include "sim/actor.h"
 #include "util/status.h"
 
+namespace moptel {
+class Counter;
+class FlightRecorder;
+class Histogram;
+class Registry;
+}  // namespace moptel
+
 namespace mopcollect {
 
 struct CollectorOptions {
@@ -94,6 +101,7 @@ class CollectorServer {
   static constexpr size_t kMaxTrackedDevices = 1 << 16;
 
   explicit CollectorServer(CollectorOptions opts = CollectorOptions());
+  ~CollectorServer();  // out-of-line: telemetry members are incomplete here
 
   // Serves at `addr`. The server must outlive the farm registration (and any
   // in-flight connections); connections hold a plain pointer back here.
@@ -107,6 +115,19 @@ class CollectorServer {
   // the event loop finishes.
   void Shutdown();
   bool shut_down() const { return shut_down_; }
+
+  // Telemetry (moptel): builds an internal registry over the collector's
+  // counters, ingest lanes, and store, plus a flight recorder for snapshot /
+  // durable-ack lifecycle events, and serves the Prometheus-style text
+  // exposition at `addr` on `farm`. Idempotent per (farm, addr); Shutdown()
+  // removes the registration along with the upload listener's connections.
+  // `loop` (optional) timestamps flight-recorder events; EnableIngestLanes
+  // also provides it.
+  void ServeMetrics(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+                    mopsim::EventLoop* loop = nullptr);
+  // Null until ServeMetrics is called.
+  moptel::Registry* telemetry_registry() const { return registry_.get(); }
+  moptel::FlightRecorder* flight_recorder() const { return recorder_.get(); }
 
   // Spreads aggregate folding across opts.ingest_lanes simulated worker
   // threads (ActorLanes on `loop`), lane i owning shard set {s : s % lanes
@@ -209,6 +230,18 @@ class CollectorServer {
   bool CheckAndRecordDelivery(uint32_t device, uint32_t seq);
 
   std::unordered_map<uint32_t, SeenBatches> seen_batches_;
+
+  // Telemetry plane (ServeMetrics); null when not enabled. The fold counter
+  // and batch histogram are owned by registry_; raw pointers are stable.
+  std::unique_ptr<moptel::Registry> registry_;
+  std::unique_ptr<moptel::FlightRecorder> recorder_;
+  moptel::Counter* folds_applied_ = nullptr;     // per ingest lane
+  moptel::Histogram* batch_records_ = nullptr;   // records per accepted batch
+  mopnet::ServerFarm* metrics_farm_ = nullptr;
+  moppkt::SocketAddr metrics_addr_;
+  mopsim::EventLoop* loop_ = nullptr;  // timestamps for recorder events
+
+  int64_t TelemetryNow() const;
 };
 
 }  // namespace mopcollect

@@ -5,8 +5,30 @@
 #include <utility>
 
 #include "core/engine.h"  // kMopEyeUid: uploads run under MopEye's own uid
+#include "telemetry/metrics.h"
 
 namespace mopcollect {
+
+void Uploader::RegisterMetrics(moptel::Registry* registry) {
+  registry->AddExternalCounter("mopeye_uploader_batches_sent_total",
+                               "Batches acked by the collector",
+                               [this] { return counters_.batches_sent; });
+  registry->AddExternalCounter("mopeye_uploader_records_sent_total",
+                               "Records in acked batches",
+                               [this] { return counters_.records_sent; });
+  registry->AddExternalCounter("mopeye_uploader_batches_rejected_total",
+                               "Batches the collector nacked",
+                               [this] { return counters_.batches_rejected; });
+  registry->AddExternalCounter("mopeye_uploader_upload_failures_total",
+                               "Connect/reset/timeout failures (retried)",
+                               [this] { return counters_.upload_failures; });
+  registry->AddExternalCounter("mopeye_uploader_failovers_total",
+                               "Rotations to the next collector shard",
+                               [this] { return counters_.failovers; });
+  registry->AddExternalGauge("mopeye_uploader_pending_records",
+                             "Records drained from the store but not yet acked",
+                             [this] { return static_cast<uint64_t>(pending_records()); });
+}
 
 Uploader::Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
                    const moppkt::SocketAddr& collector, uint32_t device_id,

@@ -98,6 +98,9 @@ class Uploader : public mopeye::EngineService {
   std::string_view service_name() const override { return "uploader"; }
   void OnEngineStart() override { Start(); }
   void OnEngineStop() override { FlushNow(); }
+  // Surfaces the upload counters on the engine's telemetry registry (called
+  // by RegisterService when Config::telemetry is on).
+  void RegisterMetrics(moptel::Registry* registry) override;
 
  private:
   void SchedulePoll();

@@ -117,6 +117,14 @@ struct Config {
   // single TunWriter, and per-packet write() would re-serialize them there).
   int worker_lanes = 1;
 
+  // Self-measurement plane (moptel): lane-sharded metrics registry, stage
+  // histograms, and the per-lane flight recorder. Off (the default) the
+  // engine allocates none of it and the relay hot paths pay one untaken
+  // branch — all bench baselines stay byte-identical. On, counters cost a
+  // plain per-lane uint64_t increment and histograms an add into
+  // preallocated buckets (no atomics, locks, or steady-state allocation).
+  bool telemetry = false;
+
   // Relay TCP parameters (§3.4).
   uint16_t mss = 1460;
   uint16_t window = 65535;

@@ -4,6 +4,8 @@
 
 #include "netpkt/dns.h"
 #include "netpkt/udp.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace mopeye {
@@ -26,6 +28,29 @@ moppkt::BufPool& LaneEmitPool(size_t lane) {
   return *(*pools)[lane];
 }
 }  // namespace
+
+// Everything the telemetry plane owns, built only when Config::telemetry is
+// on. Hot paths hold the raw histogram/gauge pointers (stable: the Registry
+// stores entries behind unique_ptr), guarded by a single `if (telemetry_)`.
+struct MopEyeEngine::Telemetry {
+  moptel::Registry registry;
+  moptel::FlightRecorder recorder;
+  // Relay pipeline stage timings, milliseconds.
+  moptel::Histogram* stage_dispatch = nullptr;      // read-queue residency
+  moptel::Histogram* stage_parse = nullptr;         // parse (+inspection) cost
+  moptel::Histogram* stage_tcp = nullptr;           // socket-event sm processing
+  moptel::Histogram* stage_socket_write = nullptr;  // staged flush to server
+  moptel::Histogram* stage_socket_read = nullptr;   // server->app read cost
+  moptel::Histogram* stage_dns = nullptr;           // DNS temp-thread setup
+  moptel::Histogram* stage_tun_read = nullptr;      // TunReader per-read cost
+  moptel::Histogram* stage_tun_write = nullptr;     // TunWriter drain bursts
+  moptel::Gauge* lane_clients_high_water = nullptr;
+  // Read-queue high water last traced per lane (flight-recorder dedup).
+  std::vector<size_t> read_queue_hw_seen;
+
+  explicit Telemetry(size_t lanes)
+      : registry(lanes), recorder(lanes), read_queue_hw_seen(lanes, 0) {}
+};
 
 MopEyeEngine::MopEyeEngine(mopdroid::AndroidDevice* device, Config config)
     : device_(device),
@@ -53,6 +78,141 @@ MopEyeEngine::MopEyeEngine(mopdroid::AndroidDevice* device, Config config)
   // MeasurementStore* captured at composition time (the Uploader's) keeps
   // observing lane-sharded records.
   store_.SetRefillHook([this] { MergeStoreShards(); });
+  if (config_.telemetry) {
+    BuildTelemetry();
+  }
+}
+
+void MopEyeEngine::BuildTelemetry() {
+  telemetry_ = std::make_unique<Telemetry>(lanes_.size());
+  moptel::Registry& reg = telemetry_->registry;
+
+  // Engine relay counters live in the per-lane Counters structs (the relay
+  // hot paths already increment them); the registry reads them through
+  // external lane counters so exposition and the structs can never diverge.
+#define MOPEYE_REGISTER_ENGINE_COUNTER(name)                              \
+  reg.AddExternalLaneCounter("mopeye_engine_" #name "_total",             \
+                             "Engine relay counter: " #name,              \
+                             [this](size_t lane) {                        \
+                               return lanes_[lane]->counters.name;        \
+                             });
+  MOPEYE_ENGINE_COUNTER_FIELDS(MOPEYE_REGISTER_ENGINE_COUNTER)
+#undef MOPEYE_REGISTER_ENGINE_COUNTER
+
+  telemetry_->lane_clients_high_water = reg.AddGauge(
+      "mopeye_engine_lane_clients_high_water",
+      "Peak concurrent relay clients on any one lane", moptel::GaugeMerge::kMax);
+  reg.AddExternalGauge("mopeye_engine_clients_high_water",
+                       "Peak concurrent relay clients across the whole engine",
+                       [this] { return static_cast<uint64_t>(clients_global_high_water_); });
+  reg.AddExternalGauge("mopeye_engine_active_clients",
+                       "Currently live relay clients",
+                       [this] { return static_cast<uint64_t>(active_clients()); });
+
+  // Relay pipeline stage timings (milliseconds of modeled cost).
+  telemetry_->stage_tun_read =
+      reg.AddHistogram("mopeye_relay_stage_tun_read_ms",
+                       "TunReader per-read() syscall cost");
+  telemetry_->stage_dispatch =
+      reg.AddHistogram("mopeye_relay_stage_dispatch_ms",
+                       "Read-queue residency: tun enqueue to lane pickup");
+  telemetry_->stage_parse =
+      reg.AddHistogram("mopeye_relay_stage_parse_ms",
+                       "Packet parse (+ content inspection) cost");
+  telemetry_->stage_tcp =
+      reg.AddHistogram("mopeye_relay_stage_tcp_ms",
+                       "Socket-event state-machine processing cost");
+  telemetry_->stage_socket_write =
+      reg.AddHistogram("mopeye_relay_stage_socket_write_ms",
+                       "Staged app-to-server socket write cost");
+  telemetry_->stage_socket_read =
+      reg.AddHistogram("mopeye_relay_stage_socket_read_ms",
+                       "Server-to-app socket read cost");
+  telemetry_->stage_dns =
+      reg.AddHistogram("mopeye_relay_stage_dns_ms",
+                       "DNS temp-thread spawn + message processing cost");
+  telemetry_->stage_tun_write =
+      reg.AddHistogram("mopeye_relay_stage_tun_write_ms",
+                       "TunWriter per-drain tunnel write cost");
+
+  // Buffer-pool shards (one pool per lane).
+  reg.AddExternalLaneCounter("mopeye_bufpool_acquires_total",
+                             "Pool buffer acquisitions",
+                             [this](size_t lane) { return lanes_[lane]->pool->stats().acquires; });
+  reg.AddExternalLaneCounter("mopeye_bufpool_slab_allocs_total",
+                             "Fresh slab allocations (pool misses)",
+                             [this](size_t lane) { return lanes_[lane]->pool->stats().slab_allocs; });
+  reg.AddExternalLaneCounter("mopeye_bufpool_oversize_allocs_total",
+                             "Oversize buffers allocated outside the pool",
+                             [this](size_t lane) { return lanes_[lane]->pool->stats().oversize_allocs; });
+  reg.AddExternalLaneCounter("mopeye_bufpool_copies_total",
+                             "Defensive buffer copies",
+                             [this](size_t lane) { return lanes_[lane]->pool->stats().copies; });
+
+  // Tun device / reader / writer. These objects come up in Start(), so the
+  // readers null-guard; a scrape before Start() reports zeros.
+  reg.AddExternalCounter("mopeye_tun_packets_out_total",
+                         "Packets the apps wrote into the tunnel",
+                         [this] { return vpn_ && vpn_->tun() ? vpn_->tun()->packets_out() : 0; });
+  reg.AddExternalCounter("mopeye_tun_packets_in_total",
+                         "Packets MopEye wrote back toward the apps",
+                         [this] { return vpn_ && vpn_->tun() ? vpn_->tun()->packets_in() : 0; });
+  reg.AddExternalCounter("mopeye_tun_bytes_out_total",
+                         "Bytes the apps wrote into the tunnel",
+                         [this] { return vpn_ && vpn_->tun() ? vpn_->tun()->bytes_out() : 0; });
+  reg.AddExternalCounter("mopeye_tun_bytes_in_total",
+                         "Bytes MopEye wrote back toward the apps",
+                         [this] { return vpn_ && vpn_->tun() ? vpn_->tun()->bytes_in() : 0; });
+  reg.AddExternalGauge("mopeye_tun_outgoing_high_water",
+                       "Peak depth of the tun outgoing queue",
+                       [this] {
+                         return vpn_ && vpn_->tun()
+                                    ? static_cast<uint64_t>(vpn_->tun()->outgoing_high_water())
+                                    : 0;
+                       });
+  reg.AddExternalCounter("mopeye_tun_reader_packets_total",
+                         "Packets the TunReader pulled off the tun fd",
+                         [this] { return reader_ ? reader_->packets_read() : 0; });
+  reg.AddExternalCounter("mopeye_tun_reader_empty_polls_total",
+                         "Reader polls that found no packet (sleeping modes)",
+                         [this] { return reader_ ? reader_->empty_polls() : 0; });
+  reg.AddExternalCounter("mopeye_tun_writer_packets_total",
+                         "Packets the TunWriter wrote to the tun fd",
+                         [this] {
+                           return writer_ ? static_cast<uint64_t>(writer_->packets_written()) : 0;
+                         });
+  reg.AddExternalCounter("mopeye_tun_writer_bursts_total",
+                         "Batched TunWriter drain bursts",
+                         [this] {
+                           return writer_ ? static_cast<uint64_t>(writer_->write_bursts()) : 0;
+                         });
+  reg.AddExternalCounter("mopeye_tun_writer_waits_total",
+                         "Times the queueWrite consumer parked in wait()",
+                         [this] { return writer_ ? static_cast<uint64_t>(writer_->waits()) : 0; });
+  reg.AddExternalCounter("mopeye_tun_writer_notifies_total",
+                         "Times a producer paid the notify() wakeup",
+                         [this] { return writer_ ? static_cast<uint64_t>(writer_->notifies()) : 0; });
+  reg.AddExternalGauge("mopeye_tun_writer_queue_high_water",
+                       "Peak depth of the TunWriter queue",
+                       [this] {
+                         return writer_ ? static_cast<uint64_t>(writer_->queue_high_water()) : 0;
+                       });
+
+  // Packet-to-app mapper (§3.3).
+  reg.AddExternalCounter("mopeye_mapper_requests_total",
+                         "Flow-to-app mapping requests",
+                         [this] { return static_cast<uint64_t>(mapper_->requests()); });
+  reg.AddExternalCounter("mopeye_mapper_parses_total",
+                         "Mapping requests that paid a /proc parse",
+                         [this] { return static_cast<uint64_t>(mapper_->parses()); });
+  reg.AddExternalCounter("mopeye_mapper_parses_avoided_total",
+                         "Mapping requests served without a /proc parse",
+                         [this] { return static_cast<uint64_t>(mapper_->avoided()); });
+  reg.AddExternalCounter("mopeye_mapper_misattributions_total",
+                         "Mappings attributed to the wrong app",
+                         [this] { return static_cast<uint64_t>(mapper_->misattributions()); });
+
+  telemetry_->recorder.InstallFatalDump();
 }
 
 MopEyeEngine::~MopEyeEngine() {
@@ -111,6 +271,12 @@ moputil::Status MopEyeEngine::Start() {
       lane->rng = rng_.Fork();
     }
   }
+  if (telemetry_) {
+    reader_->set_stage_histogram(telemetry_->stage_tun_read);
+    writer_->set_stage_histogram(telemetry_->stage_tun_write);
+    telemetry_->recorder.Record(0, loop_->Now(), moptel::TraceKind::kLifecycle,
+                                "engine-start", lanes_.size());
+  }
   reader_->Start();
   running_ = true;
   for (const auto& service : services_) {
@@ -122,6 +288,9 @@ moputil::Status MopEyeEngine::Start() {
 void MopEyeEngine::RegisterService(std::shared_ptr<EngineService> service) {
   MOP_CHECK(service != nullptr);
   services_.push_back(std::move(service));
+  if (telemetry_) {
+    services_.back()->RegisterMetrics(&telemetry_->registry);
+  }
   if (running_) {
     services_.back()->OnEngineStart();
   }
@@ -141,6 +310,10 @@ void MopEyeEngine::Stop() {
     return;
   }
   running_ = false;
+  if (telemetry_) {
+    telemetry_->recorder.Record(0, loop_->Now(), moptel::TraceKind::kLifecycle,
+                                "engine-stop", active_clients());
+  }
   // Services flush first, while the loop is still fully alive: the
   // uploader's final batch is drained from the store here and delivered by
   // event-loop callbacks after Stop() returns.
@@ -199,6 +372,8 @@ void MopEyeEngine::Stop() {
     }
     lane->udp_clients.clear();
   }
+  // Lanes were cleared without RemoveClient, so the live count resets here.
+  clients_live_ = 0;
 }
 
 MopEyeEngine::Counters MopEyeEngine::counters() const {
@@ -304,17 +479,34 @@ void MopEyeEngine::DrainEvents(WorkerLane& lane) {
     if (ei < events.size()) {
       mopnet::ReadyEvent ev = events[ei++];
       if (ev.channel != nullptr) {
-        lane.lane.Submit(0, config_.costs.sm_process->Sample(lane.rng),
+        moputil::SimDuration sm_cost = config_.costs.sm_process->Sample(lane.rng);
+        if (telemetry_) {
+          telemetry_->stage_tcp->Observe(lane.index, moputil::ToMillis(sm_cost));
+        }
+        lane.lane.Submit(0, sm_cost,
                          [this, l = &lane, ev] { HandleSocketEvent(*l, ev); });
       }
       more = true;
     }
     if (!lane.read_queue.items.empty()) {
+      moputil::SimTime enqueued_at = lane.read_queue.items.front().first;
       moppkt::PacketBuf pkt = std::move(lane.read_queue.items.front().second);
       lane.read_queue.items.pop_front();
       moputil::SimDuration cost = config_.costs.packet_parse->Sample(lane.rng);
       if (config_.content_inspection) {
         cost += config_.content_inspection->Sample(lane.rng);
+      }
+      if (telemetry_) {
+        telemetry_->stage_dispatch->Observe(lane.index,
+                                            moputil::ToMillis(loop_->Now() - enqueued_at));
+        telemetry_->stage_parse->Observe(lane.index, moputil::ToMillis(cost));
+        if (lane.read_queue.high_water > telemetry_->read_queue_hw_seen[lane.index]) {
+          telemetry_->read_queue_hw_seen[lane.index] = lane.read_queue.high_water;
+          telemetry_->recorder.Record(lane.index, loop_->Now(),
+                                      moptel::TraceKind::kQueueHighWater,
+                                      "read-queue-high-water",
+                                      lane.read_queue.high_water);
+        }
       }
       lane.lane.Submit(0, cost, [this, l = &lane, pkt = std::move(pkt)]() mutable {
         ProcessTunPacket(*l, std::move(pkt));
@@ -337,6 +529,11 @@ void MopEyeEngine::ProcessTunPacket(WorkerLane& lane, moppkt::PacketBuf raw) {
   auto parsed = moppkt::ParsePacket(raw.bytes());
   if (!parsed.ok()) {
     ++lane.counters.parse_errors;
+    if (telemetry_) {
+      telemetry_->recorder.Record(lane.index, loop_->Now(),
+                                  moptel::TraceKind::kPacketVerdict, "parse-error",
+                                  raw.size());
+    }
     return;
   }
   const moppkt::ParsedPacket& pkt = parsed.value();
@@ -387,6 +584,18 @@ void MopEyeEngine::HandleSyn(WorkerLane& lane, const moppkt::ParsedPacket& pkt) 
   lane.clients[flow] = client;
   lane.counters.clients_high_water =
       std::max(lane.counters.clients_high_water, lane.clients.size());
+  ++clients_live_;
+  if (clients_live_ > clients_global_high_water_) {
+    clients_global_high_water_ = clients_live_;
+    if (telemetry_) {
+      telemetry_->recorder.Record(lane.index, loop_->Now(),
+                                  moptel::TraceKind::kQueueHighWater,
+                                  "clients-high-water", clients_live_);
+    }
+  }
+  if (telemetry_) {
+    telemetry_->lane_clients_high_water->SetMax(lane.index, lane.clients.size());
+  }
 
   // Mapping strategy decides *where* the /proc parse happens (§3.3):
   // naive & cache block the owning lane right here; lazy defers to the
@@ -453,6 +662,11 @@ void MopEyeEngine::StartExternalConnect(const std::shared_ptr<TcpClient>& client
         }
         if (!st.ok()) {
           ++c->home->counters.connects_failed;
+          if (telemetry_) {
+            telemetry_->recorder.Record(c->home->index, loop_->Now(),
+                                        moptel::TraceKind::kConnectOutcome,
+                                        "connect-failed", c->flow.remote.port);
+          }
           c->connect_lane->Submit(config_.costs.thread_wake->Sample(c->home->rng), 0,
                                   [this, c] {
                                     if (c->removed) {
@@ -481,6 +695,12 @@ void MopEyeEngine::FinishConnect(const std::shared_ptr<TcpClient>& client,
   }
   WorkerLane* home = client->home;
   ++home->counters.connects_ok;
+  if (telemetry_) {
+    telemetry_->recorder.Record(home->index, loop_->Now(),
+                                moptel::TraceKind::kConnectOutcome, "connect-ok",
+                                static_cast<uint64_t>(t1 - client->connect_t0),
+                                client->flow.remote.port);
+  }
   client->external_connected = true;
   device_->conn_table().UpdateState(client->kernel_handle, mopnet::ConnState::kEstablished);
 
@@ -556,6 +776,11 @@ void MopEyeEngine::HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket
   auto client = FindClient(lane, flow);
   if (!client) {
     ++lane.counters.unknown_flow;
+    if (telemetry_) {
+      telemetry_->recorder.Record(lane.index, loop_->Now(),
+                                  moptel::TraceKind::kPacketVerdict, "unknown-flow",
+                                  flow.remote.port);
+    }
     return;
   }
   // The flow's state must live on the lane processing it ("a channel never
@@ -695,6 +920,9 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
   client->socket_write_buf.clear();
   client->socket_write_bytes = 0;
   moputil::SimDuration cost = config_.costs.socket_op->Sample(home->rng);
+  if (telemetry_) {
+    telemetry_->stage_socket_write->Observe(home->index, moputil::ToMillis(cost));
+  }
   home->lane.Submit(0, cost, [this, client, data = std::move(data)]() mutable {
     if (client->removed || !client->channel) {
       return;
@@ -737,6 +965,9 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
     for (size_t off = 0; off < n; off += config_.mss) {
       cost += config_.content_inspection->Sample(home->rng);
     }
+  }
+  if (telemetry_) {
+    telemetry_->stage_socket_read->Observe(home->index, moputil::ToMillis(cost));
   }
   home->lane.Submit(0, cost, [this, client, buf = std::move(buf)]() mutable {
     if (client->removed) {
@@ -801,7 +1032,12 @@ void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
       client->channel->Close();
     }
   }
-  home->clients.erase(client->flow);
+  if (home->clients.erase(client->flow) > 0) {
+    // Guarded: Stop() clears the lane maps directly and zeroes the count, so
+    // a straggling closure removing a Stop()-cleared client must not
+    // underflow it.
+    --clients_live_;
+  }
 }
 
 // ---------------- UDP / DNS relay ----------------
@@ -831,6 +1067,9 @@ void MopEyeEngine::HandleDnsQuery(WorkerLane& lane, const moppkt::ParsedPacket& 
   std::vector<uint8_t> payload(pkt.udp->payload.begin(), pkt.udp->payload.end());
   moputil::SimDuration setup = config_.costs.thread_spawn->Sample(lane.rng) +
                                config_.costs.dns_process->Sample(lane.rng);
+  if (telemetry_) {
+    telemetry_->stage_dns->Observe(lane.index, moputil::ToMillis(setup));
+  }
   udp->lane->Submit(setup, 0, [this, udp, payload = std::move(payload)]() mutable {
     udp->socket = mopnet::UdpSocket::Create(&device_->net());
     udp->socket->set_owner_uid(kMopEyeUid);
@@ -937,6 +1176,16 @@ void MopEyeEngine::HandleUdp(WorkerLane& lane, const moppkt::ParsedPacket& pkt) 
   udp->last_activity = loop_->Now();
   std::vector<uint8_t> payload(pkt.udp->payload.begin(), pkt.udp->payload.end());
   udp->socket->SendTo(flow.remote, std::move(payload));
+}
+
+// ---------------- Telemetry accessors ----------------
+
+moptel::Registry* MopEyeEngine::telemetry_registry() const {
+  return telemetry_ ? &telemetry_->registry : nullptr;
+}
+
+moptel::FlightRecorder* MopEyeEngine::flight_recorder() const {
+  return telemetry_ ? &telemetry_->recorder : nullptr;
 }
 
 }  // namespace mopeye

@@ -51,10 +51,39 @@
 #include "netpkt/tcp_template.h"
 #include "util/status.h"
 
+namespace moptel {
+class FlightRecorder;
+class Registry;
+}  // namespace moptel
+
 namespace mopeye {
 
 // The uid MopEye itself runs under.
 constexpr int kMopEyeUid = 10999;
+
+// Every per-lane relay counter, as an X-macro: one list drives the field
+// declarations, the shard merge in operator+=, and the telemetry-registry
+// auto-registration in engine.cc. Adding a counter here is the whole job —
+// forgetting the merge or the export is no longer possible (the old
+// hand-written operator+= relied on review to catch omissions).
+#define MOPEYE_ENGINE_COUNTER_FIELDS(X) \
+  X(tun_packets)                        \
+  X(syns)                               \
+  X(syn_duplicates)                     \
+  X(data_segments)                      \
+  X(pure_acks_discarded)                \
+  X(fins)                               \
+  X(rsts)                               \
+  X(parse_errors)                       \
+  X(unknown_flow)                       \
+  X(udp_packets)                        \
+  X(dns_queries)                        \
+  X(dns_responses)                      \
+  X(connects_ok)                        \
+  X(connects_failed)                    \
+  X(socket_read_events)                 \
+  X(bytes_app_to_server)                \
+  X(bytes_server_to_app)
 
 class MopEyeEngine {
  public:
@@ -96,47 +125,22 @@ class MopEyeEngine {
   const Config& config() const { return config_; }
 
   struct Counters {
-    uint64_t tun_packets = 0;
-    uint64_t syns = 0;
-    uint64_t syn_duplicates = 0;
-    uint64_t data_segments = 0;
-    uint64_t pure_acks_discarded = 0;
-    uint64_t fins = 0;
-    uint64_t rsts = 0;
-    uint64_t parse_errors = 0;
-    uint64_t unknown_flow = 0;
-    uint64_t udp_packets = 0;
-    uint64_t dns_queries = 0;
-    uint64_t dns_responses = 0;
-    uint64_t connects_ok = 0;
-    uint64_t connects_failed = 0;
-    uint64_t socket_read_events = 0;
-    uint64_t bytes_app_to_server = 0;
-    uint64_t bytes_server_to_app = 0;
+#define MOPEYE_DECLARE_ENGINE_COUNTER(name) uint64_t name = 0;
+    MOPEYE_ENGINE_COUNTER_FIELDS(MOPEYE_DECLARE_ENGINE_COUNTER)
+#undef MOPEYE_DECLARE_ENGINE_COUNTER
     // Sum of per-lane high waters: exact for worker_lanes=1, an upper bound
-    // on the global peak otherwise (lanes peak independently).
+    // on the global peak otherwise (lanes peak independently). The true
+    // concurrent peak is global_clients_high_water() — resources() keeps
+    // using this sum deliberately, as a conservative memory bound.
     size_t clients_high_water = 0;
 
-    // Shard merge, kept next to the fields so adding one without summing it
-    // here is caught in review (counters() reports whatever this adds).
+    // Shard merge, generated from the same field list as the declarations:
+    // a counter added to MOPEYE_ENGINE_COUNTER_FIELDS is merged (and
+    // telemetry-exported) by construction.
     Counters& operator+=(const Counters& o) {
-      tun_packets += o.tun_packets;
-      syns += o.syns;
-      syn_duplicates += o.syn_duplicates;
-      data_segments += o.data_segments;
-      pure_acks_discarded += o.pure_acks_discarded;
-      fins += o.fins;
-      rsts += o.rsts;
-      parse_errors += o.parse_errors;
-      unknown_flow += o.unknown_flow;
-      udp_packets += o.udp_packets;
-      dns_queries += o.dns_queries;
-      dns_responses += o.dns_responses;
-      connects_ok += o.connects_ok;
-      connects_failed += o.connects_failed;
-      socket_read_events += o.socket_read_events;
-      bytes_app_to_server += o.bytes_app_to_server;
-      bytes_server_to_app += o.bytes_server_to_app;
+#define MOPEYE_MERGE_ENGINE_COUNTER(name) name += o.name;
+      MOPEYE_ENGINE_COUNTER_FIELDS(MOPEYE_MERGE_ENGINE_COUNTER)
+#undef MOPEYE_MERGE_ENGINE_COUNTER
       clients_high_water += o.clients_high_water;
       return *this;
     }
@@ -146,6 +150,16 @@ class MopEyeEngine {
   // them on read.
   Counters counters() const;
   size_t active_clients() const;
+  // True peak of simultaneously-live TCP clients across all lanes (max-merge
+  // over time, not the sum of per-lane peaks). Equals
+  // counters().clients_high_water when worker_lanes == 1.
+  size_t global_clients_high_water() const { return clients_global_high_water_; }
+
+  // ---- Telemetry (Config::telemetry) ----
+  // Null when telemetry is off: the relay hot paths carry a single branch
+  // and all 17 bench baselines stay byte-identical.
+  moptel::Registry* telemetry_registry() const;
+  moptel::FlightRecorder* flight_recorder() const;
 
   // ---- Lane introspection (tests / benches) ----
   size_t lane_count() const { return lanes_.size(); }
@@ -294,6 +308,9 @@ class MopEyeEngine {
   std::shared_ptr<TcpClient> FindClient(WorkerLane& lane, const moppkt::FlowKey& flow);
   // Drains the per-lane measurement shards into store_ (time-ordered).
   void MergeStoreShards();
+  // Builds the registry + flight recorder and registers every engine metric
+  // (X-macro counters, gauges, stage histograms, pool/tun/mapper externals).
+  void BuildTelemetry();
 
   mopdroid::AndroidDevice* device_;
   Config config_;
@@ -311,6 +328,17 @@ class MopEyeEngine {
   std::vector<std::shared_ptr<EngineService>> services_;
   moputil::SimDuration retired_worker_busy_ = 0;
   size_t retired_worker_count_ = 0;
+
+  // Live-client tracking for the true (max-merge) global high water. All
+  // lanes are virtual actors on the loop thread, so plain fields are
+  // race-free by construction.
+  size_t clients_live_ = 0;
+  size_t clients_global_high_water_ = 0;
+
+  // Everything telemetry owns (registry, flight recorder, stage histogram
+  // pointers). Defined in engine.cc; null when Config::telemetry is off.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace mopeye

@@ -16,6 +16,10 @@
 
 #include <string_view>
 
+namespace moptel {
+class Registry;
+}  // namespace moptel
+
 namespace mopeye {
 
 class EngineService {
@@ -32,6 +36,10 @@ class EngineService {
   // last chance to flush state out (the work itself may continue on the
   // event loop after Stop() returns).
   virtual void OnEngineStop() {}
+  // Called once when the engine's telemetry registry comes up (telemetry on
+  // only), before OnEngineStart. Services register their counters here so
+  // one scrape covers the whole engine.
+  virtual void RegisterMetrics(moptel::Registry* registry) { (void)registry; }
 };
 
 }  // namespace mopeye

@@ -1,0 +1,29 @@
+#include "core/telemetry_service.h"
+
+#include "core/engine.h"
+#include "telemetry/export_server.h"
+#include "util/logging.h"
+
+namespace mopeye {
+
+MetricsExportService::MetricsExportService(mopnet::ServerFarm* farm, moppkt::SocketAddr addr)
+    : farm_(farm), addr_(addr) {}
+
+void MetricsExportService::OnEngineStart() {
+  if (engine_ == nullptr || engine_->telemetry_registry() == nullptr) {
+    MOP_LOG(Info) << "metrics-export: engine has no telemetry registry "
+                     "(Config::telemetry off); not serving";
+    return;
+  }
+  moptel::ServeRegistry(farm_, addr_, engine_->telemetry_registry());
+  serving_ = true;
+}
+
+void MetricsExportService::OnEngineStop() {
+  if (serving_) {
+    farm_->RemoveTcpServer(addr_);
+    serving_ = false;
+  }
+}
+
+}  // namespace mopeye

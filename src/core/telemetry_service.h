@@ -1,0 +1,44 @@
+// MetricsExportService: the engine-side scrape endpoint.
+//
+// An EngineService that registers a moptel::MetricsExportBehavior for the
+// engine's telemetry registry on the shared ServerFarm when the engine
+// starts, and removes it when the engine stops — the "metrics exporter" the
+// service registry was designed for. Requires Config::telemetry; with
+// telemetry off the engine has no registry and OnEngineStart is a no-op.
+#ifndef MOPEYE_CORE_TELEMETRY_SERVICE_H_
+#define MOPEYE_CORE_TELEMETRY_SERVICE_H_
+
+#include "core/service.h"
+#include "net/server.h"
+#include "netpkt/ip.h"
+
+namespace mopeye {
+
+class MopEyeEngine;
+
+class MetricsExportService final : public EngineService {
+ public:
+  // `farm` must outlive the service. The engine is attached separately
+  // (AttachEngine) because services are built before the engine starts.
+  MetricsExportService(mopnet::ServerFarm* farm, moppkt::SocketAddr addr);
+
+  std::string_view service_name() const override { return "metrics-export"; }
+  void OnEngineStart() override;
+  void OnEngineStop() override;
+
+  // Composition roots call this before RegisterService; the service reads
+  // the engine's registry lazily at start, after the engine has built it.
+  void AttachEngine(MopEyeEngine* engine) { engine_ = engine; }
+  const moppkt::SocketAddr& addr() const { return addr_; }
+  bool serving() const { return serving_; }
+
+ private:
+  mopnet::ServerFarm* farm_;
+  moppkt::SocketAddr addr_;
+  MopEyeEngine* engine_ = nullptr;
+  bool serving_ = false;
+};
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_TELEMETRY_SERVICE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace mopeye {
@@ -83,6 +84,9 @@ void TunReader::DrainLoop() {
     return;
   }
   moputil::SimDuration read_cost = config_->costs.tun_read_syscall->Sample(rng_);
+  if (stage_hist_ != nullptr) {
+    stage_hist_->Observe(0, moputil::ToMillis(read_cost));
+  }
   lane_.Submit(0, read_cost, [this, pkt = std::move(*pkt)]() mutable {
     ++packets_read_;
     retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
@@ -111,7 +115,11 @@ void TunReader::Poll() {
       break;
     }
     ++drained;
-    lane_.Submit(0, config_->costs.tun_read_syscall->Sample(rng_),
+    moputil::SimDuration read_cost = config_->costs.tun_read_syscall->Sample(rng_);
+    if (stage_hist_ != nullptr) {
+      stage_hist_->Observe(0, moputil::ToMillis(read_cost));
+    }
+    lane_.Submit(0, read_cost,
                  [this, pkt = std::move(*pkt)]() mutable {
                    ++packets_read_;
                    retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));

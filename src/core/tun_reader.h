@@ -33,6 +33,10 @@
 #include "sim/actor.h"
 #include "util/stats.h"
 
+namespace moptel {
+class Histogram;
+}  // namespace moptel
+
 namespace mopeye {
 
 // Packets handed from TunReader to a worker lane, stamped with enqueue time.
@@ -78,6 +82,10 @@ class TunReader {
     return moppkt::FlowLaneOf(flow, sinks_.size());
   }
 
+  // Telemetry: per-read() syscall cost lands in `h` (lane 0 — the reader is
+  // a single actor, not sharded). Null (the default) disables observation.
+  void set_stage_histogram(moptel::Histogram* h) { stage_hist_ = h; }
+
  private:
   void OnTunReadable();   // blocking mode wake
   void DrainLoop();       // blocking mode read chain
@@ -106,6 +114,7 @@ class TunReader {
   moputil::Samples retrieval_delay_ms_;
   uint64_t packets_read_ = 0;
   uint64_t empty_polls_ = 0;
+  moptel::Histogram* stage_hist_ = nullptr;
 };
 
 }  // namespace mopeye

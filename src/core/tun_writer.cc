@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace mopeye {
@@ -35,6 +36,9 @@ moputil::SimDuration TunWriter::SubmitPacket(moppkt::PacketBuf packet) {
     });
     producer_overhead_ms_.Add(moputil::ToMillis(cost));
     tunnel_write_ms_.Add(moputil::ToMillis(cost));
+    if (stage_hist_ != nullptr) {
+      stage_hist_->Observe(0, moputil::ToMillis(cost));
+    }
     return cost;
   }
 
@@ -122,6 +126,9 @@ void TunWriter::Pump() {
       cost += costs.tun_write_batch_extra->Sample(rng_);
     }
     tunnel_write_ms_.Add(moputil::ToMillis(cost));
+    if (stage_hist_ != nullptr) {
+      stage_hist_->Observe(0, moputil::ToMillis(cost));
+    }
     packets_written_ += burst.size();
     ++write_bursts_;
     lane_.Submit(0, cost, [this, burst = std::move(burst)]() mutable {
@@ -136,6 +143,9 @@ void TunWriter::Pump() {
   queue_.pop_front();
   moputil::SimDuration cost = costs.tun_write_syscall->Sample(rng_);
   tunnel_write_ms_.Add(moputil::ToMillis(cost));
+  if (stage_hist_ != nullptr) {
+    stage_hist_->Observe(0, moputil::ToMillis(cost));
+  }
   ++packets_written_;
   ++write_bursts_;
   lane_.Submit(0, cost, [this, packet = std::move(packet)]() mutable {

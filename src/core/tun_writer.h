@@ -24,6 +24,10 @@
 #include "sim/actor.h"
 #include "util/stats.h"
 
+namespace moptel {
+class Histogram;
+}  // namespace moptel
+
 namespace mopeye {
 
 class TunWriter {
@@ -58,6 +62,11 @@ class TunWriter {
   // Times a producer paid a notify because the writer was parked.
   int notifies() const { return notifies_; }
 
+  // Telemetry: every tunnel write cost (per packet, or per burst with
+  // batching) lands in `h` (lane 0 — the writer is a single actor). Null
+  // (the default) disables observation.
+  void set_stage_histogram(moptel::Histogram* h) { stage_hist_ = h; }
+
  private:
   enum class WriterState { kProcessing, kSpinning, kWaiting };
 
@@ -89,6 +98,7 @@ class TunWriter {
   size_t queue_high_water_ = 0;
   int waits_ = 0;
   int notifies_ = 0;
+  moptel::Histogram* stage_hist_ = nullptr;
 };
 
 }  // namespace mopeye

@@ -8,9 +8,30 @@
 namespace mopsim {
 
 ActorLane::ActorLane(EventLoop* loop, std::string name)
-    : loop_(loop), name_(std::move(name)) {
+    : loop_(loop),
+      name_(std::move(name)),
+      log_token_(std::make_shared<const std::string>(name_)) {
   MOP_CHECK(loop != nullptr);
 }
+
+namespace {
+// Sets the thread-local log lane token for the duration of one task, so log
+// lines (and flight-recorder dumps triggered by MOP_CHECK) name the lane
+// they ran on. Restores the previous token: a lane task that synchronously
+// drives another actor's callback nests correctly.
+class ScopedLaneToken {
+ public:
+  explicit ScopedLaneToken(const char* token) : prev_(moputil::GetLogLaneToken()) {
+    moputil::SetLogLaneToken(token);
+  }
+  ~ScopedLaneToken() { moputil::SetLogLaneToken(prev_); }
+  ScopedLaneToken(const ScopedLaneToken&) = delete;
+  ScopedLaneToken& operator=(const ScopedLaneToken&) = delete;
+
+ private:
+  const char* prev_;
+};
+}  // namespace
 
 void ActorLane::Submit(SimDuration wake_latency, SimDuration service,
                        std::function<void(SimTime, SimTime)> fn) {
@@ -21,7 +42,10 @@ void ActorLane::Submit(SimDuration wake_latency, SimDuration service,
   free_at_ = end;
   busy_time_ += service;
   ++tasks_run_;
-  loop_->ScheduleAt(end, [fn = std::move(fn), start, end] { fn(start, end); });
+  loop_->ScheduleAt(end, [fn = std::move(fn), token = log_token_, start, end] {
+    ScopedLaneToken lane_token(token->c_str());
+    fn(start, end);
+  });
 }
 
 void ActorLane::Submit(SimDuration wake_latency, SimDuration service,

@@ -11,6 +11,7 @@
 #define MOPEYE_SIM_ACTOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/event_loop.h"
@@ -44,6 +45,9 @@ class ActorLane {
  private:
   EventLoop* loop_;
   std::string name_;
+  // The lane name, shared into scheduled closures so the log-prefix lane
+  // token stays valid even if a task outlives its (retired) lane.
+  std::shared_ptr<const std::string> log_token_;
   SimTime free_at_ = 0;
   SimDuration busy_time_ = 0;
   size_t tasks_run_ = 0;

@@ -4,6 +4,25 @@
 
 namespace mopsim {
 
+namespace {
+// Publishes the loop's virtual clock to the log prefix for the duration of a
+// Run()/RunUntil(), restoring whatever was installed before (nested RunFor
+// inside a driver's Run keeps the same clock; real-thread code that never
+// drives a loop keeps none).
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const SimTime* now) : prev_(moputil::GetLogClock()) {
+    moputil::SetLogClock(now);
+  }
+  ~ScopedLogClock() { moputil::SetLogClock(prev_); }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  const int64_t* prev_;
+};
+}  // namespace
+
 TimerId EventLoop::Schedule(SimDuration delay, std::function<void()> fn) {
   MOP_CHECK_GE(delay, 0) << "negative event delay";
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -42,6 +61,7 @@ bool EventLoop::RunOne(SimTime limit) {
 }
 
 size_t EventLoop::Run() {
+  ScopedLogClock clock(&now_);
   stopped_ = false;
   size_t n = 0;
   while (!stopped_ && RunOne(INT64_MAX)) {
@@ -51,6 +71,7 @@ size_t EventLoop::Run() {
 }
 
 size_t EventLoop::RunUntil(SimTime deadline) {
+  ScopedLogClock clock(&now_);
   stopped_ = false;
   size_t n = 0;
   while (!stopped_ && RunOne(deadline)) {

@@ -1,0 +1,110 @@
+#include "telemetry/export_server.h"
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace moptel {
+
+void MetricsExportBehavior::OnConnect(mopnet::ServerConn& conn) {
+  std::string text = registry_->RenderText();
+  conn.Send(std::vector<uint8_t>(text.begin(), text.end()));
+  conn.Close();
+}
+
+void ServeRegistry(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+                   const Registry* registry) {
+  farm->AddTcpServer(addr, [registry]() {
+    return std::make_unique<MetricsExportBehavior>(registry);
+  });
+}
+
+namespace {
+
+// Shared state of one in-flight scrape. The channel's callbacks capture this
+// by shared_ptr and this holds the channel — an intentional cycle for the
+// duration of the scrape, broken by a deferred cleanup event once `done`
+// fires (clearing a channel callback from inside that same callback would
+// destroy the running lambda).
+struct ScrapeState {
+  std::shared_ptr<mopnet::SocketChannel> ch;
+  std::string text;
+  std::function<void(moputil::Status, std::string)> done;
+
+  void Finish(moputil::Status status) {
+    if (!done) {
+      return;  // already delivered (e.g. reset after peer close)
+    }
+    auto cb = std::move(done);
+    done = nullptr;
+    std::shared_ptr<mopnet::SocketChannel> channel = ch;
+    channel->context()->loop()->Schedule(0, [channel] {
+      channel->on_readable = nullptr;
+      channel->on_peer_close = nullptr;
+      channel->on_reset = nullptr;
+    });
+    cb(std::move(status), std::move(text));
+  }
+};
+
+}  // namespace
+
+void Scrape(mopnet::NetContext* ctx, const moppkt::SocketAddr& addr,
+            std::function<void(moputil::Status, std::string)> done) {
+  auto st = std::make_shared<ScrapeState>();
+  st->ch = mopnet::SocketChannel::Create(ctx);
+  st->done = std::move(done);
+  st->ch->on_readable = [st] {
+    size_t n = st->ch->available();
+    if (n == 0) {
+      return;
+    }
+    size_t old = st->text.size();
+    st->text.resize(old + n);
+    size_t got = st->ch->Read(
+        std::span<uint8_t>(reinterpret_cast<uint8_t*>(st->text.data() + old), n));
+    st->text.resize(old + got);
+  };
+  st->ch->on_peer_close = [st] {
+    st->ch->Close();
+    st->Finish(moputil::Status::Ok());
+  };
+  st->ch->on_reset = [st] {
+    st->Finish(moputil::Unavailable("metrics connection reset"));
+  };
+  st->ch->Connect(addr, [st](moputil::Status status) {
+    if (!status.ok()) {
+      st->Finish(std::move(status));
+    }
+    // On success the exposition streams in via on_readable and the server's
+    // close lands in on_peer_close; nothing to request.
+  });
+}
+
+bool ScrapeValue(std::string_view text, std::string_view metric, double* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = text.size();
+    }
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Merged line: "<metric> <value>" — exactly one space, no labels.
+    if (line.size() > metric.size() + 1 && line.substr(0, metric.size()) == metric &&
+        line[metric.size()] == ' ') {
+      std::string value(line.substr(metric.size() + 1));
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end != value.c_str()) {
+        *out = v;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace moptel

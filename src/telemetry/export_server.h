@@ -1,0 +1,49 @@
+// Scrape surface: serves a Registry's text exposition over the mopnet socket
+// layer. The protocol is deliberately HTTP-less — connect, receive the full
+// exposition, server closes — which is all a scraper needs and keeps the
+// export path free of request parsing. Engine and collectors both register a
+// MetricsExportBehavior on the shared ServerFarm; tests and fleet_e2e scrape
+// with the Scrape() client below.
+#ifndef MOPEYE_TELEMETRY_EXPORT_SERVER_H_
+#define MOPEYE_TELEMETRY_EXPORT_SERVER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/server.h"
+#include "net/socket.h"
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+namespace moptel {
+
+// Sends the registry's current text exposition on connect, then closes.
+// The registry must outlive the farm registration.
+class MetricsExportBehavior : public mopnet::ServerBehavior {
+ public:
+  explicit MetricsExportBehavior(const Registry* registry) : registry_(registry) {}
+  void OnConnect(mopnet::ServerConn& conn) override;
+
+ private:
+  const Registry* registry_;
+};
+
+// Registers a metrics endpoint at `addr` (replacing any existing server
+// there). Callers pair it with farm->RemoveTcpServer(addr) on shutdown.
+void ServeRegistry(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+                   const Registry* registry);
+
+// One-shot scrape client: connects to `addr`, drains the exposition until the
+// server's close, and delivers the text (or the connect failure) to `done`.
+// Runs entirely on `ctx`'s event loop; keeps itself alive until done fires.
+void Scrape(mopnet::NetContext* ctx, const moppkt::SocketAddr& addr,
+            std::function<void(moputil::Status, std::string)> done);
+
+// Pulls the merged (unlabeled) value of `metric` out of a text exposition.
+// Returns false if the metric is absent.
+bool ScrapeValue(std::string_view text, std::string_view metric, double* out);
+
+}  // namespace moptel
+
+#endif  // MOPEYE_TELEMETRY_EXPORT_SERVER_H_

@@ -1,0 +1,104 @@
+#include "telemetry/flight_recorder.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace moptel {
+
+namespace {
+// The recorder whose ring the fatal hook dumps. Plain pointer, written from
+// InstallFatalDump / UninstallFatalDump; the dump itself runs once, right
+// before abort().
+FlightRecorder* g_fatal_recorder = nullptr;
+
+void FatalDumpHook() {
+  if (g_fatal_recorder != nullptr) {
+    g_fatal_recorder->DumpToStderr();
+  }
+}
+}  // namespace
+
+const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPacketVerdict:
+      return "packet";
+    case TraceKind::kConnectOutcome:
+      return "connect";
+    case TraceKind::kQueueHighWater:
+      return "queue";
+    case TraceKind::kSnapshot:
+      return "snapshot";
+    case TraceKind::kAck:
+      return "ack";
+    case TraceKind::kLifecycle:
+      return "lifecycle";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t lanes, size_t capacity_per_lane)
+    : rings_(lanes == 0 ? 1 : lanes) {
+  if (capacity_per_lane == 0) {
+    capacity_per_lane = 1;
+  }
+  for (LaneRing& r : rings_) {
+    r.ring.resize(capacity_per_lane);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (g_fatal_recorder == this) {
+    UninstallFatalDump();
+  }
+}
+
+std::vector<TraceEvent> FlightRecorder::LaneEvents(size_t lane) const {
+  const LaneRing& r = rings_[lane];
+  size_t cap = r.ring.size();
+  size_t held = r.next < cap ? static_cast<size_t>(r.next) : cap;
+  std::vector<TraceEvent> out;
+  out.reserve(held);
+  uint64_t first = r.next - held;
+  for (uint64_t i = first; i < r.next; ++i) {
+    out.push_back(r.ring[i % cap]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::string out = "=== flight recorder dump ===\n";
+  for (size_t lane = 0; lane < rings_.size(); ++lane) {
+    const std::vector<TraceEvent> events = LaneEvents(lane);
+    out += "lane " + std::to_string(lane) + ": " + std::to_string(LaneRecorded(lane)) +
+           " recorded, " + std::to_string(events.size()) + " held\n";
+    for (const TraceEvent& e : events) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  t=%.9fs %s %s a=%llu b=%llu\n",
+                    static_cast<double>(e.time_ns) * 1e-9, TraceKindName(e.kind), e.what,
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      out += line;
+    }
+  }
+  out += "=== end flight recorder dump ===\n";
+  return out;
+}
+
+void FlightRecorder::DumpToStderr() const {
+  std::string dump = Dump();
+  std::fwrite(dump.data(), 1, dump.size(), stderr);
+  std::fflush(stderr);
+}
+
+void FlightRecorder::InstallFatalDump() {
+  g_fatal_recorder = this;
+  moputil::SetFatalLogHook(&FatalDumpHook);
+}
+
+void FlightRecorder::UninstallFatalDump() {
+  g_fatal_recorder = nullptr;
+  moputil::SetFatalLogHook(nullptr);
+}
+
+}  // namespace moptel

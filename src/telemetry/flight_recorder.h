@@ -1,0 +1,92 @@
+// Per-lane flight recorder: a fixed, preallocated ring of recent trace
+// events (packet verdicts, connect outcomes, queue high-waters, snapshot and
+// ack transitions). Recording is a few stores into owned memory — safe on the
+// relay hot path — and the buffer is dumped when it matters: on MOP_CHECK
+// failure (via the fatal log hook), on an operator request (SIGUSR1-style),
+// or queried directly from tests.
+#ifndef MOPEYE_TELEMETRY_FLIGHT_RECORDER_H_
+#define MOPEYE_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moptel {
+
+enum class TraceKind : uint8_t {
+  kPacketVerdict,   // parse error, unknown flow, discarded pure ack
+  kConnectOutcome,  // external connect succeeded / failed
+  kQueueHighWater,  // a queue reached a new high-water mark
+  kSnapshot,        // collector snapshot export / import
+  kAck,             // durable-ack transition
+  kLifecycle,       // start/stop, lane retirement, service registration
+};
+
+const char* TraceKindName(TraceKind k);
+
+struct TraceEvent {
+  int64_t time_ns = 0;
+  uint32_t lane = 0;
+  TraceKind kind = TraceKind::kLifecycle;
+  // Must be a string literal (or otherwise outlive the recorder): the ring
+  // stores the pointer, never a copy, to keep Record() allocation-free.
+  const char* what = "";
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  // All rings are preallocated here; Record() never allocates.
+  explicit FlightRecorder(size_t lanes, size_t capacity_per_lane = 256);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  void Record(size_t lane, int64_t time_ns, TraceKind kind, const char* what,
+              uint64_t a = 0, uint64_t b = 0) {
+    LaneRing& r = rings_[lane];
+    TraceEvent& e = r.ring[r.next % r.ring.size()];
+    ++r.next;
+    e.time_ns = time_ns;
+    e.lane = static_cast<uint32_t>(lane);
+    e.kind = kind;
+    e.what = what;
+    e.a = a;
+    e.b = b;
+  }
+
+  // Events still held for `lane`, oldest first. (Copies; for tests and dumps,
+  // not hot paths.)
+  std::vector<TraceEvent> LaneEvents(size_t lane) const;
+  // Total events ever recorded on `lane` (≥ LaneEvents().size() after wrap).
+  uint64_t LaneRecorded(size_t lane) const { return rings_[lane].next; }
+  size_t lanes() const { return rings_.size(); }
+  size_t capacity_per_lane() const { return rings_.empty() ? 0 : rings_[0].ring.size(); }
+
+  // Human-readable dump of every lane's ring, oldest first.
+  std::string Dump() const;
+  // Writes Dump() to stderr — the SIGUSR1-style operator request, and what
+  // the fatal hook runs. Uses only async-unfriendly fprintf (this is a
+  // simulation harness, not a production signal handler).
+  void DumpToStderr() const;
+
+  // Routes MOP_CHECK/kFatal aborts through DumpToStderr() for this recorder
+  // (one active at a time; installing replaces the previous). The destructor
+  // uninstalls itself if still active.
+  void InstallFatalDump();
+  static void UninstallFatalDump();
+
+ private:
+  struct LaneRing {
+    std::vector<TraceEvent> ring;
+    uint64_t next = 0;
+  };
+
+  std::vector<LaneRing> rings_;
+};
+
+}  // namespace moptel
+
+#endif  // MOPEYE_TELEMETRY_FLIGHT_RECORDER_H_

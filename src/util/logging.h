@@ -4,6 +4,7 @@
 #ifndef MOPEYE_UTIL_LOGGING_H_
 #define MOPEYE_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -16,6 +17,33 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 // tests and benches stay quiet.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Called (once) right before a kFatal message aborts, after the message has
+// been written to the sink. The telemetry flight recorder installs itself
+// here so a MOP_CHECK failure dumps the last trace events per lane. Plain
+// function pointer: must be installable before main() and callable during
+// teardown. nullptr uninstalls.
+void SetFatalLogHook(void (*hook)());
+
+// Optional monotonic clock for log-line prefixes. `now_ns` must outlive the
+// installation (the EventLoop installs a pointer to its virtual clock for the
+// duration of Run()/RunUntil() and restores the previous value after).
+// nullptr uninstalls; lines then carry no time segment, so the default
+// (quiet) configuration renders byte-identical to the pre-clock format.
+void SetLogClock(const int64_t* now_ns);
+const int64_t* GetLogClock();
+
+// Thread-local lane token, prefixed to every log line emitted by this thread
+// while set (e.g. "MainWorker-2"). `token` must outlive the installation —
+// ActorLane passes its own name and restores the previous token after each
+// task, so nested lanes compose. nullptr clears.
+void SetLogLaneToken(const char* token);
+const char* GetLogLaneToken();
+
+// Redirects the final formatted line (no trailing newline) away from stderr,
+// for golden-prefix tests. nullptr restores stderr. Fatal messages still
+// abort after the sink call.
+void SetLogSinkForTest(void (*sink)(const char* line, void* arg), void* arg);
 
 namespace internal {
 

@@ -50,7 +50,8 @@ class Rng {
  private:
   uint64_t state_;
   uint64_t inc_;
-  uint64_t fork_counter_ = 0;
+  // Stream-derivation sequence number, not a tally.
+  uint64_t fork_counter_ = 0;  // moplint-allow: raw-counter
 };
 
 // A sampled distribution of durations. Used for every latency knob in the

@@ -182,15 +182,6 @@ double P2Quantile::Value() const {
   return heights_[2];
 }
 
-namespace {
-// Values at or below this collapse into the "zero" bucket (sub-50ns RTTs
-// carry no information at 2% relative resolution); values above the max
-// saturate into the top bucket. The clamp bounds the dense bucket vector
-// (~800 buckets across 14 decades at 2%) no matter what the stream carries.
-constexpr double kLogQuantileMin = 5e-5;
-constexpr double kLogQuantileMax = 1e9;
-}  // namespace
-
 LogQuantile::LogQuantile(double rel_err) {
   assert(rel_err > 0.0 && rel_err < 1.0);
   double gamma = (1.0 + rel_err) / (1.0 - rel_err);

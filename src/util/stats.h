@@ -84,6 +84,15 @@ class P2Quantile {
   double increments_[5];
 };
 
+// LogQuantile input clamps, shared with the telemetry histograms so both
+// sketch the exact same bucket geometry: values at or below the min collapse
+// into the zero bucket (sub-50ns RTTs carry no information at 2% relative
+// resolution); values above the max saturate into the top bucket. The clamp
+// bounds the dense bucket span (~800 buckets across 14 decades at 2%) no
+// matter what the stream carries.
+inline constexpr double kLogQuantileMin = 5e-5;
+inline constexpr double kLogQuantileMax = 1e9;
+
 // Order-insensitive streaming quantile sketch: logarithmic buckets with
 // relative width `rel_err` (DDSketch-flavored), so any quantile of any
 // positive-valued stream is answered within rel_err *regardless of arrival

@@ -6,6 +6,7 @@
 
 #include "netpkt/dns.h"
 #include "netpkt/packet_buf.h"
+#include "telemetry/metrics.h"
 #include "tests/test_world.h"
 
 namespace {
@@ -507,6 +508,73 @@ TEST(EngineLanes, FlowsAreAffineToTheirHashedLane) {
             static_cast<uint64_t>(kConns) * 4000u);
   EXPECT_EQ(w.engine().counters().bytes_server_to_app,
             static_cast<uint64_t>(kConns) * 4000u);
+}
+
+TEST(EngineLanes, ClientsHighWaterMergesAsMaxNotSum) {
+  // Open connections one at a time, closing each before the next, across
+  // enough distinct servers to land on several lanes. Every lane then records
+  // a per-lane peak of ~1 concurrent client, so the legacy sum-of-peaks
+  // counter overstates the true concurrent peak — the telemetry gauge must
+  // report the max-merge (and the engine the true global peak) instead.
+  constexpr int kConns = 8;
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = 4;
+  cfg.telemetry = true;
+  ASSERT_TRUE(w.StartEngine(cfg).ok());
+  auto* app = w.MakeApp(10174, "com.example.peak", "Peak");
+  (void)app;
+
+  std::vector<size_t> lanes_used;
+  for (int i = 0; i < kConns; ++i) {
+    auto addr = w.AddServer(moppkt::IpAddr(93, 43, 0, static_cast<uint8_t>(1 + i)), 80,
+                            Millis(5),
+                            [] { return std::make_unique<mopnet::EchoBehavior>(); });
+    auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10174);
+    conn->Connect(addr, [conn](moputil::Status st) {
+      ASSERT_TRUE(st.ok());
+      conn->SendBytes(500);
+    });
+    w.RunMs(1000);
+    moppkt::FlowKey flow;
+    flow.proto = moppkt::IpProto::kTcp;
+    flow.local = conn->local();
+    flow.remote = conn->remote();
+    lanes_used.push_back(w.engine().LaneOf(flow));
+    conn->Close();
+    w.RunMs(1000);  // FIN handshake completes; the relay client is removed
+  }
+
+  std::sort(lanes_used.begin(), lanes_used.end());
+  lanes_used.erase(std::unique(lanes_used.begin(), lanes_used.end()), lanes_used.end());
+  ASSERT_GE(lanes_used.size(), 2u) << "scenario must exercise multiple lanes";
+
+  // Sequential connections: the true concurrent peak is 1 client...
+  EXPECT_EQ(w.engine().global_clients_high_water(), 1u);
+  // ...while the legacy sum-of-lane-peaks overcounts it (one peak per lane
+  // touched). It survives as resources()'s conservative memory bound.
+  size_t lane_peak_sum = w.engine().counters().clients_high_water;
+  EXPECT_EQ(lane_peak_sum, lanes_used.size());
+  EXPECT_GT(lane_peak_sum, w.engine().global_clients_high_water());
+
+  // The registry exports both with honest merge semantics.
+  moptel::Registry* reg = w.engine().telemetry_registry();
+  ASSERT_NE(reg, nullptr);
+  uint64_t v = 0;
+  ASSERT_TRUE(reg->GaugeValue("mopeye_engine_clients_high_water", &v));
+  EXPECT_EQ(v, w.engine().global_clients_high_water());
+  ASSERT_TRUE(reg->GaugeValue("mopeye_engine_lane_clients_high_water", &v));
+  size_t lane_max = 0;
+  for (size_t lane = 0; lane < w.engine().lane_count(); ++lane) {
+    lane_max = std::max(lane_max, w.engine().lane_counters(lane).clients_high_water);
+  }
+  EXPECT_EQ(v, lane_max);
+  EXPECT_EQ(v, 1u);  // max-merge, not the sum
+
+  // Engine counters surfaced through the registry agree with direct reads.
+  uint64_t syns = 0;
+  ASSERT_TRUE(reg->CounterValue("mopeye_engine_syns_total", &syns));
+  EXPECT_EQ(syns, w.engine().counters().syns);
 }
 
 TEST(EngineIntegration, BrowsingSessionEndToEnd) {

@@ -21,6 +21,11 @@ memory (ROADMAP standing rules) and now fails CI:
                  the annotated moputil::Mutex / MutexLock / CondVar wrappers
                  keep Clang -Wthread-safety analysis sound everywhere.
 
+  raw-counter    Ad-hoc `uint64_t foo_count_;` style tally members are banned
+                 in src/ outside src/telemetry/: counters belong on the
+                 moptel::Registry (lane-sharded, merged on read, exported)
+                 instead of growing another hand-merged Stats struct.
+
 Suppress a finding with a trailing or preceding-line comment:
     // moplint-allow: <rule>
 
@@ -42,8 +47,9 @@ LAYER_DEPS = {
     "sim": ["util"],
     "concurrent": ["util"],
     "net": ["util", "netpkt", "sim", "concurrent"],
+    "telemetry": ["net"],
     "android": ["net"],
-    "core": ["android", "concurrent"],
+    "core": ["android", "concurrent", "telemetry"],
     "apps": ["core"],
     "baselines": ["core"],
     "crowd": ["core"],
@@ -61,6 +67,13 @@ RAW_MUTEX_RE = re.compile(
 )
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# A hand-rolled tally member: `uint64_t frames_count_;`, `uint64_t retries_total = 0;`.
+# Named-by-suffix so honest quantities like `uint64_t bytes_sent_` stay legal;
+# the rule targets the *pattern* of growing new ad-hoc counter structs.
+RAW_COUNTER_RE = re.compile(
+    r"\buint64_t\s+(?P<name>[A-Za-z_]\w*?(?:_count|_counter|_total)s?_?)\s*(?:=[^;]*)?;"
+)
 
 # LHS of a member assignment receiving a lambda: `recv->member = [caps]` or
 # `recv.member = [caps]`. The receiver is a simple identifier (possibly a
@@ -216,6 +229,25 @@ def check_raw_mutex(relpath, text, raw_lines):
     return findings
 
 
+def check_raw_counter(relpath, text, raw_lines):
+    # The registry's own cells are the one legitimate home for raw counters.
+    norm = relpath.replace(os.sep, "/")
+    if norm.startswith("src/telemetry/"):
+        return []
+    findings = []
+    for idx, line in enumerate(text.splitlines(), start=1):
+        for m in RAW_COUNTER_RE.finditer(line):
+            if "raw-counter" in allowed_rules_for_line(raw_lines, idx):
+                continue
+            findings.append(Finding(
+                relpath, idx, "raw-counter",
+                f"raw counter member `uint64_t {m.group('name')}` — register a "
+                "moptel::Counter on the telemetry Registry instead of growing "
+                "another hand-merged tally (waiver: // moplint-allow: "
+                "raw-counter)"))
+    return findings
+
+
 def _capture_names(caps):
     """Identifiers captured by copy in a lambda capture list (skips &refs,
     `this`, and init-captures' initializer side)."""
@@ -285,6 +317,7 @@ def check_owner_capture(relpath, text, raw_lines):
 CHECKS = {
     "layering": check_layering,
     "raw-mutex": check_raw_mutex,
+    "raw-counter": check_raw_counter,
     "owner-capture": check_owner_capture,
 }
 

@@ -1,0 +1,13 @@
+// Known-bad fixture for the raw-counter rule: ad-hoc tally members named by
+// the *_count / *_counter / *_total suffix convention, which belong on the
+// moptel::Registry instead.
+#include <cstdint>
+
+struct IngestStats {
+  uint64_t frames_count_ = 0;       // flagged
+  uint64_t retries_total = 0;       // flagged
+  uint64_t drop_counter_;           // flagged
+  uint64_t batches_totals_ = 0;     // flagged (plural suffix)
+  uint64_t bytes_sent_ = 0;         // honest quantity, not a tally — clean
+  uint32_t small_count_ = 0;        // not uint64_t — outside the rule
+};

@@ -109,6 +109,36 @@ class RawMutexTest(unittest.TestCase):
         self.assertEqual(moplint.lint_file("src/net/doc.cc", code), [])
 
 
+class RawCounterTest(unittest.TestCase):
+    def test_bad_fixture_flags_each_suffix(self):
+        findings = lint_fixture("bad_raw_counter.cc", "src/collector/bad.cc")
+        self.assertEqual(rules(findings), ["raw-counter"] * 4)
+        messages = " ".join(f.message for f in findings)
+        for name in ("frames_count_", "retries_total", "drop_counter_",
+                     "batches_totals_"):
+            self.assertIn(name, messages)
+        self.assertNotIn("bytes_sent_", messages)
+        self.assertNotIn("small_count_", messages)
+
+    def test_good_fixture_is_clean(self):
+        findings = lint_fixture("good_raw_counter.cc", "src/collector/good.cc")
+        self.assertEqual(findings, [])
+
+    def test_telemetry_layer_is_exempt(self):
+        code = "struct S { uint64_t cells_total_ = 0; };\n"
+        self.assertEqual(
+            moplint.lint_file("src/telemetry/metrics_impl.cc", code), [])
+        self.assertEqual(rules(moplint.lint_file("src/net/s.cc", code)),
+                         ["raw-counter"])
+
+    def test_waiver_on_preceding_line_is_honored(self):
+        code = ("struct S {\n"
+                "  // moplint-allow: raw-counter\n"
+                "  uint64_t forks_count_ = 0;\n"
+                "};\n")
+        self.assertEqual(moplint.lint_file("src/util/rng2.h", code), [])
+
+
 class RealTreeTest(unittest.TestCase):
     def test_repo_is_clean(self):
         root = os.path.dirname(TOOLS_DIR)
