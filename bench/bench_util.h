@@ -29,6 +29,9 @@ struct Flags {
   double scale = 1.0;
   uint64_t seed = 20160516;
   int lanes = 0;  // 0 = flag not given; benches keep their default output
+  // table3 --lanes mode: write the final sweep run's stage-histogram summary
+  // (count/sum/p50/p95/p99 per stage) as JSON here, for tools/perf_gate.py.
+  std::string stage_json;
 };
 
 inline Flags ParseFlags(int argc, char** argv) {
@@ -41,8 +44,10 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--lanes=", 8) == 0) {
       f.lanes = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--stage-json=", 13) == 0) {
+      f.stage_json = arg + 13;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("flags: --scale=<f> --seed=<n> --lanes=<n>\n");
+      std::printf("flags: --scale=<f> --seed=<n> --lanes=<n> --stage-json=<path>\n");
       std::exit(0);
     }
   }

@@ -44,6 +44,27 @@ void BM_ChecksumPayload(benchmark::State& state) {
 }
 BENCHMARK(BM_ChecksumPayload)->Arg(64)->Arg(1460);
 
+// Forced-implementation variants so the scalar/SSE2/AVX2 gap is visible in
+// one run; unsupported impls are skipped rather than silently falling back.
+void BM_ChecksumPayloadImpl(benchmark::State& state) {
+  auto impl = static_cast<moppkt::ChecksumImpl>(state.range(0));
+  if (!moppkt::ChecksumImplSupported(impl)) {
+    state.SkipWithError("impl not supported on this machine");
+    return;
+  }
+  state.SetLabel(moppkt::ChecksumImplName(impl));
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(1)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moppkt::ChecksumPartialWith(impl, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(1));
+}
+BENCHMARK(BM_ChecksumPayloadImpl)
+    ->ArgsProduct({{static_cast<int64_t>(moppkt::ChecksumImpl::kScalar),
+                    static_cast<int64_t>(moppkt::ChecksumImpl::kSse2),
+                    static_cast<int64_t>(moppkt::ChecksumImpl::kAvx2)},
+                   {64, 1460, 9000}});
+
 void BM_BuildTcpDatagram(benchmark::State& state) {
   std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0x42);
   moppkt::TcpSegmentSpec spec;

@@ -34,6 +34,15 @@ std::optional<TunDevice::OutPacket> TunDevice::ReadOutgoing() {
   return pkt;
 }
 
+size_t TunDevice::ReadOutgoingBurst(size_t max, std::vector<OutPacket>* out) {
+  size_t n = std::min(max, outgoing_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(outgoing_.front()));
+    outgoing_.pop_front();
+  }
+  return n;
+}
+
 void TunDevice::WriteIncoming(moppkt::PacketBuf datagram) {
   if (closed_) {
     return;

@@ -53,6 +53,11 @@ class TunDevice {
   // Pops one datagram (the read() syscall's data part; the caller pays the
   // syscall cost in its own lane).
   std::optional<OutPacket> ReadOutgoing();
+  // Pops up to `max` datagrams into `out` (appending) — the data part of a
+  // readv/recvmmsg-style gathered read. Returns the number popped; the
+  // caller pays one amortized syscall cost for the whole burst in its own
+  // lane. Buffers stay pooled end to end, exactly like ReadOutgoing.
+  size_t ReadOutgoingBurst(size_t max, std::vector<OutPacket>* out);
   // Writes one datagram toward the apps; delivery is immediate (in-kernel
   // handoff of the pooled buffer). The caller pays the write() cost in its
   // own lane.
@@ -78,7 +83,9 @@ class TunDevice {
   uint64_t packets_in_ = 0;
   uint64_t bytes_out_ = 0;
   uint64_t bytes_in_ = 0;
-  size_t outgoing_high_water_ = 0;
+  // android sits below telemetry in the layering DAG; the engine exports
+  // this peak via AddExternalGauge.
+  size_t outgoing_high_water_ = 0;  // moplint-allow: raw-counter
 };
 
 }  // namespace mopdroid

@@ -163,6 +163,7 @@ void AppTcpConnection::HandleSynAck(const moppkt::TcpSegment& seg) {
     rto_timer_ = mopsim::kInvalidTimer;
   }
   rcv_nxt_ = seg.seq + 1;
+  irs_ = rcv_nxt_;
   snd_una_ = seg.ack;
   if (seg.mss.has_value()) {
     peer_mss_ = *seg.mss;
@@ -207,27 +208,27 @@ void AppTcpConnection::HandleEstablished(const moppkt::ParsedPacket& pkt) {
 
   // In-order data.
   if (!seg.payload.empty() && seg.seq == rcv_nxt_) {
-    rcv_nxt_ += static_cast<uint32_t>(seg.payload.size());
-    bytes_received_ += seg.payload.size();
-    SimTime now = stack_->loop()->Now();
-    if (first_data_time_ == 0) {
-      first_data_time_ = now;
-    }
-    last_data_time_ = now;
-    // Delayed ACK: every second segment (or FIN below) to mirror kernels.
-    if (++delayed_ack_count_ >= 2) {
-      delayed_ack_count_ = 0;
-      SendAck();
-    }
-    if (on_data) {
-      on_data(seg.payload);
-    }
+    AcceptPayload(seg.payload);
+    DrainReassembly();
   } else if (!seg.payload.empty() && moppkt::SeqLt(seg.seq, rcv_nxt_)) {
     SendAck();  // duplicate; re-ack
+  } else if (!seg.payload.empty()) {
+    // Ahead of rcv_nxt_: the relay's gathered lane writes can deliver a
+    // burst early when a flow is re-homed mid-transfer. Nothing is dropped
+    // upstream, so buffer and re-ack exactly as a kernel would.
+    reassembly_.emplace(seg.seq - irs_,
+                        std::vector<uint8_t>(seg.payload.begin(), seg.payload.end()));
+    SendAck();
   }
 
-  // FIN processing (in-order only).
-  if (seg.flags.fin && seg.seq + seg.payload_size() == rcv_nxt_) {
+  // FIN processing at its sequence position; an early FIN (reordered past a
+  // data gap) waits buffered until the gap closes.
+  if (seg.flags.fin) {
+    fin_buffered_ = true;
+    fin_seq_ = seg.seq + static_cast<uint32_t>(seg.payload_size());
+  }
+  if (fin_buffered_ && fin_seq_ == rcv_nxt_) {
+    fin_buffered_ = false;
     rcv_nxt_ += 1;
     SendAck();
     if (state_ == AppTcpState::kEstablished) {
@@ -253,6 +254,42 @@ void AppTcpConnection::HandleEstablished(const moppkt::ParsedPacket& pkt) {
 
   if (advanced) {
     TrySendData();
+  }
+}
+
+void AppTcpConnection::AcceptPayload(std::span<const uint8_t> payload) {
+  rcv_nxt_ += static_cast<uint32_t>(payload.size());
+  bytes_received_ += payload.size();
+  SimTime now = stack_->loop()->Now();
+  if (first_data_time_ == 0) {
+    first_data_time_ = now;
+  }
+  last_data_time_ = now;
+  // Delayed ACK: every second segment (or FIN below) to mirror kernels.
+  if (++delayed_ack_count_ >= 2) {
+    delayed_ack_count_ = 0;
+    SendAck();
+  }
+  if (on_data) {
+    on_data(payload);
+  }
+}
+
+void AppTcpConnection::DrainReassembly() {
+  auto it = reassembly_.begin();
+  while (it != reassembly_.end()) {
+    uint32_t seq_off = it->first;
+    uint32_t rcv_off = rcv_nxt_ - irs_;
+    const std::vector<uint8_t>& data = it->second;
+    if (seq_off > rcv_off) {
+      break;  // gap still open
+    }
+    uint32_t end_off = seq_off + static_cast<uint32_t>(data.size());
+    if (end_off > rcv_off) {
+      // Accept the unseen tail (full segment when seq_off == rcv_off).
+      AcceptPayload(std::span<const uint8_t>(data).subspan(rcv_off - seq_off));
+    }
+    it = reassembly_.erase(it);
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -94,6 +95,10 @@ class AppTcpConnection : public std::enable_shared_from_this<AppTcpConnection> {
   // std::vector datagram.
   void SendSpec(const moppkt::TcpSegmentSpec& spec);
   void SendAck();
+  // Consumes an in-order payload at rcv_nxt_ (stats, delayed ACK, on_data).
+  void AcceptPayload(std::span<const uint8_t> payload);
+  // Feeds buffered out-of-order segments once the gap at rcv_nxt_ closes.
+  void DrainReassembly();
   void TrySendData();
   void ArmRetransmit(SimDuration delay);
   void OnRetransmitTimer();
@@ -122,8 +127,19 @@ class AppTcpConnection : public std::enable_shared_from_this<AppTcpConnection> {
 
   // Receive side.
   uint32_t rcv_nxt_ = 0;
+  uint32_t irs_ = 0;  // initial receive sequence (keys reassembly_ wrap-free)
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
+  // Out-of-order reassembly queue (seq offset from irs_ -> payload), as a
+  // kernel keeps one:
+  // the tunnel preserves per-flow order on each relay lane, but a gathered
+  // lane write racing a flow re-homing can deliver a burst early. Nothing is
+  // ever dropped upstream, so buffering until the gap fills is exact.
+  std::map<uint32_t, std::vector<uint8_t>> reassembly_;
+  // FIN whose sequence position is past rcv_nxt_ (arrived before a gap
+  // filled); processed once the reassembly queue drains up to it.
+  bool fin_buffered_ = false;
+  uint32_t fin_seq_ = 0;
 
   // Timers / metrics.
   mopsim::TimerId rto_timer_ = mopsim::kInvalidTimer;

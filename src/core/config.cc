@@ -63,6 +63,9 @@ CostModels CostModels::Default() {
   // A gathered write amortizes the syscall: each extra packet in the burst
   // costs roughly the per-iovec copy, an order of magnitude below write().
   m.tun_write_batch_extra = LogN(Micros(8), 0.30, Micros(3), Micros(60));
+  // A gathered read amortizes the same way: each extra packet in the burst
+  // costs the per-mmsghdr copy/bookkeeping, well below a full read().
+  m.tun_read_batch_extra = LogN(SimDuration(2500), 0.30, Micros(1), Micros(30));
   return m;
 }
 

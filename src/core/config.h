@@ -56,6 +56,9 @@ struct CostModels {
   // Marginal cost of each additional packet in a batched (writev-style)
   // tunnel write burst; only sampled when Config::write_batching is on.
   std::shared_ptr<moputil::DelayModel> tun_write_batch_extra;
+  // Marginal cost of each additional packet in a batched (readv/recvmmsg
+  // style) tunnel read burst; only sampled when Config::tun_read_batch > 1.
+  std::shared_ptr<moputil::DelayModel> tun_read_batch_extra;
 
   static CostModels Default();
 };
@@ -116,6 +119,33 @@ struct Config {
   // scaled configuration also turns write_batching on (all lanes feed the
   // single TunWriter, and per-packet write() would re-serialize them there).
   int worker_lanes = 1;
+
+  // ---- Burst ingress + work stealing (thread model v3) ----
+  // Max packets the TunReader pulls off the tun fd per syscall-class burst
+  // (readv/recvmmsg model): one tun_read_syscall plus tun_read_batch_extra
+  // per additional packet, then ONE queue push-batch and ONE selector wakeup
+  // per lane per burst. 1 (the default) is the paper's per-packet read and
+  // keeps every checked-in baseline byte-identical.
+  int tun_read_batch = 1;
+  // Elephant-flow work stealing: an overloaded lane publishes its hottest
+  // TCP flow; the TunReader re-homes that whole flow to the idlest lane via
+  // handoff tokens through the read queue, so per-flow FIFO order and the
+  // single-lane-per-flow affinity invariant survive — a steal re-homes a
+  // flow, it never interleaves one. Off by default (paper model).
+  bool steal_enabled = false;
+  // Queue depth at which a lane declares itself overloaded and publishes its
+  // hottest flow as stealable.
+  int steal_queue_threshold = 24;
+  // Thread model v3 egress: each MainWorker lane gathers the packets it
+  // produced and flushes them with one writev-style gathered write to the
+  // tun fd from its own thread (one tun_write_syscall plus
+  // tun_write_batch_extra per additional packet, plus a shared-fd
+  // tun_write_contention sample per flush), instead of funneling every
+  // packet through the single TunWriter actor — whose per-packet marginal
+  // drain cost is a global serializer no lane count can beat. Off by
+  // default: the paper model routes all writes through §3.5.1's schemes and
+  // the checked-in baselines depend on that cost stream.
+  bool lane_tun_write = false;
 
   // Self-measurement plane (moptel): lane-sharded metrics registry, stage
   // histograms, and the per-lane flight recorder. Off (the default) the

@@ -176,6 +176,9 @@ void MopEyeEngine::BuildTelemetry() {
   reg.AddExternalCounter("mopeye_tun_reader_empty_polls_total",
                          "Reader polls that found no packet (sleeping modes)",
                          [this] { return reader_ ? reader_->empty_polls() : 0; });
+  reg.AddExternalCounter("mopeye_tun_reader_steals_total",
+                         "Elephant-flow steals the reader brokered",
+                         [this] { return reader_ ? reader_->steals() : 0; });
   reg.AddExternalCounter("mopeye_tun_writer_packets_total",
                          "Packets the TunWriter wrote to the tun fd",
                          [this] {
@@ -256,10 +259,14 @@ moputil::Status MopEyeEngine::Start() {
   for (auto& lane : lanes_) {
     WorkerLane* l = lane.get();
     l->selector.on_wakeup = [this, l] { OnSelectorWakeup(*l); };
-    sinks.push_back(TunReader::LaneSink{&l->read_queue, &l->selector});
+    sinks.push_back(TunReader::LaneSink{&l->read_queue, &l->selector, &l->lane});
   }
   reader_ = std::make_unique<TunReader>(loop_, tun, &config_, rng_.Fork(),
                                         std::move(sinks));
+  if (config_.steal_enabled && lanes_.size() > 1) {
+    steal_board_ = std::make_unique<mopcc::StealBoard<moppkt::FlowKey>>(lanes_.size());
+    reader_->set_steal_board(steal_board_.get());
+  }
   writer_ = std::make_unique<TunWriter>(loop_, tun, &config_, rng_.Fork());
   if (lanes_.size() == 1) {
     // Single-lane: the lane continues the engine's own stream, making the
@@ -371,6 +378,9 @@ void MopEyeEngine::Stop() {
       }
     }
     lane->udp_clients.clear();
+    lane->arriving.clear();
+    lane->parked.clear();
+    lane->write_gather.clear();
   }
   // Lanes were cleared without RemoveClient, so the live count resets here.
   clients_live_ = 0;
@@ -425,10 +435,10 @@ MopEyeEngine::ResourceUsage MopEyeEngine::resources() const {
   if (writer_) {
     u.busy_writer = writer_->writer_busy_time();
   }
-  size_t read_queue_high_water = 0;
+  size_t read_queue_high_water = 0;  // moplint-allow: raw-counter (local sum)
   for (const auto& lane : lanes_) {
     u.busy_main += lane->lane.busy_time();
-    read_queue_high_water += lane->read_queue.high_water;
+    read_queue_high_water += lane->read_queue.high_water();
   }
   u.busy_workers = retired_worker_busy_;
   for (const auto& lane : lanes_) {
@@ -469,6 +479,12 @@ void MopEyeEngine::DrainEvents(WorkerLane& lane) {
   }
   mopcc::LaneScope lane_scope(lane.index);
   lane.affinity.Check();
+  // Overload check before the queue drains into lane tasks: the backlog the
+  // steal policy wants to shed is exactly what accumulated since the last
+  // dispatch.
+  if (steal_board_) {
+    MaybePublishSteal(lane);
+  }
   // §3.2: one waiting point serves both queues; we interleave processing of
   // socket events and tunnel packets so neither starves.
   std::vector<mopnet::ReadyEvent> events = lane.selector.TakeReady();
@@ -489,28 +505,48 @@ void MopEyeEngine::DrainEvents(WorkerLane& lane) {
       more = true;
     }
     if (!lane.read_queue.items.empty()) {
-      moputil::SimTime enqueued_at = lane.read_queue.items.front().first;
-      moppkt::PacketBuf pkt = std::move(lane.read_queue.items.front().second);
+      ReadQueue::Item item = std::move(lane.read_queue.items.front());
       lane.read_queue.items.pop_front();
-      moputil::SimDuration cost = config_.costs.packet_parse->Sample(lane.rng);
-      if (config_.content_inspection) {
-        cost += config_.content_inspection->Sample(lane.rng);
-      }
-      if (telemetry_) {
-        telemetry_->stage_dispatch->Observe(lane.index,
-                                            moputil::ToMillis(loop_->Now() - enqueued_at));
-        telemetry_->stage_parse->Observe(lane.index, moputil::ToMillis(cost));
-        if (lane.read_queue.high_water > telemetry_->read_queue_hw_seen[lane.index]) {
-          telemetry_->read_queue_hw_seen[lane.index] = lane.read_queue.high_water;
-          telemetry_->recorder.Record(lane.index, loop_->Now(),
-                                      moptel::TraceKind::kQueueHighWater,
-                                      "read-queue-high-water",
-                                      lane.read_queue.high_water);
+      switch (item.kind) {
+        case ReadQueue::Kind::kPacket: {
+          moputil::SimDuration cost = config_.costs.packet_parse->Sample(lane.rng);
+          if (config_.content_inspection) {
+            cost += config_.content_inspection->Sample(lane.rng);
+          }
+          if (telemetry_) {
+            telemetry_->stage_dispatch->Observe(lane.index,
+                                                moputil::ToMillis(loop_->Now() - item.t));
+            telemetry_->stage_parse->Observe(lane.index, moputil::ToMillis(cost));
+            if (lane.read_queue.high_water() > telemetry_->read_queue_hw_seen[lane.index]) {
+              telemetry_->read_queue_hw_seen[lane.index] = lane.read_queue.high_water();
+              telemetry_->recorder.Record(lane.index, loop_->Now(),
+                                          moptel::TraceKind::kQueueHighWater,
+                                          "read-queue-high-water",
+                                          lane.read_queue.high_water());
+            }
+          }
+          lane.lane.Submit(0, cost, [this, l = &lane, pkt = std::move(item.pkt)]() mutable {
+            ProcessTunPacket(*l, std::move(pkt));
+          });
+          break;
+        }
+        case ReadQueue::Kind::kHandoffIn:
+          // The flow is on its way here. Marked synchronously at pop: the
+          // token sits ahead of every rerouted packet in this FIFO, so the
+          // mark is in place before any of them is even submitted.
+          lane.arriving.insert(item.flow);
+          break;
+        case ReadQueue::Kind::kHandoffOut: {
+          // Everything this lane still owned of the flow was queued (and
+          // submitted) ahead of this token; the lane-FIFO places the handoff
+          // after all of it completes.
+          moppkt::FlowKey flow = item.flow;
+          size_t thief = item.peer_lane;
+          lane.lane.Submit(0, config_.costs.enqueue->Sample(lane.rng),
+                           [this, l = &lane, flow, thief] { CompleteHandoff(*l, flow, thief); });
+          break;
         }
       }
-      lane.lane.Submit(0, cost, [this, l = &lane, pkt = std::move(pkt)]() mutable {
-        ProcessTunPacket(*l, std::move(pkt));
-      });
       more = true;
     }
   }
@@ -522,6 +558,18 @@ void MopEyeEngine::ProcessTunPacket(WorkerLane& lane, moppkt::PacketBuf raw) {
   }
   mopcc::LaneScope lane_scope(lane.index);
   lane.affinity.Check();
+  if (!lane.arriving.empty()) {
+    // A flow is mid-handoff to this lane: park its packets (in arrival
+    // order) until the victim's side completes and InstallStolenFlow drains
+    // them — processing now would touch flow state this lane does not own
+    // yet. A header peek suffices; the full parse happens at the drain.
+    auto flow = moppkt::PeekFlow(raw.bytes());
+    if (flow.ok() && lane.arriving.count(flow.value()) != 0) {
+      lane.parked[flow.value()].push_back(std::move(raw));
+      ++lane.counters.steal_parked_packets;
+      return;
+    }
+  }
   ++lane.counters.tun_packets;
   // Zero-copy parse: `pkt` is a bundle of views into `raw`'s slab, which
   // stays alive for the rest of this call (and beyond it only if a data
@@ -573,7 +621,7 @@ void MopEyeEngine::HandleSyn(WorkerLane& lane, const moppkt::ParsedPacket& pkt) 
     // The app's kernel retransmitted its SYN while our external connect is
     // still in flight (or our SYN/ACK crossed it). Re-answer if we can.
     if (existing->sm.state() == RelayTcpState::kSynRcvd) {
-      EmitToApp(existing, existing->sm.MakeSynAckRetransmit(), &lane.lane);
+      EmitToApp(existing, existing->sm.MakeSynAckRetransmit(), &lane.lane, &lane);
     }
     return;
   }
@@ -804,7 +852,7 @@ void MopEyeEngine::HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket
   TcpStateMachine::Output out = client->sm.OnAppSegment(seg);
 
   for (const auto& spec : out.to_app) {
-    EmitToApp(client, spec, &lane.lane);
+    EmitToApp(client, spec, &lane.lane, &lane);
   }
 
   if (out.app_reset) {
@@ -859,6 +907,14 @@ void MopEyeEngine::HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent&
   if (!client || client->removed) {
     return;
   }
+  WorkerLane* owner = client->migrating ? client->migrate_target : client->home;
+  if (owner != &lane) {
+    // The flow was re-homed (work stealing) while this event task sat in our
+    // queue. Forward it: the owner's lane-FIFO lands it after the install,
+    // so it runs against fully migrated state.
+    owner->lane.Submit(0, 0, [this, owner, ev] { HandleSocketEvent(*owner, ev); });
+    return;
+  }
   MOP_DCHECK(client->home == &lane);
   mopcc::LaneScope lane_scope(lane.index);
   client->home->affinity.Check();
@@ -890,7 +946,7 @@ void MopEyeEngine::HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent&
       RelayTcpState s = client->sm.state();
       if (s == RelayTcpState::kEstablished || s == RelayTcpState::kSynRcvd ||
           s == RelayTcpState::kCloseWait) {
-        EmitToApp(client, client->sm.MakeFin(), &lane.lane);
+        EmitToApp(client, client->sm.MakeFin(), &lane.lane, &lane);
       }
       if (client->sm.state() == RelayTcpState::kClosed) {
         RemoveClient(client);
@@ -898,7 +954,7 @@ void MopEyeEngine::HandleSocketEvent(WorkerLane& lane, const mopnet::ReadyEvent&
       break;
     }
     case mopnet::SocketEventType::kReset: {
-      EmitToApp(client, client->sm.MakeRst(), &lane.lane);
+      EmitToApp(client, client->sm.MakeRst(), &lane.lane, &lane);
       RemoveClient(client);
       break;
     }
@@ -934,7 +990,7 @@ void MopEyeEngine::FlushSocketWrites(const std::shared_ptr<TcpClient>& client) {
     client->channel->Write(std::move(data));
     // §2.3 "Socket Write": after pushing the buffer to the server, instruct
     // the state machine to ACK the app.
-    EmitToApp(client, client->sm.MakeAck(), &client->home->lane);
+    EmitToApp(client, client->sm.MakeAck(), &client->home->lane, client->home);
     // Half-close deferred until the buffer flushed.
     if (client->sm.state() == RelayTcpState::kCloseWait ||
         client->sm.state() == RelayTcpState::kLastAck) {
@@ -975,7 +1031,7 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
     }
     auto specs = client->sm.MakeData(buf);
     for (const auto& spec : specs) {
-      EmitToApp(client, spec, &client->home->lane);
+      EmitToApp(client, spec, &client->home->lane, client->home);
     }
     // More may have arrived while we processed; keep draining.
     if (client->channel && client->channel->available() > 0) {
@@ -986,7 +1042,7 @@ void MopEyeEngine::HandleSocketReadable(const std::shared_ptr<TcpClient>& client
 
 void MopEyeEngine::EmitToApp(const std::shared_ptr<TcpClient>& client,
                              const moppkt::TcpSegmentSpec& spec,
-                             mopsim::ActorLane* producer) {
+                             mopsim::ActorLane* producer, WorkerLane* gather) {
   moppkt::PacketBuf datagram =
       client->home->pool->AcquireSized(20 + moppkt::TcpSegmentBytes(spec));
   size_t n;
@@ -1000,14 +1056,68 @@ void MopEyeEngine::EmitToApp(const std::shared_ptr<TcpClient>& client,
                                      client->ip_id++, /*ttl=*/64, datagram.writable());
   }
   datagram.set_size(n);
-  EmitRawToApp(std::move(datagram), producer);
+  EmitRawToApp(std::move(datagram), producer, gather);
 }
 
-void MopEyeEngine::EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer) {
+void MopEyeEngine::EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer,
+                                WorkerLane* gather) {
+  if (gather != nullptr && config_.lane_tun_write) {
+    GatherLaneWrite(*gather, std::move(datagram));
+    return;
+  }
   moputil::SimDuration overhead = writer_->SubmitPacket(std::move(datagram));
   if (producer != nullptr && overhead > 0) {
     producer->Submit(0, overhead, [] {});
   }
+}
+
+void MopEyeEngine::GatherLaneWrite(WorkerLane& lane, moppkt::PacketBuf datagram) {
+  lane.write_gather.push_back(std::move(datagram));
+  if (lane.write_flush_pending) {
+    return;
+  }
+  // Behind the current task chain, so everything the task emits — a whole
+  // MakeData batch, say — leaves in one gathered write.
+  lane.write_flush_pending = true;
+  lane.lane.Submit(0, 0, [this, l = &lane] { FlushLaneWrites(*l); });
+}
+
+void MopEyeEngine::FlushLaneWrites(WorkerLane& lane) {
+  if (!running_ || lane.write_gather.empty()) {
+    lane.write_flush_pending = false;
+    return;
+  }
+  mopcc::LaneScope scope(lane.index);
+  lane.affinity.Check();
+  std::vector<moppkt::PacketBuf> burst;
+  burst.swap(lane.write_gather);
+  const CostModels& costs = config_.costs;
+  // One gathered write() from this lane's own thread: syscall + per-iovec
+  // marginal cost, plus the stochastic stall for the fd being held by
+  // another lane mid-write.
+  moputil::SimDuration cost = costs.tun_write_syscall->Sample(lane.rng) +
+                              costs.tun_write_contention->Sample(lane.rng);
+  for (size_t i = 1; i < burst.size(); ++i) {
+    cost += costs.tun_write_batch_extra->Sample(lane.rng);
+  }
+  ++lane.counters.lane_write_bursts;
+  lane.counters.lane_write_packets += burst.size();
+  if (telemetry_) {
+    telemetry_->stage_tun_write->Observe(lane.index, moputil::ToMillis(cost));
+  }
+  mopdroid::TunDevice* tun = vpn_ ? vpn_->tun() : nullptr;
+  lane.lane.Submit(0, cost, [this, l = &lane, tun, burst = std::move(burst)]() mutable {
+    if (tun != nullptr && !tun->closed()) {
+      for (auto& packet : burst) {
+        tun->WriteIncoming(std::move(packet));
+      }
+    }
+    if (!l->write_gather.empty()) {
+      FlushLaneWrites(*l);
+    } else {
+      l->write_flush_pending = false;
+    }
+  });
 }
 
 void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
@@ -1032,11 +1142,133 @@ void MopEyeEngine::RemoveClient(const std::shared_ptr<TcpClient>& client) {
       client->channel->Close();
     }
   }
-  if (home->clients.erase(client->flow) > 0) {
+  bool tracked = home->clients.erase(client->flow) > 0;
+  if (!tracked && client->migrating) {
+    // Mid-handoff: CompleteHandoff already pulled the client out of the
+    // victim's table, but it is still live until now. InstallStolenFlow sees
+    // `removed` and skips the re-insert.
+    tracked = true;
+  }
+  if (tracked && clients_live_ > 0) {
     // Guarded: Stop() clears the lane maps directly and zeroes the count, so
     // a straggling closure removing a Stop()-cleared client must not
     // underflow it.
     --clients_live_;
+  }
+}
+
+// ---------------- Elephant-flow work stealing ----------------
+
+void MopEyeEngine::MaybePublishSteal(WorkerLane& lane) {
+  const auto& items = lane.read_queue.items;
+  if (items.size() < static_cast<size_t>(config_.steal_queue_threshold)) {
+    return;
+  }
+  if (steal_board_->pending(lane.index)) {
+    return;  // an earlier offer is still unjudged
+  }
+  // Hottest TCP flow among the queued packets. Flows already mid-arrival
+  // here are excluded: this lane does not own them yet, so it cannot offer
+  // them onward. The scan only runs past the overload threshold, so the
+  // steady state never pays for the map.
+  std::unordered_map<moppkt::FlowKey, size_t, moppkt::FlowKeyHash> counts;
+  const moppkt::FlowKey* best = nullptr;
+  size_t best_count = 0;
+  for (const ReadQueue::Item& item : items) {
+    if (item.kind != ReadQueue::Kind::kPacket || !item.flow_valid ||
+        item.flow.proto != moppkt::IpProto::kTcp) {
+      continue;
+    }
+    if (!lane.arriving.empty() && lane.arriving.count(item.flow) != 0) {
+      continue;
+    }
+    size_t c = ++counts[item.flow];
+    if (c > best_count) {
+      best_count = c;
+      best = &item.flow;
+    }
+  }
+  if (best == nullptr) {
+    return;
+  }
+  steal_board_->Publish(lane.index, *best, items.size());
+}
+
+void MopEyeEngine::CompleteHandoff(WorkerLane& victim, const moppkt::FlowKey& flow,
+                                   size_t thief_index) {
+  if (!running_) {
+    return;
+  }
+  mopcc::LaneScope lane_scope(victim.index);
+  victim.affinity.Check();
+  ++victim.counters.steal_handoffs;
+  WorkerLane& thief = *lanes_[thief_index];
+  std::shared_ptr<TcpClient> client;
+  auto it = victim.clients.find(flow);
+  if (it != victim.clients.end()) {
+    client = it->second;
+    victim.clients.erase(it);
+    client->migrating = true;
+    client->migrate_target = &thief;
+  }
+  // Install on the thief even when the client died in the window: the thief
+  // must clear its arriving marker and drain the parked packets either way.
+  size_t victim_index = victim.index;
+  thief.lane.Submit(0, config_.costs.enqueue->Sample(victim.rng),
+                    [this, t = &thief, victim_index, flow, client = std::move(client)] {
+                      InstallStolenFlow(*t, victim_index, flow, client);
+                    });
+}
+
+void MopEyeEngine::InstallStolenFlow(WorkerLane& thief, size_t victim_index,
+                                     const moppkt::FlowKey& flow,
+                                     std::shared_ptr<TcpClient> client) {
+  if (!running_) {
+    return;
+  }
+  mopcc::LaneScope lane_scope(thief.index);
+  thief.affinity.Check();
+  if (client && !client->removed) {
+    client->home = &thief;
+    client->migrating = false;
+    client->migrate_target = nullptr;
+    thief.clients[flow] = client;
+    thief.counters.clients_high_water =
+        std::max(thief.counters.clients_high_water, thief.clients.size());
+    if (telemetry_) {
+      telemetry_->lane_clients_high_water->SetMax(thief.index, thief.clients.size());
+    }
+    if (client->channel) {
+      thief.by_channel[client->channel.get()] = client;
+      // Re-point the channel at this lane's waiting point; its pending
+      // events move with it, so none are lost across the re-homing.
+      client->channel->MigrateTo(&thief.selector);
+      // The victim's stale by_channel entry goes away on the victim's own
+      // context. Every straggler event task was submitted there before this
+      // cleanup (tasks are atomic; once the channel migrated, the victim's
+      // selector can produce no more), so the FIFO forwards them all first.
+      WorkerLane* victim = lanes_[victim_index].get();
+      victim->lane.Submit(0, 0, [victim, client] {
+        victim->by_channel.erase(client->channel.get());
+      });
+    }
+  } else if (client) {
+    client->migrating = false;
+    client->migrate_target = nullptr;
+  }
+  // Drain the packets parked behind the kHandoffIn token, in arrival order.
+  // Their parse cost was already paid when each was popped and parked.
+  thief.arriving.erase(flow);
+  auto parked_it = thief.parked.find(flow);
+  if (parked_it != thief.parked.end()) {
+    std::deque<moppkt::PacketBuf> parked = std::move(parked_it->second);
+    thief.parked.erase(parked_it);
+    for (moppkt::PacketBuf& raw : parked) {
+      ProcessTunPacket(thief, std::move(raw));
+    }
+  }
+  if (reader_) {
+    reader_->NoteHandoffComplete(flow);
   }
 }
 
@@ -1148,7 +1380,7 @@ void MopEyeEngine::HandleUdp(WorkerLane& lane, const moppkt::ParsedPacket& pkt) 
       datagram.set_size(moppkt::BuildUdpDatagramInto(
           u->flow.remote.port, u->flow.local.port, response, u->flow.remote.ip,
           u->flow.local.ip, u->ip_id++, datagram.writable()));
-      EmitRawToApp(std::move(datagram), &u->home->lane);
+      EmitRawToApp(std::move(datagram), &u->home->lane, u->home);
       u->last_activity = loop_->Now();
     };
     lane.udp_clients[flow] = udp;

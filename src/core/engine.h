@@ -33,11 +33,13 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "android/device.h"
 #include "android/vpn_service.h"
 #include "concurrent/lane_affinity.h"
+#include "concurrent/steal_board.h"
 #include "core/config.h"
 #include "core/measurement.h"
 #include "core/packet_mapper.h"
@@ -83,7 +85,11 @@ constexpr int kMopEyeUid = 10999;
   X(connects_failed)                    \
   X(socket_read_events)                 \
   X(bytes_app_to_server)                \
-  X(bytes_server_to_app)
+  X(bytes_server_to_app)                \
+  X(steal_handoffs)                     \
+  X(steal_parked_packets)               \
+  X(lane_write_bursts)                  \
+  X(lane_write_packets)
 
 class MopEyeEngine {
  public:
@@ -132,7 +138,7 @@ class MopEyeEngine {
     // on the global peak otherwise (lanes peak independently). The true
     // concurrent peak is global_clients_high_water() — resources() keeps
     // using this sum deliberately, as a conservative memory bound.
-    size_t clients_high_water = 0;
+    size_t clients_high_water = 0;  // moplint-allow: raw-counter
 
     // Shard merge, generated from the same field list as the declarations:
     // a counter added to MOPEYE_ENGINE_COUNTER_FIELDS is merged (and
@@ -216,6 +222,12 @@ class MopEyeEngine {
     bool write_event_pending = false;
     bool external_connected = false;
     bool removed = false;
+    // Work stealing: set on the victim lane when its handoff token drains;
+    // cleared when the thief installs the flow. While set, socket events are
+    // forwarded to `migrate_target` (where lane FIFO lands them after the
+    // install) instead of being processed under the old home.
+    bool migrating = false;
+    WorkerLane* migrate_target = nullptr;
     moputil::SimTime connect_t0 = 0;
     PacketToAppMapper::Outcome app;
     bool mapping_done = false;
@@ -275,6 +287,19 @@ class MopEyeEngine {
     MeasurementStore store;       // lane shard; merged by store()
     // Reused destination for this lane's synchronous external-socket reads.
     std::vector<uint8_t> socket_read_scratch;
+    // Work stealing, thief side: flows whose kHandoffIn token this lane has
+    // seen but whose state the victim has not handed over yet. Packets of an
+    // arriving flow are parked (in order) instead of processed, then drained
+    // by InstallStolenFlow — so the thief never touches flow state it does
+    // not own yet, and per-flow order survives the re-homing.
+    std::unordered_set<moppkt::FlowKey, moppkt::FlowKeyHash> arriving;
+    std::unordered_map<moppkt::FlowKey, std::deque<moppkt::PacketBuf>, moppkt::FlowKeyHash>
+        parked;
+    // Gathered lane egress (Config::lane_tun_write): packets this lane
+    // produced since its last flush, written with one gathered write() from
+    // the lane itself instead of through the shared TunWriter.
+    std::vector<moppkt::PacketBuf> write_gather;
+    bool write_flush_pending = false;
   };
 
   Config::ProtectMode EffectiveProtectMode() const;
@@ -299,11 +324,36 @@ class MopEyeEngine {
   void HandleDnsQuery(WorkerLane& lane, const moppkt::ParsedPacket& pkt);
   void RemoveClient(const std::shared_ptr<TcpClient>& client);
 
+  // ---- Elephant-flow work stealing (thread model v3) ----
+  // Lane side of the steal protocol. Publish: an overloaded lane offers its
+  // hottest queued TCP flow on the StealBoard (the TunReader consumes it).
+  // CompleteHandoff runs on the victim when its kHandoffOut token drains —
+  // by lane FIFO, after every packet of the flow it still owned — and ships
+  // the client to the thief. InstallStolenFlow runs on the thief: re-homes
+  // the client, migrates its channel to the thief's selector, and drains the
+  // packets parked behind the kHandoffIn token, in arrival order.
+  void MaybePublishSteal(WorkerLane& lane);
+  void CompleteHandoff(WorkerLane& victim, const moppkt::FlowKey& flow, size_t thief_index);
+  void InstallStolenFlow(WorkerLane& thief, size_t victim_index, const moppkt::FlowKey& flow,
+                         std::shared_ptr<TcpClient> client);
+
   // Sends one segment toward the app, paying the producer overhead on
-  // `producer` (null = fire and forget from a non-lane context).
+  // `producer` (null = fire and forget from a non-lane context). When
+  // `gather` is set and Config::lane_tun_write is on, the packet joins that
+  // lane's gathered write burst instead of the TunWriter queue; producers
+  // without a worker lane (connect threads, DNS temp threads) always take
+  // the TunWriter path.
   void EmitToApp(const std::shared_ptr<TcpClient>& client,
-                 const moppkt::TcpSegmentSpec& spec, mopsim::ActorLane* producer);
-  void EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer);
+                 const moppkt::TcpSegmentSpec& spec, mopsim::ActorLane* producer,
+                 WorkerLane* gather = nullptr);
+  void EmitRawToApp(moppkt::PacketBuf datagram, mopsim::ActorLane* producer,
+                    WorkerLane* gather = nullptr);
+  // Gathered lane egress (Config::lane_tun_write): append to the lane's
+  // burst and schedule one flush behind the current task chain.
+  void GatherLaneWrite(WorkerLane& lane, moppkt::PacketBuf datagram);
+  // Pays one gathered-write cost for everything queued, then delivers the
+  // burst to the tun fd; re-arms itself while packets keep arriving.
+  void FlushLaneWrites(WorkerLane& lane);
 
   std::shared_ptr<TcpClient> FindClient(WorkerLane& lane, const moppkt::FlowKey& flow);
   // Drains the per-lane measurement shards into store_ (time-ordered).
@@ -319,6 +369,8 @@ class MopEyeEngine {
 
   std::unique_ptr<mopdroid::VpnService> vpn_;
   std::vector<std::unique_ptr<WorkerLane>> lanes_;
+  // Non-null only when Config::steal_enabled and worker_lanes > 1.
+  std::unique_ptr<mopcc::StealBoard<moppkt::FlowKey>> steal_board_;
   std::unique_ptr<TunReader> reader_;
   std::unique_ptr<TunWriter> writer_;
   std::unique_ptr<PacketToAppMapper> mapper_;
@@ -333,7 +385,10 @@ class MopEyeEngine {
   // lanes are virtual actors on the loop thread, so plain fields are
   // race-free by construction.
   size_t clients_live_ = 0;
-  size_t clients_global_high_water_ = 0;
+  // Exported as the mopeye_engine_clients_high_water gauge; kept as a plain
+  // field because SetMax on the registry is per-lane and this is the one
+  // true global peak (see ClientsHighWaterMergesAsMaxNotSum).
+  size_t clients_global_high_water_ = 0;  // moplint-allow: raw-counter
 
   // Everything telemetry owns (registry, flight recorder, stage histogram
   // pointers). Defined in engine.cc; null when Config::telemetry is off.

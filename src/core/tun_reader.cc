@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace mopeye {
@@ -22,6 +21,9 @@ TunReader::TunReader(mopsim::EventLoop* loop, mopdroid::TunDevice* tun, const Co
     MOP_CHECK(sink.queue != nullptr);
     MOP_CHECK(sink.selector != nullptr);
   }
+  burst_.reserve(static_cast<size_t>(std::max(1, config_->tun_read_batch)));
+  dirty_lanes_.reserve(sinks_.size());
+  lane_dirty_.assign(sinks_.size(), 0);
 }
 
 void TunReader::Start() {
@@ -43,21 +45,130 @@ void TunReader::Start() {
 
 void TunReader::RequestStop() { stopped_ = true; }
 
-void TunReader::Dispatch(moputil::SimTime t, moppkt::PacketBuf pkt) {
+void TunReader::DispatchBurst(std::vector<mopdroid::TunDevice::OutPacket> burst) {
   dispatch_affinity_.Check();
-  size_t lane = 0;
-  if (sinks_.size() > 1) {
-    // Flow-affine classification: a header peek, not a full parse — checksum
-    // verification and L4 parsing still happen on the owning lane.
-    // Unclassifiable packets (the parse will reject them anyway) go to lane 0.
-    auto flow = moppkt::PeekFlow(pkt.bytes());
-    if (flow.ok()) {
-      lane = LaneOf(flow.value());
+  moputil::SimTime now = loop_->Now();
+  for (mopdroid::TunDevice::OutPacket& pkt : burst) {
+    packets_read_.Inc(0);
+    retrieval_delay_ms_.Add(moputil::ToMillis(now - pkt.injected_at));
+    ReadQueue::Item item;
+    item.t = now;
+    item.pkt = std::move(pkt.data);
+    size_t lane = 0;
+    if (sinks_.size() > 1) {
+      // Flow-affine classification: a header peek, not a full parse —
+      // checksum verification and L4 parsing still happen on the owning
+      // lane. Unclassifiable packets (the parse will reject them anyway) go
+      // to lane 0.
+      auto flow = moppkt::PeekFlow(item.pkt.bytes());
+      if (flow.ok()) {
+        item.flow = flow.value();
+        item.flow_valid = true;
+        lane = RouteOf(item.flow);
+      }
+    }
+    sinks_[lane].queue->Append(std::move(item));
+    if (!lane_dirty_[lane]) {
+      lane_dirty_[lane] = 1;
+      dirty_lanes_.push_back(lane);
     }
   }
-  sinks_[lane].queue->Push(t, std::move(pkt));
-  // §3.2: reuse the owning lane's selector waiting point to signal it.
-  sinks_[lane].selector->Wakeup();
+  // One commit (high-water update) and one wakeup per touched lane per
+  // burst — §3.2's "reuse the owning lane's selector waiting point", amortized.
+  for (size_t lane : dirty_lanes_) {
+    lane_dirty_[lane] = 0;
+    sinks_[lane].queue->Commit();
+    sinks_[lane].selector->Wakeup();
+  }
+  dirty_lanes_.clear();
+  if (steal_board_ != nullptr && sinks_.size() > 1) {
+    ProcessStealRequests();
+  }
+}
+
+// ---- Elephant-flow work stealing ----
+
+void TunReader::ProcessStealRequests() {
+  moputil::SimTime now = loop_->Now();
+  for (size_t victim = 0; victim < sinks_.size(); ++victim) {
+    mopcc::StealBoard<moppkt::FlowKey>::Publication pub;
+    if (!steal_board_->Take(victim, &pub)) {
+      continue;
+    }
+    // Stale publications: the flow already re-homed, or a previous handoff
+    // for it is still in flight (a flow must change owner one step at a
+    // time, or two lanes could both think they are installing it).
+    if (RouteOf(pub.flow) != victim || pending_handoffs_.count(pub.flow) != 0) {
+      continue;
+    }
+    // Thief selection: the lane with the smallest simulated backlog. Queue
+    // depth is no use here — lanes drain their read queue into their actor
+    // queue at dispatch, so the durable overload signal is the actor's
+    // free-time horizon.
+    auto backlog = [&](size_t i) -> moputil::SimDuration {
+      if (sinks_[i].lane == nullptr) {
+        return 0;
+      }
+      moputil::SimTime free_at = sinks_[i].lane->free_at();
+      return free_at > now ? free_at - now : 0;
+    };
+    moputil::SimDuration victim_backlog = backlog(victim);
+    if (victim_backlog <= 0) {
+      continue;  // load subsided since the publish
+    }
+    size_t thief = victim;
+    moputil::SimDuration best = victim_backlog;
+    for (size_t i = 0; i < sinks_.size(); ++i) {
+      if (i == victim) {
+        continue;
+      }
+      moputil::SimDuration b = backlog(i);
+      if (b < best) {
+        best = b;
+        thief = i;
+      }
+    }
+    // Only steal into a meaningfully idler lane: a handoff has a cost (two
+    // tokens, a state install, parked packets) and re-homing between equally
+    // loaded lanes just thrashes.
+    if (thief == victim || best * 2 > victim_backlog) {
+      continue;
+    }
+    InitiateSteal(pub.flow, victim, thief);
+  }
+}
+
+void TunReader::InitiateSteal(const moppkt::FlowKey& flow, size_t victim, size_t thief) {
+  // Routing flips first: every packet of this flow dispatched from here on
+  // goes to the thief, where the kHandoffIn token (queued before any of
+  // them) parks it until the victim's handoff completes.
+  overrides_[flow] = thief;
+  pending_handoffs_.insert(flow);
+  steals_.Inc(0);
+  moputil::SimTime now = loop_->Now();
+
+  ReadQueue::Item in;
+  in.t = now;
+  in.kind = ReadQueue::Kind::kHandoffIn;
+  in.flow = flow;
+  in.flow_valid = true;
+  in.peer_lane = victim;
+  sinks_[thief].queue->Append(std::move(in));
+  sinks_[thief].queue->Commit();
+  sinks_[thief].selector->Wakeup();
+
+  // The victim's token sits behind every packet of the flow it still owns:
+  // when it pops the token, its share of the flow is fully processed (lane
+  // FIFO), so handing the state over cannot reorder the flow.
+  ReadQueue::Item out;
+  out.t = now;
+  out.kind = ReadQueue::Kind::kHandoffOut;
+  out.flow = flow;
+  out.flow_valid = true;
+  out.peer_lane = thief;
+  sinks_[victim].queue->Append(std::move(out));
+  sinks_[victim].queue->Commit();
+  sinks_[victim].selector->Wakeup();
 }
 
 // ---- Blocking mode ----
@@ -76,21 +187,27 @@ void TunReader::DrainLoop() {
     draining_ = false;
     return;  // the dummy packet (if any) released us; exit the thread
   }
-  auto pkt = tun_->ReadOutgoing();
-  if (!pkt.has_value()) {
+  burst_.clear();
+  size_t n = tun_->ReadOutgoingBurst(static_cast<size_t>(std::max(1, config_->tun_read_batch)),
+                                     &burst_);
+  if (n == 0) {
     // Queue drained: back into the blocking read().
     draining_ = false;
     blocked_ = true;
     return;
   }
+  // One syscall-class cost for the burst plus the marginal per-mmsghdr cost
+  // for each extra packet. At tun_read_batch == 1 this is draw-for-draw the
+  // paper's per-packet read() — the baselines depend on that.
   moputil::SimDuration read_cost = config_->costs.tun_read_syscall->Sample(rng_);
+  for (size_t i = 1; i < n; ++i) {
+    read_cost += config_->costs.tun_read_batch_extra->Sample(rng_);
+  }
   if (stage_hist_ != nullptr) {
     stage_hist_->Observe(0, moputil::ToMillis(read_cost));
   }
-  lane_.Submit(0, read_cost, [this, pkt = std::move(*pkt)]() mutable {
-    ++packets_read_;
-    retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
-    Dispatch(loop_->Now(), std::move(pkt.data));
+  lane_.Submit(0, read_cost, [this, burst = std::move(burst_)]() mutable {
+    DispatchBurst(std::move(burst));
     DrainLoop();
   });
 }
@@ -109,27 +226,28 @@ void TunReader::Poll() {
     return;
   }
   size_t drained = 0;
+  size_t batch = static_cast<size_t>(std::max(1, config_->tun_read_batch));
   while (true) {
-    auto pkt = tun_->ReadOutgoing();
-    if (!pkt.has_value()) {
+    burst_.clear();
+    size_t n = tun_->ReadOutgoingBurst(batch, &burst_);
+    if (n == 0) {
       break;
     }
-    ++drained;
+    drained += n;
     moputil::SimDuration read_cost = config_->costs.tun_read_syscall->Sample(rng_);
+    for (size_t i = 1; i < n; ++i) {
+      read_cost += config_->costs.tun_read_batch_extra->Sample(rng_);
+    }
     if (stage_hist_ != nullptr) {
       stage_hist_->Observe(0, moputil::ToMillis(read_cost));
     }
     lane_.Submit(0, read_cost,
-                 [this, pkt = std::move(*pkt)]() mutable {
-                   ++packets_read_;
-                   retrieval_delay_ms_.Add(moputil::ToMillis(loop_->Now() - pkt.injected_at));
-                   Dispatch(loop_->Now(), std::move(pkt.data));
-                 });
+                 [this, burst = std::move(burst_)]() mutable { DispatchBurst(std::move(burst)); });
   }
   if (drained == 0) {
     // An empty read() still costs a syscall — the polling CPU tax Table 4
     // charges Haystack for.
-    ++empty_polls_;
+    empty_polls_.Inc(0);
     lane_.Submit(0, config_->costs.tun_read_syscall->Sample(rng_), [] {});
   }
 

@@ -41,6 +41,30 @@ void Selector::RemoveChannel(SocketChannel* ch) {
                ready_.end());
 }
 
+std::vector<PendingEvent> Selector::ExtractPending(SocketChannel* ch) {
+  channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
+                                 [ch](const std::weak_ptr<SocketChannel>& w) {
+                                   auto s = w.lock();
+                                   return !s || s.get() == ch;
+                                 }),
+                  channels_.end());
+  std::vector<PendingEvent> extracted;
+  auto keep = ready_.begin();
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    auto s = it->wakeup ? nullptr : it->channel.lock();
+    if (s != nullptr && s.get() == ch) {
+      extracted.push_back(std::move(*it));
+    } else {
+      if (keep != it) {
+        *keep = std::move(*it);
+      }
+      ++keep;
+    }
+  }
+  ready_.erase(keep, ready_.end());
+  return extracted;
+}
+
 void Selector::Enqueue(std::shared_ptr<SocketChannel> ch, SocketEventType type) {
   ready_.push_back(PendingEvent{ch, false, type});
   MaybeWake();

@@ -49,6 +49,12 @@ class Selector {
   void AddChannel(std::shared_ptr<SocketChannel> ch);
   void RemoveChannel(SocketChannel* ch);
 
+  // Removes `ch` like RemoveChannel, but returns its queued events (in
+  // order) instead of dropping them — the deliberate cross-lane migration
+  // path (work stealing). The new owner re-enqueues them so nothing in
+  // flight is lost across the re-homing; plain wakeups stay here.
+  std::vector<PendingEvent> ExtractPending(SocketChannel* ch);
+
   // Queues a channel event and wakes the owner if needed.
   void Enqueue(std::shared_ptr<SocketChannel> ch, SocketEventType type);
 

@@ -369,6 +369,27 @@ void SocketChannel::RegisterWith(Selector* selector, uint32_t interest) {
 
 void SocketChannel::SetInterest(uint32_t interest) { interest_ = interest; }
 
+void SocketChannel::MigrateTo(Selector* selector) {
+  MOP_CHECK(selector != nullptr);
+  if (selector_ == selector) {
+    return;
+  }
+  std::vector<PendingEvent> in_flight;
+  if (selector_ != nullptr) {
+    in_flight = selector_->ExtractPending(this);
+  }
+  selector_ = selector;
+  selector->AddChannel(shared_from_this());
+  for (const PendingEvent& p : in_flight) {
+    selector->Enqueue(shared_from_this(), p.type);
+  }
+  // Level-trigger safety net: a readable edge consumed at the old selector
+  // but not yet acted on must not strand buffered data.
+  if (in_flight.empty() && (interest_ & kOpRead) && !recv_buf_.empty()) {
+    EmitEvent(SocketEventType::kReadable);
+  }
+}
+
 void SocketChannel::Deregister() {
   if (selector_ != nullptr) {
     selector_->RemoveChannel(this);

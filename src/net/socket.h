@@ -94,6 +94,11 @@ class SocketChannel : public std::enable_shared_from_this<SocketChannel> {
   void RegisterWith(Selector* selector, uint32_t interest);
   void SetInterest(uint32_t interest);
   void Deregister();
+  // The one sanctioned way a channel changes selectors: the work-stealing
+  // re-homing. Extracts any events still queued at the old selector and
+  // re-enqueues them (in order) at the new one, so nothing in flight is
+  // lost. Interest ops carry over. A never-registered channel just registers.
+  void MigrateTo(Selector* selector);
 
   // Direct callbacks used while not registered with a selector.
   std::function<void()> on_readable;

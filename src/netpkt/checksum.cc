@@ -5,6 +5,11 @@
 
 #include "netpkt/ip.h"
 
+#if defined(__x86_64__)
+#define MOPEYE_CHECKSUM_X86 1
+#include <immintrin.h>
+#endif
+
 namespace moppkt {
 
 namespace {
@@ -23,14 +28,17 @@ inline uint16_t Fold64(uint64_t sum) {
   return static_cast<uint16_t>(sum);
 }
 
-}  // namespace
+// Every implementation below computes the same mathematical object: the
+// one's-complement sum of the buffer's 16-bit native-order words (odd tail
+// zero-padded). They differ only in how the plain integer accumulation is
+// grouped, and Fold64 maps any grouping to the unique representative in
+// [0, 0xffff] — 0 for all-zero input (no path can produce a nonzero
+// accumulator from zeros, nor reach zero from a nonzero word), 0xffff for
+// nonzero input whose sum ≡ 0 (mod 0xffff). Hence bit-identical results by
+// construction; netpkt_test fuzzes the equivalence anyway.
 
-uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
-  const uint8_t* p = data.data();
-  size_t n = data.size();
-
-  // Sum in native word order; RFC 1071 §2(B): the one's-complement sum is
-  // independent of byte order up to a final 16-bit byte swap.
+// Scalar inner sum: 8 bytes at a time with end-around carry.
+uint64_t ScalarSum(const uint8_t* p, size_t n) {
   uint64_t sum = 0;
   while (n >= 32) {
     uint64_t w0, w1, w2, w3;
@@ -74,17 +82,174 @@ uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
                      : static_cast<uint16_t>(*p << 8);
     sum = AddWithCarry(sum, w);
   }
+  return sum;
+}
 
+#if MOPEYE_CHECKSUM_X86
+
+// Sums the < 16-byte tail the vector loops leave behind. Plain adds of
+// zero-extended words cannot carry at these sizes.
+inline uint64_t SmallTailSum(const uint8_t* p, size_t n) {
+  uint64_t sum = 0;
+  while (n >= 2) {
+    uint16_t w;
+    std::memcpy(&w, p, 2);
+    sum += w;
+    p += 2;
+    n -= 2;
+  }
+  if (n == 1) {
+    sum += std::endian::native == std::endian::little
+               ? static_cast<uint16_t>(*p)
+               : static_cast<uint16_t>(*p << 8);
+  }
+  return sum;
+}
+
+// Largest block a 32-bit vector lane can accumulate without overflow:
+// 65504 B = 32752 words; one SSE2 lane sees 8188 of them, 8188 * 0xffff
+// < 2^30. Chunking at this size keeps the loop overflow-free for any
+// buffer length, not just MTU-sized packets.
+constexpr size_t kVecChunk = 65504;
+
+// SSE2 inner sum: widen eight 16-bit words per load into 32-bit lanes.
+// Unaligned loads only; never reads past data.size().
+uint64_t Sse2Sum(const uint8_t* p, size_t n) {
+  uint64_t sum = 0;
+  const __m128i zero = _mm_setzero_si128();
+  while (n >= 16) {
+    size_t chunk = n < kVecChunk ? (n & ~size_t{15}) : kVecChunk;
+    __m128i acc = _mm_setzero_si128();
+    const uint8_t* end = p + chunk;
+    for (; p != end; p += 16) {
+      __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(v, zero));
+      acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(v, zero));
+    }
+    alignas(16) uint32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    sum += static_cast<uint64_t>(lanes[0]) + lanes[1] + lanes[2] + lanes[3];
+    n -= chunk;
+  }
+  return sum + SmallTailSum(p, n);
+}
+
+// AVX2 inner sum: sixteen words per load. Compiled with a per-function
+// target attribute so the baseline build stays SSE2-only; only reachable
+// after the cpuid dispatch confirms AVX2.
+__attribute__((target("avx2"))) uint64_t Avx2Sum(const uint8_t* p, size_t n) {
+  uint64_t sum = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  while (n >= 32) {
+    size_t chunk = n < kVecChunk ? (n & ~size_t{31}) : kVecChunk;
+    __m256i acc = _mm256_setzero_si256();
+    const uint8_t* end = p + chunk;
+    for (; p != end; p += 32) {
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      acc = _mm256_add_epi32(acc, _mm256_unpacklo_epi16(v, zero));
+      acc = _mm256_add_epi32(acc, _mm256_unpackhi_epi16(v, zero));
+    }
+    alignas(32) uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    sum += static_cast<uint64_t>(lanes[0]) + lanes[1] + lanes[2] + lanes[3] +
+           lanes[4] + lanes[5] + lanes[6] + lanes[7];
+    n -= chunk;
+  }
+  if (n >= 16) {
+    return sum + Sse2Sum(p, n);
+  }
+  return sum + SmallTailSum(p, n);
+}
+
+#endif  // MOPEYE_CHECKSUM_X86
+
+using SumFn = uint64_t (*)(const uint8_t*, size_t);
+
+ChecksumImpl ResolveImpl() {
+#if MOPEYE_CHECKSUM_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return ChecksumImpl::kAvx2;
+  }
+  return ChecksumImpl::kSse2;  // baseline on x86-64, no cpuid needed
+#else
+  return ChecksumImpl::kScalar;
+#endif
+}
+
+SumFn SumFnFor(ChecksumImpl impl) {
+#if MOPEYE_CHECKSUM_X86
+  switch (impl) {
+    case ChecksumImpl::kAvx2:
+      if (__builtin_cpu_supports("avx2")) {
+        return &Avx2Sum;
+      }
+      return &ScalarSum;
+    case ChecksumImpl::kSse2:
+      return &Sse2Sum;
+    case ChecksumImpl::kScalar:
+      return &ScalarSum;
+  }
+#endif
+  (void)impl;
+  return &ScalarSum;
+}
+
+// Shared epilogue: fold, swap to big-endian word space, chain onto
+// `initial`, and keep the result within uint32 range so further chaining
+// cannot overflow.
+inline uint32_t FinishPartial(uint64_t sum, uint32_t initial) {
   uint16_t folded = Fold64(sum);
   if constexpr (std::endian::native == std::endian::little) {
     folded = static_cast<uint16_t>((folded >> 8) | (folded << 8));
   }
-
-  // Chain onto `initial` (already in big-endian word space); keep the result
-  // within uint32 range so further chaining cannot overflow.
   uint64_t chained = static_cast<uint64_t>(initial) + folded;
   chained = (chained >> 32) + (chained & 0xffffffffULL);
   return static_cast<uint32_t>(chained);
+}
+
+}  // namespace
+
+ChecksumImpl ActiveChecksumImpl() {
+  static const ChecksumImpl impl = ResolveImpl();
+  return impl;
+}
+
+bool ChecksumImplSupported(ChecksumImpl impl) {
+#if MOPEYE_CHECKSUM_X86
+  if (impl == ChecksumImpl::kAvx2) {
+    return __builtin_cpu_supports("avx2");
+  }
+  return true;
+#else
+  return impl == ChecksumImpl::kScalar;
+#endif
+}
+
+const char* ChecksumImplName(ChecksumImpl impl) {
+  switch (impl) {
+    case ChecksumImpl::kScalar:
+      return "scalar";
+    case ChecksumImpl::kSse2:
+      return "sse2";
+    case ChecksumImpl::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
+  static const SumFn fn = SumFnFor(ResolveImpl());
+  return FinishPartial(fn(data.data(), data.size()), initial);
+}
+
+uint32_t ChecksumPartialScalar(std::span<const uint8_t> data,
+                               uint32_t initial) {
+  return FinishPartial(ScalarSum(data.data(), data.size()), initial);
+}
+
+uint32_t ChecksumPartialWith(ChecksumImpl impl, std::span<const uint8_t> data,
+                             uint32_t initial) {
+  return FinishPartial(SumFnFor(impl)(data.data(), data.size()), initial);
 }
 
 uint16_t ChecksumFinish(uint32_t partial) {

@@ -18,10 +18,33 @@ class IpAddr;
 // enough to keep chaining overflow-free but is only meaningful modulo
 // 0xffff — always go through ChecksumFinish.
 //
-// Implementation reads 8 bytes at a time with end-around carry (RFC 1071
-// §2(B): the one's-complement sum is byte-order independent up to a final
-// swap), which is ~6x the byte-pair loop on 1460-byte payloads.
+// Runtime-dispatched: on x86-64 the inner sum runs SSE2 (baseline) or AVX2
+// (picked once via cpuid), widening 16-bit words into 32-bit vector lanes;
+// elsewhere the scalar 8-bytes-at-a-time end-around-carry loop is used.
+// All implementations are bit-identical (RFC 1071 §2(B): the
+// one's-complement sum is associative and byte-order independent up to a
+// final swap), which the netpkt_test fuzz suite asserts exhaustively.
 uint32_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// The concrete inner-loop implementations. kScalar is always supported and
+// is the oracle the vector paths are fuzzed against.
+enum class ChecksumImpl { kScalar, kSse2, kAvx2 };
+
+// The implementation ChecksumPartial dispatches to on this machine.
+ChecksumImpl ActiveChecksumImpl();
+
+// True if `impl` can run on this machine.
+bool ChecksumImplSupported(ChecksumImpl impl);
+
+// Stable lowercase name ("scalar", "sse2", "avx2") for logs and benches.
+const char* ChecksumImplName(ChecksumImpl impl);
+
+// Forced-implementation variants for tests and benches. ChecksumPartialWith
+// with an unsupported impl falls back to scalar.
+uint32_t ChecksumPartialScalar(std::span<const uint8_t> data,
+                               uint32_t initial = 0);
+uint32_t ChecksumPartialWith(ChecksumImpl impl, std::span<const uint8_t> data,
+                             uint32_t initial = 0);
 
 // Folds carries and inverts: the final 16-bit Internet checksum.
 uint16_t ChecksumFinish(uint32_t partial);

@@ -106,7 +106,7 @@ class Histogram {
     uint64_t bits;
     std::memcpy(&bits, &x, sizeof(bits));  // NaN/negative/zero index out of range
     uint64_t cell = (bits >> cell_shift_) - cell_base_;
-    if (cell < cells_.size()) {
+    if (cell < num_cells_) {
       const Cell& c = cells_[cell];
       if (x <= c.hi0) {
         if (x >= c.lo0) {
@@ -131,6 +131,10 @@ class Histogram {
   size_t lanes() const { return shards_.size(); }
   size_t bucket_span() const { return static_cast<size_t>(hi_index_ - lo_index_) + 1; }
   double rel_err() const { return rel_err_; }
+  // Identity of the immutable cell table. Same-geometry histograms (equal
+  // rel_err) share one table through a process-wide cache instead of each
+  // rebuilding ~2k cells; telemetry_test asserts the pointer equality.
+  const void* cell_table_id() const { return table_.get(); }
 
  private:
   // Per-lane shard; padded out so concurrent real-thread writers (TSan test)
@@ -157,13 +161,28 @@ class Histogram {
     uint32_t pad = 0;
   };
 
+  // The cell table is immutable after construction and a pure function of
+  // rel_err (the rest of the geometry derives from it plus the global clamp
+  // range), so same-geometry histograms share one table via a process-wide
+  // cache. cells empty = no fast path (rel_err too tight for a useful split).
+  struct Table {
+    uint32_t cell_shift = 63;
+    uint64_t cell_base = 0;
+    std::vector<Cell> cells;
+  };
+
   // Must stay the exact expression moputil::LogQuantile uses so bucket
   // boundaries are bit-identical.
   int IndexOf(double x) const {
     return static_cast<int>(std::floor(std::log(x) * inv_log_gamma_));
   }
   void ObserveSlow(Shard* s, double x);
-  void BuildCells();
+  static std::shared_ptr<const Table> AcquireTable(double rel_err,
+                                                   double log_gamma,
+                                                   int lo_index, int hi_index,
+                                                   double max_clamp);
+  static void BuildTable(Table* table, double log_gamma, int lo_index,
+                         int hi_index, double max_clamp);
   moputil::LogQuantile LaneSketch(size_t lane) const;
 
   double rel_err_;
@@ -172,9 +191,12 @@ class Histogram {
   double max_clamp_;
   int lo_index_;
   int hi_index_;
+  std::shared_ptr<const Table> table_;
+  // Hot-path copies of the table fields: one indirection fewer per Observe.
   uint32_t cell_shift_ = 63;  // no-table default: every sample goes slow path
   uint64_t cell_base_ = 0;
-  std::vector<Cell> cells_;
+  const Cell* cells_ = nullptr;
+  size_t num_cells_ = 0;
   std::vector<Shard> shards_;
 };
 

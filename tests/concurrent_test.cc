@@ -12,6 +12,7 @@
 #include "concurrent/lane_dispatch.h"
 #include "concurrent/packet_queue.h"
 #include "concurrent/spsc_ring.h"
+#include "concurrent/steal_board.h"
 #include "concurrent/wakeup_gate.h"
 
 namespace {
@@ -373,6 +374,55 @@ TEST(LaneDispatcher, FlowOrderPreservedAndSingleLanePerFlow) {
 }
 
 
+
+// ---- StealBoard: one-slot-per-lane elephant-flow publication board ----
+
+TEST(StealBoard, PublishTakeRoundTrip) {
+  mopcc::StealBoard<int> board(4);
+  EXPECT_EQ(board.lanes(), 4u);
+  EXPECT_FALSE(board.pending(2));
+  board.Publish(2, /*flow=*/77, /*depth=*/31);
+  EXPECT_TRUE(board.pending(2));
+  EXPECT_FALSE(board.pending(0));
+
+  mopcc::StealBoard<int>::Publication pub;
+  ASSERT_TRUE(board.Take(2, &pub));
+  EXPECT_EQ(pub.flow, 77);
+  EXPECT_EQ(pub.depth, 31u);
+  EXPECT_TRUE(pub.valid);
+  // Take clears the slot: a second read finds nothing.
+  EXPECT_FALSE(board.pending(2));
+  EXPECT_FALSE(board.Take(2, &pub));
+}
+
+TEST(StealBoard, PendingPublicationIsNotOverwritten) {
+  // A lane must not spam the board faster than the consumer judges offers:
+  // while a publication is pending, later ones from the same lane are
+  // dropped, so the consumer always sees the offer it was first shown.
+  mopcc::StealBoard<int> board(2);
+  board.Publish(1, 10, 8);
+  board.Publish(1, 99, 200);  // ignored: slot still pending
+  mopcc::StealBoard<int>::Publication pub;
+  ASSERT_TRUE(board.Take(1, &pub));
+  EXPECT_EQ(pub.flow, 10);
+  EXPECT_EQ(pub.depth, 8u);
+  // Once judged, the lane may publish again.
+  board.Publish(1, 99, 200);
+  ASSERT_TRUE(board.Take(1, &pub));
+  EXPECT_EQ(pub.flow, 99);
+}
+
+TEST(StealBoard, SlotsArePerLane) {
+  mopcc::StealBoard<int> board(3);
+  board.Publish(0, 5, 40);
+  board.Publish(2, 6, 50);
+  mopcc::StealBoard<int>::Publication pub;
+  EXPECT_FALSE(board.Take(1, &pub));
+  ASSERT_TRUE(board.Take(0, &pub));
+  EXPECT_EQ(pub.flow, 5);
+  ASSERT_TRUE(board.Take(2, &pub));
+  EXPECT_EQ(pub.flow, 6);
+}
 
 // --- Lane-affinity checker ---------------------------------------------------
 // Active in debug builds (MOPEYE_LANE_CHECKS); compiled out to empty no-op

@@ -577,6 +577,141 @@ TEST(EngineLanes, ClientsHighWaterMergesAsMaxNotSum) {
   EXPECT_EQ(syns, w.engine().counters().syns);
 }
 
+// ---- Elephant-flow work stealing (thread model v3) ----
+
+// One adversarially skewed run: every flow's key hashes to lane 0, so the
+// flow-affine shard does zero load spreading on its own and only stealing can
+// move work off the hot lane. Server IPs are searched against the FlowLaneOf
+// oracle — the stack hands out local ports sequentially from 40000, so flow
+// i's key is known before Connect.
+struct SkewRunResult {
+  std::vector<std::string> records;            // canonical projection, sorted
+  std::vector<std::vector<uint8_t>> received;  // per connection, index order
+  std::vector<std::vector<uint8_t>> sent;      // per connection, index order
+  uint64_t steals = 0;          // reader-brokered re-homings
+  uint64_t steal_handoffs = 0;  // victim-side handoff completions
+  uint64_t unknown_flow = 0;
+  uint64_t parse_errors = 0;
+  size_t rehomed_flows = 0;  // flows whose live route left their hash lane
+};
+
+SkewRunResult RunSkewedScenario(bool steal_enabled) {
+  constexpr int kConns = 8;
+  constexpr size_t kLanes = 4;
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = static_cast<int>(kLanes);
+  cfg.tun_read_batch = 8;
+  cfg.steal_enabled = steal_enabled;
+  cfg.steal_queue_threshold = 4;  // test-scale traffic must cross it
+  cfg.lane_tun_write = true;      // gathered egress races re-homing hardest
+  EXPECT_TRUE(w.StartEngine(cfg).ok());
+  auto* app = w.MakeApp(10180, "com.example.skew", "SkewApp");
+  (void)app;
+  const moppkt::IpAddr local_ip = w.device().tun_address();
+
+  SkewRunResult out;
+  out.received.resize(kConns);
+  out.sent.resize(kConns);
+  std::vector<std::shared_ptr<mopapps::AppTcpConnection>> conns;
+  uint32_t ip_cursor = 0;
+  for (int i = 0; i < kConns; ++i) {
+    moppkt::FlowKey flow;
+    flow.proto = moppkt::IpProto::kTcp;
+    flow.local = {local_ip, static_cast<uint16_t>(40000 + i)};
+    moppkt::IpAddr server_ip;
+    do {
+      ++ip_cursor;
+      server_ip = moppkt::IpAddr(93, 70, static_cast<uint8_t>(ip_cursor / 250),
+                                 static_cast<uint8_t>(1 + ip_cursor % 250));
+      flow.remote = {server_ip, 7};
+    } while (moppkt::FlowLaneOf(flow, kLanes) != 0);
+    auto addr = w.AddServer(server_ip, 7, Millis(5),
+                            [] { return std::make_unique<mopnet::EchoBehavior>(); });
+    auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10180);
+    for (int b = 0; b < 24000 + 997 * i; ++b) {
+      out.sent[i].push_back(static_cast<uint8_t>((b * 13 + i) & 0xff));
+    }
+    conn->on_data = [&out, i](std::span<const uint8_t> d) {
+      out.received[i].insert(out.received[i].end(), d.begin(), d.end());
+    };
+    auto payload = out.sent[i];
+    conn->Connect(addr, [conn, payload = std::move(payload)](moputil::Status st) mutable {
+      ASSERT_TRUE(st.ok());
+      conn->Send(std::move(payload));
+    });
+    // The port prediction the IP search relied on must have held.
+    EXPECT_EQ(conn->local().port, 40000 + i);
+    conns.push_back(std::move(conn));
+  }
+  w.RunMs(30000);
+
+  for (const auto& conn : conns) {
+    moppkt::FlowKey flow;
+    flow.proto = moppkt::IpProto::kTcp;
+    flow.local = conn->local();
+    flow.remote = conn->remote();
+    EXPECT_EQ(w.engine().LaneOf(flow), 0u);  // the skew premise
+    if (w.engine().tun_reader()->RouteOf(flow) != 0) {
+      ++out.rehomed_flows;
+    }
+  }
+  for (const auto& r : w.engine().store().records()) {
+    std::string kind = r.kind == mopeye::MeasureKind::kTcpConnect ? "tcp" : "dns";
+    out.records.push_back(kind + "|" + std::to_string(r.uid) + "|" + r.app + "|" +
+                          r.server.ToString() + "|" + r.domain);
+  }
+  std::sort(out.records.begin(), out.records.end());
+  auto counters = w.engine().counters();
+  out.steals = w.engine().tun_reader()->steals();
+  out.steal_handoffs = counters.steal_handoffs;
+  out.unknown_flow = counters.unknown_flow;
+  out.parse_errors = counters.parse_errors;
+  return out;
+}
+
+TEST(EngineSteal, AdversarialSkewStealsFlowsAndKeepsPerFlowFifo) {
+  SkewRunResult r = RunSkewedScenario(/*steal_enabled=*/true);
+
+  // Stealing actually happened: the reader brokered re-homings, victims
+  // completed handoffs, and at least one flow now routes off lane 0.
+  EXPECT_GT(r.steals, 0u);
+  EXPECT_GT(r.steal_handoffs, 0u);
+  EXPECT_GE(r.steal_handoffs, r.steals);
+  EXPECT_GT(r.rehomed_flows, 0u);
+
+  // Per-flow FIFO across every re-homing: each echoed stream comes back
+  // byte-for-byte — any reordering or loss at a handoff would corrupt the
+  // TCP streams and show up here as a mismatch (the app-side TCP has no
+  // retransmit path toward the relay to paper over a relay drop).
+  for (size_t i = 0; i < r.sent.size(); ++i) {
+    EXPECT_EQ(r.received[i], r.sent[i]) << "conn " << i;
+  }
+  // No packet was ever orphaned mid-handoff.
+  EXPECT_EQ(r.unknown_flow, 0u);
+  EXPECT_EQ(r.parse_errors, 0u);
+}
+
+TEST(EngineSteal, StealingPreservesExactMeasurementRecords) {
+  // Identical skewed scenario with and without stealing: measurement output
+  // (the product of the system) must be exactly the same set of records —
+  // stealing is a scheduling optimization, not a semantic change.
+  SkewRunResult stolen = RunSkewedScenario(/*steal_enabled=*/true);
+  SkewRunResult pinned = RunSkewedScenario(/*steal_enabled=*/false);
+
+  EXPECT_GT(stolen.steals, 0u);
+  EXPECT_EQ(pinned.steals, 0u);
+  EXPECT_EQ(pinned.steal_handoffs, 0u);
+  EXPECT_EQ(pinned.rehomed_flows, 0u);
+
+  EXPECT_EQ(stolen.records, pinned.records);
+  ASSERT_EQ(stolen.records.size(), 8u);  // one TCP connect per flow
+  for (size_t i = 0; i < stolen.sent.size(); ++i) {
+    EXPECT_EQ(stolen.received[i], stolen.sent[i]) << "conn " << i << " (steal)";
+    EXPECT_EQ(pinned.received[i], pinned.sent[i]) << "conn " << i << " (pinned)";
+  }
+}
+
 TEST(EngineIntegration, BrowsingSessionEndToEnd) {
   TestWorld w;
   ASSERT_TRUE(w.StartEngine().ok());

@@ -117,6 +117,104 @@ TEST(Checksum, VerifiesToZero) {
   }
 }
 
+// Every available SIMD implementation must be bit-identical to the scalar
+// oracle on every alignment, length, odd tail, and chained-initial case the
+// relay can produce (and then some).
+TEST(ChecksumSimd, ActiveImplIsSupported) {
+  moppkt::ChecksumImpl active = moppkt::ActiveChecksumImpl();
+  EXPECT_TRUE(moppkt::ChecksumImplSupported(active));
+  EXPECT_TRUE(moppkt::ChecksumImplSupported(moppkt::ChecksumImpl::kScalar));
+  EXPECT_STRNE(moppkt::ChecksumImplName(active), "unknown");
+  // The public entry point must match whatever the active impl computes.
+  std::vector<uint8_t> data(1460);
+  moputil::Rng rng(7);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  EXPECT_EQ(moppkt::ChecksumPartial(data),
+            moppkt::ChecksumPartialWith(active, data));
+  EXPECT_EQ(moppkt::ChecksumPartial(data),
+            moppkt::ChecksumPartialScalar(data));
+}
+
+TEST(ChecksumSimd, AllImplsMatchScalarAcrossAlignmentsAndLengths) {
+  constexpr size_t kMax = 9000;
+  constexpr size_t kMaxOffset = 64;
+  std::vector<uint8_t> arena(kMax + kMaxOffset + 1);
+  moputil::Rng rng(20160516);
+  for (auto& b : arena) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  // Adversarial region for the fold/carry paths: a run of 0xff makes the
+  // intermediate sums hug the ≡0 (mod 0xffff) boundary.
+  for (size_t i = 256; i < 512; ++i) {
+    arena[i] = 0xff;
+  }
+
+  const moppkt::ChecksumImpl impls[] = {moppkt::ChecksumImpl::kSse2,
+                                        moppkt::ChecksumImpl::kAvx2};
+  // Dense lengths through the vector-width boundaries, then strides to 9000,
+  // plus the MTU/jumbo sizes the relay actually emits.
+  std::vector<size_t> lengths;
+  for (size_t len = 0; len <= 130; ++len) {
+    lengths.push_back(len);
+  }
+  for (size_t len = 131; len <= kMax; len += 257) {
+    lengths.push_back(len);
+  }
+  for (size_t len : {511u, 512u, 513u, 1459u, 1460u, 1461u, 8999u, 9000u}) {
+    lengths.push_back(len);
+  }
+
+  for (size_t offset = 0; offset <= kMaxOffset; ++offset) {
+    if (offset > 16 && offset != 32 && offset != 63 && offset != 64) {
+      continue;  // dense through 16, then the interesting cache-line cases
+    }
+    for (size_t len : lengths) {
+      std::span<const uint8_t> region(arena.data() + offset, len);
+      uint32_t want = moppkt::ChecksumPartialScalar(region);
+      uint32_t want_chained = moppkt::ChecksumPartialScalar(region, 0x1f2f3);
+      for (moppkt::ChecksumImpl impl : impls) {
+        if (!moppkt::ChecksumImplSupported(impl)) {
+          continue;
+        }
+        ASSERT_EQ(moppkt::ChecksumPartialWith(impl, region), want)
+            << moppkt::ChecksumImplName(impl) << " offset=" << offset
+            << " len=" << len;
+        ASSERT_EQ(moppkt::ChecksumPartialWith(impl, region, 0x1f2f3),
+                  want_chained)
+            << moppkt::ChecksumImplName(impl) << " chained offset=" << offset
+            << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(ChecksumSimd, RandomFuzzWithChainedInitials) {
+  moputil::Rng rng(42);
+  const moppkt::ChecksumImpl impls[] = {moppkt::ChecksumImpl::kSse2,
+                                        moppkt::ChecksumImpl::kAvx2};
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = rng.UniformInt(0, 2048);
+    size_t offset = rng.UniformInt(0, 32);
+    std::vector<uint8_t> arena(offset + len);
+    for (auto& b : arena) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    uint32_t initial = rng.NextU32() & 0x3ffff;
+    std::span<const uint8_t> region(arena.data() + offset, len);
+    uint32_t want = moppkt::ChecksumPartialScalar(region, initial);
+    for (moppkt::ChecksumImpl impl : impls) {
+      if (!moppkt::ChecksumImplSupported(impl)) {
+        continue;
+      }
+      ASSERT_EQ(moppkt::ChecksumPartialWith(impl, region, initial), want)
+          << moppkt::ChecksumImplName(impl) << " trial=" << trial
+          << " len=" << len << " offset=" << offset;
+    }
+  }
+}
+
 TEST(Ipv4, RoundTrip) {
   moppkt::Ipv4Header h;
   h.protocol = 6;

@@ -25,6 +25,7 @@
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -220,6 +221,27 @@ TEST(Histogram, ObserveNeverGrowsStorage) {
   }
   EXPECT_EQ(hist.bucket_span(), span);
   EXPECT_EQ(hist.Count(), 12u);
+}
+
+TEST(Histogram, SameGeometryInstancesShareOneCellTable) {
+  moptel::Histogram a(1);
+  moptel::Histogram b(4);          // lane count does not affect the geometry
+  moptel::Histogram c(2, 0.02);    // explicit default precision
+  moptel::Histogram other(1, 0.05);
+  ASSERT_NE(a.cell_table_id(), nullptr);
+  EXPECT_EQ(a.cell_table_id(), b.cell_table_id());
+  EXPECT_EQ(a.cell_table_id(), c.cell_table_id());
+  EXPECT_NE(a.cell_table_id(), other.cell_table_id());
+
+  // Sharing must not change behavior: both precisions still bucket exactly.
+  moputil::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double x = std::exp(rng.Uniform(-12.0, 25.0));
+    b.Observe(i % 4, x);
+    other.Observe(0, x);
+  }
+  EXPECT_EQ(b.Count(), 1000u);
+  EXPECT_EQ(other.Count(), 1000u);
 }
 
 // ---- Flight recorder ----

@@ -24,7 +24,12 @@ memory (ROADMAP standing rules) and now fails CI:
   raw-counter    Ad-hoc `uint64_t foo_count_;` style tally members are banned
                  in src/ outside src/telemetry/: counters belong on the
                  moptel::Registry (lane-sharded, merged on read, exported)
-                 instead of growing another hand-merged Stats struct.
+                 instead of growing another hand-merged Stats struct. Beyond
+                 the *_count / *_counter / *_total suffixes the rule also
+                 knows the tally idioms that actually grew in this codebase —
+                 uint64_t *_read / *_polls instrumentation members and
+                 *high_water peaks (uint64_t or size_t) — so a counter
+                 migrated onto the registry can't quietly regress later.
 
 Suppress a finding with a trailing or preceding-line comment:
     // moplint-allow: <rule>
@@ -68,11 +73,20 @@ RAW_MUTEX_RE = re.compile(
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
-# A hand-rolled tally member: `uint64_t frames_count_;`, `uint64_t retries_total = 0;`.
+# A hand-rolled tally member: `uint64_t frames_count_;`, `uint64_t retries_total = 0;`,
+# `uint64_t packets_read_;`, `size_t queue_high_water_ = 0;`.
 # Named-by-suffix so honest quantities like `uint64_t bytes_sent_` stay legal;
 # the rule targets the *pattern* of growing new ad-hoc counter structs.
+# Two shapes: uint64_t tallies by suffix (a size_t `shard_count` is a size,
+# not a tally — keeping the legacy suffixes uint64_t-only avoids flagging
+# honest cardinalities), and high-water peaks in either width (those are
+# gauges and grew as size_t everywhere).
 RAW_COUNTER_RE = re.compile(
-    r"\buint64_t\s+(?P<name>[A-Za-z_]\w*?(?:_count|_counter|_total)s?_?)\s*(?:=[^;]*)?;"
+    r"\b(?:"
+    r"(?P<t1>uint64_t)\s+(?P<n1>[A-Za-z_]\w*?(?:_count|_counter|_total|_read|_poll)s?_?)"
+    r"|"
+    r"(?P<t2>uint64_t|size_t)\s+(?P<n2>[A-Za-z_]\w*?high_waters?_?)"
+    r")\s*(?:=[^;]*)?;"
 )
 
 # LHS of a member assignment receiving a lambda: `recv->member = [caps]` or
@@ -239,9 +253,11 @@ def check_raw_counter(relpath, text, raw_lines):
         for m in RAW_COUNTER_RE.finditer(line):
             if "raw-counter" in allowed_rules_for_line(raw_lines, idx):
                 continue
+            ctype = m.group("t1") or m.group("t2")
+            name = m.group("n1") or m.group("n2")
             findings.append(Finding(
                 relpath, idx, "raw-counter",
-                f"raw counter member `uint64_t {m.group('name')}` — register a "
+                f"raw counter member `{ctype} {name}` — register a "
                 "moptel::Counter on the telemetry Registry instead of growing "
                 "another hand-merged tally (waiver: // moplint-allow: "
                 "raw-counter)"))

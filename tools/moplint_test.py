@@ -112,10 +112,11 @@ class RawMutexTest(unittest.TestCase):
 class RawCounterTest(unittest.TestCase):
     def test_bad_fixture_flags_each_suffix(self):
         findings = lint_fixture("bad_raw_counter.cc", "src/collector/bad.cc")
-        self.assertEqual(rules(findings), ["raw-counter"] * 4)
+        self.assertEqual(rules(findings), ["raw-counter"] * 8)
         messages = " ".join(f.message for f in findings)
         for name in ("frames_count_", "retries_total", "drop_counter_",
-                     "batches_totals_"):
+                     "batches_totals_", "packets_read_", "empty_polls_",
+                     "queue_high_water_", "in_use_high_water"):
             self.assertIn(name, messages)
         self.assertNotIn("bytes_sent_", messages)
         self.assertNotIn("small_count_", messages)
