@@ -12,7 +12,9 @@
 // kill/restart (total ingested must equal total generated exactly), if any
 // merged aggregate median/P95 drifts more than 5% from exact, or if the P²
 // merge guard fails to refuse — CI runs this as the fleet smoke test.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +86,14 @@ struct Device {
   const mopcrowd::IspProfile* isp = nullptr;
   const mopcrowd::CountryProfile* country = nullptr;
   int remaining = 0;
+  // Device health registry (piggybacked telemetry): every generated record
+  // bumps the counter and feeds the histogram, so crowd rollups have an
+  // exact in-process ground truth to compare against.
+  std::unique_ptr<moptel::Registry> registry;
+  moptel::Counter* generated_counter = nullptr;
+  moptel::Gauge* battery_gauge = nullptr;
+  moptel::Histogram* rtt_hist = nullptr;
+  uint32_t trace_seq = 0;
 };
 
 }  // namespace
@@ -109,6 +119,7 @@ int main(int argc, char** argv) {
 
   std::vector<moppkt::SocketAddr> addrs;
   std::vector<moppkt::SocketAddr> metrics_addrs;
+  std::vector<moppkt::SocketAddr> forensics_addrs;
   std::vector<std::unique_ptr<mopcollect::CollectorServer>> collectors;
   std::vector<std::unique_ptr<mopfleet::Snapshotter>> snapshotters;
   std::vector<std::string> snap_paths;
@@ -116,11 +127,14 @@ int main(int argc, char** argv) {
     addrs.push_back({moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9000});
     metrics_addrs.push_back(
         {moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9100});
+    forensics_addrs.push_back(
+        {moppkt::IpAddr(10, 99, 0, static_cast<uint8_t>(c + 1)), 9200});
     snap_paths.push_back(snap_dir + std::to_string(c) + ".snap");
     collectors.push_back(std::make_unique<mopcollect::CollectorServer>(copts));
     collectors.back()->EnableIngestLanes(&loop);
     collectors.back()->RegisterWith(&farm, addrs.back());
     collectors.back()->ServeMetrics(&farm, metrics_addrs.back(), &loop);
+    collectors.back()->ServeForensics(&farm, forensics_addrs.back());
     snapshotters.push_back(std::make_unique<mopfleet::Snapshotter>(
         &loop, collectors.back().get(), snap_paths.back(), snapshot_interval));
     snapshotters.back()->Start();
@@ -141,6 +155,7 @@ int main(int argc, char** argv) {
   mopeye::Config engine_cfg;
   engine_cfg.telemetry = true;
   engine_cfg.worker_lanes = 2;
+  engine_cfg.trace_sample_period = 4;  // stamp trace contexts on the relay path
   mopeye::MopEyeEngine engine(&phone, engine_cfg);
   const moppkt::SocketAddr engine_metrics_addr{moppkt::IpAddr(10, 99, 0, 200), 9100};
   auto metrics_service =
@@ -200,10 +215,26 @@ int main(int argc, char** argv) {
     policy.initial_backoff = moputil::Seconds(1);
     policy.max_backoff = moputil::Seconds(4);
     policy.ack_timeout = moputil::Seconds(30);
+    policy.trace_sample_period = 8;  // 1/8 of records ride as sampled traces
+    policy.health_export_interval = moputil::Seconds(20);
     uint32_t device_id = static_cast<uint32_t>(d);
     ++devices_per_shard[router.ShardOf(device_id)];
     dev.uploader = std::make_unique<mopcollect::Uploader>(
         dev.ctx.get(), &dev.store, router.PlanFor(device_id), device_id, policy);
+
+    // Piggybacked health: three metric shapes (counter / gauge / histogram)
+    // with exact in-process ground truth. The gauge is set once to a
+    // deterministic per-device value, so the crowd sum is checkable.
+    dev.registry = std::make_unique<moptel::Registry>(1);
+    dev.generated_counter = dev.registry->AddCounter(
+        "mopeye_device_records_generated_total", "Records this device generated");
+    dev.battery_gauge = dev.registry->AddGauge(
+        "mopeye_device_battery_permille", "Battery level, per-mille",
+        moptel::GaugeMerge::kSum);
+    dev.rtt_hist = dev.registry->AddHistogram("mopeye_device_rtt_ms",
+                                              "RTTs this device measured");
+    dev.battery_gauge->Set(0, 900 - 13 * (static_cast<uint64_t>(d) % 20));
+    dev.uploader->EnableHealthExport(dev.registry.get(), {"mopeye_device_"});
     dev.uploader->Start();
   }
 
@@ -254,6 +285,14 @@ int main(int argc, char** argv) {
         m.rtt = moputil::Millis(rtt_ms);
         exact_tcp[app.label].Add(rtt_ms);
       }
+      // Health + tracing enrichment: registry feeds per record, and every
+      // measurement carries a trace context (the uploader samples 1/8).
+      dev.generated_counter->Inc(0);
+      dev.rtt_hist->Observe(0, moputil::ToMillis(m.rtt));
+      m.trace.device_hash = static_cast<uint32_t>(d + 1);
+      m.trace.lane = 0;
+      m.trace.seq = ++dev.trace_seq;
+      m.trace.born_ns = loop.Now();
       dev.store.Add(std::move(m));
     }
     if (dev.remaining > 0) {
@@ -341,6 +380,7 @@ int main(int argc, char** argv) {
     fresh->EnableIngestLanes(&loop);
     fresh->RegisterWith(&farm, addrs[victim]);
     fresh->ServeMetrics(&farm, metrics_addrs[victim], &loop);
+    fresh->ServeForensics(&farm, forensics_addrs[victim]);
     std::printf("[t=%2.0fs] RESTART collector %zu from snapshot (%llu records restored — "
                 "unsnapshotted folds will be re-delivered)\n",
                 moputil::ToSeconds(loop.Now()), victim,
@@ -387,6 +427,38 @@ int main(int argc, char** argv) {
         std::printf("FAIL: collector %zu scrape shows no aggregate folds\n", c);
         scrape_ok = false;
       }
+      // Crowd health rollups ride the same exposition: the scraped values
+      // must agree exactly with the collector's in-process HealthStore.
+      double crowd_devices = 0, crowd_folds = 0;
+      if (!moptel::ScrapeValue(text, "mopeye_crowd_devices", &crowd_devices) ||
+          !moptel::ScrapeValue(text, "mopeye_crowd_health_folds", &crowd_folds)) {
+        std::printf("FAIL: collector %zu scrape is missing crowd health rollups\n", c);
+        scrape_ok = false;
+        return;
+      }
+      if (static_cast<uint64_t>(crowd_devices) != collectors[c]->health().device_count() ||
+          static_cast<uint64_t>(crowd_folds) != collectors[c]->health().folds()) {
+        std::printf("FAIL: collector %zu crowd scrape (%llu devices, %llu folds) disagrees "
+                    "with HealthStore (%zu, %llu)\n",
+                    c, static_cast<unsigned long long>(crowd_devices),
+                    static_cast<unsigned long long>(crowd_folds),
+                    collectors[c]->health().device_count(),
+                    static_cast<unsigned long long>(collectors[c]->health().folds()));
+        scrape_ok = false;
+      }
+      uint64_t local_generated = 0;
+      if (collectors[c]->health().CounterValue("mopeye_device_records_generated_total",
+                                               &local_generated)) {
+        double scraped_generated = 0;
+        if (!moptel::ScrapeValue(text, "mopeye_crowd_device_records_generated_total",
+                                 &scraped_generated) ||
+            static_cast<uint64_t>(scraped_generated) != local_generated) {
+          std::printf("FAIL: collector %zu crowd counter scrape %.0f != in-process %llu\n",
+                      c, scraped_generated,
+                      static_cast<unsigned long long>(local_generated));
+          scrape_ok = false;
+        }
+      }
       ++scrapes_verified;
     });
   }
@@ -411,7 +483,24 @@ int main(int argc, char** argv) {
     }
     ++scrapes_verified;
   });
+  // Forensics endpoint of the busiest collector (the restarted victim): one
+  // JSON document with the flight-recorder stream and the sampled traces,
+  // including at least one trace that reached its fold hop.
+  bool forensics_ok = false;
+  moptel::Scrape(&scraper, forensics_addrs[victim], [&](moputil::Status st, std::string text) {
+    forensics_ok = st.ok() && text.find("\"flight_recorder\":") != std::string::npos &&
+                   text.find("\"traces\":[") != std::string::npos &&
+                   text.find("\"hop\":\"folded\"") != std::string::npos;
+    if (!forensics_ok) {
+      std::printf("FAIL: forensics scrape of collector %zu missing recorder/traces "
+                  "(%s, %zu bytes)\n",
+                  victim, st.ToString().c_str(), text.size());
+    }
+  });
   loop.RunFor(moputil::Seconds(5));
+  if (!forensics_ok) {
+    scrape_ok = false;
+  }
   if (scrapes_verified != collectors.size() + 1) {
     std::printf("FAIL: only %zu of %zu metrics scrapes completed\n", scrapes_verified,
                 collectors.size() + 1);
@@ -525,6 +614,97 @@ int main(int argc, char** argv) {
   }
   std::printf("\n==== Fig. 9-style per-app RTT from the merged fleet view ====\n\n%s\n",
               table.Render().c_str());
+
+  // ---- Crowd health: fleet rollups == sum of the device registries ----
+  // Counters and histogram buckets ship as deltas deduplicated by (device,
+  // seq) and survive the crash through snapshot v2, so the rollup is exact —
+  // not approximately right, equal.
+  uint64_t expect_generated = 0, expect_battery = 0, expect_rtt_count = 0;
+  double expect_rtt_sum = 0;
+  for (auto& dev : devices) {
+    uint64_t v = 0;
+    dev.registry->CounterValue("mopeye_device_records_generated_total", &v);
+    expect_generated += v;
+    uint64_t g = 0;
+    dev.registry->GaugeValue("mopeye_device_battery_permille", &g);
+    expect_battery += g;
+    const moptel::Histogram* h = dev.registry->FindHistogram("mopeye_device_rtt_ms");
+    expect_rtt_count += h->Count();
+    expect_rtt_sum += h->Sum();
+  }
+  const mopcollect::HealthStore& crowd = view.health();
+  uint64_t crowd_generated = 0, crowd_battery = 0;
+  if (!crowd.CounterValue("mopeye_device_records_generated_total", &crowd_generated) ||
+      crowd_generated != expect_generated) {
+    std::printf("FAIL: crowd counter rollup %llu != device registry sum %llu\n",
+                static_cast<unsigned long long>(crowd_generated),
+                static_cast<unsigned long long>(expect_generated));
+    ok = false;
+  }
+  if (!crowd.GaugeValue("mopeye_device_battery_permille", &crowd_battery) ||
+      crowd_battery != expect_battery) {
+    std::printf("FAIL: crowd gauge rollup %llu != device registry sum %llu\n",
+                static_cast<unsigned long long>(crowd_battery),
+                static_cast<unsigned long long>(expect_battery));
+    ok = false;
+  }
+  const mopcollect::HealthStore::Metric* crowd_rtt = crowd.Find("mopeye_device_rtt_ms");
+  if (crowd_rtt == nullptr || crowd_rtt->HistCount() != expect_rtt_count) {
+    std::printf("FAIL: crowd histogram count %llu != device registry sum %llu\n",
+                static_cast<unsigned long long>(crowd_rtt != nullptr ? crowd_rtt->HistCount()
+                                                                     : 0),
+                static_cast<unsigned long long>(expect_rtt_count));
+    ok = false;
+  } else if (std::fabs(crowd_rtt->sum - expect_rtt_sum) >
+             1e-9 * std::max(1.0, std::fabs(expect_rtt_sum))) {
+    std::printf("FAIL: crowd histogram sum %.6f != device registry sum %.6f\n",
+                crowd_rtt->sum, expect_rtt_sum);
+    ok = false;
+  }
+  if (crowd.device_count() != devices.size()) {
+    std::printf("FAIL: crowd rollup saw %zu devices, fleet has %zu\n", crowd.device_count(),
+                devices.size());
+    ok = false;
+  }
+  double crowd_rtt_p95 = 0;
+  crowd.HistQuantile("mopeye_device_rtt_ms", 95, &crowd_rtt_p95);
+  std::printf("\ncrowd health: %zu devices, %llu records counted, battery sum %llu, "
+              "rtt p95 %.1f ms over %llu observations — exact vs device registries\n",
+              crowd.device_count(), static_cast<unsigned long long>(crowd_generated),
+              static_cast<unsigned long long>(crowd_battery), crowd_rtt_p95,
+              static_cast<unsigned long long>(expect_rtt_count));
+
+  // ---- Sampled traces: >= 3 hops, device -> received -> folded, monotonic ----
+  size_t traces_total = 0, traces_complete = 0;
+  for (auto& c : collectors) {
+    for (const auto& tr : c->traces().Traces()) {
+      ++traces_total;
+      bool has_created = false, has_received = false, has_folded = false, monotonic = true;
+      int64_t prev = INT64_MIN;
+      for (const auto& s : tr.spans) {
+        if (s.time_ns < prev) {
+          monotonic = false;
+        }
+        prev = s.time_ns;
+        has_created = has_created || s.hop == moptel::TraceHop::kCreated;
+        has_received = has_received || s.hop == moptel::TraceHop::kReceived;
+        has_folded = has_folded || s.hop == moptel::TraceHop::kFolded;
+      }
+      if (tr.spans.size() >= 3 && monotonic && has_created && has_received && has_folded) {
+        ++traces_complete;
+      }
+    }
+  }
+  if (traces_complete == 0) {
+    std::printf("FAIL: no sampled trace reached created->received->folded with monotonic "
+                "timestamps (%zu traces retained)\n",
+                traces_total);
+    ok = false;
+  } else {
+    std::printf("record traces: %zu retained across collectors, %zu span "
+                "device->collector->fold with monotonic timestamps\n",
+                traces_total, traces_complete);
+  }
 
   // The documented constraint: merged quantiles are log-bucket only.
   if (!app_stats.empty()) {

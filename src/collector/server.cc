@@ -39,7 +39,34 @@ class CollectorServer::Behavior : public mopnet::ServerBehavior {
     reader_.Feed(data);
     while (auto payload = reader_.Next()) {
       ++server_->counters_.frames;
-      auto accepted = server_->IngestPayload(*payload);
+      // Forward-compat dispatch: a valid header whose type this collector
+      // does not fold is skipped (not nacked, not a stream error), so a
+      // newer device talking to an older collector loses enrichment only.
+      // Anything with a bad magic/version falls through to the batch path
+      // for its byte-identical error handling.
+      if (auto raw_type = PeekRawFrameType(*payload); raw_type.ok()) {
+        if (raw_type.value() == static_cast<uint8_t>(FrameType::kTelemetry)) {
+          if (!server_->opts_.telemetry_ingest) {
+            ++server_->counters_.frames_skipped;
+            continue;
+          }
+          moputil::Status st = server_->IngestTelemetry(*payload, &pending_trace_ids_);
+          if (!st.ok()) {
+            // Malformed telemetry poisons the stream like a malformed
+            // batch: close (no ack — telemetry has none to give).
+            ++server_->counters_.telemetry_rejected;
+            conn.Close();
+            return;
+          }
+          continue;  // no ack: the following batch's ack covers it
+        }
+        if (raw_type.value() > static_cast<uint8_t>(FrameType::kTelemetry)) {
+          ++server_->counters_.frames_skipped;
+          continue;
+        }
+      }
+      auto accepted = server_->IngestPayload(*payload, std::move(pending_trace_ids_));
+      pending_trace_ids_.clear();
       WireAck ack;
       if (accepted.ok()) {
         ack.records_accepted = accepted.value();
@@ -77,6 +104,10 @@ class CollectorServer::Behavior : public mopnet::ServerBehavior {
  private:
   CollectorServer* server_;
   FrameReader reader_;
+  // Trace ids from the last telemetry frame on this connection, waiting for
+  // the batch they describe (the uploader writes telemetry + batch in one
+  // send, so they arrive back-to-back and in order).
+  std::vector<uint64_t> pending_trace_ids_;
 };
 
 namespace {
@@ -86,7 +117,8 @@ namespace {
 constexpr moputil::SimDuration kFoldCost = 100;
 }  // namespace
 
-CollectorServer::CollectorServer(CollectorOptions opts) : opts_(opts), store_(opts.shards) {}
+CollectorServer::CollectorServer(CollectorOptions opts)
+    : opts_(opts), store_(opts.shards), health_(opts.shards) {}
 
 CollectorServer::~CollectorServer() = default;
 
@@ -130,6 +162,18 @@ void CollectorServer::ServeMetrics(mopnet::ServerFarm* farm, const moppkt::Socke
     reg.AddExternalCounter("mopeye_collector_stream_errors_total",
                            "Framing violations that reset a connection",
                            [this] { return counters_.stream_errors; });
+    reg.AddExternalCounter("mopeye_collector_telemetry_frames_total",
+                           "Device telemetry frames decoded and folded",
+                           [this] { return counters_.telemetry_frames; });
+    reg.AddExternalCounter("mopeye_collector_telemetry_duplicate_total",
+                           "Telemetry re-deliveries acked without re-folding",
+                           [this] { return counters_.telemetry_duplicate; });
+    reg.AddExternalCounter("mopeye_collector_telemetry_rejected_total",
+                           "Malformed telemetry frames (connection closed)",
+                           [this] { return counters_.telemetry_rejected; });
+    reg.AddExternalCounter("mopeye_collector_frames_skipped_total",
+                           "Frames of unknown or disabled types skipped",
+                           [this] { return counters_.frames_skipped; });
     folds_applied_ = reg.AddCounter("mopeye_collector_folds_applied_total",
                                     "Aggregate folds applied, per ingest lane");
     batch_records_ = reg.AddHistogram("mopeye_collector_batch_records",
@@ -143,10 +187,34 @@ void CollectorServer::ServeMetrics(mopnet::ServerFarm* farm, const moppkt::Socke
     reg.AddExternalGauge("mopeye_collector_tracked_devices",
                          "Devices with live duplicate-delivery windows",
                          [this] { return static_cast<uint64_t>(seen_batches_.size()); });
+    reg.AddExternalGauge("mopeye_collector_traces_retained",
+                         "Sampled record traces resident in the trace store",
+                         [this] { return static_cast<uint64_t>(traces_.size()); });
   }
   metrics_farm_ = farm;
   metrics_addr_ = addr;
-  moptel::ServeRegistry(farm, addr, registry_.get());
+  // One scrape returns the collector's own registry followed by the crowd
+  // health rollups, so a single endpoint answers both "how is this
+  // collector" and "how is the fleet's device population".
+  moptel::ServeText(farm, addr, [this] {
+    return registry_->RenderText() + health_.RenderText();
+  });
+}
+
+void CollectorServer::ServeForensics(mopnet::ServerFarm* farm,
+                                     const moppkt::SocketAddr& addr) {
+  forensics_farm_ = farm;
+  forensics_addr_ = addr;
+  moptel::ServeText(farm, addr, [this] { return RenderForensicsJson(); });
+}
+
+std::string CollectorServer::RenderForensicsJson() const {
+  std::string out = "{\"flight_recorder\":";
+  out += recorder_ != nullptr ? recorder_->RenderJson() : "[]";
+  out += ",\"traces\":";
+  out += traces_.RenderJson();
+  out += "}\n";
+  return out;
 }
 
 void CollectorServer::Shutdown() {
@@ -159,6 +227,10 @@ void CollectorServer::Shutdown() {
     // A crashed collector stops answering scrapes too.
     metrics_farm_->RemoveTcpServer(metrics_addr_);
     metrics_farm_ = nullptr;
+  }
+  if (forensics_farm_ != nullptr) {
+    forensics_farm_->RemoveTcpServer(forensics_addr_);
+    forensics_farm_ = nullptr;
   }
   // A crash takes the withheld acks with it — that is the durable-ack
   // guarantee working, not a leak: the unacked batches get re-sent.
@@ -225,6 +297,14 @@ CollectorState CollectorServer::ExportState() const {
   // snapshot bytes depend on stdlib internals.
   std::sort(s.seen_batches.begin(), s.seen_batches.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.seen_telemetry.reserve(seen_telemetry_.size());
+  for (const auto& [device, seen] : seen_telemetry_) {
+    s.seen_telemetry.emplace_back(
+        device, std::vector<uint32_t>(seen.order.begin(), seen.order.end()));
+  }
+  std::sort(s.seen_telemetry.begin(), s.seen_telemetry.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.health = health_;
   s.connections = counters_.connections;
   s.frames = counters_.frames;
   s.batches_ok = counters_.batches_ok;
@@ -232,6 +312,10 @@ CollectorState CollectorServer::ExportState() const {
   s.batches_duplicate = counters_.batches_duplicate;
   s.records_ingested = counters_.records_ingested;
   s.stream_errors = counters_.stream_errors;
+  s.telemetry_frames = counters_.telemetry_frames;
+  s.telemetry_duplicate = counters_.telemetry_duplicate;
+  s.telemetry_rejected = counters_.telemetry_rejected;
+  s.frames_skipped = counters_.frames_skipped;
   return s;
 }
 
@@ -253,6 +337,16 @@ void CollectorServer::ImportState(CollectorState state) {
       }
     }
   }
+  seen_telemetry_.clear();
+  for (auto& [device, seqs] : state.seen_telemetry) {
+    SeenBatches& seen = seen_telemetry_[device];
+    for (uint32_t seq : seqs) {
+      if (seen.set.insert(seq).second) {
+        seen.order.push_back(seq);
+      }
+    }
+  }
+  health_ = std::move(state.health);
   counters_ = Counters();
   counters_.connections = state.connections;
   counters_.frames = state.frames;
@@ -261,6 +355,10 @@ void CollectorServer::ImportState(CollectorState state) {
   counters_.batches_duplicate = state.batches_duplicate;
   counters_.records_ingested = state.records_ingested;
   counters_.stream_errors = state.stream_errors;
+  counters_.telemetry_frames = state.telemetry_frames;
+  counters_.telemetry_duplicate = state.telemetry_duplicate;
+  counters_.telemetry_rejected = state.telemetry_rejected;
+  counters_.frames_skipped = state.frames_skipped;
 }
 
 void CollectorServer::NotifyDurable() {
@@ -269,6 +367,15 @@ void CollectorServer::NotifyDurable() {
   if (recorder_ != nullptr && !acks.empty()) {
     recorder_->Record(0, TelemetryNow(), moptel::TraceKind::kAck, "durable-ack-flush",
                       acks.size());
+  }
+  // Folded traces covered by this snapshot reach their terminal hop. Append
+  // only — a trace evicted since its fold gets no zombie re-created for it.
+  if (!durable_trace_pending_.empty()) {
+    int64_t now = TelemetryNow();
+    for (uint64_t id : durable_trace_pending_) {
+      traces_.AppendSpan(id, moptel::TraceHop::kDurable, now);
+    }
+    durable_trace_pending_.clear();
   }
   for (auto& pending : acks) {
     pending.conn->Send(std::move(pending.frame));
@@ -375,7 +482,8 @@ void CollectorServer::IngestBatch(const WireBatch& batch) {
   }
 }
 
-moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t> payload) {
+moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t> payload,
+                                                         std::vector<uint64_t> trace_ids) {
   auto batch = DecodeBatchPayload(payload);
   if (!batch.ok()) {
     ++counters_.batches_rejected;
@@ -384,7 +492,8 @@ moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t
   uint32_t records = static_cast<uint32_t>(batch.value().records.size());
   if (CheckAndRecordDelivery(batch.value().device_id, batch.value().batch_seq)) {
     // Re-delivery of a batch whose ack went missing: confirm receipt but do
-    // not fold the records a second time.
+    // not fold the records a second time. Any trace ids that rode with it
+    // already got their fold spans on first delivery.
     ++counters_.batches_duplicate;
     return records;
   }
@@ -393,14 +502,88 @@ moputil::Result<uint32_t> CollectorServer::IngestPayload(std::span<const uint8_t
   if (batch_records_ != nullptr) {
     batch_records_->Observe(0, static_cast<double>(records));
   }
+  if (!trace_ids.empty()) {
+    ScheduleFoldedTraces(std::move(trace_ids));
+  }
   return records;
 }
 
-bool CollectorServer::CheckAndRecordDelivery(uint32_t device, uint32_t seq) {
-  if (seen_batches_.size() >= kMaxTrackedDevices && !seen_batches_.contains(device)) {
-    seen_batches_.erase(seen_batches_.begin());
+moputil::Status CollectorServer::IngestTelemetry(std::span<const uint8_t> payload,
+                                                 std::vector<uint64_t>* trace_ids_out) {
+  auto decoded = DecodeTelemetryPayload(payload);
+  if (!decoded.ok()) {
+    if (decoded.status().code() == moputil::StatusCode::kUnimplemented) {
+      // Newer telemetry format than this collector speaks: lose the
+      // enrichment, keep the stream (and the batch behind it).
+      ++counters_.frames_skipped;
+      return moputil::Status();
+    }
+    return decoded.status();
   }
-  SeenBatches& seen = seen_batches_[device];
+  const WireTelemetry& t = decoded.value();
+  ++counters_.telemetry_frames;
+  if (CheckAndRecord(&seen_telemetry_, t.device_id, t.seq)) {
+    ++counters_.telemetry_duplicate;
+    return moputil::Status();
+  }
+  health_.Fold(t);
+  int64_t now = TelemetryNow();
+  for (const WireTraceEntry& te : t.traces) {
+    // Device-side spans first (arrival order = lifecycle order), then the
+    // collector's own receive stamp.
+    for (const WireTraceHop& h : te.hops) {
+      traces_.AddSpan(te.trace_id, te.device_hash, te.lane,
+                      static_cast<moptel::TraceHop>(h.hop), h.time_ns);
+    }
+    traces_.AddSpan(te.trace_id, te.device_hash, te.lane,
+                    moptel::TraceHop::kReceived, now);
+    if (trace_ids_out != nullptr) {
+      trace_ids_out->push_back(te.trace_id);
+    }
+  }
+  return moputil::Status();
+}
+
+void CollectorServer::ScheduleFoldedTraces(std::vector<uint64_t> ids) {
+  if (lanes_.empty()) {
+    RecordFoldedTraces(ids);
+    return;
+  }
+  // The batch's folds were just submitted, one FIFO task per lane; a
+  // zero-cost marker behind them on every lane sees the last fold land. The
+  // group lives on the shared_ptr until the final lane decrements it.
+  struct FoldGroup {
+    std::vector<uint64_t> ids;
+    size_t remaining = 0;
+  };
+  auto group = std::make_shared<FoldGroup>();
+  group->ids = std::move(ids);
+  group->remaining = lanes_.size();
+  for (auto& lane : lanes_) {
+    lane->Submit(0, 0, [this, group] {
+      if (--group->remaining == 0) {
+        RecordFoldedTraces(group->ids);
+      }
+    });
+  }
+}
+
+void CollectorServer::RecordFoldedTraces(const std::vector<uint64_t>& ids) {
+  int64_t now = TelemetryNow();
+  for (uint64_t id : ids) {
+    traces_.AppendSpan(id, moptel::TraceHop::kFolded, now);
+  }
+  if (opts_.durable_acks) {
+    durable_trace_pending_.insert(durable_trace_pending_.end(), ids.begin(), ids.end());
+  }
+}
+
+bool CollectorServer::CheckAndRecord(std::unordered_map<uint32_t, SeenBatches>* map,
+                                     uint32_t device, uint32_t seq) {
+  if (map->size() >= kMaxTrackedDevices && !map->contains(device)) {
+    map->erase(map->begin());
+  }
+  SeenBatches& seen = (*map)[device];
   if (!seen.set.insert(seq).second) {
     return true;
   }
@@ -410,6 +593,10 @@ bool CollectorServer::CheckAndRecordDelivery(uint32_t device, uint32_t seq) {
     seen.order.pop_front();
   }
   return false;
+}
+
+bool CollectorServer::CheckAndRecordDelivery(uint32_t device, uint32_t seq) {
+  return CheckAndRecord(&seen_batches_, device, seq);
 }
 
 }  // namespace mopcollect

@@ -27,10 +27,12 @@
 #include <vector>
 
 #include "collector/aggregate_store.h"
+#include "collector/health_store.h"
 #include "collector/wire.h"
 #include "crowd/dataset.h"
 #include "net/server.h"
 #include "sim/actor.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace moptel {
@@ -61,6 +63,11 @@ struct CollectorOptions {
   // so lanes never touch each other's shard maps and no reshaping happens.
   // <= 1 folds inline on the connection handler (the PR-2 behavior).
   size_t ingest_lanes = 1;
+  // Accept piggybacked telemetry frames (device health deltas + sampled
+  // record traces). Off emulates a collector that predates the telemetry
+  // frame type: such frames are counted as skipped and the batch path is
+  // byte-identical — the compat tests pin this down.
+  bool telemetry_ingest = true;
 };
 
 // The collector state a snapshot captures: the aggregate store, the global
@@ -75,6 +82,13 @@ struct CollectorState {
   // so the restore rebuilds identical eviction windows). Sorted by device id
   // for canonical snapshot bytes.
   std::vector<std::pair<uint32_t, std::vector<uint32_t>>> seen_batches;
+  // Telemetry dedup windows, same shape as seen_batches (separate sequence
+  // space: telemetry frames carry the seq of the batch they precede, but a
+  // health fold must dedup independently of the batch fold).
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> seen_telemetry;
+  // Crowd health rollups (exact; see health_store.h). Restored whole so a
+  // collector restart keeps its crowd-health history.
+  HealthStore health;
   uint64_t connections = 0;
   uint64_t frames = 0;
   uint64_t batches_ok = 0;
@@ -82,6 +96,10 @@ struct CollectorState {
   uint64_t batches_duplicate = 0;
   uint64_t records_ingested = 0;
   uint64_t stream_errors = 0;
+  uint64_t telemetry_frames = 0;
+  uint64_t telemetry_duplicate = 0;
+  uint64_t telemetry_rejected = 0;
+  uint64_t frames_skipped = 0;
 };
 
 class CollectorServer {
@@ -94,6 +112,10 @@ class CollectorServer {
     uint64_t batches_duplicate = 0;  // re-deliveries acked without ingesting
     uint64_t records_ingested = 0;
     uint64_t stream_errors = 0;  // framing violations (oversized prefix, ...)
+    uint64_t telemetry_frames = 0;     // telemetry frames decoded and folded
+    uint64_t telemetry_duplicate = 0;  // telemetry re-deliveries not re-folded
+    uint64_t telemetry_rejected = 0;   // malformed telemetry frames (conn closed)
+    uint64_t frames_skipped = 0;       // unknown/disabled frame types skipped
   };
 
   // Bounds of the duplicate-delivery state (see seen_batches_ below).
@@ -129,6 +151,13 @@ class CollectorServer {
   moptel::Registry* telemetry_registry() const { return registry_.get(); }
   moptel::FlightRecorder* flight_recorder() const { return recorder_.get(); }
 
+  // Live forensics endpoint: serves a JSON document with the flight
+  // recorder's lane-merged event stream and the retained record traces.
+  // Same connect-read-close protocol as the metrics endpoint; Shutdown()
+  // removes the registration.
+  void ServeForensics(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr);
+  std::string RenderForensicsJson() const;
+
   // Spreads aggregate folding across opts.ingest_lanes simulated worker
   // threads (ActorLanes on `loop`), lane i owning shard set {s : s % lanes
   // == i}. Decode, dedup, counters, and retained records stay on the
@@ -161,10 +190,25 @@ class CollectorServer {
   // A (device_id, batch_seq) pair seen before is acked as accepted but not
   // folded again — the uploader re-sends the identical frame when an ack is
   // lost, and at-least-once delivery must not double-count records.
-  moputil::Result<uint32_t> IngestPayload(std::span<const uint8_t> payload);
+  // `trace_ids` (from the telemetry frame that preceded this batch on the
+  // connection) get their kFolded span recorded once every aggregate fold
+  // of the batch has been applied.
+  moputil::Result<uint32_t> IngestPayload(std::span<const uint8_t> payload,
+                                          std::vector<uint64_t> trace_ids = {});
+  // Decode + fold one telemetry frame payload: health deltas into the
+  // HealthStore, sampled trace entries into the TraceStore (device-side
+  // spans plus a kReceived span stamped now). Appends the frame's trace ids
+  // to `trace_ids_out` (may be null) so the connection can hand them to the
+  // following batch. Duplicate (device, seq) frames are not re-folded; a
+  // newer-format frame is skipped cleanly. Returns an error only for
+  // malformed payloads.
+  moputil::Status IngestTelemetry(std::span<const uint8_t> payload,
+                                  std::vector<uint64_t>* trace_ids_out);
 
   const Counters& counters() const { return counters_; }
   const AggregateStore& store() const { return store_; }
+  const HealthStore& health() const { return health_; }
+  const moptel::TraceStore& traces() const { return traces_; }
   const Interner& apps() const { return apps_; }
   const Interner& isps() const { return isps_; }
   const Interner& countries() const { return countries_; }
@@ -226,10 +270,29 @@ class CollectorServer {
     std::deque<uint32_t> order;  // insertion order for window eviction
   };
 
-  // True if (device, seq) was already recorded; records it otherwise.
+  // True if (device, seq) was already recorded in `map`; records it
+  // otherwise. Shared by the batch and telemetry dedup windows (same bounds,
+  // separate sequence spaces).
+  static bool CheckAndRecord(std::unordered_map<uint32_t, SeenBatches>* map,
+                             uint32_t device, uint32_t seq);
   bool CheckAndRecordDelivery(uint32_t device, uint32_t seq);
+  // Records the kFolded span for `ids` once every lane fold of the owning
+  // batch has applied (immediately in inline mode), then queues them for the
+  // kDurable span under durable_acks.
+  void ScheduleFoldedTraces(std::vector<uint64_t> ids);
+  void RecordFoldedTraces(const std::vector<uint64_t>& ids);
 
   std::unordered_map<uint32_t, SeenBatches> seen_batches_;
+  std::unordered_map<uint32_t, SeenBatches> seen_telemetry_;
+
+  // Crowd health + forensics plane.
+  HealthStore health_;
+  moptel::TraceStore traces_;
+  // Trace ids whose folds are covered by the next durable snapshot: their
+  // kDurable span is stamped when NotifyDurable() flushes the acks.
+  std::vector<uint64_t> durable_trace_pending_;
+  mopnet::ServerFarm* forensics_farm_ = nullptr;
+  moppkt::SocketAddr forensics_addr_;
 
   // Telemetry plane (ServeMetrics); null when not enabled. The fold counter
   // and batch histogram are owned by registry_; raw pointers are stable.

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "core/engine.h"  // kMopEyeUid: uploads run under MopEye's own uid
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mopcollect {
 
@@ -28,6 +32,21 @@ void Uploader::RegisterMetrics(moptel::Registry* registry) {
   registry->AddExternalGauge("mopeye_uploader_pending_records",
                              "Records drained from the store but not yet acked",
                              [this] { return static_cast<uint64_t>(pending_records()); });
+  registry->AddExternalCounter("mopeye_uploader_telemetry_frames_total",
+                               "Piggybacked telemetry frames staged for upload",
+                               [this] { return counters_.telemetry_frames; });
+  registry->AddExternalCounter("mopeye_uploader_health_entries_total",
+                               "Health metric deltas shipped in telemetry frames",
+                               [this] { return counters_.health_entries; });
+  registry->AddExternalCounter("mopeye_uploader_traces_exported_total",
+                               "Sampled record traces shipped in telemetry frames",
+                               [this] { return counters_.traces_exported; });
+}
+
+void Uploader::EnableHealthExport(const moptel::Registry* registry,
+                                  std::vector<std::string> allow_prefixes) {
+  health_registry_ = registry;
+  health_prefixes_ = std::move(allow_prefixes);
 }
 
 Uploader::Uploader(mopnet::NetContext* net, mopeye::MeasurementStore* store,
@@ -73,7 +92,8 @@ void Uploader::Stop() {
 void Uploader::FlushNow() {
   DrainStore();
   next_attempt_ = net_->loop()->Now();
-  if (!channel_ && (!inflight_.empty() || !pending_.empty())) {
+  if (!channel_ &&
+      (!inflight_frame_.empty() || !pending_.empty() || HasHealthDelta())) {
     StartUpload();  // successive batches chain off the acks
   }
 }
@@ -91,7 +111,7 @@ void Uploader::SchedulePoll() {
 void Uploader::Poll() {
   DrainStore();
   if (!channel_ && net_->loop()->Now() >= next_attempt_ &&
-      (!inflight_.empty() || ShouldFlush())) {
+      (!inflight_frame_.empty() || ShouldFlush())) {
     StartUpload();
   }
   SchedulePoll();
@@ -108,36 +128,56 @@ void Uploader::DrainStore() {
 }
 
 bool Uploader::ShouldFlush() const {
-  if (pending_.empty()) {
-    return false;
+  if (!pending_.empty()) {
+    if (pending_.size() >= policy_.min_batch_records) {
+      return true;
+    }
+    if (net_->loop()->Now() - pending_.front().time >= policy_.max_batch_age) {
+      return true;
+    }
   }
-  if (pending_.size() >= policy_.min_batch_records) {
-    return true;
-  }
-  return net_->loop()->Now() - pending_.front().time >= policy_.max_batch_age;
+  // Quiet device, noisy health: deltas that waited a full export interval
+  // with no record batch to ride go out on a zero-record batch.
+  return health_registry_ != nullptr &&
+         net_->loop()->Now() - last_health_flush_ >= policy_.health_export_interval &&
+         HasHealthDelta();
 }
 
 void Uploader::StartUpload() {
-  if (inflight_.empty()) {
+  if (inflight_frame_.empty()) {
     size_t n = std::min(pending_.size(), policy_.max_records_per_batch);
-    if (n == 0) {
-      return;
-    }
+    std::vector<uint8_t> batch_frame;
     // Encode, halving the batch until the frame fits the protocol cap (a
     // policy max near the record cap with long strings can overshoot it;
-    // one record always fits: 20 bytes + four u16-length strings).
+    // one record always fits: 20 bytes + four u16-length strings). A
+    // zero-record batch is legal — it carries a pure health flush.
     for (;;) {
       BatchBuilder builder(device_id_, next_seq_);
       for (size_t i = 0; i < n; ++i) {
         builder.Add(pending_[i]);
       }
-      std::vector<uint8_t> frame = EncodeBatchFrame(builder.TakeBatch());
-      if (frame.size() - 4 <= kMaxFramePayload || n == 1) {
-        inflight_frame_ = std::move(frame);
+      batch_frame = EncodeBatchFrame(builder.TakeBatch());
+      if (batch_frame.size() - 4 <= kMaxFramePayload || n <= 1) {
         break;
       }
       n /= 2;
     }
+    WireTelemetry telemetry = BuildTelemetry(n);
+    if (n == 0 && telemetry.empty()) {
+      return;  // nothing to say
+    }
+    if (!telemetry.empty()) {
+      // The telemetry frame rides *ahead of* its batch in the same write:
+      // TCP ordering means the batch ack also covers the telemetry fold, so
+      // no separate telemetry ack exists and the staged health snapshot is
+      // promoted to baseline on that one ack.
+      inflight_frame_ = EncodeTelemetryFrame(telemetry);
+      ++counters_.telemetry_frames;
+      counters_.health_entries += telemetry.health.size();
+      counters_.traces_exported += telemetry.traces.size();
+      last_health_flush_ = net_->loop()->Now();
+    }
+    inflight_frame_.insert(inflight_frame_.end(), batch_frame.begin(), batch_frame.end());
     ++next_seq_;
     inflight_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -217,6 +257,14 @@ void Uploader::OnAckReadable() {
     // bytes cannot succeed, so the records are dropped, not re-queued.
     ++counters_.batches_rejected;
   }
+  // Any ack means the whole upload was processed: the telemetry frame
+  // preceded the batch on the same stream, so its health deltas are folded
+  // (batch verdict aside) and the staged snapshot becomes the baseline.
+  if (health_staged_valid_) {
+    health_base_ = std::move(health_staged_);
+    health_staged_.clear();
+    health_staged_valid_ = false;
+  }
   inflight_.clear();
   inflight_frame_.clear();
   inflight_possibly_delivered_ = false;
@@ -257,6 +305,132 @@ void Uploader::OnUploadFailure() {
       Poll();
     });
   }
+}
+
+std::vector<WireHealthEntry> Uploader::HealthDeltas(
+    const std::vector<moptel::MetricSample>& cur) const {
+  std::unordered_map<std::string_view, const moptel::MetricSample*> base;
+  base.reserve(health_base_.size());
+  for (const moptel::MetricSample& b : health_base_) {
+    base.emplace(b.name, &b);
+  }
+  std::vector<WireHealthEntry> out;
+  for (const moptel::MetricSample& c : cur) {
+    if (out.size() >= kMaxHealthEntries) {
+      break;  // allowlist far wider than the frame cap; ship what fits
+    }
+    auto it = base.find(c.name);
+    const moptel::MetricSample* b = it == base.end() ? nullptr : it->second;
+    WireHealthEntry e;
+    e.name = c.name;
+    e.kind = static_cast<uint8_t>(c.kind);
+    e.merge = c.merge == moptel::GaugeMerge::kMax ? 1 : 0;
+    switch (c.kind) {
+      case moptel::MetricSample::Kind::kCounter: {
+        uint64_t bv = b == nullptr ? 0 : b->value;
+        if (c.value == bv) {
+          continue;
+        }
+        e.value = c.value - bv;
+        break;
+      }
+      case moptel::MetricSample::Kind::kGauge:
+        if (b != nullptr && b->value == c.value) {
+          continue;  // collector already has this reading
+        }
+        e.value = c.value;
+        break;
+      case moptel::MetricSample::Kind::kHistogram: {
+        e.rel_err = c.rel_err;
+        e.zero_or_less = c.zero_or_less - (b == nullptr ? 0 : b->zero_or_less);
+        e.sum = c.sum - (b == nullptr ? 0 : b->sum);
+        std::map<int32_t, uint64_t> prev;
+        if (b != nullptr) {
+          for (const auto& [idx, count] : b->buckets) {
+            prev[idx] = count;
+          }
+        }
+        for (const auto& [idx, count] : c.buckets) {
+          auto p = prev.find(idx);
+          uint64_t before = p == prev.end() ? 0 : p->second;
+          if (count > before) {
+            e.buckets.emplace_back(idx, count - before);
+          }
+        }
+        if (e.buckets.empty() && e.zero_or_less == 0) {
+          continue;  // no new observations (sum cannot move without a count)
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool Uploader::HasHealthDelta() const {
+  if (health_registry_ == nullptr || health_staged_valid_) {
+    return false;  // staged deltas are already riding the in-flight frame
+  }
+  auto cur = health_registry_->Sample([this](std::string_view name) {
+    if (health_prefixes_.empty()) {
+      return true;
+    }
+    for (const std::string& p : health_prefixes_) {
+      if (name.substr(0, p.size()) == p) {
+        return true;
+      }
+    }
+    return false;
+  });
+  return !HealthDeltas(cur).empty();
+}
+
+WireTelemetry Uploader::BuildTelemetry(size_t batch_records) {
+  WireTelemetry t;
+  t.device_id = device_id_;
+  t.seq = next_seq_;
+  if (policy_.trace_sample_period > 0) {
+    int64_t now = net_->loop()->Now();
+    for (size_t i = 0; i < batch_records && t.traces.size() < kMaxTraceEntries; ++i) {
+      const moptel::TraceContext& ctx = pending_[i].trace;
+      if (!ctx.valid()) {
+        continue;
+      }
+      uint64_t id = ctx.id();
+      if (!moptel::TraceSampled(id, policy_.trace_sample_period)) {
+        continue;
+      }
+      WireTraceEntry e;
+      e.trace_id = id;
+      e.device_hash = ctx.device_hash;
+      e.lane = ctx.lane;
+      e.hops.push_back({static_cast<uint8_t>(moptel::TraceHop::kCreated), ctx.born_ns});
+      e.hops.push_back({static_cast<uint8_t>(moptel::TraceHop::kBatched), now});
+      t.traces.push_back(std::move(e));
+    }
+  }
+  if (health_registry_ != nullptr) {
+    auto cur = health_registry_->Sample([this](std::string_view name) {
+      if (health_prefixes_.empty()) {
+        return true;
+      }
+      for (const std::string& p : health_prefixes_) {
+        if (name.substr(0, p.size()) == p) {
+          return true;
+        }
+      }
+      return false;
+    });
+    t.health = HealthDeltas(cur);
+    if (!t.empty()) {
+      // The snapshot the deltas were computed from; promoted to baseline
+      // when the accompanying batch is acked.
+      health_staged_ = std::move(cur);
+      health_staged_valid_ = true;
+    }
+  }
+  return t;
 }
 
 void Uploader::FinishUpload() {

@@ -31,6 +31,7 @@
 #include "core/service.h"
 #include "net/socket.h"
 #include "sim/event_loop.h"
+#include "telemetry/metrics.h"
 #include "util/time.h"
 
 namespace mopcollect {
@@ -49,6 +50,14 @@ struct UploaderPolicy {
   moputil::SimDuration max_backoff = 120 * moputil::kSecond;
   // A connected upload with no ack by this deadline counts as failed.
   moputil::SimDuration ack_timeout = 30 * moputil::kSecond;
+  // Cross-tier record tracing: a record whose trace id falls in a 1/N hash
+  // slice rides the telemetry frame with its device-side span timings.
+  // 0 (default) disables trace piggybacking entirely.
+  uint32_t trace_sample_period = 0;
+  // With health export enabled, pending deltas that found no record batch to
+  // ride within this interval go out on a zero-record batch, so a quiet
+  // device still reports crowd health.
+  moputil::SimDuration health_export_interval = 60 * moputil::kSecond;
 };
 
 class Uploader : public mopeye::EngineService {
@@ -59,6 +68,9 @@ class Uploader : public mopeye::EngineService {
     uint64_t batches_rejected = 0;  // collector nacked (records dropped)
     uint64_t upload_failures = 0;   // connect/reset/timeout, will retry
     uint64_t failovers = 0;         // rotated to the next collector shard
+    uint64_t telemetry_frames = 0;  // piggybacked telemetry frames staged
+    uint64_t health_entries = 0;    // health deltas across those frames
+    uint64_t traces_exported = 0;   // sampled record traces across them
   };
 
   // `net` and `store` must outlive the uploader. `device_id` stamps every
@@ -83,8 +95,19 @@ class Uploader : public mopeye::EngineService {
   void Stop();
 
   // Drains the store and uploads everything pending now, size/age policy
-  // aside (engine shutdown path).
+  // aside (engine shutdown path). With health export enabled this also
+  // flushes any pending health delta, even on a zero-record batch.
   void FlushNow();
+
+  // Enables piggybacked device-health export: metrics of `registry` whose
+  // name starts with any of `allow_prefixes` (empty = every metric) are
+  // snapshotted per upload and their deltas since the last *acked* export
+  // ride a telemetry frame ahead of the batch frame. The registry must
+  // outlive the uploader. Telemetry is pure enrichment: collectors that
+  // predate it skip the frame and the measurement path is unchanged.
+  void EnableHealthExport(const moptel::Registry* registry,
+                          std::vector<std::string> allow_prefixes);
+  bool health_export_enabled() const { return health_registry_ != nullptr; }
 
   const Counters& counters() const { return counters_; }
   size_t pending_records() const { return pending_.size() + inflight_.size(); }
@@ -109,6 +132,15 @@ class Uploader : public mopeye::EngineService {
   void DrainStore();
   bool ShouldFlush() const;
   void StartUpload();
+  // Health deltas of `cur` against the last acked baseline (unchanged
+  // metrics are omitted; an omitted metric loses nothing because baselines
+  // advance only to snapshots that actually shipped).
+  std::vector<WireHealthEntry> HealthDeltas(
+      const std::vector<moptel::MetricSample>& cur) const;
+  bool HasHealthDelta() const;
+  // Assembles the telemetry frame for the next batch (first `batch_records`
+  // of pending_); stages the registry snapshot it was computed from.
+  WireTelemetry BuildTelemetry(size_t batch_records);
   void OnAckReadable();
   void OnUploadFailure();
   void FinishUpload();  // tears down the channel + ack timer
@@ -148,6 +180,18 @@ class Uploader : public mopeye::EngineService {
   mopsim::TimerId ack_timer_ = mopsim::kInvalidTimer;
   moputil::SimDuration backoff_ = 0;  // 0 = healthy, no backoff
   moputil::SimTime next_attempt_ = 0;
+
+  // Health export state. The *acked* baseline is what the collector has
+  // durably folded; the staged snapshot is what the in-flight telemetry
+  // frame's deltas were computed from, promoted to baseline on batch ack
+  // (the telemetry frame precedes its batch on the same connection, so the
+  // batch ack implies the telemetry was processed).
+  const moptel::Registry* health_registry_ = nullptr;
+  std::vector<std::string> health_prefixes_;
+  std::vector<moptel::MetricSample> health_base_;
+  std::vector<moptel::MetricSample> health_staged_;
+  bool health_staged_valid_ = false;
+  moputil::SimTime last_health_flush_ = 0;
 
   Counters counters_;
 };

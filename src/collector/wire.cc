@@ -213,7 +213,7 @@ moputil::Result<FrameType> DecodeHeader(ByteReader* r) {
     return moputil::InvalidArgument(
         moputil::StrFormat("unsupported wire version %u", static_cast<unsigned>(version)));
   }
-  if (type > static_cast<uint8_t>(FrameType::kAck)) {
+  if (type > static_cast<uint8_t>(FrameType::kTelemetry)) {
     return moputil::InvalidArgument(moputil::StrFormat("unknown frame type %u", static_cast<unsigned>(type)));
   }
   return static_cast<FrameType>(type);
@@ -337,11 +337,229 @@ std::vector<uint8_t> EncodeAckFrame(const WireAck& ack) {
   return WrapFrame(std::move(payload));
 }
 
+namespace {
+
+// Body of one health entry (the part behind the per-entry length prefix).
+void EncodeHealthBody(std::vector<uint8_t>* out, const WireHealthEntry& e) {
+  switch (e.kind) {
+    case 0:  // counter delta
+    case 1:  // gauge absolute
+      PutU64(out, e.value);
+      break;
+    case 2: {  // histogram delta
+      PutF64(out, e.rel_err);
+      PutF64(out, e.sum);
+      PutU64(out, e.zero_or_less);
+      PutU32(out, static_cast<uint32_t>(e.buckets.size()));
+      for (const auto& [index, count] : e.buckets) {
+        PutU32(out, static_cast<uint32_t>(index));
+        PutU64(out, count);
+      }
+      break;
+    }
+    default:
+      break;  // unknown kinds encode an empty body
+  }
+}
+
+moputil::Status DecodeHealthBody(std::span<const uint8_t> body, WireHealthEntry* e) {
+  ByteReader r(body);
+  switch (e->kind) {
+    case 0:
+    case 1:
+      if (!r.ReadU64(&e->value)) {
+        return Truncated("health scalar");
+      }
+      break;
+    case 2: {
+      uint32_t bucket_count = 0;
+      if (!r.ReadF64(&e->rel_err) || !r.ReadF64(&e->sum) ||
+          !r.ReadU64(&e->zero_or_less) || !r.ReadU32(&bucket_count)) {
+        return Truncated("health histogram");
+      }
+      if (!(e->rel_err > 0.0 && e->rel_err < 1.0)) {
+        return moputil::InvalidArgument("health histogram: bad rel_err");
+      }
+      if (bucket_count > kMaxHealthBuckets) {
+        return moputil::InvalidArgument(moputil::StrFormat(
+            "health histogram: %u buckets exceeds limit", static_cast<unsigned>(bucket_count)));
+      }
+      e->buckets.reserve(bucket_count);
+      for (uint32_t i = 0; i < bucket_count; ++i) {
+        uint32_t index = 0;
+        uint64_t count = 0;
+        if (!r.ReadU32(&index) || !r.ReadU64(&count)) {
+          return Truncated("health bucket");
+        }
+        e->buckets.emplace_back(static_cast<int32_t>(index), count);
+      }
+      break;
+    }
+    default:
+      return moputil::Internal("decode of unknown health kind");
+  }
+  if (r.remaining() != 0) {
+    return moputil::InvalidArgument("trailing bytes in health entry");
+  }
+  return moputil::OkStatus();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTelemetryFrame(const WireTelemetry& t) {
+  std::vector<uint8_t> payload;
+  payload.reserve(64 + t.health.size() * 48 + t.traces.size() * 40);
+  PutHeader(&payload, FrameType::kTelemetry);
+  PutU8(&payload, kTelemetryFormatVersion);
+  PutU32(&payload, t.device_id);
+  PutU32(&payload, t.seq);
+  PutU16(&payload, static_cast<uint16_t>(t.health.size()));
+  for (const WireHealthEntry& e : t.health) {
+    size_t len = std::min<size_t>(e.name.size(), kMaxWireStringBytes);
+    PutU16(&payload, static_cast<uint16_t>(len));
+    payload.insert(payload.end(), e.name.begin(), e.name.begin() + static_cast<long>(len));
+    PutU8(&payload, e.kind);
+    PutU8(&payload, e.merge);
+    // Length-prefixed body: a decoder that does not know this kind skips it
+    // without understanding its layout.
+    std::vector<uint8_t> body;
+    EncodeHealthBody(&body, e);
+    PutU32(&payload, static_cast<uint32_t>(body.size()));
+    payload.insert(payload.end(), body.begin(), body.end());
+  }
+  PutU16(&payload, static_cast<uint16_t>(t.traces.size()));
+  for (const WireTraceEntry& e : t.traces) {
+    PutU64(&payload, e.trace_id);
+    PutU32(&payload, e.device_hash);
+    PutU16(&payload, e.lane);
+    PutU8(&payload, static_cast<uint8_t>(e.hops.size()));
+    for (const WireTraceHop& h : e.hops) {
+      PutU8(&payload, h.hop);
+      PutU64(&payload, static_cast<uint64_t>(h.time_ns));
+    }
+  }
+  return WrapFrame(std::move(payload));
+}
+
 // ---- Decoding ----
 
 moputil::Result<FrameType> PeekFrameType(std::span<const uint8_t> payload) {
   ByteReader r(payload);
   return DecodeHeader(&r);
+}
+
+moputil::Result<uint8_t> PeekRawFrameType(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  uint16_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  if (!r.ReadU16(&magic) || !r.ReadU8(&version) || !r.ReadU8(&type)) {
+    return Truncated("header");
+  }
+  if (magic != kWireMagic) {
+    return moputil::InvalidArgument(
+        moputil::StrFormat("bad magic 0x%04x", static_cast<unsigned>(magic)));
+  }
+  if (version != kWireVersion) {
+    return moputil::InvalidArgument(
+        moputil::StrFormat("unsupported wire version %u", static_cast<unsigned>(version)));
+  }
+  return type;
+}
+
+moputil::Result<WireTelemetry> DecodeTelemetryPayload(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  auto type = DecodeHeader(&r);
+  if (!type.ok()) {
+    return type.status();
+  }
+  if (type.value() != FrameType::kTelemetry) {
+    return moputil::InvalidArgument("expected a telemetry frame");
+  }
+  uint8_t format = 0;
+  if (!r.ReadU8(&format)) {
+    return Truncated("telemetry format version");
+  }
+  if (format > kTelemetryFormatVersion) {
+    // Newer peer: the frame is presumably well-formed under a layout this
+    // decoder does not know. Report it distinguishably so receivers skip it.
+    return moputil::Unimplemented(
+        moputil::StrFormat("telemetry format %u is newer than supported %u",
+                           static_cast<unsigned>(format),
+                           static_cast<unsigned>(kTelemetryFormatVersion)));
+  }
+  WireTelemetry t;
+  uint16_t health_count = 0;
+  if (!r.ReadU32(&t.device_id) || !r.ReadU32(&t.seq) || !r.ReadU16(&health_count)) {
+    return Truncated("telemetry header");
+  }
+  if (health_count > kMaxHealthEntries) {
+    return moputil::InvalidArgument(moputil::StrFormat(
+        "telemetry health count %u exceeds limit", static_cast<unsigned>(health_count)));
+  }
+  t.health.reserve(health_count);
+  for (uint16_t i = 0; i < health_count; ++i) {
+    WireHealthEntry e;
+    uint16_t name_len = 0;
+    if (!r.ReadU16(&name_len)) {
+      return Truncated("health name length");
+    }
+    if (name_len > kMaxWireStringBytes) {
+      return moputil::InvalidArgument("health metric name too long");
+    }
+    uint32_t body_len = 0;
+    std::string body;
+    if (!r.ReadString(name_len, &e.name) || !r.ReadU8(&e.kind) ||
+        !r.ReadU8(&e.merge) || !r.ReadU32(&body_len) ||
+        body_len > r.remaining() || !r.ReadString(body_len, &body)) {
+      return Truncated("health entry");
+    }
+    if (e.kind > 2) {
+      continue;  // forward compat: unknown entry kind, body skipped above
+    }
+    auto st = DecodeHealthBody(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(body.data()), body.size()),
+        &e);
+    if (!st.ok()) {
+      return st;
+    }
+    t.health.push_back(std::move(e));
+  }
+  uint16_t trace_count = 0;
+  if (!r.ReadU16(&trace_count)) {
+    return Truncated("trace count");
+  }
+  if (trace_count > kMaxTraceEntries) {
+    return moputil::InvalidArgument(moputil::StrFormat(
+        "telemetry trace count %u exceeds limit", static_cast<unsigned>(trace_count)));
+  }
+  t.traces.reserve(trace_count);
+  for (uint16_t i = 0; i < trace_count; ++i) {
+    WireTraceEntry e;
+    uint8_t hop_count = 0;
+    if (!r.ReadU64(&e.trace_id) || !r.ReadU32(&e.device_hash) ||
+        !r.ReadU16(&e.lane) || !r.ReadU8(&hop_count)) {
+      return Truncated("trace entry");
+    }
+    if (hop_count > kMaxTraceHops) {
+      return moputil::InvalidArgument("trace entry has too many hops");
+    }
+    e.hops.reserve(hop_count);
+    for (uint8_t h = 0; h < hop_count; ++h) {
+      WireTraceHop hop;
+      uint64_t t_bits = 0;
+      if (!r.ReadU8(&hop.hop) || !r.ReadU64(&t_bits)) {
+        return Truncated("trace hop");
+      }
+      hop.time_ns = static_cast<int64_t>(t_bits);
+      e.hops.push_back(hop);
+    }
+    t.traces.push_back(std::move(e));
+  }
+  if (r.remaining() != 0) {
+    return moputil::InvalidArgument("trailing bytes in telemetry frame");
+  }
+  return t;
 }
 
 moputil::Result<WireBatch> DecodeBatchPayload(std::span<const uint8_t> payload) {

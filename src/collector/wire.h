@@ -45,9 +45,22 @@ constexpr float kMaxRttMs = 600000.0f;
 constexpr size_t kMaxWireStringBytes = 512;
 
 enum class FrameType : uint8_t {
-  kBatch = 0,  // device -> collector: measurement records
-  kAck = 1,    // collector -> device: per-batch receipt
+  kBatch = 0,      // device -> collector: measurement records
+  kAck = 1,        // collector -> device: per-batch receipt
+  kTelemetry = 2,  // device -> collector: piggybacked health deltas + traces
 };
+
+// Telemetry frames are internally versioned (separately from the outer wire
+// version) and entry-wise length-prefixed, so the format can grow without a
+// flag day: a decoder skips entry kinds it does not know, and a frame whose
+// format version is newer than this constant is reported as kUnimplemented
+// so the collector can skip the whole frame cleanly (telemetry is an
+// optional enrichment, never load-bearing for the measurement path).
+constexpr uint8_t kTelemetryFormatVersion = 1;
+constexpr size_t kMaxHealthEntries = 512;
+constexpr size_t kMaxHealthBuckets = 8192;
+constexpr size_t kMaxTraceEntries = 512;
+constexpr size_t kMaxTraceHops = 8;
 
 // ---- Codec primitives ----
 //
@@ -150,6 +163,56 @@ struct WireAck {
   bool ok() const { return status == 0; }
 };
 
+// One device health metric riding a telemetry frame. Counters and histogram
+// sketches ship as *deltas since the last acked export* (the uploader
+// advances its baseline only on batch ack, and the collector dedups the
+// frame by (device_id, seq), so each delta folds exactly once fleet-wide);
+// gauges ship absolute with the frame seq deciding freshness.
+struct WireHealthEntry {
+  std::string name;
+  uint8_t kind = 0;   // moptel::MetricSample::Kind
+  uint8_t merge = 0;  // gauges: moptel::GaugeMerge
+  uint64_t value = 0;  // counter delta / gauge absolute value
+  // Histogram deltas: geometry + sparse added buckets.
+  double rel_err = 0;
+  double sum = 0;  // delta of the observation sum
+  uint64_t zero_or_less = 0;
+  std::vector<std::pair<int32_t, uint64_t>> buckets;  // (abs index, count delta)
+
+  bool operator==(const WireHealthEntry&) const = default;
+};
+
+struct WireTraceHop {
+  uint8_t hop = 0;  // moptel::TraceHop
+  int64_t time_ns = 0;
+
+  bool operator==(const WireTraceHop&) const = default;
+};
+
+// Device-side spans of one sampled record (created/batched/... hops); the
+// collector appends its own hops on arrival, fold, and durability.
+struct WireTraceEntry {
+  uint64_t trace_id = 0;
+  uint32_t device_hash = 0;
+  uint16_t lane = 0;
+  std::vector<WireTraceHop> hops;
+
+  bool operator==(const WireTraceEntry&) const = default;
+};
+
+struct WireTelemetry {
+  uint32_t device_id = 0;
+  // Seq of the batch this frame rides with; the collector's telemetry dedup
+  // window keys on (device_id, seq) exactly like batch dedup, so a retried
+  // upload (identical bytes) never double-folds health.
+  uint32_t seq = 0;
+  std::vector<WireHealthEntry> health;
+  std::vector<WireTraceEntry> traces;
+
+  bool empty() const { return health.empty() && traces.empty(); }
+  bool operator==(const WireTelemetry&) const = default;
+};
+
 // Accumulates measurements into a WireBatch, interning each distinct string
 // once. One builder per upload batch.
 class BatchBuilder {
@@ -171,17 +234,30 @@ class BatchBuilder {
 // Serializes a batch as one length-prefixed frame (u32 payload length + payload).
 std::vector<uint8_t> EncodeBatchFrame(const WireBatch& batch);
 std::vector<uint8_t> EncodeAckFrame(const WireAck& ack);
+std::vector<uint8_t> EncodeTelemetryFrame(const WireTelemetry& t);
 
 // ---- Decoding ----
 
 // Frame type of a complete payload (validates magic + version first).
 moputil::Result<FrameType> PeekFrameType(std::span<const uint8_t> payload);
 
+// Like PeekFrameType but validates only magic + wire version and returns the
+// raw type byte without bounding it: the dispatch point for forward
+// compatibility. A receiver routes the types it knows and *skips* (rather
+// than rejects) well-formed frames of unknown type, so a newer peer can add
+// frame kinds without breaking older receivers.
+moputil::Result<uint8_t> PeekRawFrameType(std::span<const uint8_t> payload);
+
 // Decodes one complete frame payload (without the length prefix). Every read
 // is bounds-checked; any structural violation yields an error Status and a
 // partially-decoded batch is never returned.
 moputil::Result<WireBatch> DecodeBatchPayload(std::span<const uint8_t> payload);
 moputil::Result<WireAck> DecodeAckPayload(std::span<const uint8_t> payload);
+// Telemetry decode distinguishes two failure classes by status code:
+// kUnimplemented = well-formed but from a newer format version (skip the
+// frame, keep the connection); anything else = malformed (treat like any
+// other protocol violation).
+moputil::Result<WireTelemetry> DecodeTelemetryPayload(std::span<const uint8_t> payload);
 
 // Reassembles length-prefixed frames from an arbitrarily-chunked TCP stream.
 // Feed() bytes as they arrive; Next() yields complete frame payloads in

@@ -155,6 +155,14 @@ struct Config {
   // preallocated buckets (no atomics, locks, or steady-state allocation).
   bool telemetry = false;
 
+  // Cross-tier record tracing: when > 0, every measurement is stamped with a
+  // compact TraceContext at creation (device hash, lane, seq, birth time) and
+  // records whose trace id falls in a 1/N hash slice ride upload telemetry
+  // frames with per-hop span timings (device -> collector -> fold ->
+  // durable). 0 (the default) stamps nothing — measurements, CSV output, and
+  // the batch wire format are byte-identical to pre-tracing builds.
+  uint32_t trace_sample_period = 0;
+
   // Relay TCP parameters (§3.4).
   uint16_t mss = 1460;
   uint16_t window = 65535;

@@ -6,6 +6,7 @@
 #include "netpkt/udp.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace mopeye {
@@ -815,7 +816,28 @@ void MopEyeEngine::MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& c
   m.isp = device_->net().profile().isp;
   m.country = device_->net().profile().country;
   m.device_id = device_->model();
+  StampTrace(&m, *client->home);
   client->home->store.Add(std::move(m));
+}
+
+void MopEyeEngine::StampTrace(Measurement* m, WorkerLane& home) {
+  if (config_.trace_sample_period == 0) {
+    return;
+  }
+  if (trace_device_hash_ == 0) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over the model string
+    for (char c : device_->model()) {
+      h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    }
+    trace_device_hash_ = static_cast<uint32_t>(moputil::Mix64(h) >> 32);
+    if (trace_device_hash_ == 0) {
+      trace_device_hash_ = 1;  // 0 means "unstamped" in TraceContext
+    }
+  }
+  m->trace.device_hash = trace_device_hash_;
+  m->trace.lane = static_cast<uint16_t>(home.index);
+  m->trace.seq = ++home.trace_seq;
+  m->trace.born_ns = loop_->Now();
 }
 
 void MopEyeEngine::HandleTcpSegment(WorkerLane& lane, const moppkt::ParsedPacket& pkt,
@@ -1333,6 +1355,7 @@ void MopEyeEngine::HandleDnsQuery(WorkerLane& lane, const moppkt::ParsedPacket& 
                         m.isp = device_->net().profile().isp;
                         m.country = device_->net().profile().country;
                         m.device_id = device_->model();
+                        StampTrace(&m, *u->home);
                         u->home->store.Add(std::move(m));
                         // Relay the answer back through the tunnel.
                         moppkt::PacketBuf datagram =

@@ -285,6 +285,10 @@ class MopEyeEngine {
         udp_clients;
     Counters counters;            // lane shard; merged by counters()
     MeasurementStore store;       // lane shard; merged by store()
+    // Per-lane trace sequence: with Config::trace_sample_period > 0 every
+    // measurement born on this lane gets (lane, ++trace_seq) in its
+    // TraceContext, so ids are unique per device without cross-lane state.
+    uint32_t trace_seq = 0;
     // Reused destination for this lane's synchronous external-socket reads.
     std::vector<uint8_t> socket_read_scratch;
     // Work stealing, thief side: flows whose kHandoffIn token this lane has
@@ -312,6 +316,9 @@ class MopEyeEngine {
   void FinishConnect(const std::shared_ptr<TcpClient>& client, moputil::SimTime t1);
   // Stores the record once both the RTT and the app mapping are available.
   void MaybeRecordTcpMeasurement(const std::shared_ptr<TcpClient>& client);
+  // Stamps the cross-tier TraceContext on a freshly built measurement
+  // (no-op when Config::trace_sample_period == 0).
+  void StampTrace(Measurement* m, WorkerLane& home);
   // `raw` is the pooled buffer `pkt`'s views point into; if the segment
   // carries in-order payload the buffer moves into the client's staged
   // writes, otherwise it dies (returns to the pool) on return.
@@ -378,6 +385,9 @@ class MopEyeEngine {
 
   bool running_ = false;
   std::vector<std::shared_ptr<EngineService>> services_;
+  // Mix64 of the device model, computed on first stamp; identifies this
+  // device in trace ids without shipping the model string per record.
+  uint32_t trace_device_hash_ = 0;
   moputil::SimDuration retired_worker_busy_ = 0;
   size_t retired_worker_count_ = 0;
 

@@ -12,6 +12,7 @@
 
 #include "net/net_context.h"
 #include "netpkt/ip.h"
+#include "telemetry/trace.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -31,6 +32,11 @@ struct Measurement {
   std::string isp;
   std::string country;
   std::string device_id;
+  // Cross-tier provenance, stamped at creation when Config::
+  // trace_sample_period > 0; default-invalid otherwise, and absent from
+  // every pre-existing surface (CSV, batch wire records), so tracing off
+  // is byte-identical to before the field existed.
+  moptel::TraceContext trace;
 };
 
 class MeasurementStore {

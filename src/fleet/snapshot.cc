@@ -144,10 +144,76 @@ std::vector<uint8_t> EncodeSnapshot(const CollectorState& state) {
     }
   }
 
+  // ---- v2 sections: telemetry dedup, telemetry counters, crowd health ----
+  // A state with nothing to put in them encodes as a version-1 frame instead:
+  // bytes on disk stay identical to the pre-health format (telemetry off keeps
+  // every snapshot-size baseline byte-for-byte), and the v1 decode path runs
+  // on every default-config snapshot rather than only on archived files.
+  const bool needs_v2 = !state.seen_telemetry.empty() || state.telemetry_frames != 0 ||
+                        state.telemetry_duplicate != 0 || state.telemetry_rejected != 0 ||
+                        state.frames_skipped != 0 || state.health.metric_count() != 0 ||
+                        !state.health.devices().empty() || state.health.folds() != 0 ||
+                        state.health.conflicts() != 0;
+  if (needs_v2) {
+    mopcollect::PutU32(&payload, static_cast<uint32_t>(state.seen_telemetry.size()));
+    for (const auto& [device, seqs] : state.seen_telemetry) {
+      mopcollect::PutU32(&payload, device);
+      mopcollect::PutU32(&payload, static_cast<uint32_t>(seqs.size()));
+      for (uint32_t seq : seqs) {
+        mopcollect::PutU32(&payload, seq);
+      }
+    }
+    mopcollect::PutU64(&payload, state.telemetry_frames);
+    mopcollect::PutU64(&payload, state.telemetry_duplicate);
+    mopcollect::PutU64(&payload, state.telemetry_rejected);
+    mopcollect::PutU64(&payload, state.frames_skipped);
+
+    // HealthStore contents, name-sorted (SortedMetrics) and with std::map /
+    // std::set iteration orders inside each metric — canonical bytes for equal
+    // states, independent of shard count.
+    auto health_metrics = state.health.SortedMetrics();
+    mopcollect::PutU32(&payload, static_cast<uint32_t>(health_metrics.size()));
+    for (const auto& [name, metric] : health_metrics) {
+      mopcollect::PutU16(&payload, static_cast<uint16_t>(name->size()));
+      payload.insert(payload.end(), name->begin(), name->end());
+      mopcollect::PutU8(&payload, metric->kind);
+      mopcollect::PutU8(&payload, metric->merge);
+      switch (metric->kind) {
+        case 0:
+          mopcollect::PutU64(&payload, metric->counter);
+          break;
+        case 1:
+          mopcollect::PutU32(&payload, static_cast<uint32_t>(metric->gauges.size()));
+          for (const auto& [device, cell] : metric->gauges) {
+            mopcollect::PutU32(&payload, device);
+            mopcollect::PutU32(&payload, cell.seq);
+            mopcollect::PutU64(&payload, cell.value);
+          }
+          break;
+        default:
+          mopcollect::PutF64(&payload, metric->rel_err);
+          mopcollect::PutF64(&payload, metric->sum);
+          mopcollect::PutU64(&payload, metric->zero_or_less);
+          mopcollect::PutU32(&payload, static_cast<uint32_t>(metric->buckets.size()));
+          for (const auto& [idx, count] : metric->buckets) {
+            mopcollect::PutU32(&payload, std::bit_cast<uint32_t>(idx));
+            mopcollect::PutU64(&payload, count);
+          }
+          break;
+      }
+    }
+    mopcollect::PutU32(&payload, static_cast<uint32_t>(state.health.devices().size()));
+    for (uint32_t device : state.health.devices()) {
+      mopcollect::PutU32(&payload, device);
+    }
+    mopcollect::PutU64(&payload, state.health.folds());
+    mopcollect::PutU64(&payload, state.health.conflicts());
+  }
+
   std::vector<uint8_t> out;
   out.reserve(11 + payload.size());
   mopcollect::PutU16(&out, kSnapshotMagic);
-  mopcollect::PutU8(&out, kSnapshotVersion);
+  mopcollect::PutU8(&out, needs_v2 ? kSnapshotVersion : 1);
   mopcollect::PutU32(&out, static_cast<uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   mopcollect::PutU32(&out, Crc32(payload));
@@ -165,7 +231,7 @@ moputil::Result<CollectorState> DecodeSnapshot(std::span<const uint8_t> bytes) {
   if (magic != kSnapshotMagic) {
     return Corrupt("bad magic");
   }
-  if (version != kSnapshotVersion) {
+  if (version == 0 || version > kSnapshotVersion) {
     return moputil::InvalidArgument(
         moputil::StrFormat("unsupported snapshot version %u", static_cast<unsigned>(version)));
   }
@@ -310,6 +376,141 @@ moputil::Result<CollectorState> DecodeSnapshot(std::span<const uint8_t> bytes) {
   }
   state.store.set_samples_folded(samples_folded);
   state.store.set_merged(merged != 0);
+
+  if (version == 1) {
+    // A pre-health snapshot: its payload ends here. The health sections stay
+    // default-empty, exactly the state such a collector had.
+    if (r.remaining() != 0) {
+      return Corrupt("trailing bytes in payload");
+    }
+    return state;
+  }
+
+  // ---- v2 sections ----
+  uint32_t telemetry_device_count = 0;
+  if (!r.ReadU32(&telemetry_device_count)) {
+    return Corrupt("truncated telemetry dedup section");
+  }
+  if (telemetry_device_count > CollectorServer::kMaxTrackedDevices) {
+    return Corrupt("telemetry dedup device count exceeds limit");
+  }
+  state.seen_telemetry.reserve(telemetry_device_count);
+  for (uint32_t d = 0; d < telemetry_device_count; ++d) {
+    uint32_t device = 0, seq_count = 0;
+    if (!r.ReadU32(&device) || !r.ReadU32(&seq_count)) {
+      return Corrupt("truncated telemetry dedup device");
+    }
+    if (seq_count > CollectorServer::kSeenBatchWindow) {
+      return Corrupt("telemetry dedup window exceeds limit");
+    }
+    std::vector<uint32_t> seqs(seq_count);
+    for (uint32_t& seq : seqs) {
+      if (!r.ReadU32(&seq)) {
+        return Corrupt("truncated telemetry dedup sequence");
+      }
+    }
+    state.seen_telemetry.emplace_back(device, std::move(seqs));
+  }
+
+  if (!r.ReadU64(&state.telemetry_frames) || !r.ReadU64(&state.telemetry_duplicate) ||
+      !r.ReadU64(&state.telemetry_rejected) || !r.ReadU64(&state.frames_skipped)) {
+    return Corrupt("truncated telemetry counters");
+  }
+
+  // Health shard geometry follows the aggregate store's (both come from the
+  // collector's opts.shards), so a decoded state deep-equals the exported one
+  // and ImportState keeps the server's sharding invariant.
+  state.health = mopcollect::HealthStore(shard_count);
+  uint32_t metric_count = 0;
+  if (!r.ReadU32(&metric_count)) {
+    return Corrupt("truncated health section");
+  }
+  // Smallest metric is name_len + kind + merge + a u64: forged counts cannot
+  // out-reserve the payload.
+  if (metric_count > r.remaining() / 12) {
+    return Corrupt("health metric count exceeds payload");
+  }
+  for (uint32_t i = 0; i < metric_count; ++i) {
+    uint16_t name_len = 0;
+    std::string name;
+    if (!r.ReadU16(&name_len) || !r.ReadString(name_len, &name)) {
+      return Corrupt("truncated health metric name");
+    }
+    mopcollect::HealthStore::Metric m;
+    if (!r.ReadU8(&m.kind) || !r.ReadU8(&m.merge)) {
+      return Corrupt("truncated health metric header");
+    }
+    switch (m.kind) {
+      case 0:
+        if (!r.ReadU64(&m.counter)) {
+          return Corrupt("truncated health counter");
+        }
+        break;
+      case 1: {
+        uint32_t gauge_count = 0;
+        if (!r.ReadU32(&gauge_count)) {
+          return Corrupt("truncated health gauge header");
+        }
+        if (gauge_count > r.remaining() / 16) {
+          return Corrupt("health gauge count exceeds payload");
+        }
+        for (uint32_t g = 0; g < gauge_count; ++g) {
+          uint32_t device = 0;
+          mopcollect::HealthStore::GaugeCell cell;
+          if (!r.ReadU32(&device) || !r.ReadU32(&cell.seq) || !r.ReadU64(&cell.value)) {
+            return Corrupt("truncated health gauge cell");
+          }
+          m.gauges.emplace(device, cell);
+        }
+        break;
+      }
+      case 2: {
+        uint32_t bucket_count = 0;
+        if (!r.ReadF64(&m.rel_err) || !r.ReadF64(&m.sum) || !r.ReadU64(&m.zero_or_less) ||
+            !r.ReadU32(&bucket_count)) {
+          return Corrupt("truncated health histogram header");
+        }
+        if (bucket_count > kMaxLogBuckets) {
+          return Corrupt("health bucket count exceeds limit");
+        }
+        for (uint32_t b = 0; b < bucket_count; ++b) {
+          uint32_t idx_bits = 0;
+          uint64_t count = 0;
+          if (!r.ReadU32(&idx_bits) || !r.ReadU64(&count)) {
+            return Corrupt("truncated health bucket");
+          }
+          m.buckets[std::bit_cast<int32_t>(idx_bits)] += count;
+        }
+        break;
+      }
+      default:
+        return Corrupt("bad health metric kind");
+    }
+    state.health.RestoreMetric(name, std::move(m));
+  }
+  if (state.health.metric_count() != metric_count) {
+    return Corrupt("duplicate health metric names");
+  }
+
+  uint32_t health_device_count = 0;
+  if (!r.ReadU32(&health_device_count)) {
+    return Corrupt("truncated health device section");
+  }
+  if (health_device_count > r.remaining() / 4) {
+    return Corrupt("health device count exceeds payload");
+  }
+  for (uint32_t d = 0; d < health_device_count; ++d) {
+    uint32_t device = 0;
+    if (!r.ReadU32(&device)) {
+      return Corrupt("truncated health device");
+    }
+    state.health.NoteDevice(device);
+  }
+  uint64_t health_folds = 0, health_conflicts = 0;
+  if (!r.ReadU64(&health_folds) || !r.ReadU64(&health_conflicts)) {
+    return Corrupt("truncated health tallies");
+  }
+  state.health.set_tallies(health_folds, health_conflicts);
 
   if (r.remaining() != 0) {
     return Corrupt("trailing bytes in payload");

@@ -23,6 +23,17 @@
 //                p50/p95 P² { u64 count, 5 x f64 heights, positions, desired }
 //                log    { u64 total, u64 zero_or_less, i32 lo_index,
 //                         u32 n, n x u32 buckets }
+//              ---- end of the version-1 payload ----
+//              telemetry dedup windows (same shape as the batch windows)
+//              4 x u64 telemetry counters
+//              crowd health: u32 metric_count, then per metric (name-sorted):
+//                u16 name_len, name, u8 kind, u8 merge,
+//                kind 0: u64 counter
+//                kind 1: u32 n, n x { u32 device, u32 seq, u64 value }
+//                kind 2: f64 rel_err, f64 sum, u64 zero_or_less,
+//                        u32 n, n x { i32 bucket_index, u64 count }
+//              u32 device_count, device_count x u32 (sorted)
+//              u64 health_folds, u64 health_conflicts
 //
 // Loading is strictly bounds-checked: bad magic/version/CRC, any truncation,
 // table or bucket counts beyond their caps, or internal inconsistencies
@@ -45,7 +56,13 @@
 namespace mopfleet {
 
 constexpr uint16_t kSnapshotMagic = 0x534d;  // "MS"
-constexpr uint8_t kSnapshotVersion = 1;
+// v2 appends the crowd-health sections (telemetry dedup windows, telemetry
+// counters, HealthStore contents) after the v1 payload; the decoder still
+// reads v1 files (the v1 sections end exactly at the payload end, so "no
+// more bytes" is the version-1 terminator). The encoder downgrades to a
+// version-1 frame when every v2 section is empty, so telemetry-free
+// collectors keep writing byte-identical pre-health snapshots.
+constexpr uint8_t kSnapshotVersion = 2;
 // A collector's aggregate state is O(keys), a few MiB at crowd scale; a
 // length prefix beyond this is a corrupt or hostile file.
 constexpr size_t kMaxSnapshotPayload = 256u * 1024 * 1024;

@@ -37,13 +37,16 @@ void FleetView::Refresh() {
   apps_ = Interner();
   isps_ = Interner();
   countries_ = Interner();
+  health_ = mopcollect::HealthStore(shards_);
   records_ingested_ = 0;
   for (const auto* server : live_) {
     MergeSource(server->store(), server->apps(), server->isps(), server->countries());
+    health_.MergeFrom(server->health());
     records_ingested_ += server->counters().records_ingested;
   }
   for (const auto& state : offline_) {
     MergeSource(state.store, state.apps, state.isps, state.countries);
+    health_.MergeFrom(state.health);
     records_ingested_ += state.records_ingested;
   }
 }

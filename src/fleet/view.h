@@ -58,6 +58,11 @@ class FleetView {
   // which snapshots preserve across restarts).
   uint64_t records_ingested() const { return records_ingested_; }
 
+  // Fleet-wide crowd health: per-collector HealthStores merged on Refresh()
+  // (counters and histogram buckets add; a device's gauges resolve by frame
+  // seq, so a device that failed over between collectors counts once).
+  const mopcollect::HealthStore& health() const { return health_; }
+
   // Key for an (app, isp, country, net, kind) query in the merged id
   // spaces. Empty string = wildcard (rollup) component; a name no collector
   // ever reported yields kNoneId, which matches nothing.
@@ -92,6 +97,7 @@ class FleetView {
   std::vector<mopcollect::CollectorState> offline_;
   mopcollect::AggregateStore merged_;
   mopcollect::Interner apps_, isps_, countries_;
+  mopcollect::HealthStore health_;
   uint64_t records_ingested_ = 0;
 };
 

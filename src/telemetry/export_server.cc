@@ -8,10 +8,18 @@
 
 namespace moptel {
 
-void MetricsExportBehavior::OnConnect(mopnet::ServerConn& conn) {
-  std::string text = registry_->RenderText();
+void TextExportBehavior::OnConnect(mopnet::ServerConn& conn) {
+  std::string text = (*provider_)();
   conn.Send(std::vector<uint8_t>(text.begin(), text.end()));
   conn.Close();
+}
+
+void ServeText(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+               TextProvider provider) {
+  auto shared = std::make_shared<const TextProvider>(std::move(provider));
+  farm->AddTcpServer(addr, [shared]() {
+    return std::make_unique<TextExportBehavior>(shared);
+  });
 }
 
 void ServeRegistry(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,

@@ -8,6 +8,7 @@
 #define MOPEYE_TELEMETRY_EXPORT_SERVER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -18,16 +19,38 @@
 
 namespace moptel {
 
-// Sends the registry's current text exposition on connect, then closes.
-// The registry must outlive the farm registration.
-class MetricsExportBehavior : public mopnet::ServerBehavior {
+// Produces the text to serve on each scrape connection. Invoked per connect,
+// so the output is always a fresh snapshot (registry exposition, forensics
+// JSON, a composite of both — anything scrape-shaped).
+using TextProvider = std::function<std::string()>;
+
+// Sends the provider's current output on connect, then closes. The provider
+// (and whatever it captures) must outlive the farm registration; behaviors
+// share it via shared_ptr because the farm constructs one per connection.
+class TextExportBehavior : public mopnet::ServerBehavior {
  public:
-  explicit MetricsExportBehavior(const Registry* registry) : registry_(registry) {}
+  explicit TextExportBehavior(std::shared_ptr<const TextProvider> provider)
+      : provider_(std::move(provider)) {}
   void OnConnect(mopnet::ServerConn& conn) override;
 
  private:
-  const Registry* registry_;
+  std::shared_ptr<const TextProvider> provider_;
 };
+
+// Backwards-compatible alias: a registry endpoint is a text endpoint whose
+// provider renders the registry.
+class MetricsExportBehavior : public TextExportBehavior {
+ public:
+  explicit MetricsExportBehavior(const Registry* registry)
+      : TextExportBehavior(std::make_shared<const TextProvider>(
+            [registry] { return registry->RenderText(); })) {}
+};
+
+// Registers a scrape endpoint at `addr` (replacing any existing server
+// there) serving whatever `provider` returns at connect time. Callers pair
+// it with farm->RemoveTcpServer(addr) on shutdown.
+void ServeText(mopnet::ServerFarm* farm, const moppkt::SocketAddr& addr,
+               TextProvider provider);
 
 // Registers a metrics endpoint at `addr` (replacing any existing server
 // there). Callers pair it with farm->RemoveTcpServer(addr) on shutdown.

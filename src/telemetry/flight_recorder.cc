@@ -1,5 +1,6 @@
 #include "telemetry/flight_recorder.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/logging.h"
@@ -66,22 +67,72 @@ std::vector<TraceEvent> FlightRecorder::LaneEvents(size_t lane) const {
   return out;
 }
 
+std::vector<TraceEvent> FlightRecorder::MergedEvents() const {
+  std::vector<TraceEvent> out;
+  for (size_t lane = 0; lane < rings_.size(); ++lane) {
+    std::vector<TraceEvent> events = LaneEvents(lane);
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  // Stable: equal timestamps keep lane order, so the merged view is
+  // deterministic for tests and diffs. Implemented as an in-place sort with
+  // an index tie-break rather than std::stable_sort — this runs inside the
+  // fatal-dump path, where the sort's temporary merge buffer is one heap
+  // allocation too many on a possibly-corrupted heap.
+  std::vector<size_t> order(out.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&out](size_t a, size_t b) {
+    if (out[a].time_ns != out[b].time_ns) {
+      return out[a].time_ns < out[b].time_ns;
+    }
+    return a < b;
+  });
+  std::vector<TraceEvent> sorted;
+  sorted.reserve(out.size());
+  for (size_t i : order) {
+    sorted.push_back(out[i]);
+  }
+  return sorted;
+}
+
 std::string FlightRecorder::Dump() const {
   std::string out = "=== flight recorder dump ===\n";
   for (size_t lane = 0; lane < rings_.size(); ++lane) {
-    const std::vector<TraceEvent> events = LaneEvents(lane);
     out += "lane " + std::to_string(lane) + ": " + std::to_string(LaneRecorded(lane)) +
-           " recorded, " + std::to_string(events.size()) + " held\n";
-    for (const TraceEvent& e : events) {
-      char line[160];
-      std::snprintf(line, sizeof(line), "  t=%.9fs %s %s a=%llu b=%llu\n",
-                    static_cast<double>(e.time_ns) * 1e-9, TraceKindName(e.kind), e.what,
-                    static_cast<unsigned long long>(e.a),
-                    static_cast<unsigned long long>(e.b));
-      out += line;
-    }
+           " recorded, " + std::to_string(LaneEvents(lane).size()) + " held\n";
+  }
+  // One chronological stream across lanes: a cross-lane incident reads in
+  // causal order instead of ring-by-ring.
+  for (const TraceEvent& e : MergedEvents()) {
+    char line[176];
+    std::snprintf(line, sizeof(line), "  t=%.9fs lane=%u %s %s a=%llu b=%llu\n",
+                  static_cast<double>(e.time_ns) * 1e-9, e.lane,
+                  TraceKindName(e.kind), e.what,
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
   }
   out += "=== end flight recorder dump ===\n";
+  return out;
+}
+
+std::string FlightRecorder::RenderJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : MergedEvents()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t_ns\":" + std::to_string(e.time_ns);
+    out += ",\"lane\":" + std::to_string(e.lane);
+    out += ",\"kind\":\"";
+    out += TraceKindName(e.kind);
+    out += "\",\"what\":\"";
+    out += e.what;  // literal event tags; no chars needing JSON escaping
+    out += "\",\"a\":" + std::to_string(e.a);
+    out += ",\"b\":" + std::to_string(e.b) + "}";
+  }
+  out += "]";
   return out;
 }
 

@@ -65,8 +65,17 @@ class FlightRecorder {
   size_t lanes() const { return rings_.size(); }
   size_t capacity_per_lane() const { return rings_.empty() ? 0 : rings_[0].ring.size(); }
 
-  // Human-readable dump of every lane's ring, oldest first.
+  // Every lane's held events merged into one chronological stream (stable
+  // sort by time, so same-timestamp events keep lane order). This is the
+  // incident-readable view: during a cross-lane event the causality reads
+  // top to bottom instead of being chopped per ring.
+  std::vector<TraceEvent> MergedEvents() const;
+
+  // Human-readable dump: per-lane ring occupancy summary, then the merged
+  // chronological event stream.
   std::string Dump() const;
+  // JSON array of the merged chronological events (forensics endpoint).
+  std::string RenderJson() const;
   // Writes Dump() to stderr — the SIGUSR1-style operator request, and what
   // the fatal hook runs. Uses only async-unfriendly fprintf (this is a
   // simulation harness, not a production signal handler).

@@ -338,6 +338,47 @@ const Histogram* Registry::FindHistogram(std::string_view name) const {
   return nullptr;
 }
 
+std::vector<MetricSample> Registry::Sample(
+    const std::function<bool(std::string_view)>& filter) const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (filter && !filter(e->name)) continue;
+    MetricSample s;
+    s.name = e->name;
+    switch (e->kind) {
+      case Entry::Kind::kCounter:
+      case Entry::Kind::kExtCounter:
+      case Entry::Kind::kExtLaneCounter:
+        s.kind = MetricSample::Kind::kCounter;
+        s.value = e->MergedScalar(lanes_);
+        break;
+      case Entry::Kind::kGauge:
+      case Entry::Kind::kExtGauge:
+        s.kind = MetricSample::Kind::kGauge;
+        s.merge = e->kind == Entry::Kind::kGauge ? e->gauge->merge()
+                                                 : GaugeMerge::kSum;
+        s.value = e->MergedScalar(lanes_);
+        break;
+      case Entry::Kind::kHistogram: {
+        s.kind = MetricSample::Kind::kHistogram;
+        s.rel_err = e->histogram->rel_err();
+        s.sum = e->histogram->Sum();
+        moputil::LogQuantile::State st = e->histogram->Merged().state();
+        s.zero_or_less = st.zero_or_less;
+        for (size_t i = 0; i < st.counts.size(); ++i) {
+          if (st.counts[i] == 0) continue;
+          s.buckets.emplace_back(st.lo_index + static_cast<int32_t>(i),
+                                 static_cast<uint64_t>(st.counts[i]));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::string Registry::RenderText() const {
   std::string out;
   out.reserve(entries_.size() * 96);

@@ -200,6 +200,32 @@ class Histogram {
   std::vector<Shard> shards_;
 };
 
+// A point-in-time reading of one registry metric, in a form a wire codec can
+// ship: counters and gauges as merged scalars, histograms as their exact
+// sparse log-bucket state (absolute bucket index + count), so a remote
+// aggregator can rebuild a bit-identical moputil::LogQuantile via Restore()
+// and rollups across devices stay lossless (bucket addition, no resketching).
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  GaugeMerge merge = GaugeMerge::kSum;  // gauges only
+  uint64_t value = 0;                   // counter total / merged gauge value
+  // Histograms only: geometry + merged sparse buckets.
+  double rel_err = 0;
+  double sum = 0;
+  uint64_t zero_or_less = 0;
+  std::vector<std::pair<int32_t, uint64_t>> buckets;  // (abs index, count>0)
+
+  // Total observation count (histograms).
+  uint64_t Count() const {
+    uint64_t n = zero_or_less;
+    for (const auto& b : buckets) n += b.second;
+    return n;
+  }
+};
+
 // A named metric registry. Metrics are either *owned* (Counter/Gauge/
 // Histogram allocated here; hot paths hold the raw pointer, which stays
 // stable for the registry's lifetime) or *external* (a read callback over
@@ -228,6 +254,14 @@ class Registry {
   bool CounterValue(std::string_view name, uint64_t* out) const;
   bool GaugeValue(std::string_view name, uint64_t* out) const;
   const Histogram* FindHistogram(std::string_view name) const;
+
+  // Snapshot every metric whose name passes `filter` (null = all) into
+  // MetricSamples, in registration order. External counters/gauges read
+  // their callbacks; external lane counters sample as plain counters.
+  // The Uploader uses this with an allowlist to piggyback device health
+  // on upload batches.
+  std::vector<MetricSample> Sample(
+      const std::function<bool(std::string_view)>& filter = nullptr) const;
 
   // Prometheus-style text exposition: "# HELP"/"# TYPE" per metric, the
   // merged value unlabeled, and {lane="N"} series when lanes > 1. Histograms

@@ -1,0 +1,93 @@
+#include "telemetry/trace.h"
+
+namespace moptel {
+
+const char* TraceHopName(TraceHop hop) {
+  switch (hop) {
+    case TraceHop::kCreated:
+      return "created";
+    case TraceHop::kBatched:
+      return "batched";
+    case TraceHop::kSent:
+      return "sent";
+    case TraceHop::kReceived:
+      return "received";
+    case TraceHop::kFolded:
+      return "folded";
+    case TraceHop::kDurable:
+      return "durable";
+  }
+  return "unknown";
+}
+
+TraceStore::TraceStore(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceStore::AddSpan(uint64_t id, uint32_t device_hash, uint16_t lane,
+                         TraceHop hop, int64_t time_ns) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) {
+    if (traces_.size() >= capacity_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+      ++evicted_;
+    }
+    order_.push_back(id);
+    Trace t;
+    t.id = id;
+    t.device_hash = device_hash;
+    t.lane = lane;
+    it = traces_.emplace(id, std::move(t)).first;
+  }
+  it->second.spans.push_back(TraceSpan{hop, time_ns});
+}
+
+bool TraceStore::AppendSpan(uint64_t id, TraceHop hop, int64_t time_ns) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) {
+    return false;
+  }
+  it->second.spans.push_back(TraceSpan{hop, time_ns});
+  return true;
+}
+
+const TraceStore::Trace* TraceStore::Find(uint64_t id) const {
+  auto it = traces_.find(id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+std::vector<TraceStore::Trace> TraceStore::Traces() const {
+  std::vector<Trace> out;
+  out.reserve(order_.size());
+  for (uint64_t id : order_) {
+    auto it = traces_.find(id);
+    if (it != traces_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::string TraceStore::RenderJson() const {
+  std::string out = "[";
+  bool first_trace = true;
+  for (uint64_t id : order_) {
+    auto it = traces_.find(id);
+    if (it == traces_.end()) continue;
+    const Trace& t = it->second;
+    if (!first_trace) out += ",";
+    first_trace = false;
+    out += "{\"id\":" + std::to_string(t.id);
+    out += ",\"device_hash\":" + std::to_string(t.device_hash);
+    out += ",\"lane\":" + std::to_string(t.lane);
+    out += ",\"spans\":[";
+    for (size_t i = 0; i < t.spans.size(); ++i) {
+      if (i) out += ",";
+      out += "{\"hop\":\"";
+      out += TraceHopName(t.spans[i].hop);
+      out += "\",\"t_ns\":" + std::to_string(t.spans[i].time_ns) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace moptel

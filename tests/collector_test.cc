@@ -168,6 +168,99 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   EXPECT_FALSE(mopcollect::DecodeAckPayload(payload).ok());
 }
 
+// ---- Telemetry frames + wire forward/backward compatibility ----
+
+mopcollect::WireTelemetry RepresentativeTelemetry() {
+  mopcollect::WireTelemetry t;
+  t.device_id = 77;
+  t.seq = 9;
+  mopcollect::WireHealthEntry counter;
+  counter.name = "mopeye_device_records_generated_total";
+  counter.kind = 0;
+  counter.value = 1234;
+  mopcollect::WireHealthEntry gauge;
+  gauge.name = "mopeye_device_battery_permille";
+  gauge.kind = 1;
+  gauge.merge = 0;
+  gauge.value = 874;
+  mopcollect::WireHealthEntry hist;
+  hist.name = "mopeye_device_rtt_ms";
+  hist.kind = 2;
+  hist.rel_err = 0.02;
+  hist.sum = 431.5;
+  hist.zero_or_less = 1;
+  hist.buckets = {{-3, 2}, {0, 10}, {17, 4}};
+  t.health = {counter, gauge, hist};
+  mopcollect::WireTraceEntry trace;
+  trace.trace_id = 0xdeadbeefcafef00dull;
+  trace.device_hash = 0x1234;
+  trace.lane = 2;
+  trace.hops = {{0, 1000}, {1, 2500}, {2, 2600}};
+  t.traces = {trace};
+  return t;
+}
+
+TEST(WireCodec, TelemetryRoundTripEquality) {
+  auto t = RepresentativeTelemetry();
+  auto frame = mopcollect::EncodeTelemetryFrame(t);
+  mopcollect::FrameReader reader;
+  reader.Feed(frame);
+  auto payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  auto raw = mopcollect::PeekRawFrameType(*payload);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value(), static_cast<uint8_t>(mopcollect::FrameType::kTelemetry));
+  auto decoded = mopcollect::DecodeTelemetryPayload(*payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), t);
+}
+
+TEST(WireCodec, TelemetryRejectsTruncationAtEveryLength) {
+  auto frame = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(mopcollect::DecodeTelemetryPayload({payload.data(), cut}).ok())
+        << "decode succeeded on a " << cut << "-byte prefix";
+  }
+  EXPECT_TRUE(mopcollect::DecodeTelemetryPayload(payload).ok());
+  payload.push_back(0);
+  EXPECT_FALSE(mopcollect::DecodeTelemetryPayload(payload).ok());
+}
+
+// Backward compat, decoder side: a telemetry frame stamped with a *newer*
+// internal format version is reported as kUnimplemented — the defined "skip
+// me cleanly" signal — never as a hard protocol error.
+TEST(WireCodec, NewerTelemetryFormatIsUnimplementedNotCorrupt) {
+  auto frame = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  // Header is magic(2) + wire version(1) + type(1); byte 4 is the telemetry
+  // format version.
+  payload[4] = mopcollect::kTelemetryFormatVersion + 1;
+  auto r = mopcollect::DecodeTelemetryPayload(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), moputil::StatusCode::kUnimplemented);
+}
+
+// Forward compat, dispatch side: PeekRawFrameType validates only magic +
+// wire version and hands back unknown type bytes, so an old receiver can
+// *skip* frame kinds added after it shipped; PeekFrameType (the strict
+// variant) still bounds the enum.
+TEST(WireCodec, PeekRawFrameTypePassesUnknownTypes) {
+  auto frame = mopcollect::EncodeAckFrame({1, 0});
+  std::vector<uint8_t> payload(frame.begin() + 4, frame.end());
+  payload[3] = 9;  // a frame kind from the future
+  auto raw = mopcollect::PeekRawFrameType(payload);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value(), 9u);
+  EXPECT_FALSE(mopcollect::PeekFrameType(payload).ok());
+  // Bad magic / wire version are still rejected even by the raw peek.
+  payload[0] ^= 0xff;
+  EXPECT_FALSE(mopcollect::PeekRawFrameType(payload).ok());
+  payload[0] ^= 0xff;
+  payload[2] = 99;
+  EXPECT_FALSE(mopcollect::PeekRawFrameType(payload).ok());
+}
+
 TEST(WireCodec, RejectsOutOfRangeStringTableIndices) {
   // One record, one app string: patch the record's table indices to point
   // past the tables. Encode layout: the record is the last 20 bytes.
@@ -395,6 +488,31 @@ TEST(CollectorServer, DedupWindowEvictsOldSequences) {
   EXPECT_EQ(server.counters().batches_duplicate, 1u);
 }
 
+// The telemetry dedup window is separate from the batch window but has the
+// same exactly-once discipline: a re-delivered frame (identical bytes, as
+// the uploader re-sends on a lost ack) is recognized by (device_id, seq) and
+// never folds its health deltas twice.
+TEST(CollectorServer, DuplicateTelemetryIsNotRefolded) {
+  mopcollect::CollectorServer server;
+  auto frame = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+  std::span<const uint8_t> payload{frame.data() + 4, frame.size() - 4};
+
+  ASSERT_TRUE(server.IngestTelemetry(payload, nullptr).ok());
+  uint64_t folded = 0;
+  ASSERT_TRUE(
+      server.health().CounterValue("mopeye_device_records_generated_total", &folded));
+  EXPECT_EQ(folded, 1234u);
+
+  ASSERT_TRUE(server.IngestTelemetry(payload, nullptr).ok());
+  ASSERT_TRUE(
+      server.health().CounterValue("mopeye_device_records_generated_total", &folded));
+  EXPECT_EQ(folded, 1234u);  // unchanged: the delta folded exactly once
+  EXPECT_EQ(server.counters().telemetry_frames, 2u);  // received twice...
+  EXPECT_EQ(server.counters().telemetry_duplicate, 1u);  // ...folded once
+  EXPECT_EQ(server.health().folds(), 1u);
+  EXPECT_EQ(server.health().device_count(), 1u);
+}
+
 // ---- Uploader over real sockets ----
 
 struct CollectorFixture {
@@ -618,6 +736,174 @@ TEST(CollectorServer, MalformedUploadIsRejectedWithoutCrashing) {
   store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
   f.loop.RunFor(Seconds(5));
   EXPECT_EQ(f.server.counters().records_ingested, 1u);
+  up.Stop();
+}
+
+// An old collector facing a newer device: a well-formed frame of a type
+// this receiver has never heard of is *skipped* (counted, not rejected),
+// the connection stays up, the batch behind it is acked normally, and the
+// dedup window is untouched by the stranger.
+TEST(CollectorServer, UnknownFutureFrameTypeIsSkippedCleanly) {
+  CollectorFixture f;
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect(f.collector_addr, [&ch](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    // A frame from the future: valid magic + wire version, type byte 9.
+    auto future = mopcollect::EncodeAckFrame({0, 0});
+    future[4 + 3] = 9;  // length prefix (4) + header type offset (3)
+    mopcollect::BatchBuilder b(/*device_id=*/5, /*batch_seq=*/1);
+    b.Add(MakeMeasurement("App", "a.com", 10));
+    auto batch = mopcollect::EncodeBatchFrame(b.TakeBatch());
+    future.insert(future.end(), batch.begin(), batch.end());
+    ch->Write(std::move(future));
+  });
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().frames_skipped, 1u);
+  EXPECT_EQ(f.server.counters().batches_rejected, 0u);
+  EXPECT_EQ(f.server.counters().batches_ok, 1u);
+  EXPECT_EQ(f.server.counters().records_ingested, 1u);
+  // The stranger left no residue in either dedup window: the same batch
+  // seq re-delivered is still recognized as the duplicate it is.
+  mopcollect::BatchBuilder b2(/*device_id=*/5, /*batch_seq=*/1);
+  b2.Add(MakeMeasurement("App", "a.com", 10));
+  auto frame = mopcollect::EncodeBatchFrame(b2.TakeBatch());
+  auto again = f.server.IngestPayload({frame.data() + 4, frame.size() - 4});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(f.server.counters().batches_duplicate, 1u);
+  EXPECT_EQ(f.server.counters().records_ingested, 1u);
+}
+
+// A collector with telemetry ingest switched off treats telemetry frames
+// exactly like unknown types: skip, don't reject, keep the batch path whole.
+TEST(CollectorServer, TelemetryIngestDisabledSkipsFrame) {
+  CollectorFixture f({.telemetry_ingest = false});
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect(f.collector_addr, [&ch](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    auto bytes = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+    mopcollect::BatchBuilder b(/*device_id=*/77, /*batch_seq=*/10);
+    b.Add(MakeMeasurement("App", "a.com", 10));
+    auto batch = mopcollect::EncodeBatchFrame(b.TakeBatch());
+    bytes.insert(bytes.end(), batch.begin(), batch.end());
+    ch->Write(std::move(bytes));
+  });
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().frames_skipped, 1u);
+  EXPECT_EQ(f.server.counters().telemetry_frames, 0u);
+  EXPECT_EQ(f.server.counters().telemetry_rejected, 0u);
+  EXPECT_EQ(f.server.health().metric_count(), 0u);
+  EXPECT_EQ(f.server.counters().records_ingested, 1u);
+}
+
+// A telemetry frame in a *newer internal format* than this collector speaks
+// is skipped over the socket path too: the enrichment is lost, the stream
+// and the batch behind it are not.
+TEST(CollectorServer, NewerTelemetryFormatSkippedOverSocket) {
+  CollectorFixture f;
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect(f.collector_addr, [&ch](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    auto bytes = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+    bytes[4 + 4] = mopcollect::kTelemetryFormatVersion + 1;  // format byte
+    mopcollect::BatchBuilder b(/*device_id=*/77, /*batch_seq=*/10);
+    b.Add(MakeMeasurement("App", "a.com", 10));
+    auto batch = mopcollect::EncodeBatchFrame(b.TakeBatch());
+    bytes.insert(bytes.end(), batch.begin(), batch.end());
+    ch->Write(std::move(bytes));
+  });
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().frames_skipped, 1u);
+  EXPECT_EQ(f.server.counters().telemetry_frames, 0u);
+  EXPECT_EQ(f.server.counters().telemetry_rejected, 0u);
+  EXPECT_EQ(f.server.counters().batches_ok, 1u);
+  EXPECT_EQ(f.server.counters().records_ingested, 1u);
+}
+
+// A *malformed* telemetry frame (truncated mid-structure) is a protocol
+// violation, not a compat case: rejected, connection closed, nothing folded.
+TEST(CollectorServer, MalformedTelemetryIsRejected) {
+  CollectorFixture f;
+  auto ch = mopnet::SocketChannel::Create(&f.ctx);
+  ch->Connect(f.collector_addr, [&ch](moputil::Status st) {
+    ASSERT_TRUE(st.ok());
+    auto full = mopcollect::EncodeTelemetryFrame(RepresentativeTelemetry());
+    // Re-frame a truncated payload: chop 8 bytes off and fix the prefix.
+    uint32_t len = static_cast<uint32_t>(full.size() - 4 - 8);
+    std::vector<uint8_t> bytes = {static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
+                                  static_cast<uint8_t>(len >> 16),
+                                  static_cast<uint8_t>(len >> 24)};
+    bytes.insert(bytes.end(), full.begin() + 4, full.end() - 8);
+    ch->Write(std::move(bytes));
+  });
+  f.loop.RunFor(Seconds(5));
+  EXPECT_EQ(f.server.counters().telemetry_rejected, 1u);
+  EXPECT_EQ(f.server.counters().telemetry_frames, 0u);
+  EXPECT_EQ(f.server.health().metric_count(), 0u);
+}
+
+// End-to-end exactness under at-least-once delivery: health export rides
+// the lost-ack retry path and the collector's (device, seq) telemetry dedup
+// keeps the fleet rollup equal to the device registry — not approximately,
+// equal.
+TEST(Uploader, HealthExportSurvivesLostAckWithoutDoubleFold) {
+  CollectorFixture f;
+  // First registration ingests (telemetry included) but never acks.
+  class SilentIngest : public mopnet::ServerBehavior {
+   public:
+    explicit SilentIngest(mopcollect::CollectorServer* server) : server_(server) {}
+    void OnData(mopnet::ServerConn& conn, std::span<const uint8_t> data) override {
+      (void)conn;
+      reader_.Feed(data);
+      while (auto payload = reader_.Next()) {
+        auto raw = mopcollect::PeekRawFrameType(*payload);
+        if (raw.ok() &&
+            raw.value() == static_cast<uint8_t>(mopcollect::FrameType::kTelemetry)) {
+          (void)server_->IngestTelemetry(*payload, nullptr);
+        } else {
+          (void)server_->IngestPayload(*payload);
+        }
+      }
+    }
+
+   private:
+    mopcollect::CollectorServer* server_;
+    mopcollect::FrameReader reader_;
+  };
+  f.farm.AddTcpServer(f.collector_addr,
+                      [&f] { return std::make_unique<SilentIngest>(&f.server); });
+
+  moptel::Registry device_registry(/*lanes=*/1);
+  auto* made = device_registry.AddCounter("mopeye_device_records_generated_total",
+                                          "records this device generated");
+  mopeye::MeasurementStore store;
+  mopcollect::UploaderPolicy policy;
+  policy.min_batch_records = 5;
+  policy.poll_interval = Seconds(1);
+  policy.ack_timeout = Seconds(5);
+  policy.initial_backoff = Seconds(2);
+  mopcollect::Uploader up(&f.ctx, &store, f.collector_addr, 1, policy);
+  up.EnableHealthExport(&device_registry, {"mopeye_device_"});
+  up.Start();
+  for (int i = 0; i < 8; ++i) {
+    store.Add(MakeMeasurement("App", "a.com", 10.0, f.loop.Now()));
+    made->Inc(0);
+  }
+  f.loop.RunFor(Seconds(10));  // delivery lands; ack never comes; timeout
+  EXPECT_GE(f.server.counters().telemetry_frames, 1u);
+
+  // The acking collector comes back; the identical retry dedups everywhere.
+  f.server.RegisterWith(&f.farm, f.collector_addr);
+  f.loop.RunFor(Seconds(120));
+  EXPECT_EQ(f.server.counters().records_ingested, 8u);
+  EXPECT_GE(f.server.counters().telemetry_duplicate, 1u);
+  uint64_t folded = 0;
+  ASSERT_TRUE(
+      f.server.health().CounterValue("mopeye_device_records_generated_total", &folded));
+  uint64_t device_truth = 0;
+  ASSERT_TRUE(
+      device_registry.CounterValue("mopeye_device_records_generated_total", &device_truth));
+  EXPECT_EQ(folded, device_truth);
+  EXPECT_EQ(folded, 8u);
   up.Stop();
 }
 

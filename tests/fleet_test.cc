@@ -72,6 +72,28 @@ void IngestRecords(mopcollect::CollectorServer* server, uint32_t device, uint32_
   ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
 }
 
+// Folds one telemetry frame carrying a counter delta and a gauge reading
+// into `server`, as if a device's health export arrived on the wire.
+void IngestHealth(mopcollect::CollectorServer* server, uint32_t device, uint32_t seq,
+                  uint64_t counter_delta, uint64_t gauge_value) {
+  mopcollect::WireTelemetry t;
+  t.device_id = device;
+  t.seq = seq;
+  mopcollect::WireHealthEntry c;
+  c.name = "mopeye_device_made_total";
+  c.kind = 0;
+  c.value = counter_delta;
+  mopcollect::WireHealthEntry g;
+  g.name = "mopeye_device_battery_permille";
+  g.kind = 1;
+  g.merge = 0;
+  g.value = gauge_value;
+  t.health = {c, g};
+  auto frame = mopcollect::EncodeTelemetryFrame(t);
+  auto st = server->IngestTelemetry({frame.data() + 4, frame.size() - 4}, nullptr);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
 // ---- FleetRouter ----
 
 TEST(FleetRouter, StableAssignmentAndFailoverPlan) {
@@ -231,6 +253,81 @@ TEST(Snapshot, FileWriteIsAtomicAndReadable) {
   std::remove(path.c_str());
 }
 
+// v2 sections: the crowd-health store, the telemetry dedup window, and the
+// telemetry counters all survive the snapshot byte-exactly — and the
+// re-encoding stays canonical.
+TEST(Snapshot, V2RoundTripPreservesHealthAndTelemetryDedup) {
+  auto server = PopulatedCollector();
+  IngestHealth(server.get(), /*device=*/1, /*seq=*/100, /*counter=*/55, /*gauge=*/870);
+  IngestHealth(server.get(), /*device=*/2, /*seq=*/7, /*counter=*/11, /*gauge=*/430);
+  auto state = server->ExportState();
+  auto bytes = mopfleet::EncodeSnapshot(state);
+  ASSERT_GT(bytes.size(), 3u);
+  EXPECT_EQ(bytes[2], 2u);  // health state present -> v2 frame
+  auto decoded = mopfleet::DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = decoded.value();
+
+  EXPECT_EQ(got.health, state.health);  // value-semantic deep equality
+  EXPECT_EQ(got.seen_telemetry, state.seen_telemetry);
+  EXPECT_EQ(got.telemetry_frames, state.telemetry_frames);
+  uint64_t folded = 0;
+  ASSERT_TRUE(got.health.CounterValue("mopeye_device_made_total", &folded));
+  EXPECT_EQ(folded, 66u);
+  uint64_t battery = 0;
+  ASSERT_TRUE(got.health.GaugeValue("mopeye_device_battery_permille", &battery));
+  EXPECT_EQ(battery, 1300u);  // sum-merge across the two devices
+  EXPECT_EQ(got.health.device_count(), 2u);
+  EXPECT_EQ(mopfleet::EncodeSnapshot(got), bytes);
+
+  // The restored telemetry dedup window still recognizes the re-delivery.
+  mopcollect::CollectorServer restarted;
+  restarted.ImportState(mopfleet::DecodeSnapshot(bytes).value());
+  IngestHealth(&restarted, 1, 100, 55, 870);  // identical retry
+  ASSERT_TRUE(restarted.health().CounterValue("mopeye_device_made_total", &folded));
+  EXPECT_EQ(folded, 66u);  // not double-folded
+  EXPECT_EQ(restarted.counters().telemetry_duplicate, 1u);
+}
+
+// Backward compat: a telemetry-free state encodes as a version-1 frame —
+// byte-identical to what a pre-health collector wrote — and such a frame
+// still loads, restoring everything v1 carried with health left empty. The
+// v1 sections end exactly at the payload end, so every default-config
+// snapshot exercises the legacy decode path.
+TEST(Snapshot, DecodesVersion1PayloadWithoutHealthSections) {
+  auto server = PopulatedCollector();
+  auto state = server->ExportState();
+  auto v1 = mopfleet::EncodeSnapshot(state);
+
+  // Frame layout: u16 magic, u8 version, u32 payload_len, payload, u32 crc.
+  ASSERT_GT(v1.size(), 7u + 4u);
+  EXPECT_EQ(v1[2], 1u);  // no telemetry ever arrived -> pre-health format
+  size_t payload_len = v1.size() - 7 - 4;
+
+  auto decoded = mopfleet::DecodeSnapshot(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = decoded.value();
+  EXPECT_EQ(got.records_ingested, state.records_ingested);
+  EXPECT_EQ(got.seen_batches, state.seen_batches);
+  EXPECT_EQ(got.store.key_count(), state.store.key_count());
+  EXPECT_EQ(got.health.metric_count(), 0u);
+  EXPECT_TRUE(got.seen_telemetry.empty());
+  EXPECT_EQ(mopfleet::EncodeSnapshot(got), v1);  // canonical both ways
+  // A v1 payload with trailing garbage is rejected (strict terminator).
+  auto padded = v1;
+  size_t padded_len = payload_len + 1;
+  for (int i = 0; i < 4; ++i) {
+    padded[3 + static_cast<size_t>(i)] = static_cast<uint8_t>(padded_len >> (8 * i));
+  }
+  padded.insert(padded.begin() + 7 + static_cast<long>(payload_len), 0);
+  uint32_t crc2 = mopfleet::Crc32({padded.data() + 7, payload_len + 1});
+  for (int i = 0; i < 4; ++i) {
+    padded[padded.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc2 >> (8 * i));
+  }
+  EXPECT_FALSE(mopfleet::DecodeSnapshot(padded).ok());
+}
+
 // Restart recovery: a restored collector recognizes re-deliveries of batches
 // it ingested before the snapshot — the at-least-once contract survives the
 // restart instead of double-counting.
@@ -380,6 +477,75 @@ TEST(FleetView, MergedFlagSurvivesSnapshotRoundTrip) {
 }
 
 // ---- Multi-lane ingest ----
+
+// Crowd rollup across the fleet: live collectors and snapshot files merge
+// into one HealthStore — counters add, gauges resolve per device by frame
+// seq, and a device seen by two collectors (failover) counts once.
+TEST(FleetView, MergesHealthAcrossLiveAndSnapshotSources) {
+  mopcollect::CollectorServer a, b;
+  IngestHealth(&a, /*device=*/1, /*seq=*/10, /*counter=*/5, /*gauge=*/900);
+  IngestHealth(&b, /*device=*/2, /*seq=*/3, /*counter=*/7, /*gauge=*/700);
+  // Device 1 failed over to collector b and reported a fresher gauge there.
+  IngestHealth(&b, /*device=*/1, /*seq=*/11, /*counter=*/2, /*gauge=*/880);
+
+  mopfleet::FleetView view;
+  view.AttachCollector(&a);
+  view.AttachState(b.ExportState());  // one live, one offline source
+  view.Refresh();
+
+  uint64_t made = 0;
+  ASSERT_TRUE(view.health().CounterValue("mopeye_device_made_total", &made));
+  EXPECT_EQ(made, 14u);  // 5 + 7 + 2: deltas add across sources
+  uint64_t battery = 0;
+  ASSERT_TRUE(view.health().GaugeValue("mopeye_device_battery_permille", &battery));
+  // Device 1 contributes its seq-11 reading (880), not 900 + 880.
+  EXPECT_EQ(battery, 880u + 700u);
+  EXPECT_EQ(view.health().device_count(), 2u);  // device 1 counted once
+  // Refresh is idempotent: re-merging does not double anything.
+  view.Refresh();
+  ASSERT_TRUE(view.health().CounterValue("mopeye_device_made_total", &made));
+  EXPECT_EQ(made, 14u);
+}
+
+// The gauge freshness rule in isolation, including seq wrap: MergeFrom takes
+// the wrap-aware-newer reading per device rather than summing readings.
+TEST(HealthStore, MergeFromResolvesGaugesBySeqWrapAware) {
+  mopcollect::WireHealthEntry g;
+  g.name = "mopeye_device_queue_depth";
+  g.kind = 1;
+  g.merge = 0;
+
+  mopcollect::HealthStore older(4), newer(4);
+  g.value = 500;
+  older.FoldEntry(/*device=*/1, /*seq=*/0xfffffffe, g);  // pre-wrap
+  g.value = 100;
+  newer.FoldEntry(/*device=*/1, /*seq=*/2, g);  // post-wrap: newer
+  older.MergeFrom(newer);
+  uint64_t v = 0;
+  ASSERT_TRUE(older.GaugeValue("mopeye_device_queue_depth", &v));
+  EXPECT_EQ(v, 100u);  // the wrapped seq wins; a plain compare would keep 500
+
+  // Merging the stale reading back in does not regress the gauge.
+  mopcollect::HealthStore stale(4);
+  g.value = 500;
+  stale.FoldEntry(1, 0xfffffffe, g);
+  older.MergeFrom(stale);
+  ASSERT_TRUE(older.GaugeValue("mopeye_device_queue_depth", &v));
+  EXPECT_EQ(v, 100u);
+
+  // Counters have no freshness: deltas always add.
+  mopcollect::WireHealthEntry c;
+  c.name = "mopeye_device_made_total";
+  c.kind = 0;
+  c.value = 3;
+  mopcollect::HealthStore x(4), y(4);
+  x.FoldEntry(1, 1, c);
+  y.FoldEntry(2, 1, c);
+  x.MergeFrom(y);
+  ASSERT_TRUE(x.CounterValue("mopeye_device_made_total", &v));
+  EXPECT_EQ(v, 6u);
+  EXPECT_EQ(x.device_count(), 2u);
+}
 
 TEST(MultiLaneIngest, LanesProduceIdenticalAggregatesToInline) {
   mopsim::EventLoop loop;

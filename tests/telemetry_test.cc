@@ -24,6 +24,7 @@
 #include "telemetry/export_server.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -114,6 +115,100 @@ TEST(Registry, GaugeMergeModes) {
   EXPECT_EQ(peak->Value(), 30u);  // summing per-lane peaks would say 60
   peak->SetMax(1, 5);             // SetMax never regresses
   EXPECT_EQ(peak->LaneValue(1), 20u);
+}
+
+// ---- Registry::Sample: the health-export snapshot ----
+
+TEST(Registry, SampleSnapshotsAllKindsThroughFilter) {
+  moptel::Registry reg(2);
+  moptel::Counter* c = reg.AddCounter("mopeye_device_made_total", "made");
+  moptel::Gauge* g =
+      reg.AddGauge("mopeye_device_depth", "depth", moptel::GaugeMerge::kSum);
+  moptel::Histogram* h = reg.AddHistogram("mopeye_device_lat_ms", "latency");
+  reg.AddCounter("t_internal_total", "filtered out");
+  c->Inc(0);
+  c->Inc(1);
+  c->Inc(1);
+  g->Set(0, 40);
+  g->Set(1, 2);
+  h->Observe(0, 10.0);
+  h->Observe(1, -1.0);  // lands in zero_or_less
+
+  auto samples =
+      reg.Sample([](std::string_view name) { return name.starts_with("mopeye_device_"); });
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "mopeye_device_made_total");
+  EXPECT_EQ(samples[0].kind, moptel::MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[0].value, 3u);  // lanes merged
+  EXPECT_EQ(samples[1].name, "mopeye_device_depth");
+  EXPECT_EQ(samples[1].kind, moptel::MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[1].value, 42u);
+  EXPECT_EQ(samples[2].kind, moptel::MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[2].Count(), 2u);
+  EXPECT_EQ(samples[2].zero_or_less, 1u);
+  EXPECT_DOUBLE_EQ(samples[2].sum, 9.0);
+  ASSERT_EQ(samples[2].buckets.size(), 1u);
+  EXPECT_EQ(samples[2].buckets[0].second, 1u);
+}
+
+// ---- Trace context + store ----
+
+TEST(Trace, IdIsDeterministicAndSamplingAgreesAcrossTiers) {
+  moptel::TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());  // default = unstamped
+  ctx.device_hash = 0xabcd1234;
+  ctx.lane = 3;
+  ctx.seq = 17;
+  ctx.born_ns = 0;
+  EXPECT_TRUE(ctx.valid());
+  moptel::TraceContext same = ctx;
+  EXPECT_EQ(ctx.id(), same.id());  // device and collector derive equal ids
+  EXPECT_FALSE(moptel::TraceSampled(ctx.id(), 0));  // 0 = tracing off
+  EXPECT_TRUE(moptel::TraceSampled(ctx.id(), 1));   // 1 = everything
+  // A 1/4 slice samples about a quarter of distinct seqs — and the same
+  // quarter on every tier, since the decision is a pure function of the id.
+  size_t sampled = 0;
+  for (uint32_t seq = 0; seq < 1000; ++seq) {
+    ctx.seq = seq;
+    if (moptel::TraceSampled(ctx.id(), 4)) ++sampled;
+  }
+  EXPECT_GT(sampled, 150u);
+  EXPECT_LT(sampled, 350u);
+}
+
+TEST(TraceStore, BoundsRetentionEvictingOldestFirst) {
+  moptel::TraceStore store(/*capacity=*/3);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    store.AddSpan(id, /*device_hash=*/7, /*lane=*/0, moptel::TraceHop::kCreated,
+                  static_cast<int64_t>(id * 100));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.evicted(), 2u);
+  EXPECT_EQ(store.Find(1), nullptr);  // oldest went first
+  EXPECT_EQ(store.Find(2), nullptr);
+  ASSERT_NE(store.Find(3), nullptr);
+  // Spans append in arrival order on an existing trace without re-inserting.
+  store.AddSpan(4, 7, 0, moptel::TraceHop::kReceived, 900);
+  store.AddSpan(4, 7, 0, moptel::TraceHop::kFolded, 950);
+  const auto* t = store.Find(4);
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->spans.size(), 3u);
+  EXPECT_EQ(t->spans[0].hop, moptel::TraceHop::kCreated);
+  EXPECT_EQ(t->spans[2].hop, moptel::TraceHop::kFolded);
+  // AppendSpan never creates: a late lifecycle stamp for an evicted trace
+  // is dropped instead of re-creating a span-only zombie (which would evict
+  // a live trace in its place).
+  EXPECT_FALSE(store.AppendSpan(1, moptel::TraceHop::kDurable, 999));
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.AppendSpan(4, moptel::TraceHop::kDurable, 999));
+  auto all = store.Traces();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, 3u);  // oldest-first snapshot
+  EXPECT_EQ(all[2].id, 5u);
+  std::string json = store.RenderJson();
+  EXPECT_NE(json.find("\"hop\":\"folded\""), std::string::npos);
+  EXPECT_NE(json.find("\"hop\":\"created\""), std::string::npos);
 }
 
 // ---- Histogram vs LogQuantile bit-equivalence ----
@@ -261,6 +356,27 @@ TEST(FlightRecorder, RingWrapsKeepingNewestOldestFirst) {
   }
   EXPECT_EQ(rec.LaneRecorded(1), 0u);
   EXPECT_TRUE(rec.LaneEvents(1).empty());
+}
+
+TEST(FlightRecorder, MergedEventsInterleaveLanesChronologically) {
+  moptel::FlightRecorder rec(3, 8);
+  rec.Record(2, 300, moptel::TraceKind::kPacketVerdict, "third");
+  rec.Record(0, 100, moptel::TraceKind::kPacketVerdict, "first");
+  rec.Record(1, 200, moptel::TraceKind::kPacketVerdict, "second");
+  rec.Record(0, 200, moptel::TraceKind::kPacketVerdict, "second-tie");
+  auto merged = rec.MergedEvents();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_STREQ(merged[0].what, "first");
+  // Stable sort over the lane-0,1,2 concatenation: timestamp ties keep the
+  // lower lane's event first.
+  EXPECT_EQ(merged[1].time_ns, 200);
+  EXPECT_EQ(merged[2].time_ns, 200);
+  EXPECT_STREQ(merged[1].what, "second-tie");  // lane 0 first on ties
+  EXPECT_STREQ(merged[2].what, "second");
+  EXPECT_STREQ(merged[3].what, "third");
+  std::string json = rec.RenderJson();
+  EXPECT_NE(json.find("\"what\":\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"lane\":2"), std::string::npos);
 }
 
 TEST(FlightRecorder, DumpRendersEventFields) {

@@ -1,0 +1,34 @@
+// Known-bad fixture for the raw-counter rule, shaped like the crowd-health
+// fold path (collector/health_store.*): a telemetry-frame fold that grows
+// ad-hoc tally members instead of registering them on moptel::Registry. The
+// irony the rule exists to catch — the *health* plane silently keeping
+// unscrapable counters of its own.
+#include <cstddef>
+#include <cstdint>
+
+struct WireTelemetryish {
+  uint32_t device_id = 0;
+};
+
+class HealthFold {
+ public:
+  void Fold(const WireTelemetryish& t) {
+    (void)t;
+    ++frames_folded_count_;
+    ++entries_read_;
+  }
+
+ private:
+  uint64_t frames_folded_count_ = 0;   // flagged: fold tally off-registry
+  uint64_t duplicates_total = 0;       // flagged: dedup tally off-registry
+  uint64_t entries_read_ = 0;          // flagged: per-entry read tally
+  uint64_t conflict_drop_counter_ = 0; // flagged: shape-mismatch tally
+  size_t gauge_high_water_ = 0;        // flagged: per-metric peak
+  // The shapes the real fold path uses instead — value-semantic state the
+  // snapshot codec round-trips, mirrored to the registry by the server:
+  uint64_t folds_ = 0;        // clean: not a *_count/_total suffix tally
+  uint64_t conflicts_ = 0;    // clean
+  double fold_sum_ = 0;       // clean: not an integer tally at all
+  // moplint-allow: raw-counter
+  uint64_t waived_scratch_count_ = 0;  // clean: explicit waiver
+};

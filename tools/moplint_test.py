@@ -125,6 +125,23 @@ class RawCounterTest(unittest.TestCase):
         findings = lint_fixture("good_raw_counter.cc", "src/collector/good.cc")
         self.assertEqual(findings, [])
 
+    def test_health_fold_path_fixture(self):
+        # The crowd-health fold path keeps value-semantic tallies (folds_,
+        # conflicts_) that the snapshot codec round-trips and the server
+        # mirrors onto the registry; the rule must flag suffix-convention
+        # tallies grown beside them without flagging that legitimate shape.
+        findings = lint_fixture("bad_raw_counter_health.cc",
+                                "src/collector/health_store.cc")
+        self.assertEqual(rules(findings), ["raw-counter"] * 5)
+        messages = " ".join(f.message for f in findings)
+        for name in ("frames_folded_count_", "duplicates_total",
+                     "entries_read_", "conflict_drop_counter_",
+                     "gauge_high_water_"):
+            self.assertIn(name, messages)
+        for clean in ("folds_", "conflicts_", "fold_sum_",
+                      "waived_scratch_count_"):
+            self.assertNotIn(clean + " ", messages)
+
     def test_telemetry_layer_is_exempt(self):
         code = "struct S { uint64_t cells_total_ = 0; };\n"
         self.assertEqual(

@@ -32,8 +32,17 @@ STAGE_SUFFIX = "_ms"
 
 def load_stages(path):
     """p95 and count per relay-stage histogram in a registry JSON dump."""
-    with open(path, encoding="utf-8") as f:
-        registry = json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            registry = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"perf_gate: run JSON not found: {path} — did "
+                         "table3_throughput --stage-json run?")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"perf_gate: {path} is not valid JSON ({e})")
+    if not isinstance(registry, dict):
+        raise SystemExit(f"perf_gate: {path}: expected a registry object at "
+                         f"top level, got {type(registry).__name__}")
     stages = {}
     for name, entry in registry.items():
         if not (name.startswith(STAGE_PREFIX) and name.endswith(STAGE_SUFFIX)):
@@ -83,22 +92,39 @@ def main(argv=None):
         print(f"perf_gate: no reference at {args.ref} — run with --update to "
               "create it", file=sys.stderr)
         return 1
+    except json.JSONDecodeError as e:
+        print(f"perf_gate: reference {args.ref} is not valid JSON ({e}) — "
+              "fix or regenerate it with --update", file=sys.stderr)
+        return 1
+    if not isinstance(ref, dict):
+        print(f"perf_gate: reference {args.ref}: expected a stage map at top "
+              f"level, got {type(ref).__name__}", file=sys.stderr)
+        return 1
 
     failures = []
     rows = []
     for name in sorted(set(ref) | set(current)):
         short = name[len(STAGE_PREFIX):-len(STAGE_SUFFIX)]
+        ref_entry = ref.get(name)
+        if ref_entry is not None and (
+                not isinstance(ref_entry, dict)
+                or not isinstance(ref_entry.get("p95"), (int, float))):
+            failures.append(f"{short}: reference entry has no numeric p95 — "
+                            f"the reference {args.ref} is malformed; "
+                            "regenerate it with --update")
+            rows.append((short, None, None, None, "BAD REF"))
+            continue
         if name not in current:
             failures.append(f"{short}: stage present in reference but absent "
                             "from this run (instrumentation lost?)")
-            rows.append((short, ref[name]["p95"], None, None, "MISSING"))
+            rows.append((short, float(ref_entry["p95"]), None, None, "MISSING"))
             continue
-        if name not in ref:
+        if ref_entry is None:
             # New instrumentation is not a regression; it just needs a ref.
             rows.append((short, None, current[name]["p95"], None,
                          "new (run --update)"))
             continue
-        ref_p95 = float(ref[name]["p95"])
+        ref_p95 = float(ref_entry["p95"])
         cur_p95 = current[name]["p95"]
         ratio = cur_p95 / ref_p95 if ref_p95 > 0 else float("inf")
         verdict = "ok"
