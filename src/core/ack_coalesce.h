@@ -1,0 +1,62 @@
+// Pure-ACK coalescing rule for the gathered lane egress (thread model v4).
+//
+// The relay emits one pure ACK toward the app per flushed socket write
+// (§2.3 "Socket Write"). Under load, several of those land in a lane's
+// gather buffer between tun flushes, back to back on the same flow. TCP
+// acknowledgements are cumulative: an ACK for byte N acknowledges every
+// byte before N, and its window advertisement supersedes the previous one.
+// So when the *trailing* gathered packet is a pure ACK of the same flow,
+// the new ACK can replace it in place — the app-visible byte stream is
+// unchanged, one fewer packet crosses the tun boundary.
+//
+// "Consecutive" is enforced structurally: only the trailing gather entry is
+// ever considered, so any data/SYN/FIN/RST segment or another flow's packet
+// in between breaks the run. Raw emissions (UDP, DNS) carry no metadata and
+// are never coalesced.
+#ifndef MOPEYE_CORE_ACK_COALESCE_H_
+#define MOPEYE_CORE_ACK_COALESCE_H_
+
+#include <cstdint>
+
+#include "netpkt/packet.h"
+#include "netpkt/tcp.h"
+
+namespace mopeye {
+
+// Per-packet metadata riding next to a gathered egress buffer. Default
+// constructed = not coalescible (the raw/UDP emission path).
+struct GatherMeta {
+  bool pure_ack = false;  // ACK set, no SYN/FIN/RST, empty payload
+  moppkt::FlowKey flow;
+  uint32_t seq = 0;   // relay's snd_nxt at emission
+  uint32_t ack = 0;   // cumulative acknowledgement number
+  uint16_t window = 0;
+};
+
+// Classifies a relay-built segment spec for `flow` before serialization, so
+// the gather path never re-parses the bytes it just stamped.
+inline GatherMeta MetaForSpec(const moppkt::FlowKey& flow,
+                              const moppkt::TcpSegmentSpec& spec) {
+  GatherMeta m;
+  m.pure_ack = spec.flags.ack && !spec.flags.syn && !spec.flags.fin &&
+               !spec.flags.rst && spec.payload.empty();
+  m.flow = flow;
+  m.seq = spec.seq;
+  m.ack = spec.ack;
+  m.window = spec.window;
+  return m;
+}
+
+// True when `next` may replace `prev` in the gather buffer: both pure ACKs
+// on the same flow, the relay's own sequence unmoved (no data slipped in —
+// structurally impossible for adjacent entries, checked anyway), and the
+// newer cumulative ACK at or beyond the older (wraparound-safe). The newer
+// window always supersedes — it is the more recent advertisement.
+inline bool AckSupersedes(const GatherMeta& prev, const GatherMeta& next) {
+  return prev.pure_ack && next.pure_ack && prev.flow == next.flow &&
+         prev.seq == next.seq && moppkt::SeqGe(next.ack, prev.ack);
+}
+
+}  // namespace mopeye
+
+#endif  // MOPEYE_CORE_ACK_COALESCE_H_

@@ -590,12 +590,14 @@ struct SkewRunResult {
   std::vector<std::vector<uint8_t>> sent;      // per connection, index order
   uint64_t steals = 0;          // reader-brokered re-homings
   uint64_t steal_handoffs = 0;  // victim-side handoff completions
+  uint64_t acks_coalesced = 0;  // gather-tail pure-ACK collapses
   uint64_t unknown_flow = 0;
   uint64_t parse_errors = 0;
   size_t rehomed_flows = 0;  // flows whose live route left their hash lane
 };
 
-SkewRunResult RunSkewedScenario(bool steal_enabled) {
+SkewRunResult RunSkewedScenario(bool steal_enabled, bool ack_coalescing = false,
+                                int tun_queues = 0) {
   constexpr int kConns = 8;
   constexpr size_t kLanes = 4;
   TestWorld w;
@@ -605,6 +607,10 @@ SkewRunResult RunSkewedScenario(bool steal_enabled) {
   cfg.steal_enabled = steal_enabled;
   cfg.steal_queue_threshold = 4;  // test-scale traffic must cross it
   cfg.lane_tun_write = true;      // gathered egress races re-homing hardest
+  cfg.ack_coalescing = ack_coalescing;
+  if (tun_queues > 0) {
+    cfg.tun_queues = tun_queues;
+  }
   EXPECT_TRUE(w.StartEngine(cfg).ok());
   auto* app = w.MakeApp(10180, "com.example.skew", "SkewApp");
   (void)app;
@@ -665,6 +671,7 @@ SkewRunResult RunSkewedScenario(bool steal_enabled) {
   auto counters = w.engine().counters();
   out.steals = w.engine().tun_reader()->steals();
   out.steal_handoffs = counters.steal_handoffs;
+  out.acks_coalesced = counters.acks_coalesced;
   out.unknown_flow = counters.unknown_flow;
   out.parse_errors = counters.parse_errors;
   return out;
@@ -710,6 +717,149 @@ TEST(EngineSteal, StealingPreservesExactMeasurementRecords) {
     EXPECT_EQ(stolen.received[i], stolen.sent[i]) << "conn " << i << " (steal)";
     EXPECT_EQ(pinned.received[i], pinned.sent[i]) << "conn " << i << " (pinned)";
   }
+}
+
+// ---- Multi-queue tun egress + pure-ACK coalescing (thread model v4) ----
+
+// One deterministic upload-heavy run: sink servers never send payload back,
+// so every relay->app packet after the handshake is a pure ACK and the lane
+// gather buffers fill with long same-flow ACK runs — the coalescer's best
+// case. Echo connections interleave data segments (splitting runs), and one
+// connection closes mid-run so FIN traffic lands inside the others' runs.
+struct CoalesceRunResult {
+  std::vector<std::string> records;            // canonical projection, sorted
+  std::vector<std::vector<uint8_t>> received;  // per connection, index order
+  std::vector<std::vector<uint8_t>> sent;      // per connection, index order
+  uint64_t acks_coalesced = 0;
+  uint64_t bytes_app_to_server = 0;
+  uint64_t bytes_server_to_app = 0;
+  uint64_t unknown_flow = 0;
+  uint64_t parse_errors = 0;
+};
+
+CoalesceRunResult RunUploadScenario(bool ack_coalescing) {
+  constexpr int kConns = 6;
+  TestWorld w;
+  mopeye::Config cfg;
+  cfg.worker_lanes = 4;
+  cfg.tun_queues = 4;  // lanes own their queues exclusively
+  cfg.tun_read_batch = 8;
+  cfg.lane_tun_write = true;  // coalescing lives in the gather buffer
+  cfg.ack_coalescing = ack_coalescing;
+  EXPECT_TRUE(w.StartEngine(cfg).ok());
+  auto* app = w.MakeApp(10190, "com.example.upload.acks", "AckApp");
+  (void)app;
+
+  CoalesceRunResult out;
+  out.received.resize(kConns);
+  out.sent.resize(kConns);
+  std::vector<std::shared_ptr<mopapps::AppTcpConnection>> conns;
+  for (int i = 0; i < kConns; ++i) {
+    // Conns 0-2 bulk-upload into sinks, conns 3-4 echo (reflected data
+    // segments split the ACK runs), conn 5 uploads a little then closes
+    // early (its FIN handshake lands mid-run for everyone else).
+    const bool echo = i == 3 || i == 4;
+    auto addr = w.AddServer(
+        moppkt::IpAddr(93, 44, 0, static_cast<uint8_t>(1 + i)), 7, Millis(5),
+        echo ? mopnet::BehaviorFactory(
+                   [] { return std::make_unique<mopnet::EchoBehavior>(); })
+             : mopnet::BehaviorFactory(
+                   [] { return std::make_unique<mopnet::SinkBehavior>(); }));
+    auto conn = mopapps::AppTcpConnection::Create(&w.stack(), 10190);
+    const int bytes = i == 5 ? 8000 : 120000 + 7919 * i;
+    for (int b = 0; b < bytes; ++b) {
+      out.sent[i].push_back(static_cast<uint8_t>((b * 17 + i) & 0xff));
+    }
+    conn->on_data = [&out, i](std::span<const uint8_t> d) {
+      out.received[i].insert(out.received[i].end(), d.begin(), d.end());
+    };
+    auto payload = out.sent[i];
+    conn->Connect(addr, [conn, payload = std::move(payload)](moputil::Status st) mutable {
+      ASSERT_TRUE(st.ok());
+      conn->Send(std::move(payload));
+    });
+    conns.push_back(std::move(conn));
+  }
+  w.RunMs(4000);
+  conns[5]->Close();  // FIN mid-run, while the bulk uploads are still going
+  w.RunMs(26000);
+
+  for (const auto& r : w.engine().store().records()) {
+    std::string kind = r.kind == mopeye::MeasureKind::kTcpConnect ? "tcp" : "dns";
+    out.records.push_back(kind + "|" + std::to_string(r.uid) + "|" + r.app + "|" +
+                          r.server.ToString() + "|" + r.domain);
+  }
+  std::sort(out.records.begin(), out.records.end());
+  auto counters = w.engine().counters();
+  out.acks_coalesced = counters.acks_coalesced;
+  out.bytes_app_to_server = counters.bytes_app_to_server;
+  out.bytes_server_to_app = counters.bytes_server_to_app;
+  out.unknown_flow = counters.unknown_flow;
+  out.parse_errors = counters.parse_errors;
+  return out;
+}
+
+TEST(EngineCoalesce, UploadHeavyRunsCoalesceWithoutChangingStreamsOrRecords) {
+  CoalesceRunResult on = RunUploadScenario(/*ack_coalescing=*/true);
+  CoalesceRunResult off = RunUploadScenario(/*ack_coalescing=*/false);
+
+  // The knob did real work in the on-run and exactly nothing in the off-run.
+  EXPECT_GT(on.acks_coalesced, 0u);
+  EXPECT_EQ(off.acks_coalesced, 0u);
+
+  // Byte-level stream equivalence: every upload completed in full — the
+  // collapsed ACK stream still carried every window opening the sender
+  // needed — and the echo streams came back byte-identical in both runs.
+  uint64_t total_sent = 0;
+  for (size_t i = 0; i < on.sent.size(); ++i) {
+    total_sent += on.sent[i].size();
+    if (i == 3 || i == 4) {
+      EXPECT_EQ(on.received[i], on.sent[i]) << "conn " << i << " (coalescing on)";
+      EXPECT_EQ(off.received[i], off.sent[i]) << "conn " << i << " (coalescing off)";
+    } else {
+      EXPECT_TRUE(on.received[i].empty()) << "conn " << i;  // sinks never reply
+      EXPECT_TRUE(off.received[i].empty()) << "conn " << i;
+    }
+  }
+  EXPECT_EQ(on.bytes_app_to_server, total_sent);
+  EXPECT_EQ(off.bytes_app_to_server, total_sent);
+  EXPECT_EQ(on.bytes_server_to_app, off.bytes_server_to_app);
+
+  // Identical measurement records: coalescing is an egress optimization,
+  // invisible to the product of the system.
+  EXPECT_EQ(on.records, off.records);
+  ASSERT_EQ(on.records.size(), 6u);  // one TCP connect per flow
+  EXPECT_EQ(on.unknown_flow, 0u);
+  EXPECT_EQ(on.parse_errors, 0u);
+  EXPECT_EQ(off.unknown_flow, 0u);
+  EXPECT_EQ(off.parse_errors, 0u);
+}
+
+TEST(EngineCoalesce, CoalescingSurvivesRehomedFlowsMidRun) {
+  // The adversarial composition: every flow hashes to lane 0, stealing
+  // re-homes elephants mid-transfer, and the re-homed lanes keep coalescing
+  // ACK runs on their own tun queues. Stream bytes and measurement records
+  // must match a coalescing-off run exactly.
+  SkewRunResult on =
+      RunSkewedScenario(/*steal_enabled=*/true, /*ack_coalescing=*/true, /*tun_queues=*/4);
+  SkewRunResult off =
+      RunSkewedScenario(/*steal_enabled=*/true, /*ack_coalescing=*/false, /*tun_queues=*/4);
+
+  EXPECT_GT(on.steals, 0u);
+  EXPECT_GT(on.rehomed_flows, 0u);
+  EXPECT_GT(on.acks_coalesced, 0u);
+  EXPECT_EQ(off.acks_coalesced, 0u);
+
+  for (size_t i = 0; i < on.sent.size(); ++i) {
+    EXPECT_EQ(on.received[i], on.sent[i]) << "conn " << i << " (coalescing on)";
+    EXPECT_EQ(off.received[i], off.sent[i]) << "conn " << i << " (coalescing off)";
+  }
+  EXPECT_EQ(on.records, off.records);
+  ASSERT_EQ(on.records.size(), 8u);
+  EXPECT_EQ(on.unknown_flow, 0u);
+  EXPECT_EQ(on.parse_errors, 0u);
+  EXPECT_EQ(off.unknown_flow, 0u);
+  EXPECT_EQ(off.parse_errors, 0u);
 }
 
 TEST(EngineIntegration, BrowsingSessionEndToEnd) {

@@ -27,9 +27,11 @@ memory (ROADMAP standing rules) and now fails CI:
                  instead of growing another hand-merged Stats struct. Beyond
                  the *_count / *_counter / *_total suffixes the rule also
                  knows the tally idioms that actually grew in this codebase —
-                 uint64_t *_read / *_polls instrumentation members and
-                 *high_water peaks (uint64_t or size_t) — so a counter
-                 migrated onto the registry can't quietly regress later.
+                 uint64_t *_read / *_polls instrumentation members,
+                 *high_water peaks (uint64_t or size_t), and
+                 std::vector<uint64_t>/<size_t> arrays of either (the
+                 per-queue egress tally shape) — so a counter migrated onto
+                 the registry can't quietly regress later.
 
 Suppress a finding with a trailing or preceding-line comment:
     // moplint-allow: <rule>
@@ -77,15 +79,23 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 # `uint64_t packets_read_;`, `size_t queue_high_water_ = 0;`.
 # Named-by-suffix so honest quantities like `uint64_t bytes_sent_` stay legal;
 # the rule targets the *pattern* of growing new ad-hoc counter structs.
-# Two shapes: uint64_t tallies by suffix (a size_t `shard_count` is a size,
+# Three shapes: uint64_t tallies by suffix (a size_t `shard_count` is a size,
 # not a tally — keeping the legacy suffixes uint64_t-only avoids flagging
-# honest cardinalities), and high-water peaks in either width (those are
-# gauges and grew as size_t everywhere).
+# honest cardinalities), high-water peaks in either width (those are gauges
+# and grew as size_t everywhere), and std::vector<uint64_t>/<size_t> arrays
+# of either — the per-queue/per-lane tally idiom the multi-queue egress work
+# introduced (the registry's lane-sharded counters are the sanctioned form;
+# layering-pinned exceptions carry an explicit waiver).
 RAW_COUNTER_RE = re.compile(
     r"\b(?:"
     r"(?P<t1>uint64_t)\s+(?P<n1>[A-Za-z_]\w*?(?:_count|_counter|_total|_read|_poll)s?_?)"
     r"|"
     r"(?P<t2>uint64_t|size_t)\s+(?P<n2>[A-Za-z_]\w*?high_waters?_?)"
+    r"|"
+    r"(?P<t3>std::vector<\s*uint64_t\s*>)\s+"
+    r"(?P<n3>[A-Za-z_]\w*?(?:_count|_counter|_total|_read|_poll)s?_?)"
+    r"|"
+    r"(?P<t4>std::vector<\s*(?:uint64_t|size_t)\s*>)\s+(?P<n4>[A-Za-z_]\w*?high_waters?_?)"
     r")\s*(?:=[^;]*)?;"
 )
 
@@ -253,8 +263,8 @@ def check_raw_counter(relpath, text, raw_lines):
         for m in RAW_COUNTER_RE.finditer(line):
             if "raw-counter" in allowed_rules_for_line(raw_lines, idx):
                 continue
-            ctype = m.group("t1") or m.group("t2")
-            name = m.group("n1") or m.group("n2")
+            ctype = m.group("t1") or m.group("t2") or m.group("t3") or m.group("t4")
+            name = m.group("n1") or m.group("n2") or m.group("n3") or m.group("n4")
             findings.append(Finding(
                 relpath, idx, "raw-counter",
                 f"raw counter member `{ctype} {name}` — register a "

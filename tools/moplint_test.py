@@ -112,14 +112,18 @@ class RawMutexTest(unittest.TestCase):
 class RawCounterTest(unittest.TestCase):
     def test_bad_fixture_flags_each_suffix(self):
         findings = lint_fixture("bad_raw_counter.cc", "src/collector/bad.cc")
-        self.assertEqual(rules(findings), ["raw-counter"] * 8)
+        self.assertEqual(rules(findings), ["raw-counter"] * 11)
         messages = " ".join(f.message for f in findings)
         for name in ("frames_count_", "retries_total", "drop_counter_",
                      "batches_totals_", "packets_read_", "empty_polls_",
-                     "queue_high_water_", "in_use_high_water"):
+                     "queue_high_water_", "in_use_high_water",
+                     "queue_drops_total_", "queue_frames_count",
+                     "queue_high_waters_"):
             self.assertIn(name, messages)
         self.assertNotIn("bytes_sent_", messages)
         self.assertNotIn("small_count_", messages)
+        self.assertNotIn("bytes_per_queue_", messages)
+        self.assertNotIn("tiny_counts_", messages)
 
     def test_good_fixture_is_clean(self):
         findings = lint_fixture("good_raw_counter.cc", "src/collector/good.cc")
